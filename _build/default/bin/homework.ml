@@ -1,0 +1,168 @@
+(* The Homework router CLI: run simulated households, watch the
+   measurement plane, and poke the control API from the command line.
+
+   dune exec bin/homework.exe -- --help *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
+
+let log_term =
+  let doc = "Verbose logging from the router components." in
+  Term.(const setup_logs $ Arg.(value & flag & info [ "v"; "verbose" ] ~doc))
+
+(* ------------------------------------------------------------------ *)
+(* shared options                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let seed_arg =
+  let doc = "PRNG seed for the simulation (runs are deterministic per seed)." in
+  Arg.(value & opt int 7 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let duration_arg default =
+  let doc = "Virtual time to simulate, in seconds." in
+  Arg.(value & opt float default & info [ "d"; "duration" ] ~docv:"SECONDS" ~doc)
+
+let run_standard ~seed ~duration ~permit_kids =
+  let home = Hw_router.Home.standard_home ~seed () in
+  if permit_kids then Hw_router.Home.permit_all home;
+  Hw_router.Home.run_for home duration;
+  home
+
+(* ------------------------------------------------------------------ *)
+(* demo                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let demo seed duration () =
+  let home = run_standard ~seed ~duration ~permit_kids:true in
+  let router = Hw_router.Home.router home in
+  Printf.printf "Homework router: %g s of virtual time, seed %d\n\n" duration seed;
+  Printf.printf "devices:\n";
+  List.iter
+    (fun d ->
+      Printf.printf "  %-15s %s  %s\n" (Hw_sim.Device.name d)
+        (Hw_packet.Mac.to_string (Hw_sim.Device.mac d))
+        (match Hw_sim.Device.ip d with
+        | Some ip -> Hw_packet.Ip.to_string ip
+        | None -> "(offline)"))
+    (Hw_router.Home.devices home);
+  let view =
+    Hw_ui.Bandwidth_view.create ~window_seconds:30.
+      ~label_of_ip:(Hw_router.Home.label_of_ip home)
+      ~db:(Hw_router.Router.db router) ()
+  in
+  ignore (Hw_ui.Bandwidth_view.refresh view);
+  print_newline ();
+  print_string (Hw_ui.Bandwidth_view.render view);
+  Printf.printf "\nflows installed: %d, packet-ins: %d\n"
+    (Hw_router.Router.flows_installed router)
+    (Hw_router.Router.packet_ins router)
+
+let demo_cmd =
+  let info = Cmd.info "demo" ~doc:"Run the standard household and show the bandwidth display." in
+  Cmd.v info Term.(const demo $ seed_arg $ duration_arg 120. $ log_term)
+
+(* ------------------------------------------------------------------ *)
+(* query                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let query seed duration statement () =
+  let home = run_standard ~seed ~duration ~permit_kids:true in
+  match Hw_hwdb.Database.execute (Hw_router.Router.db (Hw_router.Home.router home)) statement with
+  | Ok (Some rs) ->
+      List.iter
+        (fun row -> print_endline (String.concat " | " row))
+        (Hw_hwdb.Query.result_to_strings rs)
+  | Ok None -> print_endline "ok"
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+
+let query_cmd =
+  let statement =
+    let doc = "hwdb statement, e.g. 'SELECT src_ip, SUM(bytes) AS b FROM Flows GROUP BY src_ip'." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"STATEMENT" ~doc)
+  in
+  let info =
+    Cmd.info "query"
+      ~doc:"Run a household, then execute an hwdb query against the measurement plane."
+  in
+  Cmd.v info Term.(const query $ seed_arg $ duration_arg 60. $ statement $ log_term)
+
+(* ------------------------------------------------------------------ *)
+(* http                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let http_call seed duration meth path body () =
+  let home = run_standard ~seed ~duration ~permit_kids:false in
+  let meth =
+    match Hw_control_api.Http.meth_of_string (String.uppercase_ascii meth) with
+    | Some m -> m
+    | None ->
+        Printf.eprintf "unknown method %s\n" meth;
+        exit 1
+  in
+  let resp =
+    Hw_router.Router.http (Hw_router.Home.router home)
+      (Hw_control_api.Http.request ?body:(Option.map Fun.id body) meth path)
+  in
+  Printf.printf "HTTP %d\n%s\n" resp.Hw_control_api.Http.status
+    (match Hw_json.Json.of_string_opt resp.Hw_control_api.Http.body with
+    | Some json -> Hw_json.Json.to_string_pretty json
+    | None -> resp.Hw_control_api.Http.body)
+
+let http_cmd =
+  let meth =
+    Arg.(value & opt string "GET" & info [ "X"; "method" ] ~docv:"METHOD" ~doc:"HTTP method.")
+  in
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH" ~doc:"Control API path.")
+  in
+  let body =
+    Arg.(value & opt (some string) None & info [ "b"; "body" ] ~docv:"JSON" ~doc:"Request body.")
+  in
+  let info =
+    Cmd.info "http" ~doc:"Run a household and issue one control-API request against it."
+  in
+  Cmd.v info Term.(const http_call $ seed_arg $ duration_arg 30. $ meth $ path $ body $ log_term)
+
+(* ------------------------------------------------------------------ *)
+(* artifact                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let artifact seed duration () =
+  let home = Hw_router.Home.standard_home ~seed () in
+  Hw_router.Home.permit_all home;
+  let artifact = Hw_ui.Artifact.create () in
+  Hw_ui.Artifact.set_mode artifact Hw_ui.Artifact.Event_flashes;
+  Hw_dhcp.Dhcp_server.on_event
+    (Hw_router.Router.dhcp (Hw_router.Home.router home))
+    (fun ev ->
+      match ev with
+      | Hw_dhcp.Dhcp_server.Lease_granted _ -> Hw_ui.Artifact.notify_lease artifact `Grant
+      | Hw_dhcp.Dhcp_server.Lease_revoked _ -> Hw_ui.Artifact.notify_lease artifact `Revoke
+      | _ -> ());
+  let step = 0.5 in
+  let steps = int_of_float (duration /. step) in
+  for i = 1 to steps do
+    Hw_router.Home.run_for home step;
+    Hw_ui.Artifact.tick artifact ~dt:step;
+    if i mod 2 = 0 then
+      Printf.printf "t=%6.1fs [%s]\n" (Hw_router.Home.now home)
+        (Hw_ui.Artifact.render_ascii artifact)
+  done
+
+let artifact_cmd =
+  let info = Cmd.info "artifact" ~doc:"Watch the network artifact's flash display live." in
+  Cmd.v info Term.(const artifact $ seed_arg $ duration_arg 20. $ log_term)
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc = "Homework home-router reproduction (Mortier et al., SIGCOMM 2011)" in
+  let info = Cmd.info "homework" ~version:"1.0.0" ~doc in
+  Cmd.group info [ demo_cmd; query_cmd; http_cmd; artifact_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/artifact_walkthrough.ml: Hw_dhcp Hw_hwdb Hw_packet Hw_router Hw_sim Hw_ui List Option Printf

@@ -1,0 +1,1 @@
+examples/family_policy.ml: Hw_control_api Hw_dhcp Hw_json Hw_packet Hw_policy Hw_router Hw_sim Hw_time Hw_ui List Option Printf

@@ -1,0 +1,1 @@
+examples/family_policy.mli:

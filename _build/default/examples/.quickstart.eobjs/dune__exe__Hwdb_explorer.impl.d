@@ -1,0 +1,1 @@
+examples/hwdb_explorer.ml: Hw_hwdb Hw_router Hw_sim Hw_time List Printf String

@@ -1,0 +1,1 @@
+examples/hwdb_explorer.mli:

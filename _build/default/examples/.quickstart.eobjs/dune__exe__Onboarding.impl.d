@@ -1,0 +1,1 @@
+examples/onboarding.ml: Hw_hwdb Hw_packet Hw_router Hw_sim Hw_ui List Printf String

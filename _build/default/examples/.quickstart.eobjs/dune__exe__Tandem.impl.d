@@ -1,0 +1,1 @@
+examples/tandem.ml: Hw_json Hw_packet Hw_policy Hw_router Hw_sim Hw_time Hw_ui List Printf String

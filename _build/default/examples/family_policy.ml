@@ -1,0 +1,139 @@
+(* Figure 4 end-to-end: "the kids can only use Facebook on weekdays after
+   they've finished their homework."
+
+   The policy is composed in the cartoon UI, the kids' devices are grouped
+   through the control API, and the allowance is physically mediated by a
+   USB key: until a responsible adult inserts it, the kids' devices cannot
+   join the network at all; with it inserted (on a weekday, in the allowed
+   window) they get leases but DNS only resolves Facebook.
+
+   Run: dune exec examples/family_policy.exe *)
+
+let section title = Printf.printf "\n--- %s ---\n" title
+
+let show_lookup home name_of_device hostname =
+  match Hw_router.Home.device_by_name home name_of_device with
+  | None -> Printf.printf "  %s: no such device\n" name_of_device
+  | Some device ->
+      if Hw_sim.Device.dhcp_state device <> Hw_sim.Device.Bound then
+        Printf.printf "  %-12s -> %-20s : NO NETWORK (dhcp %s)\n" name_of_device hostname
+          (match Hw_sim.Device.dhcp_state device with
+          | Hw_sim.Device.Denied -> "denied"
+          | Hw_sim.Device.Bound -> "bound"
+          | _ -> "joining")
+      else begin
+        let result = ref "(timeout)" in
+        Hw_sim.Device.resolve device hostname (fun addr ->
+            result :=
+              match addr with
+              | Some ip -> "resolved to " ^ Hw_packet.Ip.to_string ip
+              | None -> "BLOCKED (nxdomain)");
+        Hw_router.Home.run_for home 6.;
+        Printf.printf "  %-12s -> %-20s : %s\n" name_of_device hostname !result
+      end
+
+let () =
+  (* Monday 15:45, quarter of an hour before the policy window opens *)
+  let start = Hw_time.at ~day:Hw_time.Mon ~hour:15 ~min:45 in
+  let home = Hw_router.Home.standard_home ~start () in
+  let router = Hw_router.Home.router home in
+  let http req = Hw_router.Router.http router req in
+
+  let tablet_mac = Hw_packet.Mac.to_string (Hw_packet.Mac.local 2) in
+  let console_mac = Hw_packet.Mac.to_string (Hw_packet.Mac.local 3) in
+
+  section "1. Parents group the kids' devices (control API)";
+  let resp =
+    http
+      (Hw_control_api.Http.request
+         ~body:
+           (Hw_json.Json.to_string
+              (Hw_json.Json.Obj
+                 [
+                   ( "members",
+                     Hw_json.Json.List
+                       [ Hw_json.Json.String tablet_mac; Hw_json.Json.String console_mac ] );
+                 ]))
+         Hw_control_api.Http.PUT "/api/groups/kids")
+  in
+  Printf.printf "  PUT /api/groups/kids -> HTTP %d\n" resp.Hw_control_api.Http.status;
+
+  section "2. The cartoon policy is composed and submitted (Figure 4 UI)";
+  let panels = Hw_ui.Policy_ui.kids_facebook_weekdays in
+  print_endline (Hw_ui.Policy_ui.render panels);
+  let ui = Hw_ui.Policy_ui.create ~http in
+  (match
+     Hw_ui.Policy_ui.submit ui ~rule_id:"kids-facebook" ~token:(Some "homework-2026") panels
+   with
+  | Ok () -> print_endline "  rule accepted (201)"
+  | Error e -> Printf.printf "  rule rejected: %s\n" e);
+
+  section "3. Before the window, without the key: kids are offline";
+  Hw_router.Home.run_for home 120.;
+  show_lookup home "kids-tablet" "www.facebook.com";
+  show_lookup home "toms-mac-air" "www.facebook.com";
+
+  section "4. 16:05, homework done: the USB key goes in";
+  Hw_router.Home.run_until home (Hw_time.at ~day:Hw_time.Mon ~hour:16 ~min:5);
+  (* the rule already lives in the router; this key carries just the token *)
+  let key = { Hw_policy.Usb_key.token = "homework-2026"; rules = [] } in
+  (match
+     Hw_router.Router.insert_usb router ~device:"sdb1" (Hw_policy.Usb_key.render key)
+   with
+  | Ok k -> Printf.printf "  key %S mounted on sdb1\n" k.Hw_policy.Usb_key.token
+  | Error e -> Printf.printf "  key rejected: %s\n" e);
+  (* give the kids' devices time to retry DHCP and join *)
+  Hw_router.Home.run_for home 120.;
+  Printf.printf "  (kids-tablet dhcp state now: %s)\n"
+    (match
+       Option.map Hw_sim.Device.dhcp_state (Hw_router.Home.device_by_name home "kids-tablet")
+     with
+    | Some Hw_sim.Device.Bound -> "bound"
+    | Some Hw_sim.Device.Denied -> "denied"
+    | _ -> "joining");
+  show_lookup home "kids-tablet" "www.facebook.com";
+  show_lookup home "kids-tablet" "www.youtube.com";
+  show_lookup home "toms-mac-air" "www.youtube.com";
+
+  section "5. Key removed: the allowance is lifted again";
+  Hw_router.Router.remove_usb router ~device:"sdb1";
+  Hw_router.Home.run_for home 60.;
+  (* the tablet may still answer from its own resolver cache, but the
+     router refuses its flows: the lease was revoked, so the admission
+     check rejects the source address *)
+  (match Option.bind (Hw_router.Home.device_by_name home "kids-tablet") Hw_sim.Device.ip with
+  | Some tablet_ip ->
+      let leased =
+        Hw_dhcp.Lease_db.lookup_ip
+          (Hw_dhcp.Dhcp_server.lease_db (Hw_router.Router.dhcp router))
+          tablet_ip
+        <> None
+      in
+      Printf.printf "  router admission for %s: %s\n"
+        (Hw_packet.Ip.to_string tablet_ip)
+        (if leased then "ALLOW (unexpected)" else "BLOCK (lease revoked; flows dropped)")
+  | None -> print_endline "  tablet already off the network");
+
+  section "6. Weekend check: even with the key, the schedule gates access";
+  (* a fresh household booted on Saturday afternoon, same policy and key *)
+  let weekend = Hw_router.Home.standard_home ~start:(Hw_time.at ~day:Hw_time.Sat ~hour:16 ~min:30) () in
+  let wrouter = Hw_router.Home.router weekend in
+  Hw_policy.Policy.define_group
+    (Hw_router.Router.policy wrouter)
+    "kids"
+    [ Hw_packet.Mac.local 2; Hw_packet.Mac.local 3 ];
+  (match
+     Hw_ui.Policy_ui.submit
+       (Hw_ui.Policy_ui.create ~http:(Hw_router.Router.http wrouter))
+       ~rule_id:"kids-facebook" ~token:(Some "homework-2026") panels
+   with
+  | Ok () -> ()
+  | Error e -> Printf.printf "  rule rejected: %s\n" e);
+  ignore (Hw_router.Router.insert_usb wrouter ~device:"sdb1" (Hw_policy.Usb_key.render key));
+  Hw_router.Home.run_for weekend 120.;
+  show_lookup weekend "kids-tablet" "www.facebook.com";
+
+  section "Active rules (GET /api/policies)";
+  match Hw_ui.Policy_ui.active_rules (Hw_ui.Policy_ui.create ~http) with
+  | Ok rules -> List.iter (fun r -> Printf.printf "  %s\n" (Hw_json.Json.to_string r)) rules
+  | Error e -> Printf.printf "  error: %s\n" e

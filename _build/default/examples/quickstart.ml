@@ -1,0 +1,64 @@
+(* Quickstart: bring up the Homework router with a standard household, let
+   traffic flow, and read back the three hwdb tables plus the Figure 1
+   bandwidth display.
+
+   Run: dune exec examples/quickstart.exe *)
+
+let () =
+  let home = Hw_router.Home.standard_home () in
+  let router = Hw_router.Home.router home in
+
+  (* The kids' devices start un-permitted; permit everything for this tour
+     the way the Figure 3 control UI would. *)
+  Hw_router.Home.permit_all home;
+
+  (* Run two minutes of virtual time: DHCP joins, DNS lookups, app
+     traffic, measurement samples. *)
+  Hw_router.Home.run_for home 120.;
+
+  print_endline "== Homework router quickstart ==\n";
+
+  Printf.printf "devices on the network:\n";
+  List.iter
+    (fun device ->
+      Printf.printf "  %-15s %s  ip=%s\n"
+        (Hw_sim.Device.name device)
+        (Hw_packet.Mac.to_string (Hw_sim.Device.mac device))
+        (match Hw_sim.Device.ip device with
+        | Some ip -> Hw_packet.Ip.to_string ip
+        | None -> "(none)"))
+    (Hw_router.Home.devices home);
+
+  let show_query title q =
+    Printf.printf "\n%s\n  %s\n" title q;
+    match Hw_hwdb.Database.query (Hw_router.Router.db router) q with
+    | Error msg -> Printf.printf "  error: %s\n" msg
+    | Ok rs ->
+        List.iter
+          (fun row -> Printf.printf "  %s\n" (String.concat " | " row))
+          (Hw_hwdb.Query.result_to_strings rs)
+  in
+  show_query "hwdb Leases (most recent 5):"
+    "SELECT mac, ip, hostname, action FROM Leases [ROWS 5]";
+  show_query "hwdb Flows: top talkers over the last 30 s:"
+    "SELECT src_ip, SUM(bytes) AS bytes FROM Flows [RANGE 30 SECONDS] GROUP BY src_ip ORDER \
+     BY bytes DESC LIMIT 5";
+  show_query "hwdb Links: wireless stations:"
+    "SELECT mac, AVG(rssi) AS rssi, MAX(retries) AS retries FROM Links [RANGE 30 SECONDS] \
+     GROUP BY mac";
+
+  (* Figure 1: the per-device bandwidth view. *)
+  let view =
+    Hw_ui.Bandwidth_view.create ~window_seconds:30.
+      ~label_of_ip:(Hw_router.Home.label_of_ip home)
+      ~db:(Hw_router.Router.db router) ()
+  in
+  (match Hw_ui.Bandwidth_view.refresh view with
+  | Ok _ -> ()
+  | Error msg -> Printf.printf "bandwidth view error: %s\n" msg);
+  print_newline ();
+  print_string (Hw_ui.Bandwidth_view.render view);
+
+  Printf.printf "\nrouter state: %d flows installed, %d packet-ins so far\n"
+    (Hw_router.Router.flows_installed router)
+    (Hw_router.Router.packet_ins router)

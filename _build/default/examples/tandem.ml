@@ -1,0 +1,97 @@
+(* "One of our interests is how these different manifestations of the
+   network might be used in tandem. Our infrastructure has allowed these
+   different displays to connect to the same measurement plane and be
+   dynamically updated from the active database."
+
+   This example runs all four interfaces side by side off one router:
+   the phone bandwidth view, the ambient artifact (driven purely through
+   hwdb subscriptions), the DHCP control screen, and the policy list —
+   printed as a combined dashboard every 20 s of virtual time while the
+   household lives its life (devices joining, policies flipping).
+
+   Run: dune exec examples/tandem.exe *)
+
+module Home = Hw_router.Home
+module Router = Hw_router.Router
+module Device = Hw_sim.Device
+
+let rule = String.make 72 '-'
+
+let () =
+  let start = Hw_time.at ~day:Hw_time.Wed ~hour:15 ~min:55 in
+  let home = Home.standard_home ~start () in
+  let router = Home.router home in
+  Home.permit_all home;
+
+  (* the four interfaces, all fed from the same measurement plane *)
+  let bandwidth =
+    Hw_ui.Bandwidth_view.create ~window_seconds:15. ~label_of_ip:(Home.label_of_ip home)
+      ~db:(Router.db router) ()
+  in
+  let artifact = Hw_ui.Artifact.create ~leds:12 () in
+  Hw_ui.Artifact.set_mode artifact Hw_ui.Artifact.Bandwidth_animation;
+  let _driver = Hw_ui.Artifact_driver.attach ~period:5. ~db:(Router.db router) ~artifact () in
+  let control = Hw_ui.Control_ui.create ~http:(Router.http router) in
+  let policy_ui = Hw_ui.Policy_ui.create ~http:(Router.http router) in
+
+  (* scripted household events *)
+  let script =
+    [
+      ( 20.,
+        fun () ->
+          print_endline ">>> the kids policy goes in (facebook only, key-gated)";
+          Hw_policy.Policy.define_group (Router.policy router) "kids"
+            [ Hw_packet.Mac.local 2; Hw_packet.Mac.local 3 ];
+          ignore
+            (Hw_ui.Policy_ui.submit policy_ui ~rule_id:"kids-fb" ~token:(Some "homework")
+               { Hw_ui.Policy_ui.kids_facebook_weekdays with Hw_ui.Policy_ui.window = "16:00-20:00" }) );
+      ( 40.,
+        fun () ->
+          print_endline ">>> a guest phone arrives and asks for access";
+          ignore
+            (Home.add_device home
+               (Device.wireless ~distance_m:7. ~name:"guest-phone"
+                  ~mac:(Hw_packet.Mac.local 0x33) [ Hw_sim.App_profile.web ])) );
+      ( 60.,
+        fun () ->
+          print_endline ">>> homework done: the USB key goes in";
+          ignore
+            (Router.insert_usb router ~device:"sdb1"
+               (Hw_policy.Usb_key.render { Hw_policy.Usb_key.token = "homework"; rules = [] })) );
+      ( 80.,
+        fun () ->
+          print_endline ">>> the householder permits the guest from the control screen";
+          ignore
+            (Hw_ui.Control_ui.drag control
+               ~mac:(Hw_packet.Mac.to_string (Hw_packet.Mac.local 0x33))
+               Hw_ui.Control_ui.Permitted_col) );
+    ]
+  in
+  List.iter (fun (at, f) -> Hw_sim.Event_loop.at (Home.loop home) (start +. at) f) script;
+
+  for frame = 1 to 6 do
+    Home.run_for home 20.;
+    Printf.printf "\n%s\n" rule;
+    Printf.printf "dashboard @ %s   (frame %d)\n" (Hw_time.to_string (Home.now home)) frame;
+    Printf.printf "%s\n" rule;
+    ignore (Hw_ui.Bandwidth_view.refresh bandwidth);
+    print_string (Hw_ui.Bandwidth_view.render bandwidth);
+    List.iter
+      (fun r ->
+        Printf.printf "  %-18s %s\n" r.Hw_ui.Bandwidth_view.device_label
+          (Hw_ui.Bandwidth_view.sparkline bandwidth r.Hw_ui.Bandwidth_view.device_ip))
+      (Hw_ui.Bandwidth_view.last bandwidth);
+    Hw_ui.Artifact.tick artifact ~dt:20.;
+    Printf.printf "\nartifact  [%s]  chaser %.2f rev/s (peak %.0f b/s)\n"
+      (Hw_ui.Artifact.render_ascii artifact)
+      (Hw_ui.Artifact.chaser_speed artifact)
+      (Hw_ui.Artifact.peak_bps artifact);
+    ignore (Hw_ui.Control_ui.refresh control);
+    print_newline ();
+    print_string (Hw_ui.Control_ui.render control);
+    (match Hw_ui.Policy_ui.active_rules policy_ui with
+    | Ok [] | Error _ -> ()
+    | Ok rules ->
+        Printf.printf "\nactive policies:\n";
+        List.iter (fun r -> Printf.printf "  %s\n" (Hw_json.Json.to_string r)) rules)
+  done

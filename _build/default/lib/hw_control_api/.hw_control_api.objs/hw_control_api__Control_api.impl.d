@@ -1,0 +1,1 @@
+lib/hw_control_api/control_api.ml: Http Hw_json Json List Router

@@ -1,0 +1,1 @@
+lib/hw_control_api/control_api.mli: Http Hw_json Json Router

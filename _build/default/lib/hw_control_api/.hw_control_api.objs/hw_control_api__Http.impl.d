@@ -1,0 +1,1 @@
+lib/hw_control_api/http.ml: Buffer Char Hw_json List Printf String

@@ -1,0 +1,1 @@
+lib/hw_control_api/http.mli: Hw_json

@@ -1,0 +1,1 @@
+lib/hw_control_api/router.ml: Http List Logs Option Printexc Printf String

@@ -1,0 +1,96 @@
+open Hw_json
+
+type ops = {
+  status : unit -> Json.t;
+  list_devices : unit -> Json.t;
+  permit_device : string -> (unit, string) result;
+  deny_device : string -> (unit, string) result;
+  forget_device : string -> (unit, string) result;
+  set_device_metadata : string -> string -> (unit, string) result;
+  list_leases : unit -> Json.t;
+  list_policies : unit -> Json.t;
+  add_policy : Json.t -> (Json.t, string) result;
+  delete_policy : string -> (unit, string) result;
+  list_groups : unit -> Json.t;
+  set_group : string -> string list -> (unit, string) result;
+  usb_event : Json.t -> (Json.t, string) result;
+  hwdb_query : string -> (Json.t, string) result;
+  dns_stats : unit -> Json.t;
+}
+
+let ok_empty = Http.json_response (Json.Obj [ ("ok", Json.Bool true) ])
+
+let of_result = function
+  | Ok () -> ok_empty
+  | Error msg -> Http.error_response 400 msg
+
+let with_json_body (req : Http.request) f =
+  match Json.of_string_opt req.Http.body with
+  | Some json -> f json
+  | None -> Http.error_response 400 "request body is not valid JSON"
+
+let param name params =
+  match List.assoc_opt name params with
+  | Some v -> v
+  | None -> invalid_arg ("missing route parameter " ^ name)
+
+let build ops =
+  let r = Router.create () in
+  Router.route r Http.GET "/api/status" (fun _req _params ->
+      Http.json_response (ops.status ()));
+  Router.route r Http.GET "/api/devices" (fun _req _params ->
+      Http.json_response (ops.list_devices ()));
+  Router.route r Http.POST "/api/devices/:mac/permit" (fun _req params ->
+      of_result (ops.permit_device (param "mac" params)));
+  Router.route r Http.POST "/api/devices/:mac/deny" (fun _req params ->
+      of_result (ops.deny_device (param "mac" params)));
+  Router.route r Http.POST "/api/devices/:mac/forget" (fun _req params ->
+      of_result (ops.forget_device (param "mac" params)));
+  Router.route r Http.PUT "/api/devices/:mac/metadata" (fun req params ->
+      with_json_body req (fun json ->
+          match Json.member_opt "name" json with
+          | Some (Json.String name) ->
+              of_result (ops.set_device_metadata (param "mac" params) name)
+          | _ -> Http.error_response 400 "expected {\"name\": string}"));
+  Router.route r Http.GET "/api/leases" (fun _req _params ->
+      Http.json_response (ops.list_leases ()));
+  Router.route r Http.GET "/api/policies" (fun _req _params ->
+      Http.json_response (ops.list_policies ()));
+  Router.route r Http.POST "/api/policies" (fun req _params ->
+      with_json_body req (fun json ->
+          match ops.add_policy json with
+          | Ok reply -> Http.json_response ~status:201 reply
+          | Error msg -> Http.error_response 400 msg));
+  Router.route r Http.DELETE "/api/policies/:id" (fun _req params ->
+      of_result (ops.delete_policy (param "id" params)));
+  Router.route r Http.GET "/api/groups" (fun _req _params ->
+      Http.json_response (ops.list_groups ()));
+  Router.route r Http.PUT "/api/groups/:name" (fun req params ->
+      with_json_body req (fun json ->
+          match Json.member_opt "members" json with
+          | Some (Json.List members) -> (
+              let macs =
+                List.filter_map (function Json.String s -> Some s | _ -> None) members
+              in
+              if List.length macs <> List.length members then
+                Http.error_response 400 "members must be MAC strings"
+              else of_result (ops.set_group (param "name" params) macs))
+          | _ -> Http.error_response 400 "expected {\"members\": [...]}"));
+  Router.route r Http.POST "/api/usb" (fun req _params ->
+      with_json_body req (fun json ->
+          match ops.usb_event json with
+          | Ok reply -> Http.json_response reply
+          | Error msg -> Http.error_response 400 msg));
+  Router.route r Http.GET "/api/hwdb" (fun req _params ->
+      match List.assoc_opt "q" req.Http.query with
+      | Some q -> (
+          match ops.hwdb_query q with
+          | Ok reply -> Http.json_response reply
+          | Error msg -> Http.error_response 400 msg)
+      | None -> Http.error_response 400 "missing ?q= query parameter");
+  Router.route r Http.GET "/api/dns/stats" (fun _req _params ->
+      Http.json_response (ops.dns_stats ()));
+  r
+
+let handle = Router.dispatch
+let handle_raw = Router.handle_raw

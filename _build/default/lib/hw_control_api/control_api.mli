@@ -1,0 +1,52 @@
+(** The Homework control API: the RESTful web interface the paper's
+    graphical control interfaces and udev USB monitor invoke.
+
+    The API is defined against an {!ops} record so the library stays
+    decoupled from the router composition; [hw_router] supplies the real
+    operations backed by the DHCP server, DNS proxy, policy engine and
+    hwdb.
+
+    Resources:
+    {v
+    GET    /api/status
+    GET    /api/devices
+    POST   /api/devices/:mac/permit
+    POST   /api/devices/:mac/deny
+    POST   /api/devices/:mac/forget
+    PUT    /api/devices/:mac/metadata        {"name": "Tom's Mac Air"}
+    GET    /api/leases
+    GET    /api/policies
+    POST   /api/policies                     rule JSON (see Policy)
+    DELETE /api/policies/:id
+    GET    /api/groups
+    PUT    /api/groups/:name                 {"members": ["aa:bb:..."]}
+    POST   /api/usb                          udev event JSON
+    GET    /api/hwdb?q=SELECT...
+    GET    /api/dns/stats
+    v} *)
+
+open Hw_json
+
+type ops = {
+  status : unit -> Json.t;
+  list_devices : unit -> Json.t;
+  permit_device : string -> (unit, string) result;
+  deny_device : string -> (unit, string) result;
+  forget_device : string -> (unit, string) result;
+  set_device_metadata : string -> string -> (unit, string) result;
+  list_leases : unit -> Json.t;
+  list_policies : unit -> Json.t;
+  add_policy : Json.t -> (Json.t, string) result;
+  delete_policy : string -> (unit, string) result;
+  list_groups : unit -> Json.t;
+  set_group : string -> string list -> (unit, string) result;
+  usb_event : Json.t -> (Json.t, string) result;
+  hwdb_query : string -> (Json.t, string) result;
+  dns_stats : unit -> Json.t;
+}
+
+val build : ops -> Router.t
+(** Constructs the routing table. *)
+
+val handle : Router.t -> Http.request -> Http.response
+val handle_raw : Router.t -> string -> string

@@ -1,0 +1,216 @@
+type meth = GET | POST | PUT | DELETE
+
+let meth_to_string = function GET -> "GET" | POST -> "POST" | PUT -> "PUT" | DELETE -> "DELETE"
+
+let meth_of_string = function
+  | "GET" -> Some GET
+  | "POST" -> Some POST
+  | "PUT" -> Some PUT
+  | "DELETE" -> Some DELETE
+  | _ -> None
+
+type request = {
+  meth : meth;
+  path : string;
+  query : (string * string) list;
+  headers : (string * string) list;
+  body : string;
+}
+
+type response = { status : int; headers : (string * string) list; body : string }
+
+let reason_phrase = function
+  | 200 -> "OK"
+  | 201 -> "Created"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 403 -> "Forbidden"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 409 -> "Conflict"
+  | 500 -> "Internal Server Error"
+  | _ -> "Unknown"
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let url_decode s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then
+      match s.[i] with
+      | '%' when i + 2 < n -> (
+          match hex_val s.[i + 1], hex_val s.[i + 2] with
+          | Some h, Some l ->
+              Buffer.add_char buf (Char.chr ((h * 16) + l));
+              go (i + 3)
+          | _ ->
+              Buffer.add_char buf '%';
+              go (i + 1))
+      | '+' ->
+          Buffer.add_char buf ' ';
+          go (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          go (i + 1)
+  in
+  go 0;
+  Buffer.contents buf
+
+let url_encode s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' | '~' | '/' | ':' ->
+          Buffer.add_char buf c
+      | c -> Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c)))
+    s;
+  Buffer.contents buf
+
+let parse_query qs =
+  if qs = "" then []
+  else
+    String.split_on_char '&' qs
+    |> List.filter_map (fun pair ->
+           if pair = "" then None
+           else
+             match String.index_opt pair '=' with
+             | None -> Some (url_decode pair, "")
+             | Some i ->
+                 Some
+                   ( url_decode (String.sub pair 0 i),
+                     url_decode (String.sub pair (i + 1) (String.length pair - i - 1)) ))
+
+let split_target target =
+  match String.index_opt target '?' with
+  | None -> (url_decode target, [])
+  | Some i ->
+      ( url_decode (String.sub target 0 i),
+        parse_query (String.sub target (i + 1) (String.length target - i - 1)) )
+
+let request ?(headers = []) ?(body = "") meth target =
+  let path, query = split_target target in
+  { meth; path; query; headers; body }
+
+let response ?(headers = []) ?(body = "") status = { status; headers; body }
+
+let json_response ?(status = 200) json =
+  {
+    status;
+    headers = [ ("content-type", "application/json") ];
+    body = Hw_json.Json.to_string json;
+  }
+
+let error_response status msg =
+  json_response ~status (Hw_json.Json.Obj [ ("error", Hw_json.Json.String msg) ])
+
+let header name (req : request) = List.assoc_opt (String.lowercase_ascii name) req.headers
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let crlf = "\r\n"
+
+let encode_headers headers body =
+  let headers =
+    if List.mem_assoc "content-length" headers then headers
+    else headers @ [ ("content-length", string_of_int (String.length body)) ]
+  in
+  String.concat ""
+    (List.map (fun (k, v) -> Printf.sprintf "%s: %s%s" k v crlf) headers)
+
+let encode_request req =
+  let target =
+    match req.query with
+    | [] -> req.path
+    | q ->
+        req.path ^ "?"
+        ^ String.concat "&"
+            (List.map (fun (k, v) -> url_encode k ^ "=" ^ url_encode v) q)
+  in
+  Printf.sprintf "%s %s HTTP/1.1%s%s%s%s" (meth_to_string req.meth) target crlf
+    (encode_headers req.headers req.body)
+    crlf req.body
+
+let encode_response resp =
+  Printf.sprintf "HTTP/1.1 %d %s%s%s%s%s" resp.status (reason_phrase resp.status) crlf
+    (encode_headers resp.headers resp.body)
+    crlf resp.body
+
+let split_head_body raw =
+  let sep = crlf ^ crlf in
+  let rec find i =
+    if i + 4 > String.length raw then None
+    else if String.sub raw i 4 = sep then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> Error "missing header terminator"
+  | Some i ->
+      Ok (String.sub raw 0 i, String.sub raw (i + 4) (String.length raw - i - 4))
+
+let parse_headers lines =
+  List.filter_map
+    (fun line ->
+      match String.index_opt line ':' with
+      | None -> None
+      | Some i ->
+          Some
+            ( String.lowercase_ascii (String.trim (String.sub line 0 i)),
+              String.trim (String.sub line (i + 1) (String.length line - i - 1)) ))
+    lines
+
+let body_per_content_length headers body =
+  match List.assoc_opt "content-length" headers with
+  | None -> Ok body
+  | Some len_str -> (
+      match int_of_string_opt (String.trim len_str) with
+      | None -> Error "bad content-length"
+      | Some len ->
+          if len > String.length body then Error "truncated body"
+          else Ok (String.sub body 0 len))
+
+let decode_request raw =
+  match split_head_body raw with
+  | Error _ as e -> e
+  | Ok (head, body) -> (
+      match String.split_on_char '\n' head |> List.map (fun l -> String.trim l) with
+      | [] -> Error "empty request"
+      | request_line :: header_lines -> (
+          match String.split_on_char ' ' request_line with
+          | [ meth_str; target; _version ] -> (
+              match meth_of_string meth_str with
+              | None -> Error (Printf.sprintf "unsupported method %S" meth_str)
+              | Some meth -> (
+                  let headers = parse_headers header_lines in
+                  match body_per_content_length headers body with
+                  | Error _ as e -> e
+                  | Ok body ->
+                      let path, query = split_target target in
+                      Ok { meth; path; query; headers; body }))
+          | _ -> Error "malformed request line"))
+
+let decode_response raw =
+  match split_head_body raw with
+  | Error _ as e -> e
+  | Ok (head, body) -> (
+      match String.split_on_char '\n' head |> List.map (fun l -> String.trim l) with
+      | [] -> Error "empty response"
+      | status_line :: header_lines -> (
+          match String.split_on_char ' ' status_line with
+          | _version :: code :: _ -> (
+              match int_of_string_opt code with
+              | None -> Error "bad status code"
+              | Some status -> (
+                  let headers = parse_headers header_lines in
+                  match body_per_content_length headers body with
+                  | Error _ as e -> e
+                  | Ok body -> Ok { status; headers; body }))
+          | _ -> Error "malformed status line"))

@@ -1,0 +1,42 @@
+(** Minimal HTTP/1.1 request/response codec (no cohttp in the sealed
+    container). Enough for the RESTful control API: one message per
+    connection, Content-Length framing, no chunked encoding. *)
+
+type meth = GET | POST | PUT | DELETE
+
+val meth_to_string : meth -> string
+val meth_of_string : string -> meth option
+
+type request = {
+  meth : meth;
+  path : string;                      (** decoded, without query string *)
+  query : (string * string) list;
+  headers : (string * string) list;  (** names lowercased *)
+  body : string;
+}
+
+type response = {
+  status : int;
+  headers : (string * string) list;
+  body : string;
+}
+
+val reason_phrase : int -> string
+
+val request : ?headers:(string * string) list -> ?body:string -> meth -> string -> request
+(** [request meth target] parses the query string out of [target]. *)
+
+val response : ?headers:(string * string) list -> ?body:string -> int -> response
+val json_response : ?status:int -> Hw_json.Json.t -> response
+val error_response : int -> string -> response
+(** JSON body [{"error": msg}]. *)
+
+val header : string -> request -> string option
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+val encode_response : response -> string
+val decode_response : string -> (response, string) result
+
+val url_decode : string -> string
+val url_encode : string -> string

@@ -1,0 +1,50 @@
+let log_src = Logs.Src.create "hw.control_api" ~doc:"Homework control API"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type params = (string * string) list
+type handler = Http.request -> params -> Http.response
+
+type route = { meth : Http.meth; pattern : string list; handler : handler }
+
+type t = { mutable routes : route list }
+
+let create () = { routes = [] }
+
+let segments path = String.split_on_char '/' path |> List.filter (fun s -> s <> "")
+
+let route t meth pattern handler =
+  t.routes <- t.routes @ [ { meth; pattern = segments pattern; handler } ]
+
+let match_pattern pattern path_segs =
+  let rec go pattern path acc =
+    match pattern, path with
+    | [], [] -> Some (List.rev acc)
+    | p :: ps, s :: ss when String.length p > 0 && p.[0] = ':' ->
+        go ps ss ((String.sub p 1 (String.length p - 1), s) :: acc)
+    | p :: ps, s :: ss when String.equal p s -> go ps ss acc
+    | _ -> None
+  in
+  go pattern path_segs []
+
+let dispatch t (req : Http.request) =
+  let path_segs = segments req.Http.path in
+  let matches =
+    List.filter_map
+      (fun r -> Option.map (fun params -> (r, params)) (match_pattern r.pattern path_segs))
+      t.routes
+  in
+  match List.find_opt (fun (r, _) -> r.meth = req.Http.meth) matches with
+  | Some (r, params) -> (
+      try r.handler req params
+      with exn ->
+        Log.err (fun m -> m "handler for %s raised %s" req.Http.path (Printexc.to_string exn));
+        Http.error_response 500 (Printexc.to_string exn))
+  | None ->
+      if matches <> [] then Http.error_response 405 "method not allowed"
+      else Http.error_response 404 (Printf.sprintf "no route for %s" req.Http.path)
+
+let handle_raw t raw =
+  match Http.decode_request raw with
+  | Ok req -> Http.encode_response (dispatch t req)
+  | Error msg -> Http.encode_response (Http.error_response 400 msg)

@@ -1,0 +1,22 @@
+(** Path-pattern request router for the control API. *)
+
+type params = (string * string) list
+(** Captured [:name] segments, URL-decoded. *)
+
+type handler = Http.request -> params -> Http.response
+
+type t
+
+val create : unit -> t
+
+val route : t -> Http.meth -> string -> handler -> unit
+(** [route t meth pattern handler]: pattern segments starting with [:]
+    capture one path segment, e.g. ["/api/devices/:mac/permit"]. *)
+
+val dispatch : t -> Http.request -> Http.response
+(** 404 with a JSON error when nothing matches; 405 when the path matches
+    another method. Handler exceptions become 500s. *)
+
+val handle_raw : t -> string -> string
+(** Byte-level entry point: decode request, dispatch, encode response
+    (400 on a malformed request). *)

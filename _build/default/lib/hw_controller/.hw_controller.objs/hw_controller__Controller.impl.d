@@ -1,0 +1,1 @@
+lib/hw_controller/controller.ml: Hashtbl Hw_openflow Hw_packet Int32 List Logs Ofp_match Ofp_message Option Packet Printexc Result

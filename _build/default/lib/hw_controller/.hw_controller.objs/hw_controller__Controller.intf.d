@@ -1,0 +1,1 @@
+lib/hw_controller/controller.mli: Hw_openflow Hw_packet Ofp_action Ofp_match Ofp_message Packet

@@ -1,0 +1,241 @@
+open Hw_packet
+open Hw_openflow
+
+let log_src = Logs.Src.create "hw.controller" ~doc:"NOX-like controller core"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type conn = {
+  id : int;
+  send_bytes : string -> unit;
+  framing : Ofp_message.Framing.buffer;
+  mutable next_xid : int32;
+  mutable features : Ofp_message.switch_features option;
+  mutable alive : bool;
+  mutable last_heard : float;
+  stats_waiters : (int32, Ofp_message.stats_reply -> unit) Hashtbl.t;
+  barrier_waiters : (int32, unit -> unit) Hashtbl.t;
+}
+
+type packet_in_event = {
+  conn : conn;
+  pi : Ofp_message.packet_in;
+  packet : Packet.t option;
+  fields : Ofp_match.fields option;
+}
+
+type disposition = Continue | Stop
+
+type t = {
+  now : unit -> float;
+  mutable conns : conn list;
+  mutable next_conn_id : int;
+  mutable join_handlers : (string * (conn -> Ofp_message.switch_features -> unit)) list;
+  mutable leave_handlers : (string * (conn -> unit)) list;
+  mutable packet_in_handlers : (string * (packet_in_event -> disposition)) list;
+  mutable flow_removed_handlers : (string * (conn -> Ofp_message.flow_removed -> unit)) list;
+  mutable port_status_handlers :
+    (string * (conn -> Ofp_message.port_status_reason -> Ofp_message.phy_port -> unit)) list;
+  mutable packet_in_total : int;
+}
+
+let create ~now =
+  {
+    now;
+    conns = [];
+    next_conn_id = 1;
+    join_handlers = [];
+    leave_handlers = [];
+    packet_in_handlers = [];
+    flow_removed_handlers = [];
+    port_status_handlers = [];
+    packet_in_total = 0;
+  }
+
+let on_datapath_join t ~name f = t.join_handlers <- t.join_handlers @ [ (name, f) ]
+let on_datapath_leave t ~name f = t.leave_handlers <- t.leave_handlers @ [ (name, f) ]
+let on_packet_in t ~name f = t.packet_in_handlers <- t.packet_in_handlers @ [ (name, f) ]
+
+let on_flow_removed t ~name f =
+  t.flow_removed_handlers <- t.flow_removed_handlers @ [ (name, f) ]
+
+let on_port_status t ~name f = t.port_status_handlers <- t.port_status_handlers @ [ (name, f) ]
+
+let handler_names t =
+  List.map fst t.packet_in_handlers @ List.map fst t.join_handlers |> List.sort_uniq compare
+
+let packet_in_total t = t.packet_in_total
+
+let attach_switch t ~send =
+  let conn =
+    {
+      id = t.next_conn_id;
+      send_bytes = send;
+      framing = Ofp_message.Framing.create ();
+      next_xid = 1l;
+      features = None;
+      alive = true;
+      last_heard = t.now ();
+      stats_waiters = Hashtbl.create 8;
+      barrier_waiters = Hashtbl.create 8;
+    }
+  in
+  t.next_conn_id <- t.next_conn_id + 1;
+  t.conns <- t.conns @ [ conn ];
+  conn
+
+let conn_dpid conn = Option.map (fun f -> f.Ofp_message.datapath_id) conn.features
+let conn_features conn = conn.features
+let connections t = List.filter (fun c -> c.alive) t.conns
+
+let alloc_xid conn =
+  let xid = conn.next_xid in
+  conn.next_xid <- Int32.add conn.next_xid 1l;
+  xid
+
+let send_message conn msg =
+  let xid = alloc_xid conn in
+  conn.send_bytes (Ofp_message.encode ~xid msg);
+  xid
+
+let send_flow_mod conn fm = ignore (send_message conn (Ofp_message.Flow_mod fm))
+let send_packet_out conn po = ignore (send_message conn (Ofp_message.Packet_out po))
+
+let install_flow ?(idle_timeout = 0) ?(hard_timeout = 0) ?(priority = 0x8000) ?(cookie = 0L)
+    ?buffer_id ?(send_flow_rem = false) conn m actions =
+  send_flow_mod conn
+    (Ofp_message.add_flow ~cookie ~idle_timeout ~hard_timeout ~priority ?buffer_id
+       ~send_flow_rem m actions)
+
+let send_packet conn ?in_port data actions =
+  send_packet_out conn (Ofp_message.packet_out ?in_port ~data actions)
+
+(* the waiter must be registered before the bytes go out: the in-process
+   switch replies synchronously *)
+let request_stats conn req callback =
+  let xid = alloc_xid conn in
+  Hashtbl.replace conn.stats_waiters xid callback;
+  conn.send_bytes (Ofp_message.encode ~xid (Ofp_message.Stats_request req))
+
+let barrier conn callback =
+  let xid = alloc_xid conn in
+  Hashtbl.replace conn.barrier_waiters xid callback;
+  conn.send_bytes (Ofp_message.encode ~xid Ofp_message.Barrier_request)
+
+let detach_switch t conn =
+  if conn.alive then begin
+    conn.alive <- false;
+    t.conns <- List.filter (fun c -> c.id <> conn.id) t.conns;
+    List.iter (fun (name, f) -> try f conn with exn ->
+        Log.err (fun m -> m "leave handler %s raised %s" name (Printexc.to_string exn)))
+      t.leave_handlers
+  end
+
+let dispatch_packet_in t conn (pi : Ofp_message.packet_in) =
+  t.packet_in_total <- t.packet_in_total + 1;
+  let packet = Result.to_option (Packet.decode pi.Ofp_message.data) in
+  let fields =
+    Option.map (fun p -> Ofp_match.fields_of_packet ~in_port:pi.Ofp_message.in_port p) packet
+  in
+  let ev = { conn; pi; packet; fields } in
+  let rec run = function
+    | [] -> ()
+    | (name, handler) :: rest -> (
+        match handler ev with
+        | Stop -> ()
+        | Continue -> run rest
+        | exception exn ->
+            Log.err (fun m -> m "packet-in handler %s raised %s" name (Printexc.to_string exn));
+            run rest)
+  in
+  run t.packet_in_handlers
+
+let handle_message t conn xid msg =
+  match msg with
+  | Ofp_message.Hello ->
+      (* NOX replies with its own HELLO then drives the feature handshake. *)
+      conn.send_bytes (Ofp_message.encode ~xid:0l Ofp_message.Hello);
+      ignore (send_message conn Ofp_message.Features_request)
+  | Ofp_message.Echo_request data ->
+      conn.send_bytes (Ofp_message.encode ~xid (Ofp_message.Echo_reply data))
+  | Ofp_message.Echo_reply _ -> ()
+  | Ofp_message.Features_reply features ->
+      conn.features <- Some features;
+      ignore
+        (send_message conn (Ofp_message.Set_config { flags = 0; miss_send_len = 0xffff }));
+      List.iter
+        (fun (name, f) ->
+          try f conn features
+          with exn ->
+            Log.err (fun m -> m "join handler %s raised %s" name (Printexc.to_string exn)))
+        t.join_handlers
+  | Ofp_message.Packet_in pi -> dispatch_packet_in t conn pi
+  | Ofp_message.Flow_removed fr ->
+      List.iter (fun (_, f) -> f conn fr) t.flow_removed_handlers
+  | Ofp_message.Port_status (reason, port) ->
+      List.iter (fun (_, f) -> f conn reason port) t.port_status_handlers
+  | Ofp_message.Stats_reply reply -> (
+      match Hashtbl.find_opt conn.stats_waiters xid with
+      | Some callback ->
+          Hashtbl.remove conn.stats_waiters xid;
+          callback reply
+      | None -> Log.debug (fun m -> m "unsolicited stats reply xid=%ld" xid))
+  | Ofp_message.Barrier_reply -> (
+      match Hashtbl.find_opt conn.barrier_waiters xid with
+      | Some callback ->
+          Hashtbl.remove conn.barrier_waiters xid;
+          callback ()
+      | None -> ())
+  | Ofp_message.Error_msg e ->
+      Log.warn (fun m ->
+          m "switch error type=%d code=%d" (match e.Ofp_message.err_type with
+            | Ofp_message.Hello_failed -> 0
+            | Ofp_message.Bad_request -> 1
+            | Ofp_message.Bad_action -> 2
+            | Ofp_message.Flow_mod_failed -> 3
+            | Ofp_message.Port_mod_failed -> 4
+            | Ofp_message.Queue_op_failed -> 5)
+            e.Ofp_message.err_code)
+  | Ofp_message.Get_config_reply _ -> ()
+  | Ofp_message.Features_request | Ofp_message.Get_config_request | Ofp_message.Set_config _
+  | Ofp_message.Packet_out _ | Ofp_message.Flow_mod _ | Ofp_message.Port_mod _
+  | Ofp_message.Stats_request _ | Ofp_message.Barrier_request ->
+      Log.warn (fun m -> m "switch sent controller-bound message %s" (Ofp_message.type_name msg))
+
+let send_echo conn = ignore (send_message conn (Ofp_message.Echo_request "hw-keepalive"))
+
+let set_port_admin conn ~port_no ~hw_addr ~up =
+  ignore
+    (send_message conn
+       (Ofp_message.Port_mod
+          {
+            Ofp_message.pm_port_no = port_no;
+            pm_hw_addr = hw_addr;
+            pm_config = (if up then 0l else Ofp_message.port_down_bit);
+            pm_mask = Ofp_message.port_down_bit;
+            pm_advertise = 0l;
+          }))
+
+let conn_last_heard conn = conn.last_heard
+
+let ping_stale t ~idle_after ~dead_after =
+  let now = t.now () in
+  let dead =
+    List.filter (fun conn -> now -. conn.last_heard > dead_after) (connections t)
+  in
+  List.iter (fun conn -> detach_switch t conn) dead;
+  List.iter
+    (fun conn -> if now -. conn.last_heard > idle_after then send_echo conn)
+    (connections t);
+  List.length dead
+
+let input t conn bytes =
+  conn.last_heard <- t.now ();
+  Ofp_message.Framing.input conn.framing bytes;
+  List.iter
+    (function
+      | Ok (xid, msg) -> handle_message t conn xid msg
+      | Error err ->
+          Log.err (fun m -> m "bad frame from switch: %s" err);
+          detach_switch t conn)
+    (Ofp_message.Framing.pop_all conn.framing)

@@ -1,0 +1,95 @@
+(** NOX-like OpenFlow controller core.
+
+    Components (the paper's DHCP server, DNS proxy and control API modules)
+    register event handlers; the core owns the OpenFlow sessions with the
+    datapaths and dispatches events in registration order. A handler
+    returns a {!disposition}: [Stop] consumes the event (NOX's
+    CONTINUE/STOP chain semantics), [Continue] passes it on. *)
+
+open Hw_packet
+open Hw_openflow
+
+type t
+type conn
+
+(** A decoded PACKET_IN with its parse results. *)
+type packet_in_event = {
+  conn : conn;
+  pi : Ofp_message.packet_in;
+  packet : Packet.t option;    (** parsed from [pi.data]; None if undecodable *)
+  fields : Ofp_match.fields option;
+}
+
+type disposition = Continue | Stop
+
+val create : now:(unit -> float) -> t
+
+(** {2 Event registration (call before traffic flows)} *)
+
+val on_datapath_join : t -> name:string -> (conn -> Ofp_message.switch_features -> unit) -> unit
+val on_datapath_leave : t -> name:string -> (conn -> unit) -> unit
+val on_packet_in : t -> name:string -> (packet_in_event -> disposition) -> unit
+val on_flow_removed : t -> name:string -> (conn -> Ofp_message.flow_removed -> unit) -> unit
+val on_port_status :
+  t -> name:string -> (conn -> Ofp_message.port_status_reason -> Ofp_message.phy_port -> unit) -> unit
+
+(** {2 Switch transport} *)
+
+val attach_switch : t -> send:(string -> unit) -> conn
+(** Registers a new switch transport. [send] delivers controller→switch
+    bytes. The OpenFlow handshake starts when the switch's HELLO arrives
+    via {!input}. *)
+
+val input : t -> conn -> string -> unit
+(** Feed switch→controller bytes. *)
+
+val detach_switch : t -> conn -> unit
+(** Connection lost: fires datapath-leave. *)
+
+(** {2 Connection operations (used by components)} *)
+
+val conn_dpid : conn -> int64 option
+(** None until the features handshake completes. *)
+
+val conn_features : conn -> Ofp_message.switch_features option
+val connections : t -> conn list
+val send_message : conn -> Ofp_message.t -> int32
+(** Sends with a fresh xid, returned for correlation. *)
+
+val send_flow_mod : conn -> Ofp_message.flow_mod -> unit
+val send_packet_out : conn -> Ofp_message.packet_out -> unit
+
+val install_flow :
+  ?idle_timeout:int -> ?hard_timeout:int -> ?priority:int -> ?cookie:int64 ->
+  ?buffer_id:int32 -> ?send_flow_rem:bool ->
+  conn -> Ofp_match.t -> Ofp_action.t list -> unit
+
+val send_packet : conn -> ?in_port:int -> string -> Ofp_action.t list -> unit
+(** Convenience packet-out carrying [data]. *)
+
+val request_stats : conn -> Ofp_message.stats_request -> (Ofp_message.stats_reply -> unit) -> unit
+(** The callback fires when the reply with the matching xid arrives. *)
+
+val barrier : conn -> (unit -> unit) -> unit
+
+val send_echo : conn -> unit
+(** Fire a keepalive ECHO_REQUEST. *)
+
+val set_port_admin : conn -> port_no:int -> hw_addr:Hw_packet.Mac.t -> up:bool -> unit
+(** OFPT_PORT_MOD: administratively bring a datapath port up or down
+    (frames on a downed port are dropped and counted). The switch answers
+    with PORT_STATUS modify. *)
+
+val conn_last_heard : conn -> float
+(** Time (controller clock) of the last bytes from this switch. *)
+
+val ping_stale : t -> idle_after:float -> dead_after:float -> int
+(** Liveness sweep: detaches connections silent for [dead_after] seconds
+    (firing datapath-leave), then pings those silent for [idle_after].
+    Returns how many were detached. The Homework router runs this every
+    15 s. *)
+
+(** {2 Introspection} *)
+
+val packet_in_total : t -> int
+val handler_names : t -> string list

@@ -1,0 +1,1 @@
+lib/hw_datapath/datapath.ml: Ethernet Flow_entry Flow_table Hashtbl Hw_openflow Hw_packet Int32 Int64 Ipv4 List Logs Mac Ofp_action Ofp_match Ofp_message Option Packet Result String Tcp Udp

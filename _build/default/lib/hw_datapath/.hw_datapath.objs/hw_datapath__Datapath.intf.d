@@ -1,0 +1,1 @@
+lib/hw_datapath/datapath.mli: Flow_table Hw_openflow Hw_packet Mac Ofp_message

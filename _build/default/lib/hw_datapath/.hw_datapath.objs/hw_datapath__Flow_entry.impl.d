@@ -1,0 +1,1 @@
+lib/hw_datapath/flow_entry.ml: Float Format Hw_openflow Hw_packet Int32 Int64 List Ofp_action Ofp_match Ofp_message String

@@ -1,0 +1,1 @@
+lib/hw_datapath/flow_entry.mli: Format Hw_openflow Ofp_action Ofp_match Ofp_message

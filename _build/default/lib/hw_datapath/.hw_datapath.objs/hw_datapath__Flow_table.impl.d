@@ -1,0 +1,1 @@
+lib/hw_datapath/flow_table.ml: Flow_entry Hashtbl Hw_openflow Hw_packet Int64 Ip List Mac Ofp_action Ofp_match Printf

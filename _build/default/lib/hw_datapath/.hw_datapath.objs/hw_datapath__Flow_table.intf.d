@@ -1,0 +1,1 @@
+lib/hw_datapath/flow_table.mli: Flow_entry Hw_openflow Ofp_action Ofp_match Ofp_message

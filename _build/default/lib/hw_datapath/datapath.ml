@@ -1,0 +1,558 @@
+open Hw_packet
+open Hw_openflow
+
+let src = Logs.Src.create "hw.datapath" ~doc:"OpenFlow software datapath"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type port_config = { port_no : int; name : string; mac : Mac.t }
+
+type port_counters = {
+  mutable rx_packets : int64;
+  mutable tx_packets : int64;
+  mutable rx_bytes : int64;
+  mutable tx_bytes : int64;
+  mutable rx_dropped : int64;
+  mutable tx_dropped : int64;
+}
+
+type port = { config : port_config; counters : port_counters; mutable up : bool }
+
+type t = {
+  dpid : int64;
+  ports : (int, port) Hashtbl.t;
+  table : Flow_table.t;
+  transmit : port_no:int -> string -> unit;
+  to_controller : string -> unit;
+  now : unit -> float;
+  framing : Ofp_message.Framing.buffer;
+  buffers : (int32, int * string) Hashtbl.t; (* buffer_id -> in_port, frame *)
+  mutable next_buffer_id : int32;
+  mutable next_xid : int32;
+  mutable miss_send_len : int;
+  mac_learning : (Mac.t, int) Hashtbl.t; (* for OFPP_NORMAL *)
+  mutable packet_ins : int;
+}
+
+let stats_description =
+  {
+    Ofp_message.mfr_desc = "Homework project (reproduction)";
+    hw_desc = "Simulated home router, small form-factor PC";
+    sw_desc = "hw_datapath (Open vSwitch stand-in), OpenFlow 1.0";
+    serial_num = "HW-0001";
+    dp_desc = "bridge dp0";
+  }
+
+let create ~dpid ~ports ~transmit ~to_controller ~now =
+  let t =
+    {
+      dpid;
+      ports = Hashtbl.create 8;
+      table = Flow_table.create ();
+      transmit;
+      to_controller;
+      now;
+      framing = Ofp_message.Framing.create ();
+      buffers = Hashtbl.create 64;
+      next_buffer_id = 1l;
+      next_xid = 1l;
+      miss_send_len = 128;
+      mac_learning = Hashtbl.create 64;
+      packet_ins = 0;
+    }
+  in
+  List.iter
+    (fun config ->
+      Hashtbl.replace t.ports config.port_no
+        {
+          config;
+          counters =
+            {
+              rx_packets = 0L;
+              tx_packets = 0L;
+              rx_bytes = 0L;
+              tx_bytes = 0L;
+              rx_dropped = 0L;
+              tx_dropped = 0L;
+            };
+          up = true;
+        })
+    ports;
+  t
+
+let dpid t = t.dpid
+let flow_table t = t.table
+let packet_in_count t = t.packet_ins
+
+let port_counters t port_no =
+  Option.map (fun p -> p.counters) (Hashtbl.find_opt t.ports port_no)
+
+let ports t =
+  Hashtbl.fold (fun _ p acc -> p.config :: acc) t.ports []
+  |> List.sort (fun a b -> compare a.port_no b.port_no)
+
+let send t msg =
+  let xid = t.next_xid in
+  t.next_xid <- Int32.add t.next_xid 1l;
+  t.to_controller (Ofp_message.encode ~xid msg)
+
+let send_with_xid t xid msg = t.to_controller (Ofp_message.encode ~xid msg)
+
+let connect t = send t Ofp_message.Hello
+
+(* ------------------------------------------------------------------ *)
+(* Frame output                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let transmit_on_port t port_no frame =
+  match Hashtbl.find_opt t.ports port_no with
+  | Some p when p.up ->
+      p.counters.tx_packets <- Int64.add p.counters.tx_packets 1L;
+      p.counters.tx_bytes <- Int64.add p.counters.tx_bytes (Int64.of_int (String.length frame));
+      t.transmit ~port_no frame
+  | Some p -> p.counters.tx_dropped <- Int64.add p.counters.tx_dropped 1L
+  | None -> ()
+
+let flood t ~in_port frame =
+  Hashtbl.iter
+    (fun port_no p -> if port_no <> in_port && p.up then transmit_on_port t port_no frame)
+    t.ports
+
+let send_packet_in t ~in_port ~reason ~buffer_id frame =
+  let data =
+    match buffer_id with
+    | Some _ when String.length frame > t.miss_send_len -> String.sub frame 0 t.miss_send_len
+    | _ -> frame
+  in
+  t.packet_ins <- t.packet_ins + 1;
+  send t
+    (Ofp_message.Packet_in
+       { buffer_id; total_len = String.length frame; in_port; reason; data })
+
+let normal_switching t ~in_port pkt frame =
+  (* OFPP_NORMAL: traditional L2 learning switch. *)
+  let dst = pkt.Packet.eth.Ethernet.dst in
+  Hashtbl.replace t.mac_learning pkt.Packet.eth.Ethernet.src in_port;
+  if Mac.is_broadcast dst || Mac.is_multicast dst then flood t ~in_port frame
+  else
+    match Hashtbl.find_opt t.mac_learning dst with
+    | Some port_no when port_no <> in_port -> transmit_on_port t port_no frame
+    | Some _ -> ()
+    | None -> flood t ~in_port frame
+
+(* Applies header-rewrite actions by editing the parsed representation,
+   then re-encoding once before each output. *)
+let apply_actions t ~in_port pkt_opt frame actions =
+  let pkt = ref pkt_opt in
+  let dirty = ref false in
+  let current_frame = ref frame in
+  let render () =
+    if !dirty then begin
+      (match !pkt with Some p -> current_frame := Packet.encode p | None -> ());
+      dirty := false
+    end;
+    !current_frame
+  in
+  let update f =
+    match !pkt with
+    | Some p ->
+        pkt := Some (f p);
+        dirty := true
+    | None -> ()
+  in
+  let update_ip f =
+    update (fun p ->
+        match p.Packet.l3 with
+        | Packet.Ipv4 (ip, l4) -> { p with Packet.l3 = Packet.Ipv4 (f ip, l4) }
+        | Packet.Arp _ | Packet.Raw_l3 _ -> p)
+  in
+  let update_l4 f =
+    update (fun p ->
+        match p.Packet.l3 with
+        | Packet.Ipv4 (ip, l4) -> { p with Packet.l3 = Packet.Ipv4 (ip, f l4) }
+        | Packet.Arp _ | Packet.Raw_l3 _ -> p)
+  in
+  List.iter
+    (fun action ->
+      match action with
+      | Ofp_action.Output { port; max_len } ->
+          let out = render () in
+          if port = Ofp_action.Port.controller then begin
+            let data =
+              if max_len > 0 && String.length out > max_len then String.sub out 0 max_len
+              else out
+            in
+            t.packet_ins <- t.packet_ins + 1;
+            send t
+              (Ofp_message.Packet_in
+                 {
+                   buffer_id = None;
+                   total_len = String.length out;
+                   in_port;
+                   reason = Ofp_message.Action;
+                   data;
+                 })
+          end
+          else if port = Ofp_action.Port.flood || port = Ofp_action.Port.all then
+            flood t ~in_port out
+          else if port = Ofp_action.Port.in_port then transmit_on_port t in_port out
+          else if port = Ofp_action.Port.normal then begin
+            match !pkt with
+            | Some p -> normal_switching t ~in_port p out
+            | None -> flood t ~in_port out
+          end
+          else if port = Ofp_action.Port.none || port = Ofp_action.Port.local then ()
+          else if port = in_port then () (* OF 1.0: must use OFPP_IN_PORT *)
+          else transmit_on_port t port out
+      | Ofp_action.Enqueue { port; _ } -> transmit_on_port t port (render ())
+      | Ofp_action.Set_dl_src mac ->
+          update (fun p -> { p with Packet.eth = { p.Packet.eth with Ethernet.src = mac } })
+      | Ofp_action.Set_dl_dst mac ->
+          update (fun p -> { p with Packet.eth = { p.Packet.eth with Ethernet.dst = mac } })
+      | Ofp_action.Set_nw_src ip -> update_ip (fun h -> { h with Ipv4.src = ip })
+      | Ofp_action.Set_nw_dst ip -> update_ip (fun h -> { h with Ipv4.dst = ip })
+      | Ofp_action.Set_nw_tos tos -> update_ip (fun h -> { h with Ipv4.dscp = tos lsr 2 })
+      | Ofp_action.Set_tp_src port ->
+          update_l4 (function
+            | Packet.Udp u -> Packet.Udp { u with Udp.src_port = port }
+            | Packet.Tcp seg -> Packet.Tcp { seg with Tcp.src_port = port }
+            | l4 -> l4)
+      | Ofp_action.Set_tp_dst port ->
+          update_l4 (function
+            | Packet.Udp u -> Packet.Udp { u with Udp.dst_port = port }
+            | Packet.Tcp seg -> Packet.Tcp { seg with Tcp.dst_port = port }
+            | l4 -> l4)
+      | Ofp_action.Set_vlan_vid _ | Ofp_action.Set_vlan_pcp _ | Ofp_action.Strip_vlan ->
+          (* The simulated home LAN is untagged; VLAN actions are accepted
+             and ignored, as OVS does on untagged traffic for strip. *)
+          ())
+    actions
+
+(* ------------------------------------------------------------------ *)
+(* Dataplane input                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let buffer_frame t ~in_port frame =
+  let id = t.next_buffer_id in
+  t.next_buffer_id <- (if Int32.equal t.next_buffer_id 0x00fffffl then 1l else Int32.add id 1l);
+  if Hashtbl.length t.buffers > 1024 then Hashtbl.reset t.buffers;
+  Hashtbl.replace t.buffers id (in_port, frame);
+  id
+
+let receive_frame t ~in_port frame =
+  match Hashtbl.find_opt t.ports in_port with
+  | None -> Log.warn (fun m -> m "frame on unknown port %d" in_port)
+  | Some p when not p.up ->
+      p.counters.rx_dropped <- Int64.add p.counters.rx_dropped 1L
+  | Some p -> (
+      p.counters.rx_packets <- Int64.add p.counters.rx_packets 1L;
+      p.counters.rx_bytes <- Int64.add p.counters.rx_bytes (Int64.of_int (String.length frame));
+      match Packet.decode frame with
+      | Error err ->
+          Log.debug (fun m -> m "undecodable frame on port %d: %s" in_port err);
+          p.counters.rx_dropped <- Int64.add p.counters.rx_dropped 1L
+      | Ok pkt -> (
+          let fields = Ofp_match.fields_of_packet ~in_port pkt in
+          match Flow_table.lookup t.table fields with
+          | Some entry ->
+              Flow_entry.touch entry ~now:(t.now ()) ~bytes:(String.length frame);
+              apply_actions t ~in_port (Some pkt) frame entry.Flow_entry.actions
+          | None ->
+              let buffer_id = buffer_frame t ~in_port frame in
+              send_packet_in t ~in_port ~reason:Ofp_message.No_match
+                ~buffer_id:(Some buffer_id) frame))
+
+(* ------------------------------------------------------------------ *)
+(* Controller input                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let flow_mod_error t xid code data =
+  send_with_xid t xid
+    (Ofp_message.Error_msg
+       { Ofp_message.err_type = Ofp_message.Flow_mod_failed; err_code = code; err_data = data })
+
+let rec handle_flow_mod t xid (fm : Ofp_message.flow_mod) =
+  let now = t.now () in
+  match fm.Ofp_message.command with
+  | Ofp_message.Add -> (
+      let entry =
+        Flow_entry.create ~cookie:fm.Ofp_message.cookie
+          ~idle_timeout:fm.Ofp_message.idle_timeout ~hard_timeout:fm.Ofp_message.hard_timeout
+          ~send_flow_rem:fm.Ofp_message.send_flow_rem ~now ~priority:fm.Ofp_message.priority
+          fm.Ofp_message.fm_match fm.Ofp_message.actions
+      in
+      try
+        Flow_table.add t.table ~now ~check_overlap:fm.Ofp_message.check_overlap entry;
+        (* Apply to the buffered packet, if any. *)
+        match fm.Ofp_message.fm_buffer_id with
+        | Some bid -> (
+            match Hashtbl.find_opt t.buffers bid with
+            | Some (in_port, frame) ->
+                Hashtbl.remove t.buffers bid;
+                let pkt = Result.to_option (Packet.decode frame) in
+                Flow_entry.touch entry ~now ~bytes:(String.length frame);
+                apply_actions t ~in_port pkt frame fm.Ofp_message.actions
+            | None -> ())
+        | None -> ()
+      with
+      | Flow_table.Table_full -> flow_mod_error t xid 0 "" (* OFPFMFC_ALL_TABLES_FULL *)
+      | Flow_table.Overlap -> flow_mod_error t xid 1 "" (* OFPFMFC_OVERLAP *))
+  | Ofp_message.Modify | Ofp_message.Modify_strict ->
+      let strict = fm.Ofp_message.command = Ofp_message.Modify_strict in
+      let updated =
+        Flow_table.modify t.table ~strict ~m:fm.Ofp_message.fm_match
+          ~priority:fm.Ofp_message.priority fm.Ofp_message.actions
+      in
+      (* OF 1.0: MODIFY with no match behaves like ADD. *)
+      if updated = 0 then
+        handle_flow_mod t xid { fm with Ofp_message.command = Ofp_message.Add }
+  | Ofp_message.Delete | Ofp_message.Delete_strict ->
+      let strict = fm.Ofp_message.command = Ofp_message.Delete_strict in
+      let removed =
+        Flow_table.delete t.table ~strict ~m:fm.Ofp_message.fm_match
+          ~priority:fm.Ofp_message.priority ~out_port:fm.Ofp_message.out_port
+      in
+      List.iter
+        (fun (e : Flow_entry.t) ->
+          if e.Flow_entry.send_flow_rem then begin
+            let duration_sec, duration_nsec = Flow_entry.duration e ~now in
+            send t
+              (Ofp_message.Flow_removed
+                 {
+                   Ofp_message.fr_match = e.Flow_entry.entry_match;
+                   fr_cookie = e.Flow_entry.cookie;
+                   fr_priority = e.Flow_entry.priority;
+                   fr_reason = Ofp_message.Removed_delete;
+                   duration_sec;
+                   duration_nsec;
+                   fr_idle_timeout = e.Flow_entry.idle_timeout;
+                   packet_count = e.Flow_entry.packet_count;
+                   byte_count = e.Flow_entry.byte_count;
+                 })
+          end)
+        removed
+
+let phy_port_of (p : port) =
+  let base =
+    Ofp_message.phy_port ~port_no:p.config.port_no ~hw_addr:p.config.mac ~name:p.config.name
+  in
+  { base with Ofp_message.state = (if p.up then 0l else 1l) }
+
+let handle_stats_request t xid req =
+  let now = t.now () in
+  let reply =
+    match req with
+    | Ofp_message.Desc_request -> Ofp_message.Desc_reply stats_description
+    | Ofp_message.Flow_stats_request { sr_match; sr_out_port; _ } ->
+        let entries =
+          Flow_table.entries t.table
+          |> List.filter (fun (e : Flow_entry.t) ->
+                 Ofp_match.subsumes ~general:sr_match ~specific:e.Flow_entry.entry_match
+                 && (sr_out_port = Ofp_action.Port.none
+                    || List.exists
+                         (function
+                           | Ofp_action.Output { port; _ } -> port = sr_out_port
+                           | _ -> false)
+                         e.Flow_entry.actions))
+          |> List.map (fun (e : Flow_entry.t) ->
+                 let fs_duration_sec, fs_duration_nsec = Flow_entry.duration e ~now in
+                 {
+                   Ofp_message.fs_table_id = 0;
+                   fs_match = e.Flow_entry.entry_match;
+                   fs_duration_sec;
+                   fs_duration_nsec;
+                   fs_priority = e.Flow_entry.priority;
+                   fs_idle_timeout = e.Flow_entry.idle_timeout;
+                   fs_hard_timeout = e.Flow_entry.hard_timeout;
+                   fs_cookie = e.Flow_entry.cookie;
+                   fs_packet_count = e.Flow_entry.packet_count;
+                   fs_byte_count = e.Flow_entry.byte_count;
+                   fs_actions = e.Flow_entry.actions;
+                 })
+        in
+        Ofp_message.Flow_stats_reply entries
+    | Ofp_message.Aggregate_request { sr_match; _ } ->
+        let entries =
+          Flow_table.entries t.table
+          |> List.filter (fun (e : Flow_entry.t) ->
+                 Ofp_match.subsumes ~general:sr_match ~specific:e.Flow_entry.entry_match)
+        in
+        Ofp_message.Aggregate_reply
+          {
+            Ofp_message.ag_packet_count =
+              List.fold_left
+                (fun acc (e : Flow_entry.t) -> Int64.add acc e.Flow_entry.packet_count)
+                0L entries;
+            ag_byte_count =
+              List.fold_left
+                (fun acc (e : Flow_entry.t) -> Int64.add acc e.Flow_entry.byte_count)
+                0L entries;
+            ag_flow_count = Int32.of_int (List.length entries);
+          }
+    | Ofp_message.Table_stats_request ->
+        Ofp_message.Table_stats_reply
+          [
+            {
+              Ofp_message.ts_table_id = 0;
+              ts_name = "dp0";
+              ts_wildcards = 0x3fffffl;
+              ts_max_entries = Int32.of_int (Flow_table.max_entries t.table);
+              ts_active_count = Int32.of_int (Flow_table.length t.table);
+              ts_lookup_count = Flow_table.lookup_count t.table;
+              ts_matched_count = Flow_table.matched_count t.table;
+            };
+          ]
+    | Ofp_message.Port_stats_request port_no ->
+        let selected =
+          Hashtbl.fold
+            (fun no p acc ->
+              if port_no = Ofp_action.Port.none || no = port_no then p :: acc else acc)
+            t.ports []
+        in
+        Ofp_message.Port_stats_reply
+          (List.map
+             (fun p ->
+               {
+                 Ofp_message.ps_port_no = p.config.port_no;
+                 rx_packets = p.counters.rx_packets;
+                 tx_packets = p.counters.tx_packets;
+                 rx_bytes = p.counters.rx_bytes;
+                 tx_bytes = p.counters.tx_bytes;
+                 rx_dropped = p.counters.rx_dropped;
+                 tx_dropped = p.counters.tx_dropped;
+                 rx_errors = 0L;
+                 tx_errors = 0L;
+               })
+             (List.sort (fun a b -> compare a.config.port_no b.config.port_no) selected))
+  in
+  send_with_xid t xid (Ofp_message.Stats_reply reply)
+
+let handle_message t xid msg =
+  match msg with
+  | Ofp_message.Hello -> ()
+  | Ofp_message.Echo_request data -> send_with_xid t xid (Ofp_message.Echo_reply data)
+  | Ofp_message.Echo_reply _ -> ()
+  | Ofp_message.Features_request ->
+      let ports = Hashtbl.fold (fun _ p acc -> phy_port_of p :: acc) t.ports [] in
+      let ports =
+        List.sort (fun a b -> compare a.Ofp_message.port_no b.Ofp_message.port_no) ports
+      in
+      send_with_xid t xid
+        (Ofp_message.Features_reply
+           {
+             Ofp_message.datapath_id = t.dpid;
+             n_buffers = 256l;
+             n_tables = 1;
+             capabilities = 0x000000c7l (* flow, table, port stats; arp match ip *);
+             supported_actions = 0xfffl;
+             ports;
+           })
+  | Ofp_message.Get_config_request ->
+      send_with_xid t xid
+        (Ofp_message.Get_config_reply { flags = 0; miss_send_len = t.miss_send_len })
+  | Ofp_message.Set_config { miss_send_len; _ } -> t.miss_send_len <- miss_send_len
+  | Ofp_message.Packet_out po -> (
+      let frame =
+        match po.Ofp_message.po_buffer_id with
+        | Some bid -> (
+            match Hashtbl.find_opt t.buffers bid with
+            | Some (_, frame) ->
+                Hashtbl.remove t.buffers bid;
+                Some frame
+            | None -> None)
+        | None -> Some po.Ofp_message.po_data
+      in
+      match frame with
+      | None ->
+          send_with_xid t xid
+            (Ofp_message.Error_msg
+               {
+                 Ofp_message.err_type = Ofp_message.Bad_request;
+                 err_code = 8 (* OFPBRC_BUFFER_UNKNOWN *);
+                 err_data = "";
+               })
+      | Some frame ->
+          let pkt = Result.to_option (Packet.decode frame) in
+          apply_actions t ~in_port:po.Ofp_message.po_in_port pkt frame
+            po.Ofp_message.po_actions)
+  | Ofp_message.Flow_mod fm -> handle_flow_mod t xid fm
+  | Ofp_message.Port_mod pm -> (
+      match Hashtbl.find_opt t.ports pm.Ofp_message.pm_port_no with
+      | None ->
+          send_with_xid t xid
+            (Ofp_message.Error_msg
+               {
+                 Ofp_message.err_type = Ofp_message.Port_mod_failed;
+                 err_code = 0 (* OFPPMFC_BAD_PORT *);
+                 err_data = "";
+               })
+      | Some p ->
+          if Int32.logand pm.Ofp_message.pm_mask Ofp_message.port_down_bit <> 0l then begin
+            p.up <-
+              Int32.logand pm.Ofp_message.pm_config Ofp_message.port_down_bit = 0l;
+            send t (Ofp_message.Port_status (Ofp_message.Port_modify, phy_port_of p))
+          end)
+  | Ofp_message.Stats_request req -> handle_stats_request t xid req
+  | Ofp_message.Barrier_request -> send_with_xid t xid Ofp_message.Barrier_reply
+  | Ofp_message.Error_msg e ->
+      Log.warn (fun m -> m "error from controller: code=%d" e.Ofp_message.err_code)
+  | Ofp_message.Features_reply _ | Ofp_message.Get_config_reply _ | Ofp_message.Packet_in _
+  | Ofp_message.Flow_removed _ | Ofp_message.Port_status _ | Ofp_message.Stats_reply _
+  | Ofp_message.Barrier_reply ->
+      Log.warn (fun m -> m "unexpected controller-bound message %s" (Ofp_message.type_name msg))
+
+let input_from_controller t bytes =
+  Ofp_message.Framing.input t.framing bytes;
+  List.iter
+    (function
+      | Ok (xid, msg) -> handle_message t xid msg
+      | Error err -> Log.err (fun m -> m "bad frame from controller: %s" err))
+    (Ofp_message.Framing.pop_all t.framing)
+
+let tick t =
+  let now = t.now () in
+  let expired = Flow_table.expire t.table ~now in
+  List.iter
+    (fun ((e : Flow_entry.t), reason) ->
+      if e.Flow_entry.send_flow_rem then begin
+        let duration_sec, duration_nsec = Flow_entry.duration e ~now in
+        send t
+          (Ofp_message.Flow_removed
+             {
+               Ofp_message.fr_match = e.Flow_entry.entry_match;
+               fr_cookie = e.Flow_entry.cookie;
+               fr_priority = e.Flow_entry.priority;
+               fr_reason = reason;
+               duration_sec;
+               duration_nsec;
+               fr_idle_timeout = e.Flow_entry.idle_timeout;
+               packet_count = e.Flow_entry.packet_count;
+               byte_count = e.Flow_entry.byte_count;
+             })
+      end)
+    expired
+
+let add_port t config =
+  Hashtbl.replace t.ports config.port_no
+    {
+      config;
+      counters =
+        {
+          rx_packets = 0L;
+          tx_packets = 0L;
+          rx_bytes = 0L;
+          tx_bytes = 0L;
+          rx_dropped = 0L;
+          tx_dropped = 0L;
+        };
+      up = true;
+    };
+  let p = Hashtbl.find t.ports config.port_no in
+  send t (Ofp_message.Port_status (Ofp_message.Port_add, phy_port_of p))
+
+let remove_port t port_no =
+  match Hashtbl.find_opt t.ports port_no with
+  | None -> ()
+  | Some p ->
+      Hashtbl.remove t.ports port_no;
+      send t (Ofp_message.Port_status (Ofp_message.Port_delete, phy_port_of p))

@@ -1,0 +1,68 @@
+(** The Open vSwitch stand-in: an OpenFlow 1.0 software switch.
+
+    The datapath owns ports and a flow table, talks OpenFlow to one
+    controller over a byte channel ([to_controller] callback fed by
+    {!input_from_controller}), and emits frames on data ports through the
+    [transmit] callback (wired to the simulated network).
+
+    All behaviour is driven by explicit calls: [receive_frame] for dataplane
+    input, [input_from_controller] for control input and [tick] for timeout
+    processing — there are no threads, matching the discrete-event design. *)
+
+open Hw_packet
+open Hw_openflow
+
+type port_config = { port_no : int; name : string; mac : Mac.t }
+
+type port_counters = {
+  mutable rx_packets : int64;
+  mutable tx_packets : int64;
+  mutable rx_bytes : int64;
+  mutable tx_bytes : int64;
+  mutable rx_dropped : int64;
+  mutable tx_dropped : int64;
+}
+
+type t
+
+val create :
+  dpid:int64 ->
+  ports:port_config list ->
+  transmit:(port_no:int -> string -> unit) ->
+  to_controller:(string -> unit) ->
+  now:(unit -> float) ->
+  t
+
+val dpid : t -> int64
+
+val connect : t -> unit
+(** Starts the OpenFlow session: sends HELLO (the controller side answers
+    and drives FEATURES_REQUEST etc.). *)
+
+val input_from_controller : t -> string -> unit
+(** Feed raw bytes from the controller channel. Complete messages are
+    processed immediately; partial input is buffered. *)
+
+val receive_frame : t -> in_port:int -> string -> unit
+(** A frame arrived on a data port. Table hit applies actions; miss
+    buffers the frame and raises PACKET_IN. Undecodable frames are
+    counted as drops. *)
+
+val tick : t -> unit
+(** Expire flows by the current virtual time; emits FLOW_REMOVED where
+    requested. Call once per simulated second (or finer). *)
+
+val add_port : t -> port_config -> unit
+(** Hot-plug; emits PORT_STATUS add. *)
+
+val remove_port : t -> int -> unit
+(** Emits PORT_STATUS delete. *)
+
+val flow_table : t -> Flow_table.t
+val port_counters : t -> int -> port_counters option
+val ports : t -> port_config list
+
+val packet_in_count : t -> int
+(** Number of PACKET_IN messages raised since creation. *)
+
+val stats_description : Ofp_message.desc_stats

@@ -1,0 +1,152 @@
+open Hw_openflow
+open Hw_packet
+
+type t = {
+  mutable wildcard : Flow_entry.t list; (* priority desc *)
+  exact : (string, Flow_entry.t) Hashtbl.t;
+  max : int;
+  mutable lookups : int64;
+  mutable matched : int64;
+}
+
+exception Table_full
+exception Overlap
+
+let create ?(max_entries = 65536) () =
+  { wildcard = []; exact = Hashtbl.create 1024; max = max_entries; lookups = 0L; matched = 0L }
+
+let length t = List.length t.wildcard + Hashtbl.length t.exact
+let lookup_count t = t.lookups
+let matched_count t = t.matched
+let max_entries t = t.max
+
+(* An OF 1.0 exact-match entry specifies every field. Such entries beat any
+   wildcard entry regardless of priority, so they live in a hash table. *)
+let exact_key_of_match (m : Ofp_match.t) =
+  match m with
+  | {
+   in_port = Some in_port;
+   dl_src = Some dl_src;
+   dl_dst = Some dl_dst;
+   dl_vlan = Some dl_vlan;
+   dl_vlan_pcp = Some dl_vlan_pcp;
+   dl_type = Some dl_type;
+   nw_tos = Some nw_tos;
+   nw_proto = Some nw_proto;
+   nw_src = Some (nw_src, 32);
+   nw_dst = Some (nw_dst, 32);
+   tp_src = Some tp_src;
+   tp_dst = Some tp_dst;
+  } ->
+      Some
+        (Printf.sprintf "%d|%s|%s|%d|%d|%d|%d|%d|%ld|%ld|%d|%d" in_port (Mac.to_bytes dl_src)
+           (Mac.to_bytes dl_dst) dl_vlan dl_vlan_pcp dl_type nw_tos nw_proto
+           (Ip.to_int32 nw_src) (Ip.to_int32 nw_dst) tp_src tp_dst)
+  | _ -> None
+
+let exact_key_of_fields (f : Ofp_match.fields) =
+  Printf.sprintf "%d|%s|%s|%d|%d|%d|%d|%d|%ld|%ld|%d|%d" f.Ofp_match.f_in_port
+    (Mac.to_bytes f.Ofp_match.f_dl_src)
+    (Mac.to_bytes f.Ofp_match.f_dl_dst)
+    f.Ofp_match.f_dl_vlan f.Ofp_match.f_dl_vlan_pcp f.Ofp_match.f_dl_type f.Ofp_match.f_nw_tos
+    f.Ofp_match.f_nw_proto
+    (Ip.to_int32 f.Ofp_match.f_nw_src)
+    (Ip.to_int32 f.Ofp_match.f_nw_dst)
+    f.Ofp_match.f_tp_src f.Ofp_match.f_tp_dst
+
+let insert_by_priority entry lst =
+  let rec go = function
+    | [] -> [ entry ]
+    | e :: rest when e.Flow_entry.priority < entry.Flow_entry.priority -> entry :: e :: rest
+    | e :: rest -> e :: go rest
+  in
+  go lst
+
+let add t ~now:_ ~check_overlap (entry : Flow_entry.t) =
+  match exact_key_of_match entry.Flow_entry.entry_match with
+  | Some key ->
+      if (not (Hashtbl.mem t.exact key)) && length t >= t.max then raise Table_full;
+      Hashtbl.replace t.exact key entry
+  | None ->
+      if check_overlap && List.exists (Flow_entry.overlaps entry) t.wildcard then raise Overlap;
+      let same e =
+        e.Flow_entry.priority = entry.Flow_entry.priority
+        && Ofp_match.equal e.Flow_entry.entry_match entry.Flow_entry.entry_match
+      in
+      let replacing = List.exists same t.wildcard in
+      if (not replacing) && length t >= t.max then raise Table_full;
+      t.wildcard <- insert_by_priority entry (List.filter (fun e -> not (same e)) t.wildcard)
+
+let matches_for_mod ~strict ~m ~priority (e : Flow_entry.t) =
+  if strict then
+    e.Flow_entry.priority = priority && Ofp_match.equal e.Flow_entry.entry_match m
+  else Ofp_match.subsumes ~general:m ~specific:e.Flow_entry.entry_match
+
+let iter_all t f =
+  List.iter f t.wildcard;
+  Hashtbl.iter (fun _ e -> f e) t.exact
+
+let modify t ~strict ~m ~priority actions =
+  let count = ref 0 in
+  let update e =
+    if matches_for_mod ~strict ~m ~priority e then begin
+      e.Flow_entry.actions <- actions;
+      incr count
+    end
+  in
+  iter_all t update;
+  !count
+
+let has_output_to ~out_port (e : Flow_entry.t) =
+  out_port = Ofp_action.Port.none
+  || List.exists
+       (function Ofp_action.Output { port; _ } -> port = out_port | _ -> false)
+       e.Flow_entry.actions
+
+let delete t ~strict ~m ~priority ~out_port =
+  let removed = ref [] in
+  let keep e =
+    if matches_for_mod ~strict ~m ~priority e && has_output_to ~out_port e then begin
+      removed := e :: !removed;
+      false
+    end
+    else true
+  in
+  t.wildcard <- List.filter keep t.wildcard;
+  let doomed =
+    Hashtbl.fold (fun k e acc -> if keep e then acc else k :: acc) t.exact []
+  in
+  List.iter (Hashtbl.remove t.exact) doomed;
+  !removed
+
+let lookup t fields =
+  t.lookups <- Int64.add t.lookups 1L;
+  let result =
+    match Hashtbl.find_opt t.exact (exact_key_of_fields fields) with
+    | Some e -> Some e
+    | None -> List.find_opt (fun e -> Ofp_match.matches e.Flow_entry.entry_match fields) t.wildcard
+  in
+  if result <> None then t.matched <- Int64.add t.matched 1L;
+  result
+
+let expire t ~now =
+  let expired = ref [] in
+  let keep e =
+    match Flow_entry.is_expired e ~now with
+    | Some reason ->
+        expired := (e, reason) :: !expired;
+        false
+    | None -> true
+  in
+  t.wildcard <- List.filter keep t.wildcard;
+  let doomed = Hashtbl.fold (fun k e acc -> if keep e then acc else k :: acc) t.exact [] in
+  List.iter (Hashtbl.remove t.exact) doomed;
+  !expired
+
+let entries t =
+  let all = Hashtbl.fold (fun _ e acc -> e :: acc) t.exact t.wildcard in
+  List.sort (fun a b -> compare b.Flow_entry.priority a.Flow_entry.priority) all
+
+let clear t =
+  t.wildcard <- [];
+  Hashtbl.reset t.exact

@@ -1,0 +1,47 @@
+(** The switch's flow table: priority-ordered entries with OF 1.0
+    add/modify/delete semantics, timeout expiry and lookup counters.
+
+    Exact-match entries (the common case on the reactive Homework router)
+    are indexed in a hash table; wildcard entries are scanned in priority
+    order. *)
+
+open Hw_openflow
+
+type t
+
+val create : ?max_entries:int -> unit -> t
+
+exception Table_full
+exception Overlap
+
+val add :
+  t -> now:float -> check_overlap:bool -> Flow_entry.t -> unit
+(** OFPFC_ADD: replaces an entry with an identical match and priority
+    (counters reset, as OF 1.0 specifies).
+    @raise Table_full at capacity.
+    @raise Overlap when [check_overlap] and an overlapping entry exists. *)
+
+val modify : t -> strict:bool -> m:Ofp_match.t -> priority:int -> Ofp_action.t list -> int
+(** OFPFC_MODIFY[_STRICT]: updates actions of matching entries (counters
+    preserved); returns how many were updated. *)
+
+val delete : t -> strict:bool -> m:Ofp_match.t -> priority:int -> out_port:int -> Flow_entry.t list
+(** OFPFC_DELETE[_STRICT]: removes matching entries; [out_port] further
+    filters to entries with an output action to that port (unless
+    {!Ofp_action.Port.none}). Returns the removed entries. *)
+
+val lookup : t -> Ofp_match.fields -> Flow_entry.t option
+(** Highest-priority match; updates the table's lookup/matched counters
+    but not the entry counters (callers decide when to {!Flow_entry.touch}). *)
+
+val expire : t -> now:float -> (Flow_entry.t * Ofp_message.flow_removed_reason) list
+(** Removes and returns timed-out entries. *)
+
+val entries : t -> Flow_entry.t list
+(** Priority order, highest first. *)
+
+val length : t -> int
+val lookup_count : t -> int64
+val matched_count : t -> int64
+val max_entries : t -> int
+val clear : t -> unit

@@ -1,0 +1,1 @@
+lib/hw_dhcp/dhcp_server.ml: Dhcp_wire Hashtbl Hw_packet Int32 Ip Lease_db List Logs Mac Option Packet Printf Udp

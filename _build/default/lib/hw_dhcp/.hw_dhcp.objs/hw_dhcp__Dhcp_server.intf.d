@@ -1,0 +1,1 @@
+lib/hw_dhcp/dhcp_server.mli: Hw_packet Ip Lease_db Mac Packet

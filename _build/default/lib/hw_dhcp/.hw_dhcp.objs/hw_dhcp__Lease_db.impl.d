@@ -1,0 +1,1 @@
+lib/hw_dhcp/lease_db.ml: Hashtbl Hw_packet Ip List Mac Option

@@ -1,0 +1,1 @@
+lib/hw_dhcp/lease_db.mli: Hw_packet Ip Mac

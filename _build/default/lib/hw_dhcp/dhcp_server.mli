@@ -1,0 +1,79 @@
+(** The Homework DHCP server NOX module.
+
+    The paper: "manages DHCP allocations to ensure that all traffic flows
+    are visible to software running on the router, avoiding direct
+    Ethernet-layer communication between devices", controlled case-by-case
+    through the control API (permit / deny per device).
+
+    Transport-agnostic: callers hand in decoded packets and send the
+    replies this module returns; the router glue wires it to the
+    controller's packet-out path. *)
+
+open Hw_packet
+
+type device_state =
+  | Permitted
+  | Denied
+  | Pending  (** seen requesting access, awaiting a user decision *)
+
+type config = {
+  server_mac : Mac.t;
+  server_ip : Ip.t;
+  netmask : Ip.t;
+  gateway : Ip.t;
+  dns_server : Ip.t;
+  pool_start : Ip.t;
+  pool_end : Ip.t;
+  lease_time : float;  (** seconds *)
+  default_permit : bool;
+      (** when false, unknown devices become [Pending] and are refused
+          until the user permits them (the Figure 3 workflow) *)
+}
+
+val default_config : config
+(** 10.0.0.0/24, router at 10.0.0.1, pool .100–.199, 1h leases,
+    [default_permit = false]. *)
+
+type event =
+  | Lease_granted of Lease_db.lease
+  | Lease_renewed of Lease_db.lease
+  | Lease_revoked of Lease_db.lease  (** expiry or administrative deny *)
+  | Lease_released of Lease_db.lease
+  | Request_denied of { mac : Mac.t; hostname : string }
+  | Device_pending of { mac : Mac.t; hostname : string }
+
+val event_to_string : event -> string
+
+type t
+
+val create : ?config:config -> now:(unit -> float) -> unit -> t
+val config : t -> config
+val lease_db : t -> Lease_db.t
+
+val on_event : t -> (event -> unit) -> unit
+
+val handle_packet : t -> Packet.t -> Packet.t list
+(** Processes a frame if it is DHCP (UDP port 67); returns reply frames
+    (broadcast, from the server). Non-DHCP packets return []. *)
+
+val tick : t -> unit
+(** Expires leases; emits [Lease_revoked]. *)
+
+(** {2 Control API surface (Figure 3)} *)
+
+val permit : t -> Mac.t -> unit
+val deny : t -> Mac.t -> unit
+(** Denying a device with an active lease revokes it. *)
+
+val forget : t -> Mac.t -> unit
+(** Clears any per-device decision (falls back to the default policy). *)
+
+val device_state : t -> Mac.t -> device_state
+val devices : t -> (Mac.t * device_state * string) list
+(** All devices that ever spoke DHCP: (mac, state, last hostname). *)
+
+val pending_devices : t -> (Mac.t * string) list
+val set_metadata : t -> Mac.t -> string -> unit
+(** User-supplied device description ("Tom's Mac Air"). *)
+
+val metadata : t -> Mac.t -> string option

@@ -1,0 +1,111 @@
+open Hw_packet
+
+type lease = {
+  mac : Mac.t;
+  ip : Ip.t;
+  hostname : string;
+  granted_at : float;
+  expires_at : float;
+  committed : bool;
+}
+
+type t = {
+  pool_start : Ip.t;
+  pool_size : int;
+  lease_time : float;
+  offer_time : float;
+  by_mac : (Mac.t, lease) Hashtbl.t;
+  by_ip : (Ip.t, Mac.t) Hashtbl.t;
+}
+
+let create ?(offer_time = 30.) ~pool_start ~pool_end ~lease_time () =
+  let size = Ip.diff pool_end pool_start + 1 in
+  if size <= 0 then invalid_arg "Lease_db.create: empty pool";
+  {
+    pool_start;
+    pool_size = size;
+    lease_time;
+    offer_time;
+    by_mac = Hashtbl.create 64;
+    by_ip = Hashtbl.create 64;
+  }
+
+let pool_size t = t.pool_size
+let lease_time t = t.lease_time
+let lookup_mac t mac = Hashtbl.find_opt t.by_mac mac
+
+let lookup_ip t ip =
+  Option.bind (Hashtbl.find_opt t.by_ip ip) (fun mac -> Hashtbl.find_opt t.by_mac mac)
+
+let in_pool t ip =
+  let off = Ip.diff ip t.pool_start in
+  off >= 0 && off < t.pool_size
+
+let bind t ~now ~hostname ~committed mac ip =
+  let ttl = if committed then t.lease_time else t.offer_time in
+  let lease = { mac; ip; hostname; granted_at = now; expires_at = now +. ttl; committed } in
+  (* drop any previous binding for this client *)
+  (match Hashtbl.find_opt t.by_mac mac with
+  | Some old -> Hashtbl.remove t.by_ip old.ip
+  | None -> ());
+  Hashtbl.replace t.by_mac mac lease;
+  Hashtbl.replace t.by_ip ip mac;
+  lease
+
+let first_free t =
+  let rec go i =
+    if i >= t.pool_size then None
+    else
+      let ip = Ip.add t.pool_start i in
+      if Hashtbl.mem t.by_ip ip then go (i + 1) else Some ip
+  in
+  go 0
+
+let allocate t ~now ?requested ?(hostname = "") mac =
+  let choice =
+    match Hashtbl.find_opt t.by_mac mac with
+    | Some lease -> Some lease.ip
+    | None -> (
+        match requested with
+        | Some ip when in_pool t ip && not (Hashtbl.mem t.by_ip ip) -> Some ip
+        | _ -> first_free t)
+  in
+  Option.map (fun ip -> bind t ~now ~hostname ~committed:false mac ip) choice
+
+let confirm t ~now mac ip ?(hostname = "") () =
+  match Hashtbl.find_opt t.by_mac mac with
+  | Some lease when Ip.equal lease.ip ip ->
+      let hostname = if hostname = "" then lease.hostname else hostname in
+      Some (bind t ~now ~hostname ~committed:true mac ip)
+  | Some _ | None ->
+      (* REQUEST for an address we never offered: accept only if free and
+         in pool (supports silent client reboot), else NAK *)
+      if in_pool t ip && not (Hashtbl.mem t.by_ip ip) then
+        Some (bind t ~now ~hostname ~committed:true mac ip)
+      else None
+
+let release t mac =
+  match Hashtbl.find_opt t.by_mac mac with
+  | None -> None
+  | Some lease ->
+      Hashtbl.remove t.by_mac mac;
+      Hashtbl.remove t.by_ip lease.ip;
+      Some lease
+
+let expire t ~now =
+  let expired =
+    Hashtbl.fold (fun _ lease acc -> if lease.expires_at <= now then lease :: acc else acc)
+      t.by_mac []
+  in
+  List.iter
+    (fun lease ->
+      Hashtbl.remove t.by_mac lease.mac;
+      Hashtbl.remove t.by_ip lease.ip)
+    expired;
+  expired
+
+let active t =
+  Hashtbl.fold (fun _ lease acc -> lease :: acc) t.by_mac []
+  |> List.sort (fun a b -> Ip.compare a.ip b.ip)
+
+let utilisation t = float_of_int (Hashtbl.length t.by_mac) /. float_of_int t.pool_size

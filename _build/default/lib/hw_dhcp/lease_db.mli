@@ -1,0 +1,46 @@
+(** DHCP address pool and lease bindings. *)
+
+open Hw_packet
+
+type lease = {
+  mac : Mac.t;
+  ip : Ip.t;
+  hostname : string;
+  granted_at : float;
+  expires_at : float;
+  committed : bool;
+      (** false while only OFFERed; a REQUEST commits the binding *)
+}
+
+type t
+
+val create : ?offer_time:float -> pool_start:Ip.t -> pool_end:Ip.t -> lease_time:float -> unit -> t
+(** [offer_time] (default 30 s) bounds how long an un-REQUESTed OFFER
+    holds its address. @raise Invalid_argument if the range is empty. *)
+
+val pool_size : t -> int
+val lease_time : t -> float
+
+val lookup_mac : t -> Mac.t -> lease option
+(** Active (unexpired at last [expire]) binding for this client. *)
+
+val lookup_ip : t -> Ip.t -> lease option
+
+val allocate : t -> now:float -> ?requested:Ip.t -> ?hostname:string -> Mac.t -> lease option
+(** Chooses an address, preferring (1) the client's existing binding,
+    (2) the requested address when free, (3) the lowest free address.
+    [None] when the pool is exhausted. The binding is an OFFER: it holds
+    the address only for [offer_time] until a REQUEST commits it. *)
+
+val confirm : t -> now:float -> Mac.t -> Ip.t -> ?hostname:string -> unit -> lease option
+(** REQUEST handling: renews when the binding matches, [None] otherwise. *)
+
+val release : t -> Mac.t -> lease option
+val expire : t -> now:float -> lease list
+(** Removes and returns leases past their expiry. *)
+
+val active : t -> lease list
+(** Sorted by IP. *)
+
+val utilisation : t -> float
+(** Fraction of the pool currently bound, [0, 1]. *)

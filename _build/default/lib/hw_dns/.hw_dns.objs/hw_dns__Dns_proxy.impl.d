@@ -1,0 +1,1 @@
+lib/hw_dns/dns_proxy.ml: Dns_wire Hashtbl Hw_packet Ip List Logs Mac Option Printf String

@@ -1,0 +1,1 @@
+lib/hw_dns/dns_proxy.mli: Dns_wire Hw_packet Ip Mac

@@ -1,0 +1,76 @@
+(** The Homework DNS proxy NOX module.
+
+    The paper: "intercepts outgoing DNS requests, performing reverse
+    lookups on flows not matching previously requested names, to ensure
+    that upstream communication is only allowed between permitted devices
+    and sites."
+
+    The proxy sits between clients and the upstream resolver. Per-device
+    name policies (compiled from the Figure 4 visual policy language)
+    decide which lookups succeed; answers populate a name↔address cache
+    that backs flow admission. *)
+
+open Hw_packet
+
+(** Per-device name policy. Domains match by label suffix:
+    ["facebook.com"] covers ["www.facebook.com"]. *)
+type name_policy =
+  | Allow_all
+  | Block_all
+  | Allow_only of string list  (** whitelist of permitted sites *)
+  | Block_listed of string list
+
+val policy_allows : name_policy -> string -> bool
+
+type action =
+  | Forward_upstream of Dns_wire.t
+      (** send to the upstream resolver (proxy's own transaction id) *)
+  | Respond_to_client of { dst_ip : Ip.t; dst_port : int; msg : Dns_wire.t }
+
+type flow_verdict =
+  | Flow_allow
+  | Flow_block of string  (** reason *)
+  | Flow_reverse_lookup of Dns_wire.t
+      (** unknown destination: PTR query to send upstream before deciding *)
+
+type stats = {
+  mutable queries : int;
+  mutable blocked : int;
+  mutable forwarded : int;
+  mutable cache_answers : int;
+  mutable reverse_lookups : int;
+}
+
+type t
+
+val create : ?cache_ttl:float -> now:(unit -> float) -> unit -> t
+
+val set_policy : t -> Mac.t -> name_policy -> unit
+val clear_policy : t -> Mac.t -> unit
+val policy_of : t -> Mac.t -> name_policy
+(** Defaults to [Allow_all]. *)
+
+val set_device_of_ip : t -> (Ip.t -> Mac.t option) -> unit
+(** Wire to the DHCP lease table so policies key on devices, not
+    addresses. Unknown source addresses get [Allow_all]. *)
+
+val handle_query : t -> src_ip:Ip.t -> src_port:int -> Dns_wire.t -> action list
+(** Client query arrived at the router. Blocked names answer NXDOMAIN
+    immediately; cached names answer from the cache; otherwise the query
+    is forwarded upstream. *)
+
+val handle_upstream : t -> Dns_wire.t -> action list
+(** Upstream response arrived: caches A answers and releases the waiting
+    client's response (with the client's original transaction id). *)
+
+val check_flow : t -> src_ip:Ip.t -> dst_ip:Ip.t -> flow_verdict
+(** Admission decision for a non-DNS upstream flow. *)
+
+val names_of : t -> Ip.t -> string list
+(** Cached names mapping to this address. *)
+
+val addresses_of : t -> string -> Ip.t list
+val stats : t -> stats
+val cache_size : t -> int
+val expire_cache : t -> unit
+(** Drops entries older than [cache_ttl]. *)

@@ -1,0 +1,1 @@
+lib/hw_hwdb/ast.ml: Buffer Format List Printf String Value

@@ -1,0 +1,1 @@
+lib/hw_hwdb/ast.mli: Format Value

@@ -1,0 +1,1 @@
+lib/hw_hwdb/database.ml: Ast Fun Hashtbl List Logs Option Parser Printf Query Result Table Value

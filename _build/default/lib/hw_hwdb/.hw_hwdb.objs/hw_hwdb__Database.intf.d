@@ -1,0 +1,1 @@
+lib/hw_hwdb/database.mli: Ast Query Table Value

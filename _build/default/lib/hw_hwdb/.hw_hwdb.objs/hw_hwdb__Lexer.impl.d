@@ -1,0 +1,1 @@
+lib/hw_hwdb/lexer.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/hw_hwdb/parser.ml: Ast Lexer List Option Printf Value

@@ -1,0 +1,1 @@
+lib/hw_hwdb/query.ml: Array Ast Format Hashtbl List Option Printf String Table Value

@@ -1,0 +1,1 @@
+lib/hw_hwdb/query.mli: Ast Format Table Value

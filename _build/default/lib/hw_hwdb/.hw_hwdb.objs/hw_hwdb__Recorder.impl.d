@@ -1,0 +1,1 @@
+lib/hw_hwdb/recorder.ml: Buffer Hw_util List Printf Query Ring Rpc String Value

@@ -1,0 +1,1 @@
+lib/hw_hwdb/recorder.mli: Query Rpc

@@ -1,0 +1,1 @@
+lib/hw_hwdb/rpc.ml: Ast Database Hashtbl Hw_util Int32 Int64 List Logs Parser Printf Query String Value Wire

@@ -1,0 +1,1 @@
+lib/hw_hwdb/rpc.mli: Database Query

@@ -1,0 +1,1 @@
+lib/hw_hwdb/table.ml: Array Hw_util List Ring Value

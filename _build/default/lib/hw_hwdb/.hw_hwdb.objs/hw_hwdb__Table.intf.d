@@ -1,0 +1,1 @@
+lib/hw_hwdb/table.mli: Value

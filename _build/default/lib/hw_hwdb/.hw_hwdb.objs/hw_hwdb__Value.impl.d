@@ -1,0 +1,1 @@
+lib/hw_hwdb/value.ml: Bool Float Format List Printf String

@@ -1,0 +1,187 @@
+type binop = Add | Sub | Mul | Div | Mod | Eq | Neq | Lt | Le | Gt | Ge | And | Or
+
+type unop = Not | Neg
+
+type expr =
+  | Col of string option * string
+  | Lit of Value.t
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+
+type agg_fn = Count | Sum | Avg | Min | Max
+
+type sel_item =
+  | Sel_star
+  | Sel_expr of expr * string option
+  | Sel_agg of agg_fn * expr option * string option
+
+type window = W_all | W_range_sec of float | W_rows of int | W_now
+
+type order = Asc | Desc
+
+type having = H_agg of agg_fn * expr option | H_col of string option * string
+
+type select = {
+  items : sel_item list;
+  from : (string * string option) list;
+  window : window;
+  where : expr option;
+  group_by : (string option * string) list;
+  having : (having * binop * Value.t) option;
+  order_by : ((string option * string) * order) option;
+  limit : int option;
+}
+
+type stmt =
+  | Select of select
+  | Insert of string * Value.t list
+  | Create of { table : string; schema : Value.schema; capacity : int option }
+  | Subscribe of select * float
+  | Unsubscribe of int
+  | Trigger of {
+      watch : string;
+      condition : expr option;
+      target : string;
+      values : expr list;
+    }
+  | Drop_trigger of int
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "AND"
+  | Or -> "OR"
+
+let agg_to_string = function
+  | Count -> "COUNT"
+  | Sum -> "SUM"
+  | Avg -> "AVG"
+  | Min -> "MIN"
+  | Max -> "MAX"
+
+let lit_to_string = function
+  | Value.Str s -> "'" ^ String.concat "''" (String.split_on_char '\'' s) ^ "'"
+  | Value.Ts ts -> Printf.sprintf "%.6f" ts
+  | Value.Real f ->
+      (* keep a decimal point so it re-parses as a real *)
+      let s = Printf.sprintf "%.12g" f in
+      if String.contains s '.' || String.contains s 'e' || String.contains s 'n' then s
+      else s ^ ".0"
+  | v -> Value.to_string v
+
+let col_to_string (q, n) = match q with None -> n | Some q -> q ^ "." ^ n
+
+let rec expr_to_string = function
+  | Col (q, n) -> col_to_string (q, n)
+  | Lit v -> lit_to_string v
+  | Binop (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_to_string op) (expr_to_string b)
+  | Unop (Not, e) -> Printf.sprintf "(NOT %s)" (expr_to_string e)
+  | Unop (Neg, e) -> Printf.sprintf "(- %s)" (expr_to_string e)
+
+let sel_item_to_string = function
+  | Sel_star -> "*"
+  | Sel_expr (e, None) -> expr_to_string e
+  | Sel_expr (e, Some a) -> Printf.sprintf "%s AS %s" (expr_to_string e) a
+  | Sel_agg (fn, arg, alias) ->
+      let body =
+        match arg with None -> "*" | Some e -> expr_to_string e
+      in
+      let base = Printf.sprintf "%s(%s)" (agg_to_string fn) body in
+      (match alias with None -> base | Some a -> base ^ " AS " ^ a)
+
+let window_to_string = function
+  | W_all -> ""
+  | W_range_sec s -> Printf.sprintf " [RANGE %.6g SECONDS]" s
+  | W_rows n -> Printf.sprintf " [ROWS %d]" n
+  | W_now -> " [NOW]"
+
+let select_to_string s =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf "SELECT ";
+  Buffer.add_string buf (String.concat ", " (List.map sel_item_to_string s.items));
+  Buffer.add_string buf " FROM ";
+  Buffer.add_string buf
+    (String.concat ", "
+       (List.map
+          (fun (t, alias) -> match alias with None -> t | Some a -> t ^ " " ^ a)
+          s.from));
+  Buffer.add_string buf (window_to_string s.window);
+  (match s.where with
+  | Some e ->
+      Buffer.add_string buf " WHERE ";
+      Buffer.add_string buf (expr_to_string e)
+  | None -> ());
+  (match s.group_by with
+  | [] -> ()
+  | cols ->
+      Buffer.add_string buf " GROUP BY ";
+      Buffer.add_string buf (String.concat ", " (List.map col_to_string cols)));
+  (match s.having with
+  | None -> ()
+  | Some (subject, op, v) ->
+      Buffer.add_string buf " HAVING ";
+      (match subject with
+      | H_agg (fn, arg) ->
+          Buffer.add_string buf (agg_to_string fn);
+          Buffer.add_char buf '(';
+          Buffer.add_string buf (match arg with None -> "*" | Some e -> expr_to_string e);
+          Buffer.add_char buf ')'
+      | H_col (q, n) -> Buffer.add_string buf (col_to_string (q, n)));
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (binop_to_string op);
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (lit_to_string v));
+  (match s.order_by with
+  | Some (col, dir) ->
+      Buffer.add_string buf " ORDER BY ";
+      Buffer.add_string buf (col_to_string col);
+      Buffer.add_string buf (match dir with Asc -> " ASC" | Desc -> " DESC")
+  | None -> ());
+  (match s.limit with
+  | Some n -> Buffer.add_string buf (Printf.sprintf " LIMIT %d" n)
+  | None -> ());
+  Buffer.contents buf
+
+let ty_keyword = function
+  | Value.T_int -> "INTEGER"
+  | Value.T_real -> "REAL"
+  | Value.T_str -> "VARCHAR"
+  | Value.T_bool -> "BOOLEAN"
+  | Value.T_ts -> "TIMESTAMP"
+
+let to_string = function
+  | Select s -> select_to_string s
+  | Insert (table, values) ->
+      Printf.sprintf "INSERT INTO %s VALUES (%s)" table
+        (String.concat ", " (List.map lit_to_string values))
+  | Create { table; schema; capacity } ->
+      let cols =
+        String.concat ", " (List.map (fun (n, ty) -> n ^ " " ^ ty_keyword ty) schema)
+      in
+      let cap = match capacity with None -> "" | Some c -> Printf.sprintf " CAPACITY %d" c in
+      Printf.sprintf "CREATE TABLE %s (%s)%s" table cols cap
+  | Subscribe (s, period) ->
+      Printf.sprintf "SUBSCRIBE %s EVERY %.6g SECONDS" (select_to_string s) period
+  | Unsubscribe id -> Printf.sprintf "UNSUBSCRIBE %d" id
+  | Trigger { watch; condition; target; values } ->
+      Printf.sprintf "ON INSERT INTO %s%s DO INSERT INTO %s VALUES (%s)" watch
+        (match condition with
+        | None -> ""
+        | Some c -> " WHEN " ^ expr_to_string c)
+        target
+        (String.concat ", " (List.map expr_to_string values))
+  | Drop_trigger id -> Printf.sprintf "DROP TRIGGER %d" id
+
+let pp_expr fmt e = Format.pp_print_string fmt (expr_to_string e)
+let pp_select fmt s = Format.pp_print_string fmt (select_to_string s)
+let pp_stmt fmt s = Format.pp_print_string fmt (to_string s)

@@ -1,0 +1,68 @@
+(** Abstract syntax of the hwdb query language — the CQL variant of the
+    paper ("temporal and relational operations"): SQL-style selection with
+    CQL stream-to-relation windows, plus the statements the RPC interface
+    accepts. *)
+
+type binop = Add | Sub | Mul | Div | Mod | Eq | Neq | Lt | Le | Gt | Ge | And | Or
+
+type unop = Not | Neg
+
+type expr =
+  | Col of string option * string  (** optional table qualifier *)
+  | Lit of Value.t
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+
+type agg_fn = Count | Sum | Avg | Min | Max
+
+type sel_item =
+  | Sel_star
+  | Sel_expr of expr * string option          (** expression with optional AS alias *)
+  | Sel_agg of agg_fn * expr option * string option  (** [Count None] is [COUNT(star)] *)
+
+(** CQL stream-to-relation operator. *)
+type window =
+  | W_all                  (** unbounded: every tuple still buffered *)
+  | W_range_sec of float   (** [RANGE n SECONDS] *)
+  | W_rows of int          (** [ROWS n] *)
+  | W_now                  (** [NOW]: tuples stamped at the current instant *)
+
+type order = Asc | Desc
+
+type having = H_agg of agg_fn * expr option | H_col of string option * string
+(** The left side of a HAVING comparison: an aggregate or a group column. *)
+
+type select = {
+  items : sel_item list;
+  from : (string * string option) list;  (** (table, alias); 1 or 2 tables *)
+  window : window;
+  where : expr option;
+  group_by : (string option * string) list;
+  having : (having * binop * Value.t) option;
+      (** post-aggregation filter, e.g. [HAVING SUM(bytes) > 1000] *)
+  order_by : ((string option * string) * order) option;
+  limit : int option;
+}
+
+type stmt =
+  | Select of select
+  | Insert of string * Value.t list
+  | Create of { table : string; schema : Value.schema; capacity : int option }
+  | Subscribe of select * float  (** re-evaluation period, seconds *)
+  | Unsubscribe of int
+  | Trigger of {
+      watch : string;           (** table whose inserts fire the trigger *)
+      condition : expr option;  (** WHEN clause over the inserted row *)
+      target : string;          (** table the action inserts into *)
+      values : expr list;       (** row expressions over the inserted row *)
+    }  (** [ON INSERT INTO w WHEN c DO INSERT INTO t VALUES (...)] *)
+  | Drop_trigger of int
+
+val binop_to_string : binop -> string
+val agg_to_string : agg_fn -> string
+val pp_expr : Format.formatter -> expr -> unit
+val pp_select : Format.formatter -> select -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+val to_string : stmt -> string
+(** Prints a statement back to concrete syntax that re-parses to an equal
+    AST (used by the property tests). *)

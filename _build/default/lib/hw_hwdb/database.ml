@@ -1,0 +1,278 @@
+let log_src = Logs.Src.create "hw.hwdb" ~doc:"Homework Database"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type subscription_id = int
+
+type subscription = {
+  sub_id : subscription_id;
+  sub_query : Ast.select;
+  period : float;
+  callback : Query.result_set -> unit;
+  mutable next_due : float;
+}
+
+type trigger_id = int
+
+type trigger = {
+  trig_id : trigger_id;
+  mutable trig_enabled : bool;
+}
+
+type t = {
+  now : unit -> float;
+  default_capacity : int;
+  tables : (string, Table.t) Hashtbl.t;
+  mutable subs : subscription list;
+  mutable next_sub_id : int;
+  mutable triggers : trigger list;
+  mutable next_trigger_id : int;
+  mutable trigger_depth : int;
+}
+
+let flows_schema =
+  [
+    ("proto", Value.T_int);
+    ("src_ip", Value.T_str);
+    ("dst_ip", Value.T_str);
+    ("src_port", Value.T_int);
+    ("dst_port", Value.T_int);
+    ("packets", Value.T_int);
+    ("bytes", Value.T_int);
+  ]
+
+let links_schema =
+  [
+    ("mac", Value.T_str);
+    ("rssi", Value.T_int);
+    ("retries", Value.T_int);
+    ("packets", Value.T_int);
+  ]
+
+let leases_schema =
+  [
+    ("mac", Value.T_str);
+    ("ip", Value.T_str);
+    ("hostname", Value.T_str);
+    ("action", Value.T_str);
+  ]
+
+let create_empty ?(default_capacity = 4096) ~now () =
+  {
+    now;
+    default_capacity;
+    tables = Hashtbl.create 8;
+    subs = [];
+    next_sub_id = 1;
+    triggers = [];
+    next_trigger_id = 1;
+    trigger_depth = 0;
+  }
+
+let create_table t ~name ?capacity schema =
+  if Hashtbl.mem t.tables name then Error (Printf.sprintf "table %s already exists" name)
+  else if schema = [] then Error "schema cannot be empty"
+  else begin
+    let capacity = Option.value capacity ~default:t.default_capacity in
+    let table = Table.create ~name ~capacity schema in
+    Hashtbl.replace t.tables name table;
+    Ok table
+  end
+
+let create ?default_capacity ~now () =
+  let t = create_empty ?default_capacity ~now () in
+  List.iter
+    (fun (name, schema) ->
+      match create_table t ~name schema with
+      | Ok _ -> ()
+      | Error msg -> failwith msg)
+    [ ("Flows", flows_schema); ("Links", links_schema); ("Leases", leases_schema) ];
+  t
+
+let table t name = Hashtbl.find_opt t.tables name
+let table_names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tables [] |> List.sort compare
+
+let insert t ~table:name values =
+  match table t name with
+  | None -> Error (Printf.sprintf "unknown table %s" name)
+  | Some tbl -> Table.insert tbl ~now:(t.now ()) values
+
+let query t src =
+  match Parser.parse_select src with
+  | Error _ as e -> e
+  | Ok sel -> Query.exec ~lookup:(table t) ~now:(t.now ()) sel
+
+(* ------------------------------------------------------------------ *)
+(* ECA triggers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let max_trigger_depth = 8
+
+let create_trigger t ~watch ?condition ~target ~values () =
+  match table t watch, table t target with
+  | None, _ -> Error (Printf.sprintf "unknown table %s" watch)
+  | _, None -> Error (Printf.sprintf "unknown table %s" target)
+  | Some watch_table, Some target_table ->
+      if values = [] then Error "trigger action needs at least one value"
+      else if List.length values <> Value.schema_arity (Table.schema target_table) then
+        Error
+          (Printf.sprintf "trigger action arity %d does not match %s's %d columns"
+             (List.length values) target
+             (Value.schema_arity (Table.schema target_table)))
+      else begin
+        let id = t.next_trigger_id in
+        t.next_trigger_id <- id + 1;
+        let trig = { trig_id = id; trig_enabled = true } in
+        t.triggers <- trig :: t.triggers;
+        Table.on_insert watch_table (fun tuple ->
+            if trig.trig_enabled then begin
+              if t.trigger_depth >= max_trigger_depth then
+                Log.warn (fun m -> m "trigger %d: chain depth exceeded, skipping" id)
+              else begin
+                t.trigger_depth <- t.trigger_depth + 1;
+                Fun.protect
+                  ~finally:(fun () -> t.trigger_depth <- t.trigger_depth - 1)
+                  (fun () ->
+                    let fire =
+                      match condition with
+                      | None -> Ok true
+                      | Some c -> (
+                          match Query.eval_row watch_table tuple c with
+                          | Ok (Value.Bool b) -> Ok b
+                          | Ok v ->
+                              Error
+                                (Printf.sprintf "condition is not boolean: %s"
+                                   (Value.to_string v))
+                          | Error _ as e -> e)
+                    in
+                    match fire with
+                    | Ok false -> ()
+                    | Error msg -> Log.warn (fun m -> m "trigger %d: %s" id msg)
+                    | Ok true -> (
+                        let row =
+                          List.fold_left
+                            (fun acc e ->
+                              match acc, Query.eval_row watch_table tuple e with
+                              | Ok vs, Ok v -> Ok (v :: vs)
+                              | (Error _ as err), _ -> err
+                              | Ok _, (Error _ as err) -> err)
+                            (Ok []) values
+                        in
+                        match row with
+                        | Error msg -> Log.warn (fun m -> m "trigger %d: %s" id msg)
+                        | Ok rev_vs -> (
+                            match
+                              Table.insert target_table ~now:(t.now ()) (List.rev rev_vs)
+                            with
+                            | Ok () -> ()
+                            | Error msg -> Log.warn (fun m -> m "trigger %d: %s" id msg))))
+              end
+            end);
+        Ok id
+      end
+
+let drop_trigger t id =
+  match List.find_opt (fun trig -> trig.trig_id = id && trig.trig_enabled) t.triggers with
+  | Some trig ->
+      trig.trig_enabled <- false;
+      true
+  | None -> false
+
+let trigger_count t = List.length (List.filter (fun trig -> trig.trig_enabled) t.triggers)
+
+let subscribe t ~query ~period ~callback =
+  let id = t.next_sub_id in
+  t.next_sub_id <- id + 1;
+  let sub =
+    { sub_id = id; sub_query = query; period; callback; next_due = t.now () +. period }
+  in
+  t.subs <- t.subs @ [ sub ];
+  id
+
+let unsubscribe t id =
+  let before = List.length t.subs in
+  t.subs <- List.filter (fun s -> s.sub_id <> id) t.subs;
+  List.length t.subs < before
+
+let subscription_count t = List.length t.subs
+
+let tick t =
+  let now = t.now () in
+  List.iter
+    (fun sub ->
+      if now >= sub.next_due then begin
+        (* catch up without replaying a burst of stale deliveries *)
+        while now >= sub.next_due do
+          sub.next_due <- sub.next_due +. sub.period
+        done;
+        match Query.exec ~lookup:(table t) ~now sub.sub_query with
+        | Ok result -> sub.callback result
+        | Error msg -> Log.warn (fun m -> m "subscription %d failed: %s" sub.sub_id msg)
+      end)
+    t.subs
+
+let execute t src =
+  match Parser.parse src with
+  | Error _ as e -> Error (Result.get_error e)
+  | Ok (Ast.Select sel) -> (
+      match Query.exec ~lookup:(table t) ~now:(t.now ()) sel with
+      | Ok rs -> Ok (Some rs)
+      | Error _ as e -> Error (Result.get_error e))
+  | Ok (Ast.Insert (name, values)) -> (
+      match insert t ~table:name values with Ok () -> Ok None | Error msg -> Error msg)
+  | Ok (Ast.Create { table = name; schema; capacity }) -> (
+      match create_table t ~name ?capacity schema with
+      | Ok _ -> Ok None
+      | Error msg -> Error msg)
+  | Ok (Ast.Subscribe (sel, period)) ->
+      if period <= 0. then Error "subscription period must be positive"
+      else begin
+        let id =
+          subscribe t ~query:sel ~period ~callback:(fun _ ->
+              (* direct-execute subscriptions have no transport; RPC attaches
+                 its own callback instead *)
+              ())
+        in
+        Ok (Some { Query.columns = [ "subscription_id" ]; rows = [ [ Value.Int id ] ] })
+      end
+  | Ok (Ast.Unsubscribe id) ->
+      if unsubscribe t id then Ok None else Error (Printf.sprintf "no subscription %d" id)
+  | Ok (Ast.Trigger { watch; condition; target; values }) -> (
+      match create_trigger t ~watch ?condition ~target ~values () with
+      | Ok id ->
+          Ok (Some { Query.columns = [ "trigger_id" ]; rows = [ [ Value.Int id ] ] })
+      | Error _ as e -> Error (Result.get_error e))
+  | Ok (Ast.Drop_trigger id) ->
+      if drop_trigger t id then Ok None else Error (Printf.sprintf "no trigger %d" id)
+
+let record_flow t ~proto ~src_ip ~dst_ip ~src_port ~dst_port ~packets ~bytes =
+  match
+    insert t ~table:"Flows"
+      [
+        Value.Int proto;
+        Value.Str src_ip;
+        Value.Str dst_ip;
+        Value.Int src_port;
+        Value.Int dst_port;
+        Value.Int packets;
+        Value.Int bytes;
+      ]
+  with
+  | Ok () -> ()
+  | Error msg -> Log.err (fun m -> m "record_flow: %s" msg)
+
+let record_link t ~mac ~rssi ~retries ~packets =
+  match
+    insert t ~table:"Links"
+      [ Value.Str mac; Value.Int rssi; Value.Int retries; Value.Int packets ]
+  with
+  | Ok () -> ()
+  | Error msg -> Log.err (fun m -> m "record_link: %s" msg)
+
+let record_lease t ~mac ~ip ~hostname ~action =
+  match
+    insert t ~table:"Leases"
+      [ Value.Str mac; Value.Str ip; Value.Str hostname; Value.Str action ]
+  with
+  | Ok () -> ()
+  | Error msg -> Log.err (fun m -> m "record_lease: %s" msg)

@@ -1,0 +1,82 @@
+(** The Homework Database instance: named tables, statement execution and
+    continuous-query subscriptions.
+
+    Standard tables (the paper's measurement plane):
+    - [Flows]:  periodically observed active five-tuples
+      (proto, src_ip, dst_ip, src_port, dst_port, packets, bytes)
+    - [Links]:  link-layer info per station (mac, rssi, retries, packets)
+    - [Leases]: DHCP activity (mac, ip, hostname, action) where action is
+      grant | renew | revoke | deny *)
+
+type t
+
+val create : ?default_capacity:int -> now:(unit -> float) -> unit -> t
+(** Fresh database with the three standard tables installed. *)
+
+val create_empty : ?default_capacity:int -> now:(unit -> float) -> unit -> t
+(** No standard tables (for unit tests). *)
+
+val create_table : t -> name:string -> ?capacity:int -> Value.schema -> (Table.t, string) result
+val table : t -> string -> Table.t option
+val table_names : t -> string list
+
+val insert : t -> table:string -> Value.t list -> (unit, string) result
+(** Stamped with the database clock. *)
+
+val query : t -> string -> (Query.result_set, string) result
+(** Parses and runs a SELECT. *)
+
+val execute : t -> string -> (Query.result_set option, string) result
+(** Runs any statement; SELECT/SUBSCRIBE return a result set (SUBSCRIBE
+    returns the subscription id as a 1x1 result). *)
+
+(** {2 ECA triggers (the "active" database)} *)
+
+type trigger_id = int
+
+val create_trigger :
+  t ->
+  watch:string ->
+  ?condition:Ast.expr ->
+  target:string ->
+  values:Ast.expr list ->
+  unit ->
+  (trigger_id, string) result
+(** [ON INSERT INTO watch WHEN condition DO INSERT INTO target VALUES
+    (values…)]: after each insert into [watch] whose row satisfies
+    [condition], evaluate [values] over that row and insert into
+    [target]. Chains are bounded (depth 8) so self-referential triggers
+    cannot loop; failing conditions or actions are logged and skipped. *)
+
+val drop_trigger : t -> trigger_id -> bool
+val trigger_count : t -> int
+
+(** {2 Continuous queries} *)
+
+type subscription_id = int
+
+val subscribe :
+  t -> query:Ast.select -> period:float -> callback:(Query.result_set -> unit) ->
+  subscription_id
+(** Re-evaluates every [period] seconds of database time, delivering each
+    result to [callback] (the paper's UDP RPC subscribers). *)
+
+val unsubscribe : t -> subscription_id -> bool
+val subscription_count : t -> int
+
+val tick : t -> unit
+(** Runs all due subscriptions against the current clock. Call once per
+    simulated second (finer is fine; periods are respected). *)
+
+(** {2 Standard-table insert helpers} *)
+
+val flows_schema : Value.schema
+val links_schema : Value.schema
+val leases_schema : Value.schema
+
+val record_flow :
+  t -> proto:int -> src_ip:string -> dst_ip:string -> src_port:int -> dst_port:int ->
+  packets:int -> bytes:int -> unit
+
+val record_link : t -> mac:string -> rssi:int -> retries:int -> packets:int -> unit
+val record_lease : t -> mac:string -> ip:string -> hostname:string -> action:string -> unit

@@ -1,0 +1,109 @@
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Real_lit of float
+  | Str_lit of string
+  | Kw of string
+  | Sym of string
+  | Eof
+
+exception Lex_error of string
+
+let keywords =
+  [
+    "SELECT"; "FROM"; "WHERE"; "GROUP"; "BY"; "HAVING"; "ORDER"; "LIMIT"; "AS"; "AND"; "OR"; "NOT";
+    "RANGE"; "ROWS"; "NOW"; "SECONDS"; "COUNT"; "SUM"; "AVG"; "MIN"; "MAX"; "INSERT"; "INTO";
+    "VALUES"; "CREATE"; "TABLE"; "CAPACITY"; "SUBSCRIBE"; "UNSUBSCRIBE"; "EVERY"; "TRUE";
+    "FALSE"; "ASC"; "DESC"; "ON"; "WHEN"; "DO"; "TRIGGER"; "DROP"; "INTEGER"; "REAL"; "VARCHAR"; "BOOLEAN"; "TIMESTAMP";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit tok = tokens := tok :: !tokens in
+  let rec go i =
+    if i >= n then ()
+    else
+      let c = src.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1)
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident_char src.[!j] do incr j done;
+        let word = String.sub src i (!j - i) in
+        let upper = String.uppercase_ascii word in
+        if List.mem upper keywords then emit (Kw upper) else emit (Ident word);
+        go !j
+      end
+      else if is_digit c then begin
+        let j = ref i in
+        while !j < n && is_digit src.[!j] do incr j done;
+        if
+          (!j < n && src.[!j] = '.' && !j + 1 < n && is_digit src.[!j + 1])
+          || (!j < n && (src.[!j] = 'e' || src.[!j] = 'E'))
+        then begin
+          if !j < n && src.[!j] = '.' then begin
+            incr j;
+            while !j < n && is_digit src.[!j] do incr j done
+          end;
+          if !j < n && (src.[!j] = 'e' || src.[!j] = 'E') then begin
+            incr j;
+            if !j < n && (src.[!j] = '+' || src.[!j] = '-') then incr j;
+            while !j < n && is_digit src.[!j] do incr j done
+          end;
+          let text = String.sub src i (!j - i) in
+          match float_of_string_opt text with
+          | Some f -> emit (Real_lit f); go !j
+          | None -> raise (Lex_error (Printf.sprintf "bad number %S" text))
+        end
+        else begin
+          let text = String.sub src i (!j - i) in
+          match int_of_string_opt text with
+          | Some v -> emit (Int_lit v); go !j
+          | None -> raise (Lex_error (Printf.sprintf "bad integer %S" text))
+        end
+      end
+      else if c = '\'' then begin
+        (* SQL string literal; '' escapes a quote *)
+        let buf = Buffer.create 16 in
+        let rec str j =
+          if j >= n then raise (Lex_error "unterminated string literal")
+          else if src.[j] = '\'' then
+            if j + 1 < n && src.[j + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              str (j + 2)
+            end
+            else j + 1
+          else begin
+            Buffer.add_char buf src.[j];
+            str (j + 1)
+          end
+        in
+        let next = str (i + 1) in
+        emit (Str_lit (Buffer.contents buf));
+        go next
+      end
+      else if c = '<' && i + 1 < n && src.[i + 1] = '>' then begin emit (Sym "<>"); go (i + 2) end
+      else if c = '<' && i + 1 < n && src.[i + 1] = '=' then begin emit (Sym "<="); go (i + 2) end
+      else if c = '>' && i + 1 < n && src.[i + 1] = '=' then begin emit (Sym ">="); go (i + 2) end
+      else if c = '!' && i + 1 < n && src.[i + 1] = '=' then begin emit (Sym "<>"); go (i + 2) end
+      else if String.contains "(),.*=<>+-/%[]" c then begin
+        emit (Sym (String.make 1 c));
+        go (i + 1)
+      end
+      else raise (Lex_error (Printf.sprintf "illegal character %C at offset %d" c i))
+  in
+  go 0;
+  List.rev (Eof :: !tokens)
+
+let token_to_string = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Int_lit i -> Printf.sprintf "integer %d" i
+  | Real_lit f -> Printf.sprintf "real %g" f
+  | Str_lit s -> Printf.sprintf "string %S" s
+  | Kw k -> k
+  | Sym s -> Printf.sprintf "%S" s
+  | Eof -> "end of input"

@@ -1,0 +1,18 @@
+(** Tokeniser for the hwdb query language. Keywords are case-insensitive;
+    identifiers keep their case. *)
+
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Real_lit of float
+  | Str_lit of string
+  | Kw of string       (** uppercased keyword *)
+  | Sym of string      (** punctuation / operator: ( ) , . * = <> <= >= < > + - / % [ ] *)
+  | Eof
+
+exception Lex_error of string
+
+val tokenize : string -> token list
+(** @raise Lex_error on unterminated strings or illegal characters. *)
+
+val token_to_string : token -> string

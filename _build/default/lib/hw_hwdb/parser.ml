@@ -1,0 +1,418 @@
+open Lexer
+
+exception Parse_error of string
+
+type state = { mutable toks : token list }
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let peek st = match st.toks with [] -> Eof | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect_kw st kw =
+  match peek st with
+  | Kw k when k = kw -> advance st
+  | t -> fail "expected %s, found %s" kw (token_to_string t)
+
+let expect_sym st sym =
+  match peek st with
+  | Sym s when s = sym -> advance st
+  | t -> fail "expected %S, found %s" sym (token_to_string t)
+
+let accept_kw st kw =
+  match peek st with
+  | Kw k when k = kw ->
+      advance st;
+      true
+  | _ -> false
+
+let accept_sym st sym =
+  match peek st with
+  | Sym s when s = sym ->
+      advance st;
+      true
+  | _ -> false
+
+let ident st =
+  match peek st with
+  | Ident name ->
+      advance st;
+      name
+  | t -> fail "expected identifier, found %s" (token_to_string t)
+
+let int_lit st =
+  match peek st with
+  | Int_lit v ->
+      advance st;
+      v
+  | t -> fail "expected integer, found %s" (token_to_string t)
+
+let number st =
+  match peek st with
+  | Int_lit v ->
+      advance st;
+      float_of_int v
+  | Real_lit v ->
+      advance st;
+      v
+  | t -> fail "expected number, found %s" (token_to_string t)
+
+(* column ref: ident | ident '.' ident *)
+let column st =
+  let first = ident st in
+  if accept_sym st "." then (Some first, ident st) else (None, first)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions: or > and > not > comparison > additive > multiplicative *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_or st =
+  let lhs = parse_and st in
+  if accept_kw st "OR" then Ast.Binop (Ast.Or, lhs, parse_or st) else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if accept_kw st "AND" then Ast.Binop (Ast.And, lhs, parse_and st) else lhs
+
+and parse_not st =
+  if accept_kw st "NOT" then Ast.Unop (Ast.Not, parse_not st) else parse_cmp st
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match peek st with
+    | Sym "=" -> Some Ast.Eq
+    | Sym "<>" -> Some Ast.Neq
+    | Sym "<" -> Some Ast.Lt
+    | Sym "<=" -> Some Ast.Le
+    | Sym ">" -> Some Ast.Gt
+    | Sym ">=" -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance st;
+      Ast.Binop (op, lhs, parse_add st)
+
+and parse_add st =
+  let rec go lhs =
+    if accept_sym st "+" then go (Ast.Binop (Ast.Add, lhs, parse_mul st))
+    else if accept_sym st "-" then go (Ast.Binop (Ast.Sub, lhs, parse_mul st))
+    else lhs
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go lhs =
+    if accept_sym st "*" then go (Ast.Binop (Ast.Mul, lhs, parse_primary st))
+    else if accept_sym st "/" then go (Ast.Binop (Ast.Div, lhs, parse_primary st))
+    else if accept_sym st "%" then go (Ast.Binop (Ast.Mod, lhs, parse_primary st))
+    else lhs
+  in
+  go (parse_primary st)
+
+and parse_primary st =
+  match peek st with
+  | Sym "(" ->
+      advance st;
+      let e = parse_or st in
+      expect_sym st ")";
+      e
+  | Sym "-" -> (
+      advance st;
+      (* fold negation of a numeric literal into the literal, so printed
+         statements re-parse to the same tree *)
+      match peek st with
+      | Int_lit v ->
+          advance st;
+          Ast.Lit (Value.Int (-v))
+      | Real_lit v ->
+          advance st;
+          Ast.Lit (Value.Real (-.v))
+      | _ -> Ast.Unop (Ast.Neg, parse_primary st))
+  | Int_lit v ->
+      advance st;
+      Ast.Lit (Value.Int v)
+  | Real_lit v ->
+      advance st;
+      Ast.Lit (Value.Real v)
+  | Str_lit s ->
+      advance st;
+      Ast.Lit (Value.Str s)
+  | Kw "TRUE" ->
+      advance st;
+      Ast.Lit (Value.Bool true)
+  | Kw "FALSE" ->
+      advance st;
+      Ast.Lit (Value.Bool false)
+  | Kw "NOT" ->
+      advance st;
+      Ast.Unop (Ast.Not, parse_primary st)
+  | Ident _ ->
+      let q, n = column st in
+      Ast.Col (q, n)
+  | t -> fail "unexpected token in expression: %s" (token_to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* SELECT                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let parse_literal st =
+  match peek st with
+  | Int_lit v ->
+      advance st;
+      Value.Int v
+  | Real_lit v ->
+      advance st;
+      Value.Real v
+  | Str_lit s ->
+      advance st;
+      Value.Str s
+  | Kw "TRUE" ->
+      advance st;
+      Value.Bool true
+  | Kw "FALSE" ->
+      advance st;
+      Value.Bool false
+  | Sym "-" -> (
+      advance st;
+      match peek st with
+      | Int_lit v ->
+          advance st;
+          Value.Int (-v)
+      | Real_lit v ->
+          advance st;
+          Value.Real (-.v)
+      | t -> fail "expected number after '-', found %s" (token_to_string t))
+  | t -> fail "expected literal, found %s" (token_to_string t)
+
+let agg_of_kw = function
+  | "COUNT" -> Some Ast.Count
+  | "SUM" -> Some Ast.Sum
+  | "AVG" -> Some Ast.Avg
+  | "MIN" -> Some Ast.Min
+  | "MAX" -> Some Ast.Max
+  | _ -> None
+
+let parse_sel_item st =
+  match peek st with
+  | Sym "*" ->
+      advance st;
+      Ast.Sel_star
+  | Kw kw when agg_of_kw kw <> None ->
+      let fn = Option.get (agg_of_kw kw) in
+      advance st;
+      expect_sym st "(";
+      let arg =
+        if accept_sym st "*" then None
+        else Some (parse_or st)
+      in
+      expect_sym st ")";
+      let alias = if accept_kw st "AS" then Some (ident st) else None in
+      Ast.Sel_agg (fn, arg, alias)
+  | _ ->
+      let e = parse_or st in
+      let alias = if accept_kw st "AS" then Some (ident st) else None in
+      Ast.Sel_expr (e, alias)
+
+let parse_window st =
+  if accept_sym st "[" then begin
+    let w =
+      if accept_kw st "RANGE" then begin
+        let n = number st in
+        expect_kw st "SECONDS";
+        Ast.W_range_sec n
+      end
+      else if accept_kw st "ROWS" then Ast.W_rows (int_lit st)
+      else if accept_kw st "NOW" then Ast.W_now
+      else fail "expected RANGE, ROWS or NOW in window, found %s" (token_to_string (peek st))
+    in
+    expect_sym st "]";
+    w
+  end
+  else Ast.W_all
+
+let parse_select_body st =
+  expect_kw st "SELECT";
+  let rec items acc =
+    let item = parse_sel_item st in
+    if accept_sym st "," then items (item :: acc) else List.rev (item :: acc)
+  in
+  let items = items [] in
+  expect_kw st "FROM";
+  let table_ref () =
+    let name = ident st in
+    let alias = match peek st with Ident a -> advance st; Some a | _ -> None in
+    (name, alias)
+  in
+  let t1 = table_ref () in
+  let from = if accept_sym st "," then [ t1; table_ref () ] else [ t1 ] in
+  let window = parse_window st in
+  let where = if accept_kw st "WHERE" then Some (parse_or st) else None in
+  let group_by =
+    if accept_kw st "GROUP" then begin
+      expect_kw st "BY";
+      let rec cols acc =
+        let c = column st in
+        if accept_sym st "," then cols (c :: acc) else List.rev (c :: acc)
+      in
+      cols []
+    end
+    else []
+  in
+  let having =
+    if accept_kw st "HAVING" then begin
+      let subject =
+        match peek st with
+        | Kw kw when agg_of_kw kw <> None ->
+            let fn = Option.get (agg_of_kw kw) in
+            advance st;
+            expect_sym st "(";
+            let arg = if accept_sym st "*" then None else Some (parse_or st) in
+            expect_sym st ")";
+            Ast.H_agg (fn, arg)
+        | _ ->
+            let q, n = column st in
+            Ast.H_col (q, n)
+      in
+      let op =
+        match peek st with
+        | Sym "=" -> Ast.Eq
+        | Sym "<>" -> Ast.Neq
+        | Sym "<" -> Ast.Lt
+        | Sym "<=" -> Ast.Le
+        | Sym ">" -> Ast.Gt
+        | Sym ">=" -> Ast.Ge
+        | t -> fail "expected comparison in HAVING, found %s" (token_to_string t)
+      in
+      advance st;
+      Some (subject, op, parse_literal st)
+    end
+    else None
+  in
+  let order_by =
+    if accept_kw st "ORDER" then begin
+      expect_kw st "BY";
+      let c = column st in
+      let dir =
+        if accept_kw st "DESC" then Ast.Desc
+        else begin
+          ignore (accept_kw st "ASC");
+          Ast.Asc
+        end
+      in
+      Some (c, dir)
+    end
+    else None
+  in
+  let limit = if accept_kw st "LIMIT" then Some (int_lit st) else None in
+  { Ast.items; from; window; where; group_by; having; order_by; limit }
+
+(* ------------------------------------------------------------------ *)
+(* Other statements                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let parse_insert st =
+  expect_kw st "INSERT";
+  expect_kw st "INTO";
+  let table = ident st in
+  expect_kw st "VALUES";
+  expect_sym st "(";
+  let rec values acc =
+    let v = parse_literal st in
+    if accept_sym st "," then values (v :: acc) else List.rev (v :: acc)
+  in
+  let values = values [] in
+  expect_sym st ")";
+  Ast.Insert (table, values)
+
+let parse_type st =
+  match peek st with
+  | Kw "INTEGER" ->
+      advance st;
+      Value.T_int
+  | Kw "REAL" ->
+      advance st;
+      Value.T_real
+  | Kw "VARCHAR" ->
+      advance st;
+      Value.T_str
+  | Kw "BOOLEAN" ->
+      advance st;
+      Value.T_bool
+  | Kw "TIMESTAMP" ->
+      advance st;
+      Value.T_ts
+  | t -> fail "expected column type, found %s" (token_to_string t)
+
+let parse_create st =
+  expect_kw st "CREATE";
+  expect_kw st "TABLE";
+  let table = ident st in
+  expect_sym st "(";
+  let rec cols acc =
+    let name = ident st in
+    let ty = parse_type st in
+    if accept_sym st "," then cols ((name, ty) :: acc) else List.rev ((name, ty) :: acc)
+  in
+  let schema = cols [] in
+  expect_sym st ")";
+  let capacity = if accept_kw st "CAPACITY" then Some (int_lit st) else None in
+  Ast.Create { table; schema; capacity }
+
+let parse_stmt st =
+  match peek st with
+  | Kw "SELECT" -> Ast.Select (parse_select_body st)
+  | Kw "INSERT" -> parse_insert st
+  | Kw "CREATE" -> parse_create st
+  | Kw "SUBSCRIBE" ->
+      advance st;
+      let sel = parse_select_body st in
+      expect_kw st "EVERY";
+      let period = number st in
+      expect_kw st "SECONDS";
+      Ast.Subscribe (sel, period)
+  | Kw "UNSUBSCRIBE" ->
+      advance st;
+      Ast.Unsubscribe (int_lit st)
+  | Kw "ON" ->
+      advance st;
+      expect_kw st "INSERT";
+      expect_kw st "INTO";
+      let watch = ident st in
+      let condition = if accept_kw st "WHEN" then Some (parse_or st) else None in
+      expect_kw st "DO";
+      expect_kw st "INSERT";
+      expect_kw st "INTO";
+      let target = ident st in
+      expect_kw st "VALUES";
+      expect_sym st "(";
+      let rec values acc =
+        let v = parse_or st in
+        if accept_sym st "," then values (v :: acc) else List.rev (v :: acc)
+      in
+      let values = values [] in
+      expect_sym st ")";
+      Ast.Trigger { watch; condition; target; values }
+  | Kw "DROP" ->
+      advance st;
+      expect_kw st "TRIGGER";
+      Ast.Drop_trigger (int_lit st)
+  | t -> fail "expected a statement, found %s" (token_to_string t)
+
+let run parse_fn src =
+  match Lexer.tokenize src with
+  | exception Lexer.Lex_error msg -> Error msg
+  | toks -> (
+      let st = { toks } in
+      match parse_fn st with
+      | result -> (
+          match peek st with
+          | Eof -> Ok result
+          | t -> Error (Printf.sprintf "trailing input: %s" (token_to_string t)))
+      | exception Parse_error msg -> Error msg)
+
+let parse src = run parse_stmt src
+let parse_select src = run parse_select_body src

@@ -1,0 +1,15 @@
+(** Recursive-descent parser for the hwdb query language.
+
+    Grammar sketch:
+    {v
+    stmt    := select | insert | create | subscribe | UNSUBSCRIBE int
+    select  := SELECT items FROM table [alias] (, table [alias])?
+               [ '[' (RANGE num SECONDS | ROWS int | NOW) ']' ]
+               [WHERE expr] [GROUP BY cols] [ORDER BY col [ASC|DESC]] [LIMIT int]
+    insert  := INSERT INTO table VALUES '(' literal, ... ')'
+    create  := CREATE TABLE name '(' col type, ... ')' [CAPACITY int]
+    subscribe := SUBSCRIBE select EVERY num SECONDS
+    v} *)
+
+val parse : string -> (Ast.stmt, string) result
+val parse_select : string -> (Ast.select, string) result

@@ -1,0 +1,73 @@
+open Hw_util
+
+type status = Pending | Active of int | Failed of string
+
+type t = {
+  now : unit -> float;
+  client : Rpc.Client.t;
+  snapshots : (float * Query.result_set) Ring.t;
+  mutable state : status;
+  mutable stopped : bool;
+}
+
+let attach ?(max_snapshots = 1024) ~now ~client ~statement () =
+  let t =
+    {
+      now;
+      client;
+      snapshots = Ring.create ~capacity:max_snapshots;
+      state = Pending;
+      stopped = false;
+    }
+  in
+  Rpc.Client.on_publish client (fun ~subscription rs ->
+      let mine =
+        match t.state with Active id -> id = subscription | Pending | Failed _ -> false
+      in
+      if mine && not t.stopped then Ring.push t.snapshots (t.now (), rs));
+  Rpc.Client.request client statement ~on_reply:(fun reply ->
+      t.state <-
+        (match reply with
+        | Ok (Some { Query.rows = [ [ Value.Int id ] ]; _ }) -> Active id
+        | Ok _ -> Failed "statement was not a SUBSCRIBE"
+        | Error msg -> Failed msg));
+  t
+
+let status t = t.state
+let snapshot_count t = Ring.length t.snapshots
+let last t = Ring.peek_newest t.snapshots
+
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  (match Ring.peek_oldest t.snapshots with
+  | Some (_, rs) ->
+      Buffer.add_string buf
+        (String.concat "," ("time" :: List.map csv_field rs.Query.columns));
+      Buffer.add_char buf '\n'
+  | None -> ());
+  Ring.iter
+    (fun (ts, rs) ->
+      List.iter
+        (fun row ->
+          Buffer.add_string buf
+            (String.concat ","
+               (Printf.sprintf "%.3f" ts
+               :: List.map (fun v -> csv_field (Value.to_string v)) row));
+          Buffer.add_char buf '\n')
+        rs.Query.rows)
+    t.snapshots;
+  Buffer.contents buf
+
+let detach t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    match t.state with
+    | Active id ->
+        Rpc.Client.request t.client (Printf.sprintf "UNSUBSCRIBE %d" id) ~on_reply:(fun _ -> ())
+    | Pending | Failed _ -> ()
+  end

@@ -1,0 +1,38 @@
+(** Client-side persistence for continuous queries.
+
+    The paper: applications "subscribe to query results, persisting output
+    as desired". A recorder owns one SUBSCRIBE over an {!Rpc.Client},
+    stamps every publication with the receive time and accumulates them
+    (bounded), exporting CSV — what the Homework project's logging
+    satellites did with the measurement stream. *)
+
+type t
+
+type status =
+  | Pending            (** subscribe sent, no reply processed yet *)
+  | Active of int      (** subscription id *)
+  | Failed of string
+
+val attach :
+  ?max_snapshots:int ->
+  now:(unit -> float) ->
+  client:Rpc.Client.t ->
+  statement:string ->
+  unit ->
+  t
+(** Sends [statement] (which must be a [SUBSCRIBE …]) and records its
+    publications. Default [max_snapshots] 1024; the oldest snapshots drop
+    beyond that, like every hwdb buffer. Pump the transport to move the
+    recorder out of [Pending]. *)
+
+val status : t -> status
+val snapshot_count : t -> int
+val last : t -> (float * Query.result_set) option
+
+val to_csv : t -> string
+(** Header [time, col1, col2, …] from the first snapshot, then one line
+    per row of every snapshot, each stamped with its receive time.
+    Fields containing commas, quotes or newlines are quoted. *)
+
+val detach : t -> unit
+(** Sends UNSUBSCRIBE (when the id is known) and stops recording. *)

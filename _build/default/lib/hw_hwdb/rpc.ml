@@ -1,0 +1,227 @@
+open Hw_util
+
+let magic = 0x4877 (* "Hw" *)
+let version = 1
+
+type message =
+  | Request of { seq : int32; statement : string }
+  | Response_ok of { seq : int32; result : Query.result_set option }
+  | Response_error of { seq : int32; message : string }
+  | Publish of { subscription : int; result : Query.result_set }
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let write_string w s =
+  Wire.Writer.u16 w (String.length s);
+  Wire.Writer.string w s
+
+let read_string r ~field =
+  let len = Wire.Reader.u16 r ~field in
+  Wire.Reader.bytes r ~field len
+
+let write_value w v =
+  match v with
+  | Value.Int i ->
+      Wire.Writer.u8 w 1;
+      Wire.Writer.u64 w (Int64.of_int i)
+  | Value.Real f ->
+      Wire.Writer.u8 w 2;
+      Wire.Writer.u64 w (Int64.bits_of_float f)
+  | Value.Str s ->
+      Wire.Writer.u8 w 3;
+      write_string w s
+  | Value.Bool b ->
+      Wire.Writer.u8 w 4;
+      Wire.Writer.u8 w (if b then 1 else 0)
+  | Value.Ts ts ->
+      Wire.Writer.u8 w 5;
+      Wire.Writer.u64 w (Int64.bits_of_float ts)
+
+let read_value r =
+  match Wire.Reader.u8 r ~field:"rpc.value.tag" with
+  | 1 -> Value.Int (Int64.to_int (Wire.Reader.u64 r ~field:"rpc.value.int"))
+  | 2 -> Value.Real (Int64.float_of_bits (Wire.Reader.u64 r ~field:"rpc.value.real"))
+  | 3 -> Value.Str (read_string r ~field:"rpc.value.str")
+  | 4 -> Value.Bool (Wire.Reader.u8 r ~field:"rpc.value.bool" <> 0)
+  | 5 -> Value.Ts (Int64.float_of_bits (Wire.Reader.u64 r ~field:"rpc.value.ts"))
+  | n -> raise (Wire.Truncated (Printf.sprintf "rpc.value: unknown tag %d" n))
+
+let write_result_set w (rs : Query.result_set) =
+  Wire.Writer.u16 w (List.length rs.Query.columns);
+  List.iter (write_string w) rs.Query.columns;
+  Wire.Writer.u32_int w (List.length rs.Query.rows);
+  List.iter (fun row -> List.iter (write_value w) row) rs.Query.rows
+
+let read_result_set r =
+  let ncols = Wire.Reader.u16 r ~field:"rpc.result.ncols" in
+  let columns = List.init ncols (fun _ -> read_string r ~field:"rpc.result.col") in
+  let nrows = Wire.Reader.u32_int r ~field:"rpc.result.nrows" in
+  let rows = List.init nrows (fun _ -> List.init ncols (fun _ -> read_value r)) in
+  { Query.columns; rows }
+
+let encode msg =
+  let w = Wire.Writer.create ~initial_capacity:128 () in
+  Wire.Writer.u16 w magic;
+  Wire.Writer.u8 w version;
+  (match msg with
+  | Request { seq; statement } ->
+      Wire.Writer.u8 w 1;
+      Wire.Writer.u32 w seq;
+      write_string w statement
+  | Response_ok { seq; result } ->
+      Wire.Writer.u8 w 2;
+      Wire.Writer.u32 w seq;
+      (match result with
+      | None -> Wire.Writer.u8 w 0
+      | Some rs ->
+          Wire.Writer.u8 w 1;
+          write_result_set w rs)
+  | Response_error { seq; message } ->
+      Wire.Writer.u8 w 3;
+      Wire.Writer.u32 w seq;
+      write_string w message
+  | Publish { subscription; result } ->
+      Wire.Writer.u8 w 4;
+      Wire.Writer.u32_int w subscription;
+      write_result_set w result);
+  Wire.Writer.contents w
+
+let decode buf =
+  try
+    let r = Wire.Reader.of_string buf in
+    let m = Wire.Reader.u16 r ~field:"rpc.magic" in
+    let v = Wire.Reader.u8 r ~field:"rpc.version" in
+    if m <> magic then Error "rpc: bad magic"
+    else if v <> version then Error (Printf.sprintf "rpc: unsupported version %d" v)
+    else
+      match Wire.Reader.u8 r ~field:"rpc.type" with
+      | 1 ->
+          let seq = Wire.Reader.u32 r ~field:"rpc.seq" in
+          Ok (Request { seq; statement = read_string r ~field:"rpc.statement" })
+      | 2 ->
+          let seq = Wire.Reader.u32 r ~field:"rpc.seq" in
+          let has_result = Wire.Reader.u8 r ~field:"rpc.has_result" <> 0 in
+          let result = if has_result then Some (read_result_set r) else None in
+          Ok (Response_ok { seq; result })
+      | 3 ->
+          let seq = Wire.Reader.u32 r ~field:"rpc.seq" in
+          Ok (Response_error { seq; message = read_string r ~field:"rpc.error" })
+      | 4 ->
+          let subscription = Wire.Reader.u32_int r ~field:"rpc.sub" in
+          Ok (Publish { subscription; result = read_result_set r })
+      | n -> Error (Printf.sprintf "rpc: unknown message type %d" n)
+  with Wire.Truncated f -> Error (Printf.sprintf "rpc: truncated at %s" f)
+
+(* ------------------------------------------------------------------ *)
+(* Server                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Server = struct
+  let log_src = Logs.Src.create "hw.hwdb.rpc" ~doc:"hwdb RPC server"
+
+  module Log = (val Logs.src_log log_src : Logs.LOG)
+
+  type t = {
+    db : Database.t;
+    send : to_:string -> string -> unit;
+    mutable client_subs : (string * int) list; (* address, subscription id *)
+  }
+
+  let create ~db ~send = { db; send; client_subs = [] }
+
+  let subscriber_count t = List.length t.client_subs
+
+  let handle_request t ~from seq statement =
+    match Parser.parse statement with
+    | Error msg -> t.send ~to_:from (encode (Response_error { seq; message = msg }))
+    | Ok (Ast.Subscribe (sel, period)) when period > 0. ->
+        let sub_id = ref 0 in
+        let callback result =
+          t.send ~to_:from (encode (Publish { subscription = !sub_id; result }))
+        in
+        let id = Database.subscribe t.db ~query:sel ~period ~callback in
+        sub_id := id;
+        t.client_subs <- (from, id) :: t.client_subs;
+        t.send ~to_:from
+          (encode
+             (Response_ok
+                {
+                  seq;
+                  result =
+                    Some
+                      {
+                        Query.columns = [ "subscription_id" ];
+                        rows = [ [ Value.Int id ] ];
+                      };
+                }))
+    | Ok (Ast.Unsubscribe id) ->
+        if Database.unsubscribe t.db id then begin
+          t.client_subs <- List.filter (fun (_, i) -> i <> id) t.client_subs;
+          t.send ~to_:from (encode (Response_ok { seq; result = None }))
+        end
+        else
+          t.send ~to_:from
+            (encode
+               (Response_error { seq; message = Printf.sprintf "no subscription %d" id }))
+    | Ok _ -> (
+        match Database.execute t.db statement with
+        | Ok result -> t.send ~to_:from (encode (Response_ok { seq; result }))
+        | Error message -> t.send ~to_:from (encode (Response_error { seq; message })))
+
+  let handle_datagram t ~from data =
+    match decode data with
+    | Ok (Request { seq; statement }) -> handle_request t ~from seq statement
+    | Ok _ -> Log.debug (fun m -> m "non-request datagram from %s dropped" from)
+    | Error msg -> Log.debug (fun m -> m "malformed datagram from %s: %s" from msg)
+
+  let drop_client t addr =
+    let mine, others = List.partition (fun (a, _) -> String.equal a addr) t.client_subs in
+    List.iter (fun (_, id) -> ignore (Database.unsubscribe t.db id)) mine;
+    t.client_subs <- others;
+    List.length mine
+end
+
+(* ------------------------------------------------------------------ *)
+(* Client                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Client = struct
+  type t = {
+    send : string -> unit;
+    mutable next_seq : int32;
+    pending : (int32, (Query.result_set option, string) result -> unit) Hashtbl.t;
+    mutable publish_handlers : (subscription:int -> Query.result_set -> unit) list;
+  }
+
+  let create ~send = { send; next_seq = 1l; pending = Hashtbl.create 8; publish_handlers = [] }
+
+  let request t statement ~on_reply =
+    let seq = t.next_seq in
+    t.next_seq <- Int32.add seq 1l;
+    Hashtbl.replace t.pending seq on_reply;
+    t.send (encode (Request { seq; statement }))
+
+  let on_publish t f = t.publish_handlers <- t.publish_handlers @ [ f ]
+
+  let handle_datagram t data =
+    match decode data with
+    | Ok (Response_ok { seq; result }) -> (
+        match Hashtbl.find_opt t.pending seq with
+        | Some k ->
+            Hashtbl.remove t.pending seq;
+            k (Ok result)
+        | None -> ())
+    | Ok (Response_error { seq; message }) -> (
+        match Hashtbl.find_opt t.pending seq with
+        | Some k ->
+            Hashtbl.remove t.pending seq;
+            k (Error message)
+        | None -> ())
+    | Ok (Publish { subscription; result }) ->
+        List.iter (fun f -> f ~subscription result) t.publish_handlers
+    | Ok (Request _) | Error _ -> ()
+
+  let pending_count t = Hashtbl.length t.pending
+end

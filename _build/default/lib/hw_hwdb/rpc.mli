@@ -1,0 +1,55 @@
+(** The hwdb UDP RPC interface.
+
+    One request or response per datagram, binary-framed. Applications send
+    query statements; SUBSCRIBE statements register the sender as a
+    continuous-query subscriber and results are pushed back in PUBLISH
+    datagrams — exactly the usage pattern of the paper's visualisation
+    interfaces. Addresses are opaque strings ("host:port" in the
+    simulation). *)
+
+type message =
+  | Request of { seq : int32; statement : string }
+  | Response_ok of { seq : int32; result : Query.result_set option }
+  | Response_error of { seq : int32; message : string }
+  | Publish of { subscription : int; result : Query.result_set }
+
+val encode : message -> string
+val decode : string -> (message, string) result
+
+module Server : sig
+  type t
+
+  val create : db:Database.t -> send:(to_:string -> string -> unit) -> t
+  (** [send] transmits a datagram to a client address. *)
+
+  val handle_datagram : t -> from:string -> string -> unit
+  (** Processes one request datagram and replies via [send]. SUBSCRIBE
+      statements attach the requester as a publish target. A malformed
+      datagram is dropped (UDP semantics), a well-formed request with a bad
+      statement gets a [Response_error]. *)
+
+  val subscriber_count : t -> int
+
+  val drop_client : t -> string -> int
+  (** Cancels all subscriptions held by an address; returns how many. *)
+end
+
+module Client : sig
+  (** Client-side helper that correlates responses by sequence number. *)
+
+  type t
+
+  val create : send:(string -> unit) -> t
+  (** [send] transmits a datagram to the server. *)
+
+  val request :
+    t -> string ->
+    on_reply:((Query.result_set option, string) result -> unit) -> unit
+
+  val on_publish : t -> (subscription:int -> Query.result_set -> unit) -> unit
+
+  val handle_datagram : t -> string -> unit
+  (** Feed datagrams arriving from the server. *)
+
+  val pending_count : t -> int
+end

@@ -1,0 +1,42 @@
+open Hw_util
+
+type t = {
+  name : string;
+  schema : Value.schema;
+  ring : Value.tuple Ring.t;
+  mutable triggers : (Value.tuple -> unit) list;
+}
+
+let create ~name ~capacity schema =
+  { name; schema; ring = Ring.create ~capacity; triggers = [] }
+
+let name t = t.name
+let schema t = t.schema
+let capacity t = Ring.capacity t.ring
+let length t = Ring.length t.ring
+let total_inserted t = Ring.total_pushed t.ring
+
+let insert t ~now values =
+  match Value.validate t.schema values with
+  | Error _ as e -> e
+  | Ok () ->
+      let tuple = { Value.ts = now; values = Array.of_list values } in
+      Ring.push t.ring tuple;
+      List.iter (fun trigger -> trigger tuple) t.triggers;
+      Ok ()
+
+let scan t = Ring.to_list t.ring
+
+let scan_window t = function
+  | `All -> scan t
+  | `Last_seconds (range, now) ->
+      Ring.filter (fun tu -> tu.Value.ts > now -. range) t.ring
+  | `Last_rows n ->
+      let len = Ring.length t.ring in
+      let skip = max 0 (len - n) in
+      List.filteri (fun i _ -> i >= skip) (scan t)
+  | `Now now -> Ring.filter (fun tu -> tu.Value.ts = now) t.ring
+
+let on_insert t trigger = t.triggers <- t.triggers @ [ trigger ]
+
+let clear t = Ring.clear t.ring

@@ -1,0 +1,30 @@
+(** One hwdb table: a schema over a fixed-size ring of timestamped tuples.
+
+    This is the paper's "active ephemeral stream database ... stores
+    ephemeral events into a fixed size memory buffer". *)
+
+type t
+
+val create : name:string -> capacity:int -> Value.schema -> t
+val name : t -> string
+val schema : t -> Value.schema
+val capacity : t -> int
+val length : t -> int
+val total_inserted : t -> int
+
+val insert : t -> now:float -> Value.t list -> (unit, string) result
+(** Appends a row stamped [now]; evicts the oldest row when full. *)
+
+val scan : t -> Value.tuple list
+(** All live rows, oldest first. *)
+
+val scan_window : t -> [ `All | `Last_seconds of float * float | `Last_rows of int | `Now of float ]
+  -> Value.tuple list
+(** [`Last_seconds (range, now)] keeps rows with [ts > now -. range];
+    [`Now now] keeps rows stamped exactly at the current instant. *)
+
+val on_insert : t -> (Value.tuple -> unit) -> unit
+(** Registers a trigger fired after each successful insert (the "active"
+    part of the database: UI subscriptions piggyback on these). *)
+
+val clear : t -> unit

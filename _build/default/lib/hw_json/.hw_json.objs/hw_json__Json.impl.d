@@ -1,0 +1,1 @@
+lib/hw_json/json.ml: Buffer Char Float Format List Printf String

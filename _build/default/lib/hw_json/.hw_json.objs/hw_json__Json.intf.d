@@ -1,0 +1,1 @@
+lib/hw_json/json.mli: Format

@@ -1,0 +1,330 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> escape_string buf s
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_string buf k;
+          Buffer.add_char buf ':';
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  write buf t;
+  Buffer.contents buf
+
+let rec write_pretty buf indent = function
+  | (Null | Bool _ | Int _ | Float _ | String _) as v -> write buf v
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_string buf "[\n";
+      let pad = String.make (indent + 2) ' ' in
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf pad;
+          write_pretty buf (indent + 2) x)
+        items;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make indent ' ');
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_string buf "{\n";
+      let pad = String.make (indent + 2) ' ' in
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf pad;
+          escape_string buf k;
+          Buffer.add_string buf ": ";
+          write_pretty buf (indent + 2) v)
+        fields;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make indent ' ');
+      Buffer.add_char buf '}'
+
+let to_string_pretty t =
+  let buf = Buffer.create 256 in
+  write_pretty buf 0 t;
+  Buffer.contents buf
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type parser_state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> fail "expected '%c' at offset %d, found '%c'" c st.pos c'
+  | None -> fail "expected '%c' at offset %d, found end of input" c st.pos
+
+let parse_literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail "invalid literal at offset %d" st.pos
+
+let parse_hex4 st =
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    (match peek st with
+    | Some c ->
+        let d =
+          match c with
+          | '0' .. '9' -> Char.code c - Char.code '0'
+          | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+          | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+          | _ -> fail "invalid \\u escape at offset %d" st.pos
+        in
+        v := (!v * 16) + d
+    | None -> fail "truncated \\u escape");
+    advance st
+  done;
+  !v
+
+let utf8_of_code buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+  end
+
+let parse_string_body st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' ->
+        advance st;
+        (match peek st with
+        | None -> fail "unterminated escape"
+        | Some c ->
+            advance st;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'u' -> utf8_of_code buf (parse_hex4 st)
+            | c -> fail "invalid escape '\\%c'" c));
+        loop ()
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_float = ref false in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some ('0' .. '9' | '-' | '+') -> advance st
+    | Some ('.' | 'e' | 'E') ->
+        is_float := true;
+        advance st
+    | _ -> continue := false
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail "invalid number %S" text
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail "invalid number %S" text)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail "unexpected end of input"
+  | Some 'n' -> parse_literal st "null" Null
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some '"' -> String (parse_string_body st)
+  | Some '[' -> parse_list st
+  | Some '{' -> parse_obj st
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail "unexpected character '%c' at offset %d" c st.pos
+
+and parse_list st =
+  expect st '[';
+  skip_ws st;
+  match peek st with
+  | Some ']' ->
+      advance st;
+      List []
+  | _ ->
+      let rec loop acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+            advance st;
+            loop (v :: acc)
+        | Some ']' ->
+            advance st;
+            List (List.rev (v :: acc))
+        | _ -> fail "expected ',' or ']' at offset %d" st.pos
+      in
+      loop []
+
+and parse_obj st =
+  expect st '{';
+  skip_ws st;
+  match peek st with
+  | Some '}' ->
+      advance st;
+      Obj []
+  | _ ->
+      let rec loop acc =
+        skip_ws st;
+        let k = parse_string_body st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+            advance st;
+            loop ((k, v) :: acc)
+        | Some '}' ->
+            advance st;
+            Obj (List.rev ((k, v) :: acc))
+        | _ -> fail "expected ',' or '}' at offset %d" st.pos
+      in
+      loop []
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail "trailing garbage at offset %d" st.pos;
+  v
+
+let of_string_opt s = try Some (of_string s) with Parse_error _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let member_opt k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let member k t =
+  match t with
+  | Obj fields -> (
+      match List.assoc_opt k fields with
+      | Some v -> v
+      | None -> fail "missing member %S" k)
+  | _ -> fail "member %S: not an object" k
+
+let to_int = function Int i -> i | _ -> fail "expected int"
+let to_float = function Float f -> f | Int i -> float_of_int i | _ -> fail "expected number"
+let to_bool = function Bool b -> b | _ -> fail "expected bool"
+let get_string = function String s -> s | _ -> fail "expected string"
+let get_list = function List l -> l | _ -> fail "expected list"
+let get_obj = function Obj o -> o | _ -> fail "expected object"
+
+let rec equal a b =
+  match a, b with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | String x, String y -> String.equal x y
+  | List x, List y -> List.length x = List.length y && List.for_all2 equal x y
+  | Obj x, Obj y ->
+      List.length x = List.length y
+      && List.for_all2 (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && equal v1 v2) x y
+  | (Null | Bool _ | Int _ | Float _ | String _ | List _ | Obj _), _ -> false

@@ -1,0 +1,48 @@
+(** Minimal JSON implementation (the sealed container has no yojson).
+
+    Supports the full JSON grammar except that numbers are represented as
+    either [Int] or [Float] depending on their lexical form. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Compact single-line rendering. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering. *)
+
+val of_string : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val of_string_opt : string -> t option
+
+(** Accessors: all raise [Parse_error] with a descriptive message when the
+    shape does not match. *)
+
+val member : string -> t -> t
+(** [member k (Obj ...)] is the value bound to [k].
+    @raise Parse_error if missing or not an object. *)
+
+val member_opt : string -> t -> t option
+val to_int : t -> int
+val to_float : t -> float
+(** Accepts both [Int] and [Float]. *)
+
+val to_bool : t -> bool
+val get_string : t -> string
+val get_list : t -> t list
+val get_obj : t -> (string * t) list
+
+val equal : t -> t -> bool
+(** Structural equality; object field order is significant. *)
+
+val pp : Format.formatter -> t -> unit

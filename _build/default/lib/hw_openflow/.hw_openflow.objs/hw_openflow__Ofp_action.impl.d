@@ -1,0 +1,1 @@
+lib/hw_openflow/ofp_action.ml: Format Hw_packet Hw_util Int32 Ip List Mac Printf Wire

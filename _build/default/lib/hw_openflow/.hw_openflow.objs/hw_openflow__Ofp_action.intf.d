@@ -1,0 +1,1 @@
+lib/hw_openflow/ofp_action.mli: Format Hw_packet Hw_util Ip Mac

@@ -1,0 +1,1 @@
+lib/hw_openflow/ofp_match.ml: Arp Ethernet Format Hw_packet Hw_util Icmp Ip Ipv4 List Mac Option Packet Printf String Tcp Udp Wire

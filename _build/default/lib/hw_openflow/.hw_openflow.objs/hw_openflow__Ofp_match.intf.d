@@ -1,0 +1,1 @@
+lib/hw_openflow/ofp_match.mli: Format Hw_packet Hw_util Ip Mac Packet

@@ -1,0 +1,1 @@
+lib/hw_openflow/ofp_message.ml: Char Format Hw_packet Hw_util Int32 List Mac Ofp_action Ofp_match Option Printf Result String Wire

@@ -1,0 +1,1 @@
+lib/hw_openflow/ofp_message.mli: Format Hw_packet Mac Ofp_action Ofp_match

@@ -1,0 +1,63 @@
+(** OpenFlow 1.0 flow match structure (ofp_match, 40 bytes on the wire).
+
+    [None] in a field means wildcarded. [nw_src]/[nw_dst] carry a prefix
+    length in [0, 32]; 0 bits is equivalent to a full wildcard. *)
+
+open Hw_packet
+
+type t = {
+  in_port : int option;
+  dl_src : Mac.t option;
+  dl_dst : Mac.t option;
+  dl_vlan : int option;
+  dl_vlan_pcp : int option;
+  dl_type : int option;
+  nw_tos : int option;
+  nw_proto : int option;
+  nw_src : (Ip.t * int) option;
+  nw_dst : (Ip.t * int) option;
+  tp_src : int option;
+  tp_dst : int option;
+}
+
+val wildcard_all : t
+(** Matches every packet. *)
+
+(** The concrete header values of one packet, as seen by the datapath. *)
+type fields = {
+  f_in_port : int;
+  f_dl_src : Mac.t;
+  f_dl_dst : Mac.t;
+  f_dl_vlan : int;  (** 0xffff when untagged, per OF 1.0 *)
+  f_dl_vlan_pcp : int;
+  f_dl_type : int;
+  f_nw_tos : int;
+  f_nw_proto : int;
+  f_nw_src : Ip.t;
+  f_nw_dst : Ip.t;
+  f_tp_src : int;
+  f_tp_dst : int;
+}
+
+val fields_of_packet : in_port:int -> Packet.t -> fields
+(** For ARP, [f_nw_proto] carries the ARP opcode and nw_src/nw_dst the
+    protocol addresses, as OF 1.0 specifies. *)
+
+val exact_of_fields : fields -> t
+(** The fully-specified match for one packet (used for reactive flow-mods). *)
+
+val matches : t -> fields -> bool
+
+val subsumes : general:t -> specific:t -> bool
+(** [subsumes ~general ~specific] is true when every packet matched by
+    [specific] is also matched by [general]. Used for OFPFC_DELETE
+    semantics. *)
+
+val equal : t -> t -> bool
+val encode : Hw_util.Wire.Writer.t -> t -> unit
+val decode : Hw_util.Wire.Reader.t -> t
+val size : int
+(** 40 bytes. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/hw_packet/arp.ml: Format Hw_util Ip Mac Printf Wire

@@ -1,0 +1,1 @@
+lib/hw_packet/arp.mli: Format Ip Mac

@@ -1,0 +1,1 @@
+lib/hw_packet/dhcp_wire.ml: Char Format Hw_util Int32 Ip List Mac Printf String Wire

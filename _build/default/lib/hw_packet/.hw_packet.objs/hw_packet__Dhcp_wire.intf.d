@@ -1,0 +1,1 @@
+lib/hw_packet/dhcp_wire.mli: Format Ip Mac

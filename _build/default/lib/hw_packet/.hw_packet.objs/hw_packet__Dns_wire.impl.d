@@ -1,0 +1,1 @@
+lib/hw_packet/dns_wire.ml: Char Format Hw_util Int32 Ip List Printf String Wire

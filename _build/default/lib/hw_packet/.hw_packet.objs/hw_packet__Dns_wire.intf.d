@@ -1,0 +1,1 @@
+lib/hw_packet/dns_wire.mli: Format Ip

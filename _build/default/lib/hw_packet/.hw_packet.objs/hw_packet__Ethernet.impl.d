@@ -1,0 +1,1 @@
+lib/hw_packet/ethernet.ml: Format Hw_util Mac Printf String Wire

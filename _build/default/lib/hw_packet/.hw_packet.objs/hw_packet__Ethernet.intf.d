@@ -1,0 +1,1 @@
+lib/hw_packet/ethernet.mli: Format Mac

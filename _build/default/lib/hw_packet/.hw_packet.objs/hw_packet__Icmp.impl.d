@@ -1,0 +1,1 @@
+lib/hw_packet/icmp.ml: Format Hw_util Int32 Printf String Wire

@@ -1,0 +1,1 @@
+lib/hw_packet/icmp.mli: Format

@@ -1,0 +1,1 @@
+lib/hw_packet/ip.ml: Format Hashtbl Int32 Int64 Printf String

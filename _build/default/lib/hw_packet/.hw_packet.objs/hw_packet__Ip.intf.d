@@ -1,0 +1,1 @@
+lib/hw_packet/ip.mli: Format

@@ -1,0 +1,1 @@
+lib/hw_packet/ipv4.ml: Format Hw_util Ip Printf String Wire

@@ -1,0 +1,1 @@
+lib/hw_packet/ipv4.mli: Format Ip

@@ -1,0 +1,1 @@
+lib/hw_packet/mac.ml: Char Format Hashtbl Int64 List Printf String

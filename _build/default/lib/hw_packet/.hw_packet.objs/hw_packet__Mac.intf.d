@@ -1,0 +1,1 @@
+lib/hw_packet/mac.mli: Format

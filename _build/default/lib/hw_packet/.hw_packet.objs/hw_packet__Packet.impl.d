@@ -1,0 +1,1 @@
+lib/hw_packet/packet.ml: Arp Dhcp_wire Dns_wire Ethernet Format Icmp Ip Ipv4 Mac Result String Tcp Udp

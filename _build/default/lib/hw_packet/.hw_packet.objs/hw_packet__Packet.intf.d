@@ -1,0 +1,1 @@
+lib/hw_packet/packet.mli: Arp Dhcp_wire Dns_wire Ethernet Format Icmp Ip Ipv4 Mac Tcp Udp

@@ -1,0 +1,1 @@
+lib/hw_packet/tcp.ml: Format Hw_util Printf String Wire

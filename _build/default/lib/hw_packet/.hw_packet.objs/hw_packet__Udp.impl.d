@@ -1,0 +1,1 @@
+lib/hw_packet/udp.ml: Format Hw_util Printf String Wire

@@ -1,0 +1,1 @@
+lib/hw_packet/udp.mli: Format

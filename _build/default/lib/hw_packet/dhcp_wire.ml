@@ -1,0 +1,294 @@
+open Hw_util
+
+type message_type =
+  | Discover
+  | Offer
+  | Request
+  | Decline
+  | Ack
+  | Nak
+  | Release
+  | Inform
+
+let message_type_to_string = function
+  | Discover -> "DISCOVER"
+  | Offer -> "OFFER"
+  | Request -> "REQUEST"
+  | Decline -> "DECLINE"
+  | Ack -> "ACK"
+  | Nak -> "NAK"
+  | Release -> "RELEASE"
+  | Inform -> "INFORM"
+
+let message_type_code = function
+  | Discover -> 1
+  | Offer -> 2
+  | Request -> 3
+  | Decline -> 4
+  | Ack -> 5
+  | Nak -> 6
+  | Release -> 7
+  | Inform -> 8
+
+let message_type_of_code = function
+  | 1 -> Some Discover
+  | 2 -> Some Offer
+  | 3 -> Some Request
+  | 4 -> Some Decline
+  | 5 -> Some Ack
+  | 6 -> Some Nak
+  | 7 -> Some Release
+  | 8 -> Some Inform
+  | _ -> None
+
+type option_field =
+  | Subnet_mask of Ip.t
+  | Router of Ip.t list
+  | Dns_servers of Ip.t list
+  | Hostname of string
+  | Requested_ip of Ip.t
+  | Lease_time of int32
+  | Message_type of message_type
+  | Server_id of Ip.t
+  | Param_request_list of int list
+  | Message of string
+  | Renewal_time of int32
+  | Rebinding_time of int32
+  | Client_id of string
+  | Unknown of int * string
+
+type op = Bootrequest | Bootreply
+
+type t = {
+  op : op;
+  xid : int32;
+  secs : int;
+  broadcast : bool;
+  ciaddr : Ip.t;
+  yiaddr : Ip.t;
+  siaddr : Ip.t;
+  giaddr : Ip.t;
+  chaddr : Mac.t;
+  sname : string;
+  file : string;
+  options : option_field list;
+}
+
+let server_port = 67
+let client_port = 68
+let magic_cookie = 0x63825363l
+
+let make_request ?(options = []) ~xid ~chaddr mt =
+  {
+    op = Bootrequest;
+    xid;
+    secs = 0;
+    broadcast = true;
+    ciaddr = Ip.any;
+    yiaddr = Ip.any;
+    siaddr = Ip.any;
+    giaddr = Ip.any;
+    chaddr;
+    sname = "";
+    file = "";
+    options = Message_type mt :: options;
+  }
+
+let make_reply ?(options = []) ~xid ~chaddr ~yiaddr ~siaddr mt =
+  {
+    op = Bootreply;
+    xid;
+    secs = 0;
+    broadcast = true;
+    ciaddr = Ip.any;
+    yiaddr;
+    siaddr;
+    giaddr = Ip.any;
+    chaddr;
+    sname = "";
+    file = "";
+    options = Message_type mt :: options;
+  }
+
+let find_map_options t f = List.find_map f t.options
+
+let find_message_type t =
+  find_map_options t (function Message_type m -> Some m | _ -> None)
+
+let find_requested_ip t =
+  find_map_options t (function Requested_ip ip -> Some ip | _ -> None)
+
+let find_server_id t = find_map_options t (function Server_id ip -> Some ip | _ -> None)
+let find_hostname t = find_map_options t (function Hostname h -> Some h | _ -> None)
+let find_lease_time t = find_map_options t (function Lease_time s -> Some s | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Options codec                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let encode_ip_list ips =
+  let w = Wire.Writer.create ~initial_capacity:(4 * List.length ips) () in
+  List.iter (fun ip -> Wire.Writer.u32 w (Ip.to_int32 ip)) ips;
+  Wire.Writer.contents w
+
+let encode_u32 v =
+  let w = Wire.Writer.create ~initial_capacity:4 () in
+  Wire.Writer.u32 w v;
+  Wire.Writer.contents w
+
+let option_code_and_body = function
+  | Subnet_mask ip -> (1, encode_ip_list [ ip ])
+  | Router ips -> (3, encode_ip_list ips)
+  | Dns_servers ips -> (6, encode_ip_list ips)
+  | Hostname h -> (12, h)
+  | Requested_ip ip -> (50, encode_ip_list [ ip ])
+  | Lease_time secs -> (51, encode_u32 secs)
+  | Message_type mt -> (53, String.make 1 (Char.chr (message_type_code mt)))
+  | Server_id ip -> (54, encode_ip_list [ ip ])
+  | Param_request_list codes ->
+      (55, String.init (List.length codes) (fun i -> Char.chr (List.nth codes i land 0xff)))
+  | Message m -> (56, m)
+  | Renewal_time secs -> (58, encode_u32 secs)
+  | Rebinding_time secs -> (59, encode_u32 secs)
+  | Client_id id -> (61, id)
+  | Unknown (code, body) -> (code, body)
+
+let decode_ip_list body =
+  let r = Wire.Reader.of_string body in
+  let rec loop acc =
+    if Wire.Reader.remaining r >= 4 then
+      loop (Ip.of_int32 (Wire.Reader.u32 r ~field:"dhcp.opt.ip") :: acc)
+    else List.rev acc
+  in
+  loop []
+
+let decode_u32 body ~field =
+  let r = Wire.Reader.of_string body in
+  Wire.Reader.u32 r ~field
+
+let decode_option code body =
+  match code with
+  | 1 -> (
+      match decode_ip_list body with [ ip ] -> Subnet_mask ip | _ -> Unknown (code, body))
+  | 3 -> Router (decode_ip_list body)
+  | 6 -> Dns_servers (decode_ip_list body)
+  | 12 -> Hostname body
+  | 50 -> (
+      match decode_ip_list body with [ ip ] -> Requested_ip ip | _ -> Unknown (code, body))
+  | 51 -> Lease_time (decode_u32 body ~field:"dhcp.opt.lease")
+  | 53 -> (
+      if String.length body <> 1 then Unknown (code, body)
+      else
+        match message_type_of_code (Char.code body.[0]) with
+        | Some mt -> Message_type mt
+        | None -> Unknown (code, body))
+  | 54 -> (
+      match decode_ip_list body with [ ip ] -> Server_id ip | _ -> Unknown (code, body))
+  | 55 -> Param_request_list (List.init (String.length body) (fun i -> Char.code body.[i]))
+  | 56 -> Message body
+  | 58 -> Renewal_time (decode_u32 body ~field:"dhcp.opt.t1")
+  | 59 -> Rebinding_time (decode_u32 body ~field:"dhcp.opt.t2")
+  | 61 -> Client_id body
+  | _ -> Unknown (code, body)
+
+(* ------------------------------------------------------------------ *)
+(* Message codec                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let encode t =
+  let w = Wire.Writer.create ~initial_capacity:300 () in
+  Wire.Writer.u8 w (match t.op with Bootrequest -> 1 | Bootreply -> 2);
+  Wire.Writer.u8 w 1 (* htype ethernet *);
+  Wire.Writer.u8 w 6 (* hlen *);
+  Wire.Writer.u8 w 0 (* hops *);
+  Wire.Writer.u32 w t.xid;
+  Wire.Writer.u16 w t.secs;
+  Wire.Writer.u16 w (if t.broadcast then 0x8000 else 0);
+  Wire.Writer.u32 w (Ip.to_int32 t.ciaddr);
+  Wire.Writer.u32 w (Ip.to_int32 t.yiaddr);
+  Wire.Writer.u32 w (Ip.to_int32 t.siaddr);
+  Wire.Writer.u32 w (Ip.to_int32 t.giaddr);
+  Wire.Writer.string w (Mac.to_bytes t.chaddr);
+  Wire.Writer.zeros w 10 (* chaddr padding *);
+  Wire.Writer.fixed_string w ~len:64 t.sname;
+  Wire.Writer.fixed_string w ~len:128 t.file;
+  Wire.Writer.u32 w magic_cookie;
+  List.iter
+    (fun opt ->
+      let code, body = option_code_and_body opt in
+      if String.length body > 255 then invalid_arg "Dhcp_wire.encode: option too long";
+      Wire.Writer.u8 w code;
+      Wire.Writer.u8 w (String.length body);
+      Wire.Writer.string w body)
+    t.options;
+  Wire.Writer.u8 w 255 (* end option *);
+  Wire.Writer.contents w
+
+let strip_trailing_zeros s =
+  match String.index_opt s '\000' with None -> s | Some i -> String.sub s 0 i
+
+let decode buf =
+  try
+    let r = Wire.Reader.of_string buf in
+    let op_code = Wire.Reader.u8 r ~field:"dhcp.op" in
+    let htype = Wire.Reader.u8 r ~field:"dhcp.htype" in
+    let hlen = Wire.Reader.u8 r ~field:"dhcp.hlen" in
+    let _hops = Wire.Reader.u8 r ~field:"dhcp.hops" in
+    if htype <> 1 || hlen <> 6 then Error "dhcp: not ethernet"
+    else begin
+      let xid = Wire.Reader.u32 r ~field:"dhcp.xid" in
+      let secs = Wire.Reader.u16 r ~field:"dhcp.secs" in
+      let flags = Wire.Reader.u16 r ~field:"dhcp.flags" in
+      let ciaddr = Ip.of_int32 (Wire.Reader.u32 r ~field:"dhcp.ciaddr") in
+      let yiaddr = Ip.of_int32 (Wire.Reader.u32 r ~field:"dhcp.yiaddr") in
+      let siaddr = Ip.of_int32 (Wire.Reader.u32 r ~field:"dhcp.siaddr") in
+      let giaddr = Ip.of_int32 (Wire.Reader.u32 r ~field:"dhcp.giaddr") in
+      let chaddr = Mac.of_bytes (Wire.Reader.bytes r ~field:"dhcp.chaddr" 6) in
+      Wire.Reader.skip r 10;
+      let sname = strip_trailing_zeros (Wire.Reader.bytes r ~field:"dhcp.sname" 64) in
+      let file = strip_trailing_zeros (Wire.Reader.bytes r ~field:"dhcp.file" 128) in
+      let cookie = Wire.Reader.u32 r ~field:"dhcp.cookie" in
+      if not (Int32.equal cookie magic_cookie) then Error "dhcp: bad magic cookie"
+      else begin
+        let rec read_options acc =
+          if Wire.Reader.remaining r = 0 then List.rev acc
+          else
+            match Wire.Reader.u8 r ~field:"dhcp.opt.code" with
+            | 0 -> read_options acc (* pad *)
+            | 255 -> List.rev acc
+            | code ->
+                let len = Wire.Reader.u8 r ~field:"dhcp.opt.len" in
+                let body = Wire.Reader.bytes r ~field:"dhcp.opt.body" len in
+                read_options (decode_option code body :: acc)
+        in
+        let options = read_options [] in
+        let op = if op_code = 1 then Bootrequest else Bootreply in
+        if op_code <> 1 && op_code <> 2 then Error "dhcp: bad op"
+        else
+          Ok
+            {
+              op;
+              xid;
+              secs;
+              broadcast = flags land 0x8000 <> 0;
+              ciaddr;
+              yiaddr;
+              siaddr;
+              giaddr;
+              chaddr;
+              sname;
+              file;
+              options;
+            }
+      end
+    end
+  with Wire.Truncated f -> Error (Printf.sprintf "dhcp: truncated at %s" f)
+
+let pp fmt t =
+  let mt =
+    match find_message_type t with
+    | Some m -> message_type_to_string m
+    | None -> "BOOTP"
+  in
+  Format.fprintf fmt "dhcp{%s xid=%08lx chaddr=%a yiaddr=%a}" mt t.xid Mac.pp t.chaddr Ip.pp
+    t.yiaddr

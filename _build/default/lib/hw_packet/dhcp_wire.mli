@@ -1,0 +1,67 @@
+(** DHCP (RFC 2131/2132) wire format: BOOTP fixed header plus options. *)
+
+type message_type =
+  | Discover
+  | Offer
+  | Request
+  | Decline
+  | Ack
+  | Nak
+  | Release
+  | Inform
+
+val message_type_to_string : message_type -> string
+
+type option_field =
+  | Subnet_mask of Ip.t
+  | Router of Ip.t list
+  | Dns_servers of Ip.t list
+  | Hostname of string
+  | Requested_ip of Ip.t
+  | Lease_time of int32
+  | Message_type of message_type
+  | Server_id of Ip.t
+  | Param_request_list of int list
+  | Message of string
+  | Renewal_time of int32
+  | Rebinding_time of int32
+  | Client_id of string
+  | Unknown of int * string
+
+type op = Bootrequest | Bootreply
+
+type t = {
+  op : op;
+  xid : int32;
+  secs : int;
+  broadcast : bool;
+  ciaddr : Ip.t;  (** client's current address (renewals) *)
+  yiaddr : Ip.t;  (** "your" address — the allocation *)
+  siaddr : Ip.t;  (** next server *)
+  giaddr : Ip.t;  (** relay agent *)
+  chaddr : Mac.t; (** client hardware address *)
+  sname : string;
+  file : string;
+  options : option_field list;
+}
+
+val server_port : int (* 67 *)
+val client_port : int (* 68 *)
+
+val make_request :
+  ?options:option_field list -> xid:int32 -> chaddr:Mac.t -> message_type -> t
+(** Client-side message with sensible zeroed BOOTP fields. *)
+
+val make_reply :
+  ?options:option_field list ->
+  xid:int32 -> chaddr:Mac.t -> yiaddr:Ip.t -> siaddr:Ip.t -> message_type -> t
+
+val find_message_type : t -> message_type option
+val find_requested_ip : t -> Ip.t option
+val find_server_id : t -> Ip.t option
+val find_hostname : t -> string option
+val find_lease_time : t -> int32 option
+
+val encode : t -> string
+val decode : string -> (t, string) result
+val pp : Format.formatter -> t -> unit

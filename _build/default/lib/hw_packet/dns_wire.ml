@@ -1,0 +1,291 @@
+open Hw_util
+
+type qtype = A | NS | CNAME | PTR | MX | TXT | AAAA | ANY | Other of int
+
+let qtype_to_int = function
+  | A -> 1
+  | NS -> 2
+  | CNAME -> 5
+  | PTR -> 12
+  | MX -> 15
+  | TXT -> 16
+  | AAAA -> 28
+  | ANY -> 255
+  | Other n -> n
+
+let qtype_of_int = function
+  | 1 -> A
+  | 2 -> NS
+  | 5 -> CNAME
+  | 12 -> PTR
+  | 15 -> MX
+  | 16 -> TXT
+  | 28 -> AAAA
+  | 255 -> ANY
+  | n -> Other n
+
+let qtype_to_string = function
+  | A -> "A"
+  | NS -> "NS"
+  | CNAME -> "CNAME"
+  | PTR -> "PTR"
+  | MX -> "MX"
+  | TXT -> "TXT"
+  | AAAA -> "AAAA"
+  | ANY -> "ANY"
+  | Other n -> Printf.sprintf "TYPE%d" n
+
+type rcode = No_error | Format_error | Server_failure | Name_error | Not_implemented | Refused
+
+let rcode_to_int = function
+  | No_error -> 0
+  | Format_error -> 1
+  | Server_failure -> 2
+  | Name_error -> 3
+  | Not_implemented -> 4
+  | Refused -> 5
+
+let rcode_of_int = function
+  | 1 -> Format_error
+  | 2 -> Server_failure
+  | 3 -> Name_error
+  | 4 -> Not_implemented
+  | 5 -> Refused
+  | _ -> No_error
+
+type question = { qname : string; qtype : qtype }
+
+type rdata =
+  | A_data of Ip.t
+  | Cname_data of string
+  | Ptr_data of string
+  | Ns_data of string
+  | Txt_data of string
+  | Raw_data of string
+
+type rr = { name : string; rtype : qtype; ttl : int32; rdata : rdata }
+
+type t = {
+  id : int;
+  is_response : bool;
+  opcode : int;
+  authoritative : bool;
+  truncated : bool;
+  recursion_desired : bool;
+  recursion_available : bool;
+  rcode : rcode;
+  questions : question list;
+  answers : rr list;
+  authorities : rr list;
+  additionals : rr list;
+}
+
+let normalize_name s =
+  let s = String.lowercase_ascii s in
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '.' then String.sub s 0 (n - 1) else s
+
+let query ~id name qtype =
+  {
+    id;
+    is_response = false;
+    opcode = 0;
+    authoritative = false;
+    truncated = false;
+    recursion_desired = true;
+    recursion_available = false;
+    rcode = No_error;
+    questions = [ { qname = normalize_name name; qtype } ];
+    answers = [];
+    authorities = [];
+    additionals = [];
+  }
+
+let response ?(rcode = No_error) ?(answers = []) q =
+  {
+    q with
+    is_response = true;
+    recursion_available = true;
+    authoritative = false;
+    rcode;
+    answers;
+    authorities = [];
+    additionals = [];
+  }
+
+let a_record ?(ttl = 300l) name ip = { name = normalize_name name; rtype = A; ttl; rdata = A_data ip }
+
+let reverse_name ip =
+  let v = Ip.to_int32 ip in
+  let octet n = Int32.to_int (Int32.logand (Int32.shift_right_logical v (8 * n)) 0xffl) in
+  Printf.sprintf "%d.%d.%d.%d.in-addr.arpa" (octet 0) (octet 1) (octet 2) (octet 3)
+
+let ptr_record ?(ttl = 300l) ip name =
+  { name = reverse_name ip; rtype = PTR; ttl; rdata = Ptr_data (normalize_name name) }
+
+(* ------------------------------------------------------------------ *)
+(* Name codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let encode_name w name =
+  let name = normalize_name name in
+  if String.length name > 0 then
+    List.iter
+      (fun label ->
+        let n = String.length label in
+        if n = 0 || n > 63 then invalid_arg "Dns_wire: bad label length";
+        Wire.Writer.u8 w n;
+        Wire.Writer.string w label)
+      (String.split_on_char '.' name);
+  Wire.Writer.u8 w 0
+
+(* Decodes a possibly-compressed name. [whole] is the full message for
+   pointer chasing; returns the name and leaves the reader after the
+   in-place representation. *)
+let decode_name whole r =
+  let labels = ref [] in
+  let rec walk_at reader ~depth =
+    if depth > 64 then failwith "dns: compression loop"
+    else
+      let len = Wire.Reader.u8 reader ~field:"dns.label_len" in
+      if len = 0 then ()
+      else if len land 0xc0 = 0xc0 then begin
+        let lo = Wire.Reader.u8 reader ~field:"dns.ptr" in
+        let target = ((len land 0x3f) lsl 8) lor lo in
+        let sub = Wire.Reader.of_string whole in
+        Wire.Reader.seek sub target;
+        walk_at sub ~depth:(depth + 1)
+      end
+      else begin
+        labels := Wire.Reader.bytes reader ~field:"dns.label" len :: !labels;
+        walk_at reader ~depth:(depth + 1)
+      end
+  in
+  walk_at r ~depth:0;
+  String.concat "." (List.rev !labels)
+
+(* ------------------------------------------------------------------ *)
+(* Message codec                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let encode_rr w rr =
+  encode_name w rr.name;
+  Wire.Writer.u16 w (qtype_to_int rr.rtype);
+  Wire.Writer.u16 w 1 (* class IN *);
+  Wire.Writer.u32 w rr.ttl;
+  let body =
+    let bw = Wire.Writer.create () in
+    (match rr.rdata with
+    | A_data ip -> Wire.Writer.u32 bw (Ip.to_int32 ip)
+    | Cname_data n | Ptr_data n | Ns_data n -> encode_name bw n
+    | Txt_data s ->
+        Wire.Writer.u8 bw (min 255 (String.length s));
+        Wire.Writer.string bw (String.sub s 0 (min 255 (String.length s)))
+    | Raw_data s -> Wire.Writer.string bw s);
+    Wire.Writer.contents bw
+  in
+  Wire.Writer.u16 w (String.length body);
+  Wire.Writer.string w body
+
+let encode t =
+  let w = Wire.Writer.create ~initial_capacity:128 () in
+  Wire.Writer.u16 w t.id;
+  let flags =
+    (if t.is_response then 0x8000 else 0)
+    lor ((t.opcode land 0xf) lsl 11)
+    lor (if t.authoritative then 0x0400 else 0)
+    lor (if t.truncated then 0x0200 else 0)
+    lor (if t.recursion_desired then 0x0100 else 0)
+    lor (if t.recursion_available then 0x0080 else 0)
+    lor rcode_to_int t.rcode
+  in
+  Wire.Writer.u16 w flags;
+  Wire.Writer.u16 w (List.length t.questions);
+  Wire.Writer.u16 w (List.length t.answers);
+  Wire.Writer.u16 w (List.length t.authorities);
+  Wire.Writer.u16 w (List.length t.additionals);
+  List.iter
+    (fun q ->
+      encode_name w q.qname;
+      Wire.Writer.u16 w (qtype_to_int q.qtype);
+      Wire.Writer.u16 w 1)
+    t.questions;
+  List.iter (encode_rr w) t.answers;
+  List.iter (encode_rr w) t.authorities;
+  List.iter (encode_rr w) t.additionals;
+  Wire.Writer.contents w
+
+let decode_rr whole r =
+  let name = decode_name whole r in
+  let rtype = qtype_of_int (Wire.Reader.u16 r ~field:"dns.rr.type") in
+  let _cls = Wire.Reader.u16 r ~field:"dns.rr.class" in
+  let ttl = Wire.Reader.u32 r ~field:"dns.rr.ttl" in
+  let rdlen = Wire.Reader.u16 r ~field:"dns.rr.rdlen" in
+  let rd_start = Wire.Reader.pos r in
+  let raw = Wire.Reader.bytes r ~field:"dns.rr.rdata" rdlen in
+  let rdata =
+    match rtype with
+    | A when rdlen = 4 ->
+        let rr = Wire.Reader.of_string raw in
+        A_data (Ip.of_int32 (Wire.Reader.u32 rr ~field:"dns.rr.a"))
+    | CNAME | PTR | NS ->
+        (* names inside rdata may use compression relative to the whole
+           message, so re-read at the original offset *)
+        let rr = Wire.Reader.of_string whole in
+        Wire.Reader.seek rr rd_start;
+        let n = decode_name whole rr in
+        (match rtype with
+        | CNAME -> Cname_data n
+        | PTR -> Ptr_data n
+        | NS -> Ns_data n
+        | A | MX | TXT | AAAA | ANY | Other _ -> assert false)
+    | TXT when rdlen > 0 ->
+        let n = Char.code raw.[0] in
+        if n + 1 <= rdlen then Txt_data (String.sub raw 1 n) else Raw_data raw
+    | A | MX | TXT | AAAA | ANY | Other _ -> Raw_data raw
+  in
+  { name; rtype; ttl; rdata }
+
+let decode buf =
+  try
+    let r = Wire.Reader.of_string buf in
+    let id = Wire.Reader.u16 r ~field:"dns.id" in
+    let flags = Wire.Reader.u16 r ~field:"dns.flags" in
+    let qdcount = Wire.Reader.u16 r ~field:"dns.qdcount" in
+    let ancount = Wire.Reader.u16 r ~field:"dns.ancount" in
+    let nscount = Wire.Reader.u16 r ~field:"dns.nscount" in
+    let arcount = Wire.Reader.u16 r ~field:"dns.arcount" in
+    let questions =
+      List.init qdcount (fun _ ->
+          let qname = decode_name buf r in
+          let qtype = qtype_of_int (Wire.Reader.u16 r ~field:"dns.qtype") in
+          let _qclass = Wire.Reader.u16 r ~field:"dns.qclass" in
+          { qname; qtype })
+    in
+    let answers = List.init ancount (fun _ -> decode_rr buf r) in
+    let authorities = List.init nscount (fun _ -> decode_rr buf r) in
+    let additionals = List.init arcount (fun _ -> decode_rr buf r) in
+    Ok
+      {
+        id;
+        is_response = flags land 0x8000 <> 0;
+        opcode = (flags lsr 11) land 0xf;
+        authoritative = flags land 0x0400 <> 0;
+        truncated = flags land 0x0200 <> 0;
+        recursion_desired = flags land 0x0100 <> 0;
+        recursion_available = flags land 0x0080 <> 0;
+        rcode = rcode_of_int (flags land 0xf);
+        questions;
+        answers;
+        authorities;
+        additionals;
+      }
+  with
+  | Wire.Truncated f -> Error (Printf.sprintf "dns: truncated at %s" f)
+  | Failure msg -> Error msg
+
+let pp fmt t =
+  let kind = if t.is_response then "response" else "query" in
+  let qnames = String.concat "," (List.map (fun q -> q.qname) t.questions) in
+  Format.fprintf fmt "dns-%s{id=%d q=[%s] an=%d rcode=%d}" kind t.id qnames
+    (List.length t.answers) (rcode_to_int t.rcode)

@@ -1,0 +1,62 @@
+(** DNS (RFC 1035) wire format: header, questions, resource records.
+    Decoding follows compression pointers; encoding emits uncompressed
+    names (always legal). *)
+
+type qtype = A | NS | CNAME | PTR | MX | TXT | AAAA | ANY | Other of int
+
+val qtype_to_string : qtype -> string
+val qtype_to_int : qtype -> int
+val qtype_of_int : int -> qtype
+
+type rcode = No_error | Format_error | Server_failure | Name_error | Not_implemented | Refused
+
+val rcode_to_int : rcode -> int
+val rcode_of_int : int -> rcode
+
+type question = { qname : string; qtype : qtype }
+
+type rdata =
+  | A_data of Ip.t
+  | Cname_data of string
+  | Ptr_data of string
+  | Ns_data of string
+  | Txt_data of string
+  | Raw_data of string
+
+type rr = { name : string; rtype : qtype; ttl : int32; rdata : rdata }
+
+type t = {
+  id : int;
+  is_response : bool;
+  opcode : int;
+  authoritative : bool;
+  truncated : bool;
+  recursion_desired : bool;
+  recursion_available : bool;
+  rcode : rcode;
+  questions : question list;
+  answers : rr list;
+  authorities : rr list;
+  additionals : rr list;
+}
+
+val query : id:int -> string -> qtype -> t
+(** Standard recursive query for one name. *)
+
+val response :
+  ?rcode:rcode -> ?answers:rr list -> t -> t
+(** Builds a response echoing the query's id and question section. *)
+
+val a_record : ?ttl:int32 -> string -> Ip.t -> rr
+val ptr_record : ?ttl:int32 -> Ip.t -> string -> rr
+(** [ptr_record ip name] maps [ip]'s in-addr.arpa name to [name]. *)
+
+val reverse_name : Ip.t -> string
+(** ["4.3.2.1.in-addr.arpa"] for 1.2.3.4. *)
+
+val normalize_name : string -> string
+(** Lowercases and strips a single trailing dot. *)
+
+val encode : t -> string
+val decode : string -> (t, string) result
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,91 @@
+type t = int32
+
+let of_int32 v = v
+let to_int32 t = t
+
+let of_octets a b c d =
+  let check x = if x < 0 || x > 255 then invalid_arg "Ip.of_octets" in
+  check a;
+  check b;
+  check c;
+  check d;
+  Int32.logor
+    (Int32.shift_left (Int32.of_int a) 24)
+    (Int32.of_int ((b lsl 16) lor (c lsl 8) lor d))
+
+let octet t n = Int32.to_int (Int32.logand (Int32.shift_right_logical t (8 * (3 - n))) 0xffl)
+
+let to_string t =
+  Printf.sprintf "%d.%d.%d.%d" (octet t 0) (octet t 1) (octet t 2) (octet t 3)
+
+let of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+      try
+        let parse p =
+          match int_of_string_opt p with
+          | Some v when v >= 0 && v <= 255 -> v
+          | _ -> failwith "octet"
+        in
+        Some (of_octets (parse a) (parse b) (parse c) (parse d))
+      with _ -> None)
+  | _ -> None
+
+let of_string_exn s =
+  match of_string s with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Ip.of_string_exn: %S" s)
+
+let any = 0l
+let broadcast = 0xffffffffl
+let localhost = of_octets 127 0 0 1
+let compare = Int32.unsigned_compare
+let equal = Int32.equal
+let hash = Hashtbl.hash
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+let succ t = Int32.add t 1l
+let add t n = Int32.add t (Int32.of_int n)
+
+let diff a b =
+  (* Works for the small home-network differences used here. *)
+  Int64.to_int
+    (Int64.sub
+       (Int64.logand (Int64.of_int32 a) 0xffffffffL)
+       (Int64.logand (Int64.of_int32 b) 0xffffffffL))
+
+module Prefix = struct
+  type addr = t
+  type nonrec t = { network : t; bits : int }
+
+  let mask_of_bits bits =
+    if bits = 0 then 0l else Int32.shift_left (-1l) (32 - bits)
+
+  let make network bits =
+    if bits < 0 || bits > 32 then invalid_arg "Ip.Prefix.make";
+    { network = Int32.logand network (mask_of_bits bits); bits }
+
+  let of_string s =
+    match String.index_opt s '/' with
+    | None -> None
+    | Some i -> (
+        let addr = String.sub s 0 i in
+        let bits = String.sub s (i + 1) (String.length s - i - 1) in
+        match of_string addr, int_of_string_opt bits with
+        | Some a, Some b when b >= 0 && b <= 32 -> Some (make a b)
+        | _ -> None)
+
+  let to_string t = Printf.sprintf "%s/%d" (to_string t.network) t.bits
+  let network t = t.network
+  let bits t = t.bits
+  let netmask t = mask_of_bits t.bits
+
+  let broadcast_addr t =
+    Int32.logor t.network (Int32.lognot (mask_of_bits t.bits))
+
+  let mem a t = Int32.equal (Int32.logand a (mask_of_bits t.bits)) t.network
+
+  let host t n =
+    let host_count = if t.bits >= 31 then 0 else (1 lsl (32 - t.bits)) - 2 in
+    if n < 1 || n > host_count then invalid_arg "Ip.Prefix.host";
+    add t.network n
+end

@@ -1,0 +1,33 @@
+(** IPv4 headers (no options beyond raw bytes, no fragment reassembly —
+    the simulated home network never fragments). *)
+
+type t = {
+  dscp : int;
+  ident : int;
+  dont_fragment : bool;
+  more_fragments : bool;
+  fragment_offset : int;
+  ttl : int;
+  protocol : int; (* 1 ICMP, 6 TCP, 17 UDP *)
+  src : Ip.t;
+  dst : Ip.t;
+  options : string;
+  payload : string;
+}
+
+val proto_icmp : int
+val proto_tcp : int
+val proto_udp : int
+
+val make : ?ttl:int -> ?ident:int -> protocol:int -> src:Ip.t -> dst:Ip.t -> string -> t
+
+val encode : t -> string
+(** Computes and fills the header checksum. *)
+
+val decode : string -> (t, string) result
+(** Verifies the header checksum and total length. *)
+
+val pseudo_header : t -> int -> string
+(** [pseudo_header t l4_len] for TCP/UDP checksums. *)
+
+val pp : Format.formatter -> t -> unit

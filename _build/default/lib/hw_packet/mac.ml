@@ -1,0 +1,54 @@
+type t = string (* exactly 6 bytes *)
+
+let of_bytes s =
+  if String.length s <> 6 then invalid_arg "Mac.of_bytes: need exactly 6 bytes";
+  s
+
+let to_bytes t = t
+
+let to_string t =
+  Printf.sprintf "%02x:%02x:%02x:%02x:%02x:%02x" (Char.code t.[0]) (Char.code t.[1])
+    (Char.code t.[2]) (Char.code t.[3]) (Char.code t.[4]) (Char.code t.[5])
+
+let of_string s =
+  let parts = String.split_on_char (if String.contains s '-' then '-' else ':') s in
+  if List.length parts <> 6 then None
+  else
+    try
+      let bytes =
+        List.map
+          (fun p ->
+            if String.length p <> 2 then failwith "len";
+            Char.chr (int_of_string ("0x" ^ p)))
+          parts
+      in
+      Some (String.init 6 (List.nth bytes))
+    with _ -> None
+
+let of_string_exn s =
+  match of_string s with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Mac.of_string_exn: %S" s)
+
+let broadcast = String.make 6 '\xff'
+let zero = String.make 6 '\000'
+let is_broadcast t = String.equal t broadcast
+let is_multicast t = Char.code t.[0] land 1 = 1
+
+let of_int64 v =
+  String.init 6 (fun i ->
+      Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * (5 - i))) 0xffL)))
+
+let to_int64 t =
+  let v = ref 0L in
+  String.iter (fun c -> v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code c))) t;
+  !v
+
+let compare = String.compare
+let equal = String.equal
+let hash = Hashtbl.hash
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let local n =
+  (* 0x02 = locally administered, unicast *)
+  of_int64 (Int64.logor 0x020000000000L (Int64.of_int (n land 0xffffffff)))

@@ -1,0 +1,67 @@
+(** Whole-packet parsing: an Ethernet frame decoded through the protocol
+    stack, plus the builders the simulator and tests use. *)
+
+type l4 =
+  | Udp of Udp.t
+  | Tcp of Tcp.t
+  | Icmp of Icmp.t
+  | Raw_l4 of string  (** unknown IP protocol *)
+
+type l3 =
+  | Arp of Arp.t
+  | Ipv4 of Ipv4.t * l4
+  | Raw_l3 of string  (** unknown ethertype *)
+
+type t = { eth : Ethernet.t; l3 : l3 }
+
+val decode : string -> (t, string) result
+(** Parses as deep as possible; inner parse failures degrade to [Raw_*]
+    only for unknown protocols — malformed known protocols are errors. *)
+
+val encode : t -> string
+(** Re-serialises from the parsed representation (recomputing lengths and
+    checksums). *)
+
+type five_tuple = {
+  proto : int;
+  src_ip : Ip.t;
+  dst_ip : Ip.t;
+  src_port : int;
+  dst_port : int;
+}
+
+val five_tuple_compare : five_tuple -> five_tuple -> int
+val pp_five_tuple : Format.formatter -> five_tuple -> unit
+
+val five_tuple : t -> five_tuple option
+(** [None] for non-IP packets; ICMP and unknown L4 report ports 0. *)
+
+val wire_size : t -> int
+
+(** {2 Builders} *)
+
+val udp_packet :
+  src_mac:Mac.t -> dst_mac:Mac.t -> src_ip:Ip.t -> dst_ip:Ip.t ->
+  src_port:int -> dst_port:int -> string -> t
+
+val tcp_packet :
+  ?flags:Tcp.flags -> ?seq:int32 ->
+  src_mac:Mac.t -> dst_mac:Mac.t -> src_ip:Ip.t -> dst_ip:Ip.t ->
+  src_port:int -> dst_port:int -> string -> t
+
+val icmp_echo :
+  src_mac:Mac.t -> dst_mac:Mac.t -> src_ip:Ip.t -> dst_ip:Ip.t ->
+  id:int -> seq:int -> t
+
+val arp_packet : src_mac:Mac.t -> Arp.t -> t
+
+val dhcp_packet : src_mac:Mac.t -> dst_mac:Mac.t -> src_ip:Ip.t -> dst_ip:Ip.t -> Dhcp_wire.t -> t
+(** UDP 67/68 wrapping chosen from the DHCP op. *)
+
+val dns_query_packet :
+  src_mac:Mac.t -> dst_mac:Mac.t -> src_ip:Ip.t -> dst_ip:Ip.t -> src_port:int -> Dns_wire.t -> t
+
+val dns_response_packet :
+  src_mac:Mac.t -> dst_mac:Mac.t -> src_ip:Ip.t -> dst_ip:Ip.t -> dst_port:int -> Dns_wire.t -> t
+
+val pp : Format.formatter -> t -> unit

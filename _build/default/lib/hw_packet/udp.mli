@@ -1,0 +1,17 @@
+(** UDP datagrams. Checksums are computed over the IPv4 pseudo-header. *)
+
+type t = { src_port : int; dst_port : int; payload : string }
+
+val header_size : int
+
+val encode : t -> pseudo_header:string -> string
+(** [pseudo_header] from {!Ipv4.pseudo_header}. *)
+
+val encode_nochecksum : t -> string
+(** Checksum field zero (legal for UDP over IPv4). *)
+
+val decode : ?pseudo_header:string -> string -> (t, string) result
+(** Verifies the checksum when [pseudo_header] is given and the packet's
+    checksum field is non-zero. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/hw_policy/policy.ml: Hashtbl Hw_dns Hw_json Hw_packet List Mac Option Schedule String

@@ -1,0 +1,1 @@
+lib/hw_policy/policy.mli: Hw_dns Hw_json Hw_packet Hw_time Mac Schedule

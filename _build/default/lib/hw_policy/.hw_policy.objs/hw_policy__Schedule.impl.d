@@ -1,0 +1,1 @@
+lib/hw_policy/schedule.ml: Float Format Hw_time List Printf String

@@ -1,0 +1,1 @@
+lib/hw_policy/schedule.mli: Format Hw_time

@@ -1,0 +1,1 @@
+lib/hw_policy/udev_monitor.ml: List Usb_key

@@ -1,0 +1,1 @@
+lib/hw_policy/udev_monitor.mli: Usb_key

@@ -1,0 +1,1 @@
+lib/hw_policy/usb_key.ml: List Option Policy Printf Result Schedule String

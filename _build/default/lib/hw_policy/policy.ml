@@ -1,0 +1,152 @@
+open Hw_packet
+
+type service = { service_name : string; domains : string list }
+
+let facebook =
+  { service_name = "facebook"; domains = [ "facebook.com"; "fbcdn.net"; "fb.com" ] }
+
+let youtube = { service_name = "youtube"; domains = [ "youtube.com"; "ytimg.com"; "googlevideo.com" ] }
+let bbc_news = { service_name = "bbc-news"; domains = [ "bbc.co.uk"; "bbci.co.uk" ] }
+let homework_site = { service_name = "homework-site"; domains = [ "school.example.org" ] }
+let well_known_services = [ facebook; youtube; bbc_news; homework_site ]
+
+let service_by_name name =
+  List.find_opt (fun s -> String.equal s.service_name name) well_known_services
+
+type rule = {
+  rule_id : string;
+  group : string;
+  services : service list;
+  schedule : Schedule.t;
+  requires_token : string option;
+}
+
+type decision = {
+  network_allowed : bool;
+  dns_policy : Hw_dns.Dns_proxy.name_policy;
+  matched_rules : string list;
+}
+
+let unconstrained =
+  { network_allowed = true; dns_policy = Hw_dns.Dns_proxy.Allow_all; matched_rules = [] }
+
+type t = {
+  groups : (string, Mac.t list) Hashtbl.t;
+  mutable rule_list : rule list;
+  mutable inserted_tokens : string list;
+}
+
+let create () = { groups = Hashtbl.create 8; rule_list = []; inserted_tokens = [] }
+
+let define_group t name members = Hashtbl.replace t.groups name members
+let group_members t name = Option.value (Hashtbl.find_opt t.groups name) ~default:[]
+
+let groups_of t mac =
+  Hashtbl.fold
+    (fun name members acc -> if List.exists (Mac.equal mac) members then name :: acc else acc)
+    t.groups []
+  |> List.sort compare
+
+let group_names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.groups [] |> List.sort compare
+
+let add_rule t rule =
+  t.rule_list <-
+    List.filter (fun r -> not (String.equal r.rule_id rule.rule_id)) t.rule_list @ [ rule ]
+
+let remove_rule t id =
+  let before = List.length t.rule_list in
+  t.rule_list <- List.filter (fun r -> not (String.equal r.rule_id id)) t.rule_list;
+  List.length t.rule_list < before
+
+let rules t = t.rule_list
+let clear_rules t = t.rule_list <- []
+
+let insert_token t token =
+  if not (List.mem token t.inserted_tokens) then
+    t.inserted_tokens <- token :: t.inserted_tokens
+
+let remove_token t token =
+  t.inserted_tokens <- List.filter (fun x -> not (String.equal x token)) t.inserted_tokens
+
+let tokens t = t.inserted_tokens
+
+let rule_active t rule ~now =
+  Schedule.active_at rule.schedule now
+  && match rule.requires_token with
+     | None -> true
+     | Some token -> List.mem token t.inserted_tokens
+
+let constrained_devices t =
+  Hashtbl.fold (fun _ members acc -> members @ acc) t.groups []
+  |> List.sort_uniq Mac.compare
+
+let evaluate t ~mac ~now =
+  let my_groups = groups_of t mac in
+  if my_groups = [] then unconstrained
+  else begin
+    let my_rules = List.filter (fun r -> List.mem r.group my_groups) t.rule_list in
+    let active = List.filter (fun r -> rule_active t r ~now) my_rules in
+    if active = [] then
+      (* constrained device with no live allowance: off the network *)
+      { network_allowed = false; dns_policy = Hw_dns.Dns_proxy.Block_all; matched_rules = [] }
+    else begin
+      let unrestricted = List.exists (fun r -> r.services = []) active in
+      let dns_policy =
+        if unrestricted then Hw_dns.Dns_proxy.Allow_all
+        else
+          Hw_dns.Dns_proxy.Allow_only
+            (List.concat_map (fun r -> List.concat_map (fun s -> s.domains) r.services) active
+            |> List.sort_uniq compare)
+      in
+      { network_allowed = true; dns_policy; matched_rules = List.map (fun r -> r.rule_id) active }
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* JSON (control API payloads)                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Hw_json.Json
+
+let rule_to_json rule =
+  let days, window = Schedule.to_strings rule.schedule in
+  Json.Obj
+    [
+      ("id", Json.String rule.rule_id);
+      ("group", Json.String rule.group);
+      ( "services",
+        Json.List (List.map (fun s -> Json.String s.service_name) rule.services) );
+      ("days", Json.String days);
+      ("window", Json.String window);
+      ( "requires_token",
+        match rule.requires_token with None -> Json.Null | Some tok -> Json.String tok );
+    ]
+
+let rule_of_json json =
+  try
+    let rule_id = Json.get_string (Json.member "id" json) in
+    let group = Json.get_string (Json.member "group" json) in
+    let services =
+      List.map
+        (fun s ->
+          let name = Json.get_string s in
+          match service_by_name name with
+          | Some svc -> svc
+          | None -> { service_name = name; domains = [ name ] })
+        (Json.get_list (Json.member "services" json))
+    in
+    let days =
+      match Json.member_opt "days" json with Some (Json.String d) -> d | _ -> "all"
+    in
+    let window =
+      match Json.member_opt "window" json with Some (Json.String w) -> w | _ -> "always"
+    in
+    let requires_token =
+      match Json.member_opt "requires_token" json with
+      | Some (Json.String tok) -> Some tok
+      | _ -> None
+    in
+    match Schedule.of_strings ~days ~window with
+    | Ok schedule -> Ok { rule_id; group; services; schedule; requires_token }
+    | Error msg -> Error msg
+  with Json.Parse_error msg -> Error msg

@@ -1,0 +1,74 @@
+(** The visual policy language of Figure 4 and its compiler.
+
+    A policy rule is the cartoon strip: {e who} (a device group) may use
+    {e which services} ({e when}), and the whole allowance may be gated on
+    a physical token — the USB key a "suitably responsible adult" inserts
+    once homework is done.
+
+    Evaluation compiles the active rules into per-device network admission
+    plus a DNS name policy, which the router pushes into the DHCP server
+    and DNS proxy. Devices in no group are unconstrained. A device that is
+    in some group is constrained by its rules: with no rule currently
+    active it has no network access at all. *)
+
+open Hw_packet
+
+type service = { service_name : string; domains : string list }
+
+val facebook : service
+val youtube : service
+val bbc_news : service
+val homework_site : service
+val well_known_services : service list
+val service_by_name : string -> service option
+
+type rule = {
+  rule_id : string;
+  group : string;                 (** who *)
+  services : service list;        (** empty list = all services *)
+  schedule : Schedule.t;          (** when *)
+  requires_token : string option; (** USB key id gating the allowance *)
+}
+
+type decision = {
+  network_allowed : bool;
+  dns_policy : Hw_dns.Dns_proxy.name_policy;
+  matched_rules : string list;    (** ids of the active rules *)
+}
+
+val unconstrained : decision
+
+type t
+
+val create : unit -> t
+
+(** {2 Groups} *)
+
+val define_group : t -> string -> Mac.t list -> unit
+val group_members : t -> string -> Mac.t list
+val groups_of : t -> Mac.t -> string list
+val group_names : t -> string list
+
+(** {2 Rules} *)
+
+val add_rule : t -> rule -> unit
+(** Replaces any rule with the same id. *)
+
+val remove_rule : t -> string -> bool
+val rules : t -> rule list
+val clear_rules : t -> unit
+
+(** {2 Tokens (USB keys)} *)
+
+val insert_token : t -> string -> unit
+val remove_token : t -> string -> unit
+val tokens : t -> string list
+
+(** {2 Evaluation} *)
+
+val evaluate : t -> mac:Mac.t -> now:Hw_time.timestamp -> decision
+val constrained_devices : t -> Mac.t list
+(** Every device appearing in some group. *)
+
+val rule_to_json : rule -> Hw_json.Json.t
+val rule_of_json : Hw_json.Json.t -> (rule, string) result

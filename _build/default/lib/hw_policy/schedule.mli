@@ -1,0 +1,25 @@
+(** Time windows for policy rules ("weekdays after 16:00"). *)
+
+type t = {
+  days : Hw_time.weekday list;
+  start_tod : float; (* seconds since midnight, inclusive *)
+  end_tod : float;   (* exclusive; may be <= start_tod for a wrapping window *)
+}
+
+val always : t
+val weekdays : ?start_hour:int -> ?end_hour:int -> unit -> t
+val weekend : ?start_hour:int -> ?end_hour:int -> unit -> t
+
+val make : days:Hw_time.weekday list -> start_tod:float -> end_tod:float -> t
+
+val active_at : t -> Hw_time.timestamp -> bool
+(** A wrapping window (e.g. 22:00–06:00) is active on day [d] from its
+    start, and past midnight into the {e following} day. *)
+
+val of_strings : days:string -> window:string -> (t, string) result
+(** [days] like ["mon tue wed thu fri"] or ["weekdays"]/["weekend"]/["all"];
+    [window] like ["16:00-20:30"] or ["always"]. This is the USB-key file
+    syntax. *)
+
+val to_strings : t -> string * string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+type event =
+  | Key_inserted of Usb_key.key
+  | Key_removed of Usb_key.key
+  | Invalid_key of { device : string; reason : string }
+
+type t = {
+  mutable listeners : (event -> unit) list;
+  mutable mounted : (string * Usb_key.key) list;
+}
+
+let create () = { listeners = []; mounted = [] }
+let on_event t f = t.listeners <- t.listeners @ [ f ]
+let emit t ev = List.iter (fun f -> f ev) t.listeners
+
+let insert t ~device fs =
+  match Usb_key.parse fs with
+  | Ok key ->
+      t.mounted <- (device, key) :: List.remove_assoc device t.mounted;
+      emit t (Key_inserted key);
+      Ok key
+  | Error reason ->
+      emit t (Invalid_key { device; reason });
+      Error reason
+
+let remove t ~device =
+  match List.assoc_opt device t.mounted with
+  | None -> None
+  | Some key ->
+      t.mounted <- List.remove_assoc device t.mounted;
+      emit t (Key_removed key);
+      Some key
+
+let inserted_keys t = t.mounted

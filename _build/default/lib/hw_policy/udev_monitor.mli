@@ -1,0 +1,26 @@
+(** Simulated udev USB monitor.
+
+    The paper: the control API is "invoked ... by the Linux udev subsystem
+    when a suitably formatted USB storage device is inserted". This module
+    reproduces that trigger path: insertion events carry the mounted
+    filesystem tree; valid policy keys fire [on_key_inserted], anything
+    else fires [on_invalid_key] (and lifts nothing). *)
+
+type t
+
+type event =
+  | Key_inserted of Usb_key.key
+  | Key_removed of Usb_key.key
+  | Invalid_key of { device : string; reason : string }
+
+val create : unit -> t
+val on_event : t -> (event -> unit) -> unit
+
+val insert : t -> device:string -> Usb_key.fs -> (Usb_key.key, string) result
+(** Mount + parse; on success the key is tracked and [Key_inserted] fires. *)
+
+val remove : t -> device:string -> Usb_key.key option
+(** Unplug; fires [Key_removed] if the device held a valid key. *)
+
+val inserted_keys : t -> (string * Usb_key.key) list
+(** (device, key) pairs currently plugged in. *)

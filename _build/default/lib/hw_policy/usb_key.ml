@@ -1,0 +1,138 @@
+type fs = File of string | Dir of (string * fs) list
+
+let find fs path =
+  let parts = String.split_on_char '/' path |> List.filter (fun p -> p <> "") in
+  let rec go fs = function
+    | [] -> Some fs
+    | part :: rest -> (
+        match fs with
+        | File _ -> None
+        | Dir entries -> (
+            match List.assoc_opt part entries with
+            | Some child -> go child rest
+            | None -> None))
+  in
+  go fs parts
+
+type key = { token : string; rules : Policy.rule list }
+
+let parse_kv_lines content =
+  String.split_on_char '\n' content
+  |> List.filter_map (fun line ->
+         (* strip comments and blanks *)
+         let line =
+           match String.index_opt line '#' with
+           | Some i -> String.sub line 0 i
+           | None -> line
+         in
+         let line = String.trim line in
+         if line = "" then None
+         else
+           match String.index_opt line ':' with
+           | None -> Some (Error (Printf.sprintf "malformed line %S" line))
+           | Some i ->
+               let k = String.trim (String.sub line 0 i) in
+               let v = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+               Some (Ok (k, v)))
+
+let parse_rule ~rule_id content =
+  let pairs = parse_kv_lines content in
+  match List.find_opt Result.is_error pairs with
+  | Some (Error msg) -> Error msg
+  | Some (Ok _) -> assert false
+  | None -> (
+      let pairs = List.map Result.get_ok pairs in
+      let get k = List.assoc_opt k pairs in
+      match get "group" with
+      | None -> Error (Printf.sprintf "rule %s: missing group" rule_id)
+      | Some group -> (
+          let services =
+            match get "services" with
+            | None | Some "" | Some "all" -> Ok []
+            | Some names ->
+                let words =
+                  String.split_on_char ' ' names |> List.filter (fun w -> w <> "")
+                in
+                Ok
+                  (List.map
+                     (fun name ->
+                       match Policy.service_by_name name with
+                       | Some svc -> svc
+                       | None -> { Policy.service_name = name; domains = [ name ] })
+                     words)
+          in
+          let days = Option.value (get "days") ~default:"all" in
+          let window = Option.value (get "window") ~default:"always" in
+          let token_gated =
+            match Option.map String.lowercase_ascii (get "token-gated") with
+            | Some ("yes" | "true" | "1") -> true
+            | _ -> false
+          in
+          match services, Schedule.of_strings ~days ~window with
+          | Ok services, Ok schedule ->
+              Ok
+                {
+                  Policy.rule_id;
+                  group;
+                  services;
+                  schedule;
+                  (* the actual token id is substituted by [parse] below *)
+                  requires_token = (if token_gated then Some "" else None);
+                }
+          | Error msg, _ | _, Error msg -> Error (Printf.sprintf "rule %s: %s" rule_id msg)))
+
+let parse fs =
+  match find fs "homework/token" with
+  | None -> Error "not a policy key: homework/token missing"
+  | Some (Dir _) -> Error "homework/token must be a file"
+  | Some (File token_content) -> (
+      let token = String.trim token_content in
+      if token = "" then Error "empty token"
+      else
+        let rule_entries =
+          match find fs "homework/rules" with
+          | Some (Dir entries) -> entries
+          | Some (File _) | None -> []
+        in
+        let results =
+          List.map
+            (fun (rule_id, node) ->
+              match node with
+              | File content -> parse_rule ~rule_id content
+              | Dir _ -> Error (Printf.sprintf "rule %s: is a directory" rule_id))
+            rule_entries
+        in
+        match List.find_opt Result.is_error results with
+        | Some (Error msg) -> Error msg
+        | Some (Ok _) -> assert false
+        | None ->
+            let substitute rule =
+              match rule.Policy.requires_token with
+              | Some "" -> { rule with Policy.requires_token = Some token }
+              | _ -> rule
+            in
+            Ok { token; rules = List.map (fun r -> substitute (Result.get_ok r)) results })
+
+let render key =
+  let render_rule (rule : Policy.rule) =
+    let days, window = Schedule.to_strings rule.Policy.schedule in
+    let services =
+      match rule.Policy.services with
+      | [] -> "all"
+      | svcs -> String.concat " " (List.map (fun s -> s.Policy.service_name) svcs)
+    in
+    let token_gated = if rule.Policy.requires_token = None then "no" else "yes" in
+    ( rule.Policy.rule_id,
+      File
+        (Printf.sprintf "group: %s\nservices: %s\ndays: %s\nwindow: %s\ntoken-gated: %s\n"
+           rule.Policy.group services days window token_gated) )
+  in
+  Dir
+    [
+      ( "homework",
+        Dir
+          [
+            ("token", File (key.token ^ "\n"));
+            ("rules", Dir (List.map render_rule key.rules));
+          ] );
+    ]

@@ -1,0 +1,37 @@
+(** The USB policy key: a storage device whose filesystem layout carries a
+    token and, optionally, policy rules.
+
+    Expected layout (relative to the mount root):
+    {v
+    homework/
+      token            one line: the token id this key asserts
+      rules/           optional
+        <rule-id>      one rule file (see below)
+    v}
+
+    Rule file format, one [key: value] pair per line:
+    {v
+    group: kids
+    services: facebook youtube      # blank or "all" = every service
+    days: weekdays
+    window: 16:00-20:00
+    token-gated: yes                # rule requires this key's token
+    v} *)
+
+type fs = File of string | Dir of (string * fs) list
+(** An in-memory filesystem tree (the simulation's stand-in for a mounted
+    vfat volume). *)
+
+val find : fs -> string -> fs option
+(** Path lookup with [/] separators. *)
+
+type key = { token : string; rules : Policy.rule list }
+
+val parse : fs -> (key, string) result
+(** Validates the layout; a key must carry a non-empty token. Malformed
+    rule files make the whole key invalid (fail-closed: a broken key lifts
+    nothing). *)
+
+val render : key -> fs
+(** Builds the canonical layout for a key (used to author test keys and by
+    the example programs). *)

@@ -1,0 +1,1 @@
+lib/hw_router/home.ml: App_profile Device Hw_datapath Hw_dhcp Hw_packet Hw_sim Ip List Mac Printf Router String

@@ -1,0 +1,1 @@
+lib/hw_router/home.mli: Hw_dhcp Hw_packet Hw_sim Hw_time Router

@@ -1,0 +1,1 @@
+lib/hw_router/router.mli: Hw_control_api Hw_controller Hw_datapath Hw_dhcp Hw_dns Hw_hwdb Hw_packet Hw_policy Hw_sim Ip Mac

@@ -1,0 +1,865 @@
+open Hw_packet
+open Hw_openflow
+
+let log_src = Logs.Src.create "hw.router" ~doc:"Homework router composition"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+module Json = Hw_json.Json
+module Http = Hw_control_api.Http
+module Controller = Hw_controller.Controller
+module Datapath = Hw_datapath.Datapath
+module Dhcp_server = Hw_dhcp.Dhcp_server
+module Dns_proxy = Hw_dns.Dns_proxy
+module Policy = Hw_policy.Policy
+module Database = Hw_hwdb.Database
+module Rpc = Hw_hwdb.Rpc
+module Value = Hw_hwdb.Value
+
+let wireless_port = 1
+let upstream_port = 100
+let wired_port i = 10 + i
+let dns_forward_port = 5353
+
+type t = {
+  loop : Hw_sim.Event_loop.t;
+  dp : Datapath.t;
+  ctrl : Controller.t;
+  mutable conn : Controller.conn;
+  dhcp : Dhcp_server.t;
+  dns : Dns_proxy.t;
+  pol : Policy.t;
+  udev_mon : Hw_policy.Udev_monitor.t;
+  database : Database.t;
+  rpc_server : Rpc.Server.t;
+  mutable rpc_send : to_:string -> string -> unit;
+  api : Hw_control_api.Router.t option ref;
+  lan_prefix : Ip.Prefix.t;
+  flow_idle_timeout : int;
+  isolate_devices : bool;
+  mac_table : (Mac.t, int) Hashtbl.t;
+  flow_snapshots : (string, int64 * int64) Hashtbl.t;
+  policy_cache : (Mac.t, bool * string) Hashtbl.t; (* network_allowed, dns policy digest *)
+  mutable transmit : port_no:int -> string -> unit;
+  mutable blocked_flows : int;
+  (* NAT (optional): WAN address, port allocator, bindings keyed by cookie *)
+  wan_ip : Ip.t option;
+  mutable next_nat_port : int;
+  nat_by_cookie : (int64, nat_binding) Hashtbl.t;
+  nat_by_key : (string, nat_binding) Hashtbl.t;
+  mutable next_nat_cookie : int64;
+}
+
+and nat_binding = {
+  nat_cookie : int64;
+  device_ip : Ip.t;
+  device_port : int;
+  device_mac : Mac.t;
+  device_dp_port : int;
+  nat_proto : int;
+  remote_ip : Ip.t;
+  remote_port : int;
+  wan_port : int;
+}
+
+let prefix_bits_of_netmask mask =
+  let v = Ip.to_int32 mask in
+  let rec count bit acc =
+    if bit < 0 then acc
+    else if Int32.logand (Int32.shift_right_logical v bit) 1l = 1l then count (bit - 1) (acc + 1)
+    else acc
+  in
+  count 31 0
+
+let db t = t.database
+let dhcp t = t.dhcp
+let dns t = t.dns
+let policy t = t.pol
+let udev t = t.udev_mon
+let datapath t = t.dp
+let controller t = t.ctrl
+let router_ip t = (Dhcp_server.config t.dhcp).Dhcp_server.server_ip
+let router_mac t = (Dhcp_server.config t.dhcp).Dhcp_server.server_mac
+let flows_installed t = Hw_datapath.Flow_table.length (Datapath.flow_table t.dp)
+let packet_ins t = Controller.packet_in_total t.ctrl
+let blocked_flow_count t = t.blocked_flows
+let nat_enabled t = t.wan_ip <> None
+let nat_binding_count t = Hashtbl.length t.nat_by_cookie
+let set_transmit t f = t.transmit <- f
+let receive_frame t ~in_port frame = Datapath.receive_frame t.dp ~in_port frame
+let set_rpc_send t f = t.rpc_send <- f
+let rpc_datagram t ~from data = Rpc.Server.handle_datagram t.rpc_server ~from data
+
+(* ------------------------------------------------------------------ *)
+(* Packet-out helpers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let packet_out_port t ~port pkt =
+  Controller.send_packet t.conn (Packet.encode pkt) [ Ofp_action.output port ]
+
+let flood_packet t ~in_port data =
+  Controller.send_packet t.conn ~in_port data [ Ofp_action.output Ofp_action.Port.flood ]
+
+let client_mac t ~ip ~fallback =
+  match Hw_dhcp.Lease_db.lookup_ip (Dhcp_server.lease_db t.dhcp) ip with
+  | Some lease -> Some lease.Hw_dhcp.Lease_db.mac
+  | None -> fallback
+
+(* ------------------------------------------------------------------ *)
+(* DNS proxy glue                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_dns_actions t ~fallback_mac ~fallback_port actions =
+  List.iter
+    (fun action ->
+      match action with
+      | Dns_proxy.Forward_upstream query ->
+          (* with NAT, the proxy's own upstream traffic sources from the
+             WAN address like everything else *)
+          let src_ip = Option.value t.wan_ip ~default:(router_ip t) in
+          let pkt =
+            Packet.udp_packet ~src_mac:(router_mac t) ~dst_mac:Mac.broadcast ~src_ip
+              ~dst_ip:Hw_sim.Internet.resolver_ip ~src_port:dns_forward_port ~dst_port:53
+              (Dns_wire.encode query)
+          in
+          packet_out_port t ~port:upstream_port pkt
+      | Dns_proxy.Respond_to_client { dst_ip; dst_port; msg } -> (
+          match client_mac t ~ip:dst_ip ~fallback:fallback_mac with
+          | None ->
+              Log.debug (fun m -> m "no MAC for DNS client %s" (Ip.to_string dst_ip))
+          | Some dst_mac ->
+              let pkt =
+                Packet.dns_response_packet ~src_mac:(router_mac t) ~dst_mac
+                  ~src_ip:(router_ip t) ~dst_ip ~dst_port msg
+              in
+              let port =
+                match Hashtbl.find_opt t.mac_table dst_mac with
+                | Some p -> p
+                | None -> Option.value fallback_port ~default:wireless_port
+              in
+              packet_out_port t ~port pkt))
+    actions
+
+(* ------------------------------------------------------------------ *)
+(* Switching / admission component                                     *)
+(* ------------------------------------------------------------------ *)
+
+let install_forward_flow t ~(ev : Controller.packet_in_event) fields out_port =
+  let m = Ofp_match.exact_of_fields fields in
+  Controller.install_flow ~idle_timeout:t.flow_idle_timeout ~send_flow_rem:true t.conn m
+    [ Ofp_action.output out_port ];
+  (* release the buffered frame along the new path *)
+  match ev.Controller.pi.Ofp_message.buffer_id with
+  | Some buffer_id ->
+      Controller.send_packet_out t.conn
+        {
+          Ofp_message.po_buffer_id = Some buffer_id;
+          po_in_port = fields.Ofp_match.f_in_port;
+          po_actions = [ Ofp_action.output out_port ];
+          po_data = "";
+        }
+  | None ->
+      Controller.send_packet t.conn ~in_port:fields.Ofp_match.f_in_port
+        ev.Controller.pi.Ofp_message.data
+        [ Ofp_action.output out_port ]
+
+(* NAT: allocate a WAN port for (device, remote) and install the rewrite
+   pair. The outbound flow carries the binding's cookie with send_flow_rem,
+   so the binding and the inbound flow die when the flow idles out. *)
+let nat_key ~proto ~device_ip ~device_port ~remote_ip ~remote_port =
+  Printf.sprintf "%d|%ld:%d|%ld:%d" proto (Ip.to_int32 device_ip) device_port
+    (Ip.to_int32 remote_ip) remote_port
+
+let install_nat_flows t ~(ev : Controller.packet_in_event) fields wan_ip =
+  let proto = fields.Ofp_match.f_nw_proto in
+  let key =
+    nat_key ~proto ~device_ip:fields.Ofp_match.f_nw_src
+      ~device_port:fields.Ofp_match.f_tp_src ~remote_ip:fields.Ofp_match.f_nw_dst
+      ~remote_port:fields.Ofp_match.f_tp_dst
+  in
+  let binding =
+    match Hashtbl.find_opt t.nat_by_key key with
+    | Some b -> b
+    | None ->
+        t.next_nat_port <- (if t.next_nat_port >= 60000 then 20000 else t.next_nat_port + 1);
+        let cookie = t.next_nat_cookie in
+        t.next_nat_cookie <- Int64.add cookie 1L;
+        let b =
+          {
+            nat_cookie = cookie;
+            device_ip = fields.Ofp_match.f_nw_src;
+            device_port = fields.Ofp_match.f_tp_src;
+            device_mac = fields.Ofp_match.f_dl_src;
+            device_dp_port = fields.Ofp_match.f_in_port;
+            nat_proto = proto;
+            remote_ip = fields.Ofp_match.f_nw_dst;
+            remote_port = fields.Ofp_match.f_tp_dst;
+            wan_port = t.next_nat_port;
+          }
+        in
+        Hashtbl.replace t.nat_by_cookie cookie b;
+        Hashtbl.replace t.nat_by_key key b;
+        b
+  in
+  let out_actions =
+    [
+      Ofp_action.Set_dl_src (router_mac t);
+      Ofp_action.Set_nw_src wan_ip;
+      Ofp_action.Set_tp_src binding.wan_port;
+      Ofp_action.output upstream_port;
+    ]
+  in
+  (* outbound: exact match on the original headers *)
+  Controller.send_flow_mod t.conn
+    {
+      (Ofp_message.add_flow ~cookie:binding.nat_cookie ~idle_timeout:t.flow_idle_timeout
+         ~send_flow_rem:true
+         (Ofp_match.exact_of_fields fields)
+         out_actions)
+      with
+      Ofp_message.fm_buffer_id = ev.Controller.pi.Ofp_message.buffer_id;
+    };
+  (* inbound: remote -> wan_ip:wan_port, rewritten back to the device *)
+  let inbound_match =
+    {
+      Ofp_match.wildcard_all with
+      Ofp_match.in_port = Some upstream_port;
+      dl_type = Some 0x0800;
+      nw_proto = Some proto;
+      nw_src = Some (binding.remote_ip, 32);
+      nw_dst = Some (wan_ip, 32);
+      tp_src = Some binding.remote_port;
+      tp_dst = Some binding.wan_port;
+    }
+  in
+  Controller.install_flow ~cookie:binding.nat_cookie ~idle_timeout:t.flow_idle_timeout
+    ~priority:0x9000 t.conn inbound_match
+    [
+      Ofp_action.Set_nw_dst binding.device_ip;
+      Ofp_action.Set_tp_dst binding.device_port;
+      Ofp_action.Set_dl_dst binding.device_mac;
+      Ofp_action.output binding.device_dp_port;
+    ];
+  (* release the original frame if it was not buffered (buffered frames
+     are released by the flow-mod above) *)
+  if ev.Controller.pi.Ofp_message.buffer_id = None then
+    Controller.send_packet t.conn ~in_port:fields.Ofp_match.f_in_port
+      ev.Controller.pi.Ofp_message.data out_actions
+
+let drop_nat_binding t cookie =
+  match Hashtbl.find_opt t.nat_by_cookie cookie with
+  | None -> ()
+  | Some b ->
+      Hashtbl.remove t.nat_by_cookie cookie;
+      Hashtbl.remove t.nat_by_key
+        (nat_key ~proto:b.nat_proto ~device_ip:b.device_ip ~device_port:b.device_port
+           ~remote_ip:b.remote_ip ~remote_port:b.remote_port);
+      (* retire the paired inbound flow *)
+      match t.wan_ip with
+      | Some wan_ip ->
+          Controller.send_flow_mod t.conn
+            (Ofp_message.delete_flow
+               {
+                 Ofp_match.wildcard_all with
+                 Ofp_match.in_port = Some upstream_port;
+                 nw_dst = Some (wan_ip, 32);
+                 tp_dst = Some b.wan_port;
+                 nw_proto = Some b.nat_proto;
+                 dl_type = Some 0x0800;
+               })
+      | None -> ()
+
+(* drop flows carry a reserved cookie so the measurement plane can skip
+   them: Figure 1 shows admitted traffic, not refused attempts *)
+let drop_cookie = 0xD0D0D0D0L
+
+let install_drop_flow t fields =
+  t.blocked_flows <- t.blocked_flows + 1;
+  let m = Ofp_match.exact_of_fields fields in
+  Controller.install_flow ~cookie:drop_cookie ~idle_timeout:t.flow_idle_timeout
+    ~hard_timeout:30 t.conn m []
+
+let forward_or_flood t ~(ev : Controller.packet_in_event) fields =
+  let dst = fields.Ofp_match.f_dl_dst in
+  match Hashtbl.find_opt t.mac_table dst with
+  | Some out_port when out_port <> fields.Ofp_match.f_in_port ->
+      install_forward_flow t ~ev fields out_port
+  | Some _ -> () (* destination behind the ingress port; nothing to do *)
+  | None -> flood_packet t ~in_port:fields.Ofp_match.f_in_port ev.Controller.pi.Ofp_message.data
+
+let handle_ip_admission t ~(ev : Controller.packet_in_event) fields =
+  let src_ip = fields.Ofp_match.f_nw_src in
+  let dst_ip = fields.Ofp_match.f_nw_dst in
+  let lease_db = Dhcp_server.lease_db t.dhcp in
+  let from_router = Ip.equal src_ip (router_ip t) in
+  let src_leased = Hw_dhcp.Lease_db.lookup_ip lease_db src_ip <> None in
+  let from_upstream = fields.Ofp_match.f_in_port = upstream_port in
+  if (not from_router) && (not from_upstream) && not src_leased then
+    (* the DHCP module guarantees only leased devices speak IP *)
+    install_drop_flow t fields
+  else if
+    (* the paper's DHCP design prevents direct device-to-device paths;
+       with isolation on, inter-device IP flows are refused outright *)
+    t.isolate_devices
+    && (not from_upstream) && (not from_router)
+    && Ip.Prefix.mem dst_ip t.lan_prefix
+    && (not (Ip.equal dst_ip (router_ip t)))
+    && not (Ip.equal dst_ip (Ip.Prefix.broadcast_addr t.lan_prefix))
+  then begin
+    Log.info (fun m ->
+        m "isolation: refusing %s -> %s" (Ip.to_string src_ip) (Ip.to_string dst_ip));
+    install_drop_flow t fields
+  end
+  else if from_upstream || Ip.Prefix.mem dst_ip t.lan_prefix || from_router then
+    forward_or_flood t ~ev fields
+  else begin
+    (* outbound flow: the DNS proxy decides device↔site admission *)
+    match Dns_proxy.check_flow t.dns ~src_ip ~dst_ip with
+    | Dns_proxy.Flow_allow -> (
+        match t.wan_ip with
+        | Some wan_ip
+          when fields.Ofp_match.f_nw_proto = Ipv4.proto_tcp
+               || fields.Ofp_match.f_nw_proto = Ipv4.proto_udp ->
+            install_nat_flows t ~ev fields wan_ip
+        | _ -> forward_or_flood t ~ev fields)
+    | Dns_proxy.Flow_block reason ->
+        Log.info (fun m ->
+            m "blocking %s -> %s: %s" (Ip.to_string src_ip) (Ip.to_string dst_ip) reason);
+        install_drop_flow t fields
+    | Dns_proxy.Flow_reverse_lookup ptr_query ->
+        run_dns_actions t ~fallback_mac:None ~fallback_port:None
+          [ Dns_proxy.Forward_upstream ptr_query ]
+        (* this packet is dropped; the retransmission is decided from the
+           now-warm cache *)
+  end
+
+let switching_component t (ev : Controller.packet_in_event) =
+  match ev.Controller.fields, ev.Controller.packet with
+  | Some fields, Some pkt -> (
+      (* learn the station's port *)
+      let src = fields.Ofp_match.f_dl_src in
+      if not (Mac.is_multicast src) then
+        Hashtbl.replace t.mac_table src fields.Ofp_match.f_in_port;
+      match pkt.Packet.l3 with
+      | Packet.Arp arp ->
+          (* the router answers for its own address; everything else floods
+             (the upstream node proxy-ARPs for the internet) *)
+          if arp.Arp.op = Arp.Request && Ip.equal arp.Arp.target_ip (router_ip t) then begin
+            let reply = Arp.reply_to arp ~responder_mac:(router_mac t) in
+            packet_out_port t ~port:fields.Ofp_match.f_in_port
+              (Packet.arp_packet ~src_mac:(router_mac t) reply);
+            Controller.Stop
+          end
+          else begin
+            if Mac.is_broadcast pkt.Packet.eth.Ethernet.dst then
+              flood_packet t ~in_port:fields.Ofp_match.f_in_port
+                ev.Controller.pi.Ofp_message.data
+            else forward_or_flood t ~ev fields;
+            Controller.Stop
+          end
+      | Packet.Ipv4 _ when Mac.is_broadcast pkt.Packet.eth.Ethernet.dst
+                           || Mac.is_multicast pkt.Packet.eth.Ethernet.dst ->
+          flood_packet t ~in_port:fields.Ofp_match.f_in_port ev.Controller.pi.Ofp_message.data;
+          Controller.Stop
+      | Packet.Ipv4 (_, _) ->
+          handle_ip_admission t ~ev fields;
+          Controller.Stop
+      | Packet.Raw_l3 _ -> Controller.Stop)
+  | _ -> Controller.Stop
+
+(* ------------------------------------------------------------------ *)
+(* DHCP component                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let dhcp_component t (ev : Controller.packet_in_event) =
+  match ev.Controller.packet with
+  | Some ({ Packet.l3 = Packet.Ipv4 (_, Packet.Udp u); _ } as pkt)
+    when u.Udp.dst_port = Dhcp_wire.server_port ->
+      (match ev.Controller.fields with
+      | Some fields ->
+          Hashtbl.replace t.mac_table fields.Ofp_match.f_dl_src fields.Ofp_match.f_in_port
+      | None -> ());
+      let replies = Dhcp_server.handle_packet t.dhcp pkt in
+      List.iter
+        (fun reply ->
+          packet_out_port t ~port:ev.Controller.pi.Ofp_message.in_port reply)
+        replies;
+      Controller.Stop
+  | _ -> Controller.Continue
+
+(* ------------------------------------------------------------------ *)
+(* DNS component                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let dns_component t (ev : Controller.packet_in_event) =
+  match ev.Controller.packet with
+  | Some { Packet.l3 = Packet.Ipv4 (ip_hdr, Packet.Udp u); eth }
+    when u.Udp.dst_port = 53 && ev.Controller.pi.Ofp_message.in_port <> upstream_port ->
+      (* outgoing DNS request: intercept *)
+      (match Dns_wire.decode u.Udp.payload with
+      | Ok query when not query.Dns_wire.is_response ->
+          let actions =
+            Dns_proxy.handle_query t.dns ~src_ip:ip_hdr.Ipv4.src ~src_port:u.Udp.src_port query
+          in
+          run_dns_actions t ~fallback_mac:(Some eth.Ethernet.src)
+            ~fallback_port:(Some ev.Controller.pi.Ofp_message.in_port) actions
+      | Ok _ | Error _ -> ());
+      Controller.Stop
+  | Some { Packet.l3 = Packet.Ipv4 (ip_hdr, Packet.Udp u); _ }
+    when u.Udp.src_port = 53
+         && (Ip.equal ip_hdr.Ipv4.dst (router_ip t)
+            || match t.wan_ip with
+               | Some w -> Ip.equal ip_hdr.Ipv4.dst w
+               | None -> false)
+         && u.Udp.dst_port = dns_forward_port -> (
+      (* response from the upstream resolver to the proxy *)
+      match Dns_wire.decode u.Udp.payload with
+      | Ok response when response.Dns_wire.is_response ->
+          run_dns_actions t ~fallback_mac:None ~fallback_port:None
+            (Dns_proxy.handle_upstream t.dns response);
+          Controller.Stop
+      | Ok _ | Error _ -> Controller.Stop)
+  | _ -> Controller.Continue
+
+(* ------------------------------------------------------------------ *)
+(* Measurement: flow stats -> hwdb Flows                               *)
+(* ------------------------------------------------------------------ *)
+
+let record_flow_sample t (fs : Ofp_message.flow_stats) =
+  let m = fs.Ofp_message.fs_match in
+  if Int64.equal fs.Ofp_message.fs_cookie drop_cookie then ()
+  else
+  match m.Ofp_match.nw_src, m.Ofp_match.nw_dst, m.Ofp_match.nw_proto with
+  | Some (src_ip, _), Some (dst_ip, _), Some proto when proto <> 0 ->
+      (* NAT: account inbound rewritten flows to the device, not the WAN
+         address, so Figure 1 keeps per-device attribution *)
+      let dst_ip, m =
+        match Hashtbl.find_opt t.nat_by_cookie fs.Ofp_message.fs_cookie with
+        | Some b when t.wan_ip <> None && Ip.equal dst_ip (Option.get t.wan_ip) ->
+            (b.device_ip, { m with Ofp_match.tp_dst = Some b.device_port })
+        | _ -> (dst_ip, m)
+      in
+      let key = Printf.sprintf "%d|%s" fs.Ofp_message.fs_priority (Ofp_match.to_string m) in
+      let prev_p, prev_b =
+        Option.value (Hashtbl.find_opt t.flow_snapshots key) ~default:(0L, 0L)
+      in
+      let dp = Int64.sub fs.Ofp_message.fs_packet_count prev_p in
+      let db_ = Int64.sub fs.Ofp_message.fs_byte_count prev_b in
+      Hashtbl.replace t.flow_snapshots key
+        (fs.Ofp_message.fs_packet_count, fs.Ofp_message.fs_byte_count);
+      if Int64.compare dp 0L > 0 then
+        Database.record_flow t.database ~proto ~src_ip:(Ip.to_string src_ip)
+          ~dst_ip:(Ip.to_string dst_ip)
+          ~src_port:(Option.value m.Ofp_match.tp_src ~default:0)
+          ~dst_port:(Option.value m.Ofp_match.tp_dst ~default:0)
+          ~packets:(Int64.to_int dp) ~bytes:(Int64.to_int db_)
+  | _ -> ()
+
+let poll_flow_stats t =
+  Controller.request_stats t.conn
+    (Ofp_message.Flow_stats_request
+       {
+         sr_match = Ofp_match.wildcard_all;
+         table_id = 0xff;
+         sr_out_port = Ofp_action.Port.none;
+       })
+    (function
+      | Ofp_message.Flow_stats_reply entries -> List.iter (record_flow_sample t) entries
+      | _ -> ())
+
+let report_link t ~mac ~rssi ~retries ~packets =
+  Database.record_link t.database ~mac:(Mac.to_string mac) ~rssi ~retries ~packets
+
+(* ------------------------------------------------------------------ *)
+(* Policy application                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let dns_policy_digest = function
+  | Dns_proxy.Allow_all -> "allow_all"
+  | Dns_proxy.Block_all -> "block_all"
+  | Dns_proxy.Allow_only ds -> "allow:" ^ String.concat "," (List.sort compare ds)
+  | Dns_proxy.Block_listed ds -> "block:" ^ String.concat "," (List.sort compare ds)
+
+let flush_flows_for_ip t ip =
+  let del nw_field =
+    Controller.send_flow_mod t.conn (Ofp_message.delete_flow nw_field)
+  in
+  del { Ofp_match.wildcard_all with Ofp_match.nw_src = Some (ip, 32) };
+  del { Ofp_match.wildcard_all with Ofp_match.nw_dst = Some (ip, 32) }
+
+let apply_policies_now t =
+  let now = Hw_sim.Event_loop.now t.loop in
+  List.iter
+    (fun mac ->
+      let decision = Policy.evaluate t.pol ~mac ~now in
+      let digest =
+        ( decision.Policy.network_allowed,
+          dns_policy_digest decision.Policy.dns_policy )
+      in
+      let changed =
+        match Hashtbl.find_opt t.policy_cache mac with
+        | Some cached -> cached <> digest
+        | None -> true
+      in
+      if changed then begin
+        Hashtbl.replace t.policy_cache mac digest;
+        Log.info (fun m ->
+            m "policy change for %s: network=%b dns=%s" (Mac.to_string mac)
+              decision.Policy.network_allowed
+              (snd digest));
+        (* flush flows before revoking so stale entries cannot bypass *)
+        (match Hw_dhcp.Lease_db.lookup_mac (Dhcp_server.lease_db t.dhcp) mac with
+        | Some lease -> flush_flows_for_ip t lease.Hw_dhcp.Lease_db.ip
+        | None -> ());
+        Dns_proxy.set_policy t.dns mac decision.Policy.dns_policy;
+        if decision.Policy.network_allowed then Dhcp_server.permit t.dhcp mac
+        else Dhcp_server.deny t.dhcp mac
+      end)
+    (Policy.constrained_devices t.pol)
+
+(* ------------------------------------------------------------------ *)
+(* USB / udev                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let insert_usb t ~device fs = Hw_policy.Udev_monitor.insert t.udev_mon ~device fs
+
+let remove_usb t ~device = ignore (Hw_policy.Udev_monitor.remove t.udev_mon ~device)
+
+(* ------------------------------------------------------------------ *)
+(* Control API ops                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let parse_mac s =
+  match Mac.of_string s with
+  | Some mac -> Ok mac
+  | None -> Error (Printf.sprintf "bad MAC %S" s)
+
+let device_json t (mac, state, hostname) =
+  let lease = Hw_dhcp.Lease_db.lookup_mac (Dhcp_server.lease_db t.dhcp) mac in
+  Json.Obj
+    ([
+       ("mac", Json.String (Mac.to_string mac));
+       ( "state",
+         Json.String
+           (match state with
+           | Dhcp_server.Permitted -> "permitted"
+           | Dhcp_server.Denied -> "denied"
+           | Dhcp_server.Pending -> "pending") );
+       ("hostname", Json.String hostname);
+       ( "metadata",
+         Json.String (Option.value (Dhcp_server.metadata t.dhcp mac) ~default:"") );
+     ]
+    @
+    match lease with
+    | Some l -> [ ("lease_ip", Json.String (Ip.to_string l.Hw_dhcp.Lease_db.ip)) ]
+    | None -> [])
+
+let result_set_json (rs : Hw_hwdb.Query.result_set) =
+  Json.Obj
+    [
+      ("columns", Json.List (List.map (fun c -> Json.String c) rs.Hw_hwdb.Query.columns));
+      ( "rows",
+        Json.List
+          (List.map
+             (fun row ->
+               Json.List
+                 (List.map
+                    (fun v ->
+                      match v with
+                      | Value.Int i -> Json.Int i
+                      | Value.Real f | Value.Ts f -> Json.Float f
+                      | Value.Str s -> Json.String s
+                      | Value.Bool b -> Json.Bool b)
+                    row))
+             rs.Hw_hwdb.Query.rows) );
+    ]
+
+let make_ops t =
+  let with_mac s f = Result.bind (parse_mac s) (fun mac -> f mac) in
+  {
+    Hw_control_api.Control_api.status =
+      (fun () ->
+        Json.Obj
+          [
+            ("router", Json.String "homework");
+            ("time", Json.Float (Hw_sim.Event_loop.now t.loop));
+            ("devices", Json.Int (List.length (Dhcp_server.devices t.dhcp)));
+            ("flows", Json.Int (flows_installed t));
+            ("packet_ins", Json.Int (packet_ins t));
+          ]);
+    list_devices = (fun () -> Json.List (List.map (device_json t) (Dhcp_server.devices t.dhcp)));
+    permit_device =
+      (fun s ->
+        with_mac s (fun mac ->
+            Dhcp_server.permit t.dhcp mac;
+            Ok ()));
+    deny_device =
+      (fun s ->
+        with_mac s (fun mac ->
+            (match Hw_dhcp.Lease_db.lookup_mac (Dhcp_server.lease_db t.dhcp) mac with
+            | Some lease -> flush_flows_for_ip t lease.Hw_dhcp.Lease_db.ip
+            | None -> ());
+            Dhcp_server.deny t.dhcp mac;
+            Ok ()));
+    forget_device =
+      (fun s ->
+        with_mac s (fun mac ->
+            Dhcp_server.forget t.dhcp mac;
+            Ok ()));
+    set_device_metadata =
+      (fun s name ->
+        with_mac s (fun mac ->
+            Dhcp_server.set_metadata t.dhcp mac name;
+            Ok ()));
+    list_leases =
+      (fun () ->
+        Json.List
+          (List.map
+             (fun (l : Hw_dhcp.Lease_db.lease) ->
+               Json.Obj
+                 [
+                   ("mac", Json.String (Mac.to_string l.Hw_dhcp.Lease_db.mac));
+                   ("ip", Json.String (Ip.to_string l.Hw_dhcp.Lease_db.ip));
+                   ("hostname", Json.String l.Hw_dhcp.Lease_db.hostname);
+                   ("expires_at", Json.Float l.Hw_dhcp.Lease_db.expires_at);
+                 ])
+             (Hw_dhcp.Lease_db.active (Dhcp_server.lease_db t.dhcp))));
+    list_policies = (fun () -> Json.List (List.map Policy.rule_to_json (Policy.rules t.pol)));
+    add_policy =
+      (fun json ->
+        match Policy.rule_of_json json with
+        | Ok rule ->
+            Policy.add_rule t.pol rule;
+            apply_policies_now t;
+            Ok (Policy.rule_to_json rule)
+        | Error _ as e -> e);
+    delete_policy =
+      (fun id ->
+        if Policy.remove_rule t.pol id then begin
+          apply_policies_now t;
+          Ok ()
+        end
+        else Error (Printf.sprintf "no rule %s" id));
+    list_groups =
+      (fun () ->
+        Json.Obj
+          (List.map
+             (fun name ->
+               ( name,
+                 Json.List
+                   (List.map
+                      (fun mac -> Json.String (Mac.to_string mac))
+                      (Policy.group_members t.pol name)) ))
+             (Policy.group_names t.pol)));
+    set_group =
+      (fun name mac_strings ->
+        let macs = List.map Mac.of_string mac_strings in
+        if List.exists Option.is_none macs then Error "bad MAC in members"
+        else begin
+          Policy.define_group t.pol name (List.map Option.get macs);
+          apply_policies_now t;
+          Ok ()
+        end);
+    usb_event =
+      (fun json ->
+        match Json.member_opt "event" json, Json.member_opt "token" json with
+        | Some (Json.String "insert"), Some (Json.String token) ->
+            let rules =
+              match Json.member_opt "rules" json with
+              | Some (Json.List rules) -> rules
+              | _ -> []
+            in
+            let parsed = List.map Policy.rule_of_json rules in
+            (match List.find_opt Result.is_error parsed with
+            | Some (Error msg) -> Error msg
+            | Some (Ok _) -> assert false
+            | None ->
+                List.iter (fun r -> Policy.add_rule t.pol (Result.get_ok r)) parsed;
+                Policy.insert_token t.pol token;
+                apply_policies_now t;
+                Ok (Json.Obj [ ("token", Json.String token) ]))
+        | Some (Json.String "remove"), Some (Json.String token) ->
+            Policy.remove_token t.pol token;
+            apply_policies_now t;
+            Ok (Json.Obj [ ("token", Json.String token) ])
+        | _ -> Error "expected {\"event\": \"insert\"|\"remove\", \"token\": ...}");
+    hwdb_query =
+      (fun q ->
+        match Database.query t.database q with
+        | Ok rs -> Ok (result_set_json rs)
+        | Error _ as e -> e);
+    dns_stats =
+      (fun () ->
+        let st = Dns_proxy.stats t.dns in
+        Json.Obj
+          [
+            ("queries", Json.Int st.Dns_proxy.queries);
+            ("blocked", Json.Int st.Dns_proxy.blocked);
+            ("forwarded", Json.Int st.Dns_proxy.forwarded);
+            ("cache_answers", Json.Int st.Dns_proxy.cache_answers);
+            ("reverse_lookups", Json.Int st.Dns_proxy.reverse_lookups);
+            ("cache_size", Json.Int (Dns_proxy.cache_size t.dns));
+          ]);
+  }
+
+let http t req =
+  match !(t.api) with
+  | Some api -> Hw_control_api.Control_api.handle api req
+  | None -> Http.error_response 500 "control API not initialised"
+
+let http_raw t raw =
+  match !(t.api) with
+  | Some api -> Hw_control_api.Control_api.handle_raw api raw
+  | None -> Http.encode_response (Http.error_response 500 "control API not initialised")
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(dhcp_config = Dhcp_server.default_config) ?(flow_idle_timeout = 10)
+    ?(wired_ports = 4) ?nat ?(isolate_devices = false) ~loop () =
+  let now () = Hw_sim.Event_loop.now loop in
+  let database = Database.create ~now () in
+  let dhcp_server = Dhcp_server.create ~config:dhcp_config ~now () in
+  let dns_proxy = Dns_proxy.create ~now () in
+  Dns_proxy.set_device_of_ip dns_proxy (fun ip ->
+      Option.map
+        (fun l -> l.Hw_dhcp.Lease_db.mac)
+        (Hw_dhcp.Lease_db.lookup_ip (Dhcp_server.lease_db dhcp_server) ip));
+  let ctrl = Controller.create ~now in
+  (* mutual channel wiring uses forward references resolved below *)
+  let dp_ref = ref None in
+  let conn_ref = ref None in
+  let conn =
+    Controller.attach_switch ctrl ~send:(fun bytes ->
+        match !dp_ref with
+        | Some dp -> Datapath.input_from_controller dp bytes
+        | None -> ())
+  in
+  conn_ref := Some conn;
+  let transmit_ref = ref (fun ~port_no:_ _ -> ()) in
+  let ports =
+    { Datapath.port_no = wireless_port; name = "wlan0"; mac = Mac.local 0xa0 }
+    :: { Datapath.port_no = upstream_port; name = "upstream"; mac = Mac.local 0xff01 }
+    :: List.init wired_ports (fun i ->
+           { Datapath.port_no = wired_port i; name = Printf.sprintf "eth%d" i; mac = Mac.local (0xe0 + i) })
+  in
+  let dp =
+    Datapath.create ~dpid:1L ~ports
+      ~transmit:(fun ~port_no frame -> !transmit_ref ~port_no frame)
+      ~to_controller:(fun bytes -> Controller.input ctrl conn bytes)
+      ~now
+  in
+  dp_ref := Some dp;
+  let rpc_send_ref = ref (fun ~to_:_ _ -> ()) in
+  let rpc_server =
+    Rpc.Server.create ~db:database ~send:(fun ~to_ data -> !rpc_send_ref ~to_ data)
+  in
+  let t =
+    {
+      loop;
+      dp;
+      ctrl;
+      conn;
+      dhcp = dhcp_server;
+      dns = dns_proxy;
+      pol = Policy.create ();
+      udev_mon = Hw_policy.Udev_monitor.create ();
+      database;
+      rpc_server;
+      rpc_send = (fun ~to_:_ _ -> ());
+      api = ref None;
+      lan_prefix =
+        Ip.Prefix.make dhcp_config.Dhcp_server.server_ip
+          (prefix_bits_of_netmask dhcp_config.Dhcp_server.netmask);
+      flow_idle_timeout;
+      isolate_devices;
+      mac_table = Hashtbl.create 64;
+      flow_snapshots = Hashtbl.create 256;
+      policy_cache = Hashtbl.create 16;
+      transmit = (fun ~port_no:_ _ -> ());
+      blocked_flows = 0;
+      wan_ip = nat;
+      next_nat_port = 20000;
+      nat_by_cookie = Hashtbl.create 64;
+      nat_by_key = Hashtbl.create 64;
+      next_nat_cookie = 1L;
+    }
+  in
+  transmit_ref := (fun ~port_no frame -> t.transmit ~port_no frame);
+  rpc_send_ref := (fun ~to_ data -> t.rpc_send ~to_ data);
+  (* NOX components, in dispatch order *)
+  Controller.on_packet_in ctrl ~name:"dhcp" (dhcp_component t);
+  Controller.on_packet_in ctrl ~name:"dns" (dns_component t);
+  Controller.on_packet_in ctrl ~name:"switching" (switching_component t);
+  (* NAT bindings die with their outbound flow *)
+  Controller.on_flow_removed ctrl ~name:"measurement-final" (fun _conn fr ->
+      (* account the tail of the flow that the periodic poll missed *)
+      record_flow_sample t
+        {
+          Ofp_message.fs_table_id = 0;
+          fs_match = fr.Ofp_message.fr_match;
+          fs_duration_sec = fr.Ofp_message.duration_sec;
+          fs_duration_nsec = fr.Ofp_message.duration_nsec;
+          fs_priority = fr.Ofp_message.fr_priority;
+          fs_idle_timeout = fr.Ofp_message.fr_idle_timeout;
+          fs_hard_timeout = 0;
+          fs_cookie = fr.Ofp_message.fr_cookie;
+          fs_packet_count = fr.Ofp_message.packet_count;
+          fs_byte_count = fr.Ofp_message.byte_count;
+          fs_actions = [];
+        };
+      (* and forget the snapshot so a re-installed identical flow starts clean *)
+      let key =
+        Printf.sprintf "%d|%s" fr.Ofp_message.fr_priority
+          (Ofp_match.to_string fr.Ofp_message.fr_match)
+      in
+      Hashtbl.remove t.flow_snapshots key);
+  Controller.on_flow_removed ctrl ~name:"nat-gc" (fun _conn fr ->
+      if not (Int64.equal fr.Ofp_message.fr_cookie 0L) then
+        drop_nat_binding t fr.Ofp_message.fr_cookie);
+  (* DHCP events land in hwdb Leases (grant / renew / revoke / deny) *)
+  Dhcp_server.on_event dhcp_server (fun ev ->
+      let record action (l : Hw_dhcp.Lease_db.lease) =
+        Database.record_lease database
+          ~mac:(Mac.to_string l.Hw_dhcp.Lease_db.mac)
+          ~ip:(Ip.to_string l.Hw_dhcp.Lease_db.ip)
+          ~hostname:l.Hw_dhcp.Lease_db.hostname ~action
+      in
+      match ev with
+      | Dhcp_server.Lease_granted l -> record "grant" l
+      | Dhcp_server.Lease_renewed l -> record "renew" l
+      | Dhcp_server.Lease_revoked l -> record "revoke" l
+      | Dhcp_server.Lease_released l -> record "release" l
+      | Dhcp_server.Request_denied { mac; hostname } ->
+          Database.record_lease database ~mac:(Mac.to_string mac) ~ip:"" ~hostname
+            ~action:"deny"
+      | Dhcp_server.Device_pending { mac; hostname } ->
+          Database.record_lease database ~mac:(Mac.to_string mac) ~ip:"" ~hostname
+            ~action:"pending");
+  (* key inserted/removed -> policy tokens and rules *)
+  Hw_policy.Udev_monitor.on_event t.udev_mon (fun ev ->
+      match ev with
+      | Hw_policy.Udev_monitor.Key_inserted key ->
+          List.iter (Policy.add_rule t.pol) key.Hw_policy.Usb_key.rules;
+          Policy.insert_token t.pol key.Hw_policy.Usb_key.token;
+          apply_policies_now t
+      | Hw_policy.Udev_monitor.Key_removed key ->
+          Policy.remove_token t.pol key.Hw_policy.Usb_key.token;
+          apply_policies_now t
+      | Hw_policy.Udev_monitor.Invalid_key { device; reason } ->
+          Log.warn (fun m -> m "invalid policy key on %s: %s" device reason));
+  t.api := Some (Hw_control_api.Control_api.build (make_ops t));
+  (* OpenFlow session *)
+  Datapath.connect dp;
+  (* periodic work: timeouts, subscriptions, measurement, policy *)
+  Hw_sim.Event_loop.every loop 1.0 (fun () ->
+      Datapath.tick dp;
+      Dhcp_server.tick dhcp_server;
+      poll_flow_stats t;
+      Database.tick database;
+      apply_policies_now t);
+  Hw_sim.Event_loop.every loop 60.0 (fun () -> Dns_proxy.expire_cache dns_proxy);
+  Hw_sim.Event_loop.every loop 15.0 (fun () ->
+      ignore (Controller.ping_stale ctrl ~idle_after:15. ~dead_after:120.));
+  t

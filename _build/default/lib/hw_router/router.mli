@@ -1,0 +1,94 @@
+(** The Homework router: the composition in the paper's Figure 5.
+
+    One [Router.t] owns the Open vSwitch datapath (bridge dp0), a NOX
+    controller with the DHCP server, DNS proxy and switching components,
+    the hwdb measurement database with its UDP RPC server, the RESTful
+    control API, the policy engine and the udev USB monitor.
+
+    Ports: 1 = wlan0 (all wireless stations share it), 10.. = wired
+    Ethernet ports, 100 = upstream ISP. *)
+
+open Hw_packet
+
+type t
+
+val wireless_port : int
+val upstream_port : int
+val wired_port : int -> int
+(** [wired_port i] for i >= 0. *)
+
+val create :
+  ?dhcp_config:Hw_dhcp.Dhcp_server.config ->
+  ?flow_idle_timeout:int ->
+  ?wired_ports:int ->
+  ?nat:Ip.t ->
+  ?isolate_devices:bool ->
+  loop:Hw_sim.Event_loop.t ->
+  unit ->
+  t
+(** Builds and connects everything; periodic work (datapath timeouts, hwdb
+    subscription delivery, flow-stats measurement, policy evaluation) is
+    scheduled on [loop].
+
+    [isolate_devices] (default false) refuses IP flows between two home
+    devices — the paper's "avoiding direct Ethernet-layer communication
+    between devices" as an explicit wireless-isolation control (traffic
+    to the router and upstream is unaffected).
+
+    [nat] enables NAT on the upstream port with the given WAN address:
+    outbound TCP/UDP flows are installed with source rewrites to
+    [wan_ip:port] and a paired inbound flow translates back, exercising
+    the OpenFlow set-field actions. Bindings are garbage-collected when
+    the outbound flow idles out. Measurement samples are translated back
+    to device addresses so per-device attribution survives NAT. *)
+
+(** {2 Dataplane wiring (the simulated NICs)} *)
+
+val set_transmit : t -> (port_no:int -> string -> unit) -> unit
+val receive_frame : t -> in_port:int -> string -> unit
+
+(** {2 Component access} *)
+
+val db : t -> Hw_hwdb.Database.t
+val dhcp : t -> Hw_dhcp.Dhcp_server.t
+val dns : t -> Hw_dns.Dns_proxy.t
+val policy : t -> Hw_policy.Policy.t
+val udev : t -> Hw_policy.Udev_monitor.t
+val datapath : t -> Hw_datapath.Datapath.t
+val controller : t -> Hw_controller.Controller.t
+val router_ip : t -> Ip.t
+val router_mac : t -> Mac.t
+
+(** {2 Interfaces' entry points} *)
+
+val http : t -> Hw_control_api.Http.request -> Hw_control_api.Http.response
+(** The control API, as the UIs and udev invoke it. *)
+
+val http_raw : t -> string -> string
+
+val rpc_datagram : t -> from:string -> string -> unit
+(** Deliver one hwdb RPC datagram; replies/publications go through the
+    sender registered with {!set_rpc_send}. *)
+
+val set_rpc_send : t -> (to_:string -> string -> unit) -> unit
+
+(** {2 Measurement-plane inputs} *)
+
+val report_link : t -> mac:Mac.t -> rssi:int -> retries:int -> packets:int -> unit
+(** Link-layer observation for one wireless station (the wlan driver's
+    view); lands in the hwdb [Links] table. *)
+
+(** {2 USB mediation} *)
+
+val insert_usb : t -> device:string -> Hw_policy.Usb_key.fs -> (Hw_policy.Usb_key.key, string) result
+val remove_usb : t -> device:string -> unit
+
+(** {2 Introspection} *)
+
+val flows_installed : t -> int
+val packet_ins : t -> int
+val blocked_flow_count : t -> int
+val nat_enabled : t -> bool
+val nat_binding_count : t -> int
+val apply_policies_now : t -> unit
+(** Re-evaluates policy rules immediately (normally every second). *)

@@ -1,0 +1,1 @@
+lib/hw_sim/app_profile.mli:

@@ -1,0 +1,1 @@
+lib/hw_sim/device.ml: App_profile Arp Dhcp_wire Dns_wire Ethernet Event_loop Float Hashtbl Hw_packet Int32 Ip List Logs Mac Option Packet Prng Rssi String Tcp Udp

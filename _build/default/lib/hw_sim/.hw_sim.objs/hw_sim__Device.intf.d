@@ -1,0 +1,1 @@
+lib/hw_sim/device.mli: App_profile Event_loop Hw_packet Ip Mac Rssi Tcp

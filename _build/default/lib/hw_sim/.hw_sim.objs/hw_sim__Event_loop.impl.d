@@ -1,0 +1,1 @@
+lib/hw_sim/event_loop.ml: Array Float Hw_time Obj Option

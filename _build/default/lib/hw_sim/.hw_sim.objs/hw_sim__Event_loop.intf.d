@@ -1,0 +1,1 @@
+lib/hw_sim/event_loop.mli: Hw_time

@@ -1,0 +1,1 @@
+lib/hw_sim/internet.ml: Arp Dns_wire Ethernet Event_loop Hashtbl Hw_packet Icmp Int32 Ip Ipv4 List Logs Mac Option Packet String Tcp Udp

@@ -1,0 +1,1 @@
+lib/hw_sim/internet.mli: Event_loop Hw_packet Ip Mac

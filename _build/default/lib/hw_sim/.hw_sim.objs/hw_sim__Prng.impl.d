@@ -1,0 +1,1 @@
+lib/hw_sim/prng.ml: Int64 List

@@ -1,0 +1,1 @@
+lib/hw_sim/prng.mli:

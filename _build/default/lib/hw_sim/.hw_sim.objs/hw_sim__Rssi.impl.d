@@ -1,0 +1,1 @@
+lib/hw_sim/rssi.ml: Float Prng

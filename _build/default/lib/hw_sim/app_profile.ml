@@ -1,0 +1,108 @@
+type transport = Tcp | Udp
+
+type t = {
+  app_name : string;
+  transport : transport;
+  dst_host : string;
+  dst_port : int;
+  session_mean_interval : float;
+  session_duration : float;
+  request_bytes : int;
+  response_factor : float;
+  packet_size : int;
+}
+
+let web =
+  {
+    app_name = "web";
+    transport = Tcp;
+    dst_host = "www.example.com";
+    dst_port = 80;
+    session_mean_interval = 15.;
+    session_duration = 2.;
+    request_bytes = 2_000;
+    response_factor = 20.;
+    packet_size = 500;
+  }
+
+let https =
+  {
+    app_name = "https";
+    transport = Tcp;
+    dst_host = "secure.example.com";
+    dst_port = 443;
+    session_mean_interval = 20.;
+    session_duration = 3.;
+    request_bytes = 3_000;
+    response_factor = 15.;
+    packet_size = 600;
+  }
+
+let video =
+  {
+    app_name = "video";
+    transport = Tcp;
+    dst_host = "video.example.com";
+    dst_port = 8080;
+    session_mean_interval = 120.;
+    session_duration = 60.;
+    request_bytes = 20_000;
+    response_factor = 100.;
+    packet_size = 1200;
+  }
+
+let voip =
+  {
+    app_name = "voip";
+    transport = Udp;
+    dst_host = "sip.example.com";
+    dst_port = 5060;
+    session_mean_interval = 300.;
+    session_duration = 90.;
+    request_bytes = 180_000;
+    response_factor = 1.;
+    packet_size = 200;
+  }
+
+let p2p =
+  {
+    app_name = "p2p";
+    transport = Tcp;
+    dst_host = "tracker.example.com";
+    dst_port = 6881;
+    session_mean_interval = 8.;
+    session_duration = 5.;
+    request_bytes = 30_000;
+    response_factor = 3.;
+    packet_size = 1400;
+  }
+
+let iot_telemetry =
+  {
+    app_name = "iot";
+    transport = Udp;
+    dst_host = "iot.example.com";
+    dst_port = 8883;
+    session_mean_interval = 30.;
+    session_duration = 0.5;
+    request_bytes = 256;
+    response_factor = 0.5;
+    packet_size = 128;
+  }
+
+let profiles = [ web; https; video; voip; p2p; iot_telemetry ]
+
+let classify ~transport_proto ~port =
+  match transport_proto, port with
+  | 6, 80 -> "web"
+  | 6, 443 -> "https"
+  | 6, 8080 -> "video"
+  | 17, 5060 -> "voip"
+  | 6, 6881 -> "p2p"
+  | 17, 8883 -> "iot"
+  | 17, 53 -> "dns"
+  | 17, 67 | 17, 68 -> "dhcp"
+  | 6, _ -> "other-tcp"
+  | 17, _ -> "other-udp"
+  | 1, _ -> "icmp"
+  | _ -> "other"

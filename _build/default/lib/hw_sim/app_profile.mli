@@ -1,0 +1,36 @@
+(** Application traffic profiles for simulated devices — the workloads
+    behind Figure 1's per-device per-protocol bandwidth display. The
+    paper's "imperfect application–protocol mapping" is the port-based
+    classification in {!classify}. *)
+
+type transport = Tcp | Udp
+
+type t = {
+  app_name : string;
+  transport : transport;
+  dst_host : string;       (** resolved via DNS before traffic flows *)
+  dst_port : int;
+  session_mean_interval : float;  (** mean seconds between session starts *)
+  session_duration : float;
+  request_bytes : int;     (** client bytes per session *)
+  response_factor : float; (** server bytes per client byte *)
+  packet_size : int;       (** client payload bytes per packet *)
+}
+
+(** Built-in profiles: [web] (HTTP, port 80), [https] (443), [video]
+    (long high-rate streams, 8080), [voip] (symmetric UDP, 5060), [p2p]
+    (many small sessions, 6881), [iot_telemetry] (sparse tiny UDP
+    reports, 8883). *)
+
+val web : t
+val https : t
+val video : t
+val voip : t
+val p2p : t
+val iot_telemetry : t
+val profiles : t list
+
+val classify : transport_proto:int -> port:int -> string
+(** Port/protocol → application label, as the bandwidth UI shows
+    ("to the extent permitted by the imperfect application–protocol
+    mapping"). Unknown ports classify as ["other-tcp"]/["other-udp"]. *)

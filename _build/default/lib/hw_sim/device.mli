@@ -1,0 +1,78 @@
+(** A simulated home device: DHCP client state machine, ARP, stub DNS
+    resolver and application traffic driven by {!App_profile} — enough to
+    exercise every router code path the paper demonstrates. *)
+
+open Hw_packet
+
+type kind = Wired | Wireless of { mutable distance_m : float }
+
+type config = {
+  name : string;       (** DHCP hostname, e.g. "toms-mac-air" *)
+  mac : Mac.t;
+  kind : kind;
+  apps : App_profile.t list;
+}
+
+val wireless : ?distance_m:float -> name:string -> mac:Mac.t -> App_profile.t list -> config
+val wired : name:string -> mac:Mac.t -> App_profile.t list -> config
+
+type dhcp_state = Init | Selecting | Requesting | Bound | Denied
+
+type stats = {
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+  mutable rx_packets : int;
+  mutable rx_bytes : int;
+  mutable retries : int;     (** link-layer retry count (wireless) *)
+  mutable lost_frames : int;
+  mutable dns_queries : int;
+  mutable dns_failures : int;
+}
+
+type t
+
+val create :
+  ?seed:int ->
+  ?rssi_params:Rssi.params ->
+  config:config ->
+  loop:Event_loop.t ->
+  send:(string -> unit) ->
+  unit ->
+  t
+(** [send] injects the device's frames into the network (towards the
+    router port it is attached to). *)
+
+val name : t -> string
+val mac : t -> Mac.t
+val config : t -> config
+
+val start : t -> unit
+(** Powers on: begins DHCP discovery. *)
+
+val stop : t -> unit
+(** Releases the lease and stops generating traffic. *)
+
+val deliver : t -> string -> unit
+(** A frame from the network (the device ignores frames not addressed to
+    it or broadcast). *)
+
+val dhcp_state : t -> dhcp_state
+val ip : t -> Ip.t option
+val stats : t -> stats
+
+val rssi : t -> int option
+(** Current RSSI for wireless devices (None when wired). *)
+
+val set_distance : t -> float -> unit
+(** Move a wireless device (artifact Mode 1 walks do this). *)
+
+val on_bound : t -> (Ip.t -> unit) -> unit
+val on_denied : t -> (unit -> unit) -> unit
+
+val resolve : t -> string -> (Ip.t option -> unit) -> unit
+(** Ad-hoc DNS lookup through the router (used by examples/tests). Must be
+    bound. *)
+
+val send_udp : t -> dst_ip:Ip.t -> dst_port:int -> ?src_port:int -> string -> unit
+val send_tcp_segment :
+  t -> dst_ip:Ip.t -> dst_port:int -> ?src_port:int -> ?flags:Tcp.flags -> string -> unit

@@ -1,0 +1,31 @@
+(** Discrete-event simulation core: a virtual clock plus a time-ordered
+    event queue. Events scheduled for the same instant run in scheduling
+    order (stable). *)
+
+type t
+
+val create : ?start:Hw_time.timestamp -> unit -> t
+val now : t -> Hw_time.timestamp
+val clock : t -> Hw_time.Clock.t
+
+val at : t -> Hw_time.timestamp -> (unit -> unit) -> unit
+(** Schedule at an absolute time. Events in the past run at the current
+    time (immediately on the next step). *)
+
+val after : t -> float -> (unit -> unit) -> unit
+
+val every : t -> ?start_in:float -> float -> (unit -> unit) -> unit
+(** Recurring event; reschedules itself until [cancel_recurring]. Returns
+    nothing — recurring events are identified by their closure and live for
+    the whole simulation (the common case here). *)
+
+val step : t -> bool
+(** Runs the earliest event, advancing the clock to it. [false] if the
+    queue is empty. *)
+
+val run_until : t -> Hw_time.timestamp -> unit
+(** Processes every event scheduled up to and including [t], then sets the
+    clock to [t]. *)
+
+val run_for : t -> float -> unit
+val pending : t -> int

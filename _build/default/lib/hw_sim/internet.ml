@@ -1,0 +1,264 @@
+open Hw_packet
+
+let log_src = Logs.Src.create "hw.sim.internet" ~doc:"Upstream internet node"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let mac = Mac.of_string_exn "02:ff:ff:ff:ff:fe"
+let resolver_ip = Ip.of_octets 8 8 8 8
+
+type t = {
+  loop : Event_loop.t;
+  send : string -> unit;
+  latency : float;
+  lan_prefix : Ip.Prefix.t;
+  zone : (string, Ip.t) Hashtbl.t;
+  reverse : (Ip.t, string) Hashtbl.t;
+  factors : (int, float) Hashtbl.t;
+  lan_sources : (Ip.t, int) Hashtbl.t;
+  mutable rx : int;
+  mutable tx : int;
+}
+
+let create ?(latency = 0.02) ?lan_prefix ~loop ~send () =
+  let lan_prefix =
+    Option.value lan_prefix ~default:(Ip.Prefix.make (Ip.of_octets 10 0 0 0) 24)
+  in
+  let t =
+    {
+      loop;
+      send;
+      latency;
+      lan_prefix;
+      zone = Hashtbl.create 32;
+      reverse = Hashtbl.create 32;
+      factors = Hashtbl.create 16;
+      lan_sources = Hashtbl.create 16;
+      rx = 0;
+      tx = 0;
+    }
+  in
+  List.iter
+    (fun (port, f) -> Hashtbl.replace t.factors port f)
+    [ (80, 20.); (443, 15.); (8080, 100.); (5060, 1.); (6881, 3.); (8883, 0.5) ];
+  t
+
+let add_zone t name ip =
+  let name = Dns_wire.normalize_name name in
+  Hashtbl.replace t.zone name ip;
+  Hashtbl.replace t.reverse ip name
+
+let add_default_zone t =
+  List.iteri
+    (fun i (name : string) -> add_zone t name (Ip.of_octets 93 184 216 (10 + i)))
+    [
+      "www.example.com";
+      "secure.example.com";
+      "video.example.com";
+      "sip.example.com";
+      "tracker.example.com";
+      "iot.example.com";
+      "www.facebook.com";
+      "facebook.com";
+      "fbcdn.net";
+      "www.youtube.com";
+      "youtube.com";
+      "googlevideo.com";
+      "www.bbc.co.uk";
+      "bbc.co.uk";
+      "school.example.org";
+      "news.example.com";
+    ]
+
+let lookup_zone t name = Hashtbl.find_opt t.zone (Dns_wire.normalize_name name)
+
+let lan_source_leaks t =
+  Hashtbl.fold (fun ip n acc -> (ip, n) :: acc) t.lan_sources []
+  |> List.sort (fun (a, _) (b, _) -> Ip.compare a b)
+let set_response_factor t ~port f = Hashtbl.replace t.factors port f
+let rx_bytes t = t.rx
+let tx_bytes t = t.tx
+
+let transmit t frame =
+  Event_loop.after t.loop t.latency (fun () ->
+      t.tx <- t.tx + String.length frame;
+      t.send frame)
+
+(* ------------------------------------------------------------------ *)
+(* DNS authority                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let answer_dns t (query : Dns_wire.t) =
+  match query.Dns_wire.questions with
+  | [] -> Dns_wire.response ~rcode:Dns_wire.Format_error query
+  | { Dns_wire.qname; qtype } :: _ -> (
+      match qtype with
+      | Dns_wire.A -> (
+          match lookup_zone t qname with
+          | Some ip -> Dns_wire.response ~answers:[ Dns_wire.a_record qname ip ] query
+          | None -> Dns_wire.response ~rcode:Dns_wire.Name_error query)
+      | Dns_wire.PTR -> (
+          (* parse x.y.z.w.in-addr.arpa *)
+          let name = Dns_wire.normalize_name qname in
+          let ip =
+            match String.split_on_char '.' name with
+            | [ a; b; c; d; "in-addr"; "arpa" ] -> (
+                match
+                  ( int_of_string_opt a,
+                    int_of_string_opt b,
+                    int_of_string_opt c,
+                    int_of_string_opt d )
+                with
+                | Some a, Some b, Some c, Some d -> (
+                    try Some (Ip.of_octets d c b a) with Invalid_argument _ -> None)
+                | _ -> None)
+            | _ -> None
+          in
+          match Option.bind ip (Hashtbl.find_opt t.reverse) with
+          | Some hostname ->
+              Dns_wire.response
+                ~answers:[ Dns_wire.ptr_record (Option.get ip) hostname ]
+                query
+          | None -> Dns_wire.response ~rcode:Dns_wire.Name_error query)
+      | _ -> Dns_wire.response ~rcode:Dns_wire.Not_implemented query)
+
+(* ------------------------------------------------------------------ *)
+(* Frame handling                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let reply_ip t ~(to_ : Packet.t) l4 ~src_ip =
+  match Packet.five_tuple to_ with
+  | None -> ()
+  | Some _ ->
+      let eth = to_.Packet.eth in
+      let ip_hdr =
+        match to_.Packet.l3 with
+        | Packet.Ipv4 (h, _) -> h
+        | Packet.Arp _ | Packet.Raw_l3 _ -> assert false
+      in
+      let proto =
+        match l4 with
+        | Packet.Udp _ -> Ipv4.proto_udp
+        | Packet.Tcp _ -> Ipv4.proto_tcp
+        | Packet.Icmp _ -> Ipv4.proto_icmp
+        | Packet.Raw_l4 _ -> ip_hdr.Ipv4.protocol
+      in
+      let reply =
+        {
+          Packet.eth =
+            { Ethernet.dst = eth.Ethernet.src; src = mac; ethertype = Ethernet.ethertype_ipv4; payload = "" };
+          l3 =
+            Packet.Ipv4
+              (Ipv4.make ~protocol:proto ~src:src_ip ~dst:ip_hdr.Ipv4.src "", l4);
+        }
+      in
+      transmit t (Packet.encode reply)
+
+let chunk_bytes total chunk =
+  let rec go remaining acc =
+    if remaining <= 0 then List.rev acc
+    else go (remaining - chunk) (min chunk remaining :: acc)
+  in
+  go total []
+
+let handle_tcp t pkt (ip_hdr : Ipv4.t) (seg : Tcp.t) =
+  if seg.Tcp.flags.Tcp.syn && not seg.Tcp.flags.Tcp.ack then
+    (* SYN -> SYN/ACK *)
+    reply_ip t ~to_:pkt
+      (Packet.Tcp
+         (Tcp.make ~flags:Tcp.syn_ack ~ack_no:(Int32.add seg.Tcp.seq 1l)
+            ~src_port:seg.Tcp.dst_port ~dst_port:seg.Tcp.src_port ""))
+      ~src_ip:ip_hdr.Ipv4.dst
+  else if seg.Tcp.flags.Tcp.fin then
+    reply_ip t ~to_:pkt
+      (Packet.Tcp
+         (Tcp.make ~flags:Tcp.fin_ack ~ack_no:(Int32.add seg.Tcp.seq 1l)
+            ~src_port:seg.Tcp.dst_port ~dst_port:seg.Tcp.src_port ""))
+      ~src_ip:ip_hdr.Ipv4.dst
+  else begin
+    let req_len = String.length seg.Tcp.payload in
+    if req_len > 0 then begin
+      let factor = Option.value (Hashtbl.find_opt t.factors seg.Tcp.dst_port) ~default:1. in
+      let response_total = int_of_float (float_of_int req_len *. factor) in
+      let chunks = chunk_bytes response_total 1400 in
+      List.iteri
+        (fun i size ->
+          Event_loop.after t.loop
+            (t.latency +. (0.002 *. float_of_int i))
+            (fun () ->
+              t.tx <- t.tx + size;
+              reply_ip t ~to_:pkt
+                (Packet.Tcp
+                   (Tcp.make ~flags:Tcp.ack_flag ~src_port:seg.Tcp.dst_port
+                      ~dst_port:seg.Tcp.src_port (String.make size 'd')))
+                ~src_ip:ip_hdr.Ipv4.dst))
+        chunks
+    end
+  end
+
+let handle_udp t pkt (ip_hdr : Ipv4.t) (u : Udp.t) =
+  if u.Udp.dst_port = 53 && Ip.equal ip_hdr.Ipv4.dst resolver_ip then begin
+    match Dns_wire.decode u.Udp.payload with
+    | Ok query when not query.Dns_wire.is_response ->
+        let resp = answer_dns t query in
+        reply_ip t ~to_:pkt
+          (Packet.Udp
+             {
+               Udp.src_port = 53;
+               dst_port = u.Udp.src_port;
+               payload = Dns_wire.encode resp;
+             })
+          ~src_ip:resolver_ip
+    | Ok _ | Error _ -> ()
+  end
+  else begin
+    let factor = Option.value (Hashtbl.find_opt t.factors u.Udp.dst_port) ~default:1. in
+    let response_total = int_of_float (float_of_int (String.length u.Udp.payload) *. factor) in
+    if response_total > 0 then
+      List.iteri
+        (fun i size ->
+          Event_loop.after t.loop
+            (t.latency +. (0.002 *. float_of_int i))
+            (fun () ->
+              reply_ip t ~to_:pkt
+                (Packet.Udp
+                   {
+                     Udp.src_port = u.Udp.dst_port;
+                     dst_port = u.Udp.src_port;
+                     payload = String.make size 'd';
+                   })
+                ~src_ip:ip_hdr.Ipv4.dst))
+        (chunk_bytes response_total 1400)
+  end
+
+let deliver t frame =
+  t.rx <- t.rx + String.length frame;
+  match Packet.decode frame with
+  | Error msg -> Log.debug (fun m -> m "undecodable upstream frame: %s" msg)
+  | Ok pkt -> (
+      match pkt.Packet.l3 with
+      | Packet.Arp arp when arp.Arp.op = Arp.Request ->
+          (* proxy-ARP for everything outside the home prefix *)
+          if not (Ip.Prefix.mem arp.Arp.target_ip t.lan_prefix) then begin
+            let reply = Arp.reply_to arp ~responder_mac:mac in
+            transmit t (Packet.encode (Packet.arp_packet ~src_mac:mac reply))
+          end
+      | Packet.Arp _ -> ()
+      | Packet.Ipv4 (ip_hdr, l4) -> (
+          (* private source addresses reaching the ISP are a leak unless
+             the router NATs (used by the NAT tests) *)
+          if Ip.Prefix.mem ip_hdr.Ipv4.src t.lan_prefix then
+            Hashtbl.replace t.lan_sources ip_hdr.Ipv4.src
+              (1 + Option.value (Hashtbl.find_opt t.lan_sources ip_hdr.Ipv4.src) ~default:0);
+          if Ip.Prefix.mem ip_hdr.Ipv4.dst t.lan_prefix then
+            (* not upstream traffic; a bridged switch may flood it here *)
+            ()
+          else
+            match l4 with
+            | Packet.Tcp seg -> handle_tcp t pkt ip_hdr seg
+            | Packet.Udp u -> handle_udp t pkt ip_hdr u
+            | Packet.Icmp icmp when icmp.Icmp.typ = 8 ->
+                reply_ip t ~to_:pkt (Packet.Icmp (Icmp.echo_reply_to icmp))
+                  ~src_ip:ip_hdr.Ipv4.dst
+            | Packet.Icmp _ | Packet.Raw_l4 _ -> ())
+      | Packet.Raw_l3 _ -> ())

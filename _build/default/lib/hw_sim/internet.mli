@@ -1,0 +1,49 @@
+(** The upstream "Internet" behind the router's ISP port: a proxy-ARP
+    next-hop, the upstream DNS resolver, and every web/video/VoIP server
+    the app profiles talk to, rolled into one node.
+
+    Substitution note (DESIGN.md): the paper's router had a real upstream
+    link; this node reproduces the observable behaviour — it answers ARP
+    for any address outside the home prefix (modem-style proxy ARP),
+    resolves names authoritatively from its zone, and generates server
+    responses sized by per-port response factors. *)
+
+open Hw_packet
+
+type t
+
+val mac : Mac.t
+(** Well-known next-hop MAC (02:ff:ff:ff:ff:fe). *)
+
+val resolver_ip : Ip.t
+(** 8.8.8.8 — where the DNS proxy forwards intercepted queries. *)
+
+val create :
+  ?latency:float ->
+  ?lan_prefix:Ip.Prefix.t ->
+  loop:Event_loop.t ->
+  send:(string -> unit) ->
+  unit ->
+  t
+(** [send] injects frames into the router's upstream port. Default
+    latency 20 ms each way; default LAN prefix 10.0.0.0/24. *)
+
+val add_zone : t -> string -> Ip.t -> unit
+(** Authoritative name→address mapping (also fills the reverse zone). *)
+
+val add_default_zone : t -> unit
+(** Registers the app-profile hosts plus facebook/youtube/bbc domains on
+    stable addresses. *)
+
+val lookup_zone : t -> string -> Ip.t option
+val set_response_factor : t -> port:int -> float -> unit
+val deliver : t -> string -> unit
+(** A frame transmitted on the router's upstream port. *)
+
+val rx_bytes : t -> int
+val tx_bytes : t -> int
+
+val lan_source_leaks : t -> (Ip.t * int) list
+(** Private (home-prefix) source addresses observed at the ISP with their
+    packet counts — with NAT enabled only the router's own DNS-forwarding
+    address should ever appear. *)

@@ -1,0 +1,36 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let bits64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = bits64 t }
+
+let float t =
+  (* use the top 53 bits *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits /. 9007199254740992. (* 2^53 *)
+
+let uniform t lo hi = lo +. ((hi -. lo) *. float t)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  int_of_float (float t *. float_of_int bound)
+
+let bool t p = float t < p
+
+let exponential t ~mean =
+  let u = float t in
+  (* avoid log 0 *)
+  -.mean *. log (1. -. (u *. 0.9999999999))
+
+let choice t = function
+  | [] -> invalid_arg "Prng.choice: empty list"
+  | items -> List.nth items (int t (List.length items))

@@ -1,0 +1,25 @@
+(** Deterministic PRNG (splitmix64) so simulations are reproducible
+    independent of OCaml's global Random state. *)
+
+type t
+
+val create : seed:int -> t
+val split : t -> t
+(** An independent stream derived from the current state. *)
+
+val bits64 : t -> int64
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val uniform : t -> float -> float -> float
+val int : t -> int -> int
+(** Uniform in [0, bound). @raise Invalid_argument if [bound <= 0]. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed, for Poisson arrivals. *)
+
+val choice : t -> 'a list -> 'a
+(** @raise Invalid_argument on empty list. *)

@@ -1,0 +1,32 @@
+type params = {
+  tx_power_dbm : float;
+  path_loss_exponent : float;
+  reference_loss_db : float;
+  noise_db : float;
+}
+
+let default_params =
+  { tx_power_dbm = 20.; path_loss_exponent = 3.0; reference_loss_db = 40.; noise_db = 2. }
+
+let rssi_at ?rng params ~distance_m =
+  let d = Float.max 1. distance_m in
+  let path_loss =
+    params.reference_loss_db +. (10. *. params.path_loss_exponent *. Float.log10 d)
+  in
+  let noise =
+    match rng with
+    | Some rng -> Prng.uniform rng (-.params.noise_db) params.noise_db
+    | None -> 0.
+  in
+  let rssi = params.tx_power_dbm -. path_loss +. noise in
+  int_of_float (Float.min (-20.) (Float.max (-100.) rssi))
+
+let quality rssi =
+  let r = float_of_int rssi in
+  Float.max 0. (Float.min 1. ((r +. 95.) /. 45.))
+
+let retry_probability rssi = 0.9 *. (1. -. quality rssi)
+
+let loss_probability rssi =
+  let q = quality rssi in
+  if q > 0.3 then 0. else 0.5 *. (0.3 -. q) /. 0.3

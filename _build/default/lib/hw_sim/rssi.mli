@@ -1,0 +1,27 @@
+(** Wireless signal model: log-distance path loss, giving the RSSI the
+    router's measurement plane reports per station and the retry/loss
+    behaviour distance induces. The artifact's Mode 1 ("carry it around to
+    expose areas of high or low signal strength") sweeps this model. *)
+
+type params = {
+  tx_power_dbm : float;   (** transmit power, default 20 dBm *)
+  path_loss_exponent : float;  (** ~2 free space, 3–4 indoors; default 3.0 *)
+  reference_loss_db : float;   (** loss at 1 m, default 40 dB *)
+  noise_db : float;            (** max amplitude of deterministic jitter *)
+}
+
+val default_params : params
+
+val rssi_at : ?rng:Prng.t -> params -> distance_m:float -> int
+(** RSSI in dBm (negative; clamped to [-100, -20]). Jitter is drawn from
+    [rng] when given. *)
+
+val quality : int -> float
+(** Maps RSSI dBm to link quality in [0, 1] (-50 and better is 1.0, -95
+    and worse is 0). *)
+
+val retry_probability : int -> float
+(** Probability a frame needs link-layer retries at this RSSI. *)
+
+val loss_probability : int -> float
+(** Probability a frame is lost outright. *)

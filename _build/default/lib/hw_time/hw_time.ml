@@ -1,0 +1,87 @@
+type timestamp = float
+
+type weekday = Mon | Tue | Wed | Thu | Fri | Sat | Sun
+
+let all_weekdays = [ Mon; Tue; Wed; Thu; Fri; Sat; Sun ]
+
+let weekday_to_string = function
+  | Mon -> "Mon"
+  | Tue -> "Tue"
+  | Wed -> "Wed"
+  | Thu -> "Thu"
+  | Fri -> "Fri"
+  | Sat -> "Sat"
+  | Sun -> "Sun"
+
+let weekday_of_string s =
+  match String.lowercase_ascii s with
+  | "mon" | "monday" -> Some Mon
+  | "tue" | "tuesday" -> Some Tue
+  | "wed" | "wednesday" -> Some Wed
+  | "thu" | "thursday" -> Some Thu
+  | "fri" | "friday" -> Some Fri
+  | "sat" | "saturday" -> Some Sat
+  | "sun" | "sunday" -> Some Sun
+  | _ -> None
+
+let is_weekend = function Sat | Sun -> true | Mon | Tue | Wed | Thu | Fri -> false
+
+let seconds_per_day = 86_400.
+let seconds_per_week = 7. *. seconds_per_day
+
+let day_index = function
+  | Mon -> 0
+  | Tue -> 1
+  | Wed -> 2
+  | Thu -> 3
+  | Fri -> 4
+  | Sat -> 5
+  | Sun -> 6
+
+let positive_mod x m =
+  let r = Float.rem x m in
+  if r < 0. then r +. m else r
+
+let weekday_of t =
+  let within_week = positive_mod t seconds_per_week in
+  match int_of_float (within_week /. seconds_per_day) with
+  | 0 -> Mon
+  | 1 -> Tue
+  | 2 -> Wed
+  | 3 -> Thu
+  | 4 -> Fri
+  | 5 -> Sat
+  | _ -> Sun
+
+let time_of_day t = positive_mod t seconds_per_day
+
+let hms ~hour ~min ~sec =
+  if hour < 0 || hour > 23 || min < 0 || min > 59 || sec < 0 || sec > 59 then
+    invalid_arg "Hw_time.hms";
+  float_of_int ((hour * 3600) + (min * 60) + sec)
+
+let at ~day ~hour ~min =
+  (float_of_int (day_index day) *. seconds_per_day) +. hms ~hour ~min ~sec:0
+
+let to_string t =
+  let day = weekday_of t in
+  let tod = time_of_day t in
+  let h = int_of_float (tod /. 3600.) in
+  let m = int_of_float (Float.rem tod 3600. /. 60.) in
+  let s = Float.rem tod 60. in
+  Printf.sprintf "%s %02d:%02d:%06.3f" (weekday_to_string day) h m s
+
+let pp_timestamp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Clock = struct
+  type t = { mutable now : timestamp }
+
+  let create ?(now = 0.) () = { now }
+  let now t = t.now
+
+  let advance_to t target =
+    if target < t.now then invalid_arg "Clock.advance_to: time cannot move backwards";
+    t.now <- target
+
+  let advance_by t delta = advance_to t (t.now +. delta)
+end

@@ -1,0 +1,54 @@
+(** Virtual time for the simulated home network.
+
+    The entire reproduction runs on a discrete-event virtual clock. A
+    timestamp is seconds (float) since the scenario epoch, which is defined
+    as {b Monday 00:00:00} of an arbitrary week — policy schedules in the
+    paper ("weekdays", "after homework") only need day-of-week and
+    time-of-day structure, not calendar dates. *)
+
+type timestamp = float
+(** Seconds since epoch (Monday 00:00:00). *)
+
+type weekday = Mon | Tue | Wed | Thu | Fri | Sat | Sun
+
+val weekday_to_string : weekday -> string
+val weekday_of_string : string -> weekday option
+val all_weekdays : weekday list
+val is_weekend : weekday -> bool
+
+val seconds_per_day : float
+val seconds_per_week : float
+
+val weekday_of : timestamp -> weekday
+(** Day of week at [t]; negative timestamps wrap modulo one week. *)
+
+val time_of_day : timestamp -> float
+(** Seconds since local midnight, [0, 86400). *)
+
+val hms : hour:int -> min:int -> sec:int -> float
+(** Seconds since midnight for a clock time. @raise Invalid_argument if out
+    of range. *)
+
+val at : day:weekday -> hour:int -> min:int -> timestamp
+(** Timestamp of the given clock time on the given day of the epoch week. *)
+
+val pp_timestamp : Format.formatter -> timestamp -> unit
+(** Renders as ["Tue 14:03:27.250"]. *)
+
+val to_string : timestamp -> string
+
+module Clock : sig
+  (** A mutable virtual clock owned by the simulator. Components hold a
+      clock handle rather than reading a global, so tests can run many
+      independent simulations. *)
+
+  type t
+
+  val create : ?now:timestamp -> unit -> t
+  val now : t -> timestamp
+
+  val advance_to : t -> timestamp -> unit
+  (** @raise Invalid_argument if the target is in the past. *)
+
+  val advance_by : t -> float -> unit
+end

@@ -1,0 +1,1 @@
+lib/hw_ui/artifact.ml: Array Float Hw_sim String

@@ -1,0 +1,1 @@
+lib/hw_ui/artifact.mli:

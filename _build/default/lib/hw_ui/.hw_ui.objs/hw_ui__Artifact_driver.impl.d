@@ -1,0 +1,1 @@
+lib/hw_ui/artifact_driver.ml: Array Artifact Database Hashtbl Hw_hwdb Lazy List Option Parser Printf Query Result Table Value

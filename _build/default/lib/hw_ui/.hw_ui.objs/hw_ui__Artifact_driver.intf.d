@@ -1,0 +1,1 @@
+lib/hw_ui/artifact_driver.mli: Artifact Hw_hwdb

@@ -1,0 +1,1 @@
+lib/hw_ui/bandwidth_view.ml: Array Buffer Database Float Hashtbl Hw_hwdb Hw_sim Hw_util List Option Printf Query String Value

@@ -1,0 +1,1 @@
+lib/hw_ui/bandwidth_view.mli: Hw_hwdb

@@ -1,0 +1,1 @@
+lib/hw_ui/control_ui.ml: Buffer Http Hw_control_api Hw_json Json List Printf

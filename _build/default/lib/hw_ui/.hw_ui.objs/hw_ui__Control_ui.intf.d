@@ -1,0 +1,1 @@
+lib/hw_ui/control_ui.mli: Hw_control_api

@@ -1,0 +1,1 @@
+lib/hw_ui/policy_ui.ml: Http Hw_control_api Hw_json Json List Printf String

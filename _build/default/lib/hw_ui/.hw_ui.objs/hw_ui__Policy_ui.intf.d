@@ -1,0 +1,1 @@
+lib/hw_ui/policy_ui.mli: Hw_control_api Hw_json

@@ -1,0 +1,113 @@
+type led = { r : int; g : int; b : int }
+
+let led_off = { r = 0; g = 0; b = 0 }
+let led_equal a b = a.r = b.r && a.g = b.g && a.b = b.b
+
+let green = { r = 0; g = 255; b = 0 }
+let blue = { r = 0; g = 0; b = 255 }
+let red = { r = 255; g = 0; b = 0 }
+let white = { r = 200; g = 200; b = 200 }
+
+type mode = Signal_strength | Bandwidth_animation | Event_flashes
+
+type flash = { colour : led; mutable remaining : int; mutable phase_on : bool }
+
+type t = {
+  n : int;
+  mutable current_mode : mode;
+  mutable rssi : int;
+  mutable bandwidth_bps : float;
+  mutable peak : float;
+  mutable anim_pos : float;  (* fractional LED index for the chaser *)
+  mutable flash_queue : flash list;
+  mutable flash_timer : float;
+}
+
+let create ?(leds = 12) () =
+  if leds <= 0 then invalid_arg "Artifact.create: need at least one LED";
+  {
+    n = leds;
+    current_mode = Signal_strength;
+    rssi = -100;
+    bandwidth_bps = 0.;
+    peak = 1.;
+    anim_pos = 0.;
+    flash_queue = [];
+    flash_timer = 0.;
+  }
+
+let set_mode t m = t.current_mode <- m
+let mode t = t.current_mode
+let led_count t = t.n
+let update_rssi t rssi = t.rssi <- rssi
+
+let update_bandwidth t ~current_bps =
+  t.bandwidth_bps <- current_bps;
+  if current_bps > t.peak then t.peak <- current_bps
+
+let peak_bps t = t.peak
+
+(* each flash event is a burst of 3 on/off cycles *)
+let push_flash t colour = t.flash_queue <- t.flash_queue @ [ { colour; remaining = 6; phase_on = true } ]
+
+let notify_lease t = function
+  | `Grant -> push_flash t green
+  | `Revoke -> push_flash t blue
+
+let notify_retry_alarm t = push_flash t red
+
+let flash_period = 0.25
+
+(* Mode 2 animation: the chaser completes a revolution in 6 s when idle,
+   down to 0.5 s at peak bandwidth *)
+let chaser_speed t =
+  let fraction = if t.peak <= 0. then 0. else Float.min 1. (t.bandwidth_bps /. t.peak) in
+  (1. /. 6.) +. (fraction *. ((1. /. 0.5) -. (1. /. 6.)))
+
+let tick t ~dt =
+  t.anim_pos <- Float.rem (t.anim_pos +. (chaser_speed t *. float_of_int t.n *. dt))
+      (float_of_int t.n);
+  (* flash clock *)
+  t.flash_timer <- t.flash_timer +. dt;
+  while t.flash_timer >= flash_period do
+    t.flash_timer <- t.flash_timer -. flash_period;
+    match t.flash_queue with
+    | [] -> ()
+    | flash :: rest ->
+        flash.remaining <- flash.remaining - 1;
+        flash.phase_on <- flash.remaining mod 2 = 1;
+        if flash.remaining <= 0 then t.flash_queue <- rest
+  done
+
+let lit_count t =
+  match t.current_mode with
+  | Signal_strength ->
+      int_of_float (Float.round (Hw_sim.Rssi.quality t.rssi *. float_of_int t.n))
+  | Bandwidth_animation -> 1
+  | Event_flashes -> (
+      match t.flash_queue with
+      | flash :: _ when flash.phase_on -> t.n
+      | _ -> 0)
+
+let frame t =
+  match t.current_mode with
+  | Signal_strength ->
+      let lit = lit_count t in
+      Array.init t.n (fun i -> if i < lit then white else led_off)
+  | Bandwidth_animation ->
+      let pos = int_of_float t.anim_pos mod t.n in
+      Array.init t.n (fun i -> if i = pos then white else led_off)
+  | Event_flashes -> (
+      match t.flash_queue with
+      | flash :: _ when flash.phase_on -> Array.make t.n flash.colour
+      | _ -> Array.make t.n led_off)
+
+let render_ascii t =
+  let f = frame t in
+  String.init t.n (fun i ->
+      let l = f.(i) in
+      if led_equal l led_off then 'o'
+      else if led_equal l green then 'G'
+      else if led_equal l blue then 'B'
+      else if led_equal l red then 'R'
+      else '*')

@@ -1,0 +1,59 @@
+(** Figure 2: the Arduino "network artifact" — a ring of RGB LEDs acting
+    as an ambient display, with the paper's three modes:
+
+    - {e Mode 1}: wireless signal strength (RSSI) maps to the number of
+      lit LEDs, so carrying the artifact exposes the home's coverage.
+    - {e Mode 2}: current total bandwidth as a proportion of the peak
+      observed in the last day maps to the speed of an animation chasing
+      across the face.
+    - {e Mode 3}: DHCP lease grants flash green, revocations flash blue;
+      a high proportion of packet retries for any machine flashes red.
+
+    This is the LED engine: inputs are measurement-plane updates, output
+    is the LED frame a physical build would latch out. *)
+
+type led = { r : int; g : int; b : int }
+
+val led_off : led
+val led_equal : led -> led -> bool
+
+type mode = Signal_strength | Bandwidth_animation | Event_flashes
+
+type t
+
+val create : ?leds:int -> unit -> t
+(** Default 12 LEDs. *)
+
+val set_mode : t -> mode -> unit
+val mode : t -> mode
+val led_count : t -> int
+
+(** {2 Measurement inputs} *)
+
+val update_rssi : t -> int -> unit
+(** dBm; drives Mode 1. *)
+
+val update_bandwidth : t -> current_bps:float -> unit
+(** Drives Mode 2. The daily peak is tracked internally. *)
+
+val peak_bps : t -> float
+
+val notify_lease : t -> [ `Grant | `Revoke ] -> unit
+(** Queues Mode 3 flashes (green / blue). *)
+
+val notify_retry_alarm : t -> unit
+(** Queues red flashes (high retry proportion on some station). *)
+
+(** {2 Animation} *)
+
+val tick : t -> dt:float -> unit
+(** Advance animation/flash state by [dt] seconds. *)
+
+val chaser_speed : t -> float
+(** Mode 2 animation speed in revolutions per second: 1/6 rev/s when
+    idle, 2 rev/s at the daily peak. *)
+
+val frame : t -> led array
+val lit_count : t -> int
+val render_ascii : t -> string
+(** One line: [o] dim, [G]/[B]/[R] colour flashes, [*] lit white. *)

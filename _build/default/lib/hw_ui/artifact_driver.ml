@@ -1,0 +1,105 @@
+open Hw_hwdb
+
+type t = {
+  db : Database.t;
+  artifact : Artifact.t;
+  period : float;
+  retry_threshold : float;
+  bandwidth_sub : Database.subscription_id;
+  links_sub : Database.subscription_id;
+  last_link : (string, float * float) Hashtbl.t; (* mac -> retries, packets *)
+  mutable detached : bool;
+  mutable delivery_count : int;
+  mutable last_bps : float;
+  mutable alarm_count : int;
+}
+
+let handle_bandwidth t (rs : Query.result_set) =
+  if not t.detached then begin
+    t.delivery_count <- t.delivery_count + 1;
+    match rs.Query.rows with
+    | [ [ v ] ] ->
+        let bytes = Option.value (Value.as_float v) ~default:0. in
+        t.last_bps <- 8. *. bytes /. t.period;
+        Artifact.update_bandwidth t.artifact ~current_bps:t.last_bps
+    | _ -> ()
+  end
+
+let handle_links t (rs : Query.result_set) =
+  if not t.detached then begin
+    t.delivery_count <- t.delivery_count + 1;
+    List.iter
+      (fun row ->
+        match row with
+        | [ Value.Str mac; retries; packets ] ->
+            let retries = Option.value (Value.as_float retries) ~default:0. in
+            let packets = Option.value (Value.as_float packets) ~default:0. in
+            let prev_r, prev_p =
+              Option.value (Hashtbl.find_opt t.last_link mac) ~default:(0., 0.)
+            in
+            Hashtbl.replace t.last_link mac (retries, packets);
+            let dr = retries -. prev_r and dp = packets -. prev_p in
+            if dp > 0. && dr /. dp > t.retry_threshold then begin
+              t.alarm_count <- t.alarm_count + 1;
+              Artifact.notify_retry_alarm t.artifact
+            end
+        | _ -> ())
+      rs.Query.rows
+  end
+
+let handle_lease t (tuple : Value.tuple) =
+  if not t.detached then begin
+    (* Leases schema: mac, ip, hostname, action *)
+    match tuple.Value.values.(3) with
+    | Value.Str "grant" -> Artifact.notify_lease t.artifact `Grant
+    | Value.Str ("revoke" | "release") -> Artifact.notify_lease t.artifact `Revoke
+    | _ -> ()
+  end
+
+let attach ?(period = 5.) ?(retry_threshold = 0.25) ~db ~artifact () =
+  let bandwidth_query =
+    Result.get_ok
+      (Parser.parse_select
+         (Printf.sprintf "SELECT SUM(bytes) AS b FROM Flows [RANGE %g SECONDS]" period))
+  in
+  let links_query =
+    Result.get_ok
+      (Parser.parse_select
+         "SELECT mac, MAX(retries) AS r, MAX(packets) AS p FROM Links [ROWS 64] GROUP BY mac")
+  in
+  let rec t =
+    lazy
+      {
+        db;
+        artifact;
+        period;
+        retry_threshold;
+        bandwidth_sub =
+          Database.subscribe db ~query:bandwidth_query ~period ~callback:(fun rs ->
+              handle_bandwidth (Lazy.force t) rs);
+        links_sub =
+          Database.subscribe db ~query:links_query ~period ~callback:(fun rs ->
+              handle_links (Lazy.force t) rs);
+        last_link = Hashtbl.create 16;
+        detached = false;
+        delivery_count = 0;
+        last_bps = 0.;
+        alarm_count = 0;
+      }
+  in
+  let t = Lazy.force t in
+  (match Database.table db "Leases" with
+  | Some leases -> Table.on_insert leases (fun tuple -> handle_lease t tuple)
+  | None -> ());
+  t
+
+let detach t =
+  if not t.detached then begin
+    t.detached <- true;
+    ignore (Database.unsubscribe t.db t.bandwidth_sub);
+    ignore (Database.unsubscribe t.db t.links_sub)
+  end
+
+let deliveries t = t.delivery_count
+let last_bandwidth_bps t = t.last_bps
+let retry_alarms t = t.alarm_count

@@ -1,0 +1,34 @@
+(** Connects a {!Artifact} to the measurement plane the way the paper
+    describes: "these different displays connect to the same measurement
+    plane and [are] dynamically updated from the active database."
+
+    - Mode 2 input (total bandwidth) comes from a continuous hwdb query
+      over [Flows], delivered through the database's subscription
+      machinery.
+    - Mode 3 lease flashes come from an insert trigger on [Leases].
+    - Mode 3 retry alarms are computed from [Links]: when the retry
+      proportion (Δretries / Δpackets) of any station over one period
+      exceeds the threshold, the artifact flashes red.
+
+    The driver performs no polling of its own beyond what hwdb delivers;
+    call {!Hw_hwdb.Database.tick} (the router does, every second). *)
+
+type t
+
+val attach :
+  ?period:float ->
+  ?retry_threshold:float ->
+  db:Hw_hwdb.Database.t ->
+  artifact:Artifact.t ->
+  unit ->
+  t
+(** Default period 5 s; default retry threshold 0.25. *)
+
+val detach : t -> unit
+(** Cancels the subscriptions (the Leases trigger is inert afterwards). *)
+
+val deliveries : t -> int
+(** Number of subscription updates processed (for tests). *)
+
+val last_bandwidth_bps : t -> float
+val retry_alarms : t -> int

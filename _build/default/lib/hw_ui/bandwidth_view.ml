@@ -1,0 +1,195 @@
+open Hw_hwdb
+
+type app_usage = { app : string; bytes : int; bits_per_second : float }
+
+type device_row = {
+  device_ip : string;
+  device_label : string;
+  total_bytes : int;
+  total_bps : float;
+  apps : app_usage list;
+}
+
+type t = {
+  window : float;
+  label_of_ip : string -> string option;
+  is_local : string -> bool;
+  db : Database.t;
+  mutable rows : device_row list;
+  history : (string, float Hw_util.Ring.t) Hashtbl.t; (* device_ip -> bps samples *)
+}
+
+let default_is_local ip = String.length ip >= 5 && String.sub ip 0 5 = "10.0."
+
+let history_len = 32
+
+let create ?(window_seconds = 10.) ?(label_of_ip = fun _ -> None) ?(is_local = default_is_local)
+    ~db () =
+  {
+    window = window_seconds;
+    label_of_ip;
+    is_local;
+    db;
+    rows = [];
+    history = Hashtbl.create 16;
+  }
+
+let history_depth _ = history_len
+
+let query t =
+  Printf.sprintf
+    "SELECT src_ip, dst_ip, proto, src_port, dst_port, SUM(bytes) AS bytes FROM Flows [RANGE \
+     %g SECONDS] GROUP BY src_ip, dst_ip, proto, src_port, dst_port"
+    t.window
+
+let refresh t =
+  match Database.query t.db (query t) with
+  | Error _ as e -> e
+  | Ok rs ->
+      (* fold hwdb rows into per-device, per-app usage; traffic is
+         attributed to the home device end of the flow (upload when the
+         source is local, download when the destination is) *)
+      let per_device : (string, (string, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
+      let account ~device ~app bytes =
+        let apps =
+          match Hashtbl.find_opt per_device device with
+          | Some h -> h
+          | None ->
+              let h = Hashtbl.create 8 in
+              Hashtbl.replace per_device device h;
+              h
+        in
+        Hashtbl.replace apps app (bytes + Option.value (Hashtbl.find_opt apps app) ~default:0)
+      in
+      List.iter
+        (fun row ->
+          match row with
+          | [ Value.Str src_ip; Value.Str dst_ip; proto; src_port; dst_port; bytes ] ->
+              let num v = match Value.as_float v with Some f -> int_of_float f | None -> 0 in
+              let proto = num proto in
+              let src_port = num src_port and dst_port = num dst_port in
+              let bytes = num bytes in
+              (* classify by the server-side port, whichever end that is *)
+              let service_port = min src_port dst_port in
+              let app =
+                Hw_sim.App_profile.classify ~transport_proto:proto
+                  ~port:(if service_port = 0 then max src_port dst_port else service_port)
+              in
+              if t.is_local src_ip then account ~device:src_ip ~app bytes;
+              if t.is_local dst_ip && not (String.equal dst_ip src_ip) then
+                account ~device:dst_ip ~app bytes
+          | _ -> ())
+        rs.Query.rows;
+      let rows =
+        Hashtbl.fold
+          (fun device_ip apps acc ->
+            let app_list =
+              Hashtbl.fold
+                (fun app bytes acc ->
+                  { app; bytes; bits_per_second = 8. *. float_of_int bytes /. t.window } :: acc)
+                apps []
+              |> List.sort (fun a b -> compare b.bytes a.bytes)
+            in
+            let total_bytes = List.fold_left (fun acc a -> acc + a.bytes) 0 app_list in
+            {
+              device_ip;
+              device_label = Option.value (t.label_of_ip device_ip) ~default:device_ip;
+              total_bytes;
+              total_bps = 8. *. float_of_int total_bytes /. t.window;
+              apps = app_list;
+            }
+            :: acc)
+          per_device []
+        |> List.sort (fun a b -> compare b.total_bytes a.total_bytes)
+      in
+      t.rows <- rows;
+      (* append a history sample for every known device (0 when silent) *)
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun r ->
+          Hashtbl.replace seen r.device_ip ();
+          let ring =
+            match Hashtbl.find_opt t.history r.device_ip with
+            | Some ring -> ring
+            | None ->
+                let ring = Hw_util.Ring.create ~capacity:history_len in
+                Hashtbl.replace t.history r.device_ip ring;
+                ring
+          in
+          Hw_util.Ring.push ring r.total_bps)
+        rows;
+      Hashtbl.iter
+        (fun ip ring -> if not (Hashtbl.mem seen ip) then Hw_util.Ring.push ring 0.)
+        t.history;
+      Ok rows
+
+let last t = t.rows
+
+let human_bps bps =
+  if bps >= 1e6 then Printf.sprintf "%.1f Mb/s" (bps /. 1e6)
+  else if bps >= 1e3 then Printf.sprintf "%.1f kb/s" (bps /. 1e3)
+  else Printf.sprintf "%.0f b/s" bps
+
+let bar width fraction =
+  let n = int_of_float (fraction *. float_of_int width) in
+  String.make (min width (max 0 n)) '#' ^ String.make (max 0 (width - n)) ' '
+
+let render t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "=== Bandwidth by device ===\n";
+  let peak = List.fold_left (fun acc r -> Float.max acc r.total_bps) 1. t.rows in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-20s [%s] %s\n" r.device_label
+           (bar 24 (r.total_bps /. peak))
+           (human_bps r.total_bps)))
+    t.rows;
+  if t.rows = [] then Buffer.add_string buf "(no active devices)\n";
+  Buffer.contents buf
+
+let spark_levels = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline t which =
+  (* accept either the device ip or its label *)
+  let ip =
+    match Hashtbl.find_opt t.history which with
+    | Some _ -> Some which
+    | None ->
+        List.find_map
+          (fun r -> if String.equal r.device_label which then Some r.device_ip else None)
+          t.rows
+  in
+  match Option.bind ip (Hashtbl.find_opt t.history) with
+  | None -> ""
+  | Some ring ->
+      let samples = Hw_util.Ring.to_list ring in
+      let peak = List.fold_left Float.max 1. samples in
+      String.concat ""
+        (List.map
+           (fun s ->
+             let level =
+               int_of_float (Float.min 7. (s /. peak *. 7.999))
+             in
+             spark_levels.(max 0 level))
+           samples)
+
+let render_device t which =
+  match
+    List.find_opt
+      (fun r -> String.equal r.device_ip which || String.equal r.device_label which)
+      t.rows
+  with
+  | None -> Printf.sprintf "=== %s ===\n(no traffic in window)\n" which
+  | Some r ->
+      let buf = Buffer.create 128 in
+      Buffer.add_string buf (Printf.sprintf "=== %s: usage per protocol ===\n" r.device_label);
+      let top = match r.apps with a :: _ -> float_of_int (max a.bytes 1) | [] -> 1. in
+      List.iter
+        (fun a ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-12s [%s] %s\n" a.app
+               (bar 24 (float_of_int a.bytes /. top))
+               (human_bps a.bits_per_second)))
+        r.apps;
+      Buffer.contents buf

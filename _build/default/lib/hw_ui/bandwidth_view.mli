@@ -1,0 +1,51 @@
+(** Figure 1: the iPhone/iTouch per-device per-protocol bandwidth display.
+
+    A headless engine for the screen: it pulls the measurement plane
+    (hwdb [Flows]) over a sliding window, classifies flows to applications
+    by the paper's imperfect port→application mapping, and produces the
+    rows the phone renders — total bandwidth per device, with a drill-down
+    of usage per protocol for a selected device. *)
+
+type app_usage = { app : string; bytes : int; bits_per_second : float }
+
+type device_row = {
+  device_ip : string;
+  device_label : string;  (** metadata name when known, else the IP *)
+  total_bytes : int;
+  total_bps : float;
+  apps : app_usage list;  (** descending by bytes *)
+}
+
+type t
+
+val create :
+  ?window_seconds:float ->
+  ?label_of_ip:(string -> string option) ->
+  ?is_local:(string -> bool) ->
+  db:Hw_hwdb.Database.t ->
+  unit ->
+  t
+(** Default window 10 s. [label_of_ip] supplies user metadata
+    ("Tom's Mac Air"); [is_local] identifies home addresses (default:
+    the 10.0.0.0/16 textual prefix) so both directions of a flow are
+    attributed to the device end. *)
+
+val refresh : t -> (device_row list, string) result
+(** Re-queries hwdb; rows sorted by total bandwidth, descending. *)
+
+val last : t -> device_row list
+val render : t -> string
+(** The phone screen as text: one line per device, and per-app bars. *)
+
+val render_device : t -> string -> string
+(** Drill-down for one device (right-hand side of the paper's Figure 5
+    screenshot: "usage per protocol for 'Tom's Mac Air'"). *)
+
+val history_depth : t -> int
+(** Number of refreshes remembered for sparklines (fixed at 32). *)
+
+val sparkline : t -> string -> string
+(** Per-device bandwidth history across the last refreshes as a unicode
+    block sparkline (["▁▂▅▇…"]), newest on the right — the "updated in
+    real-time" aspect of the display. Empty when the device has never
+    appeared. *)

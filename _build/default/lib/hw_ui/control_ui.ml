@@ -1,0 +1,97 @@
+open Hw_control_api
+open Hw_json
+
+type column = Requesting | Permitted_col | Denied_col
+
+type tab = {
+  mac : string;
+  label : string;
+  hostname : string;
+  column : column;
+  lease_ip : string option;
+}
+
+type t = {
+  http : Http.request -> Http.response;
+  mutable tab_list : tab list;
+}
+
+let create ~http = { http; tab_list = [] }
+
+let column_of_state = function
+  | "permitted" -> Permitted_col
+  | "denied" -> Denied_col
+  | _ -> Requesting
+
+let parse_device json =
+  let str k = match Json.member_opt k json with Some (Json.String s) -> s | _ -> "" in
+  let mac = str "mac" in
+  let hostname = str "hostname" in
+  let meta = str "metadata" in
+  let label = if meta <> "" then meta else if hostname <> "" then hostname else mac in
+  let lease_ip =
+    match Json.member_opt "lease_ip" json with Some (Json.String s) -> Some s | _ -> None
+  in
+  { mac; label; hostname; column = column_of_state (str "state"); lease_ip }
+
+let refresh t =
+  let resp = t.http (Http.request Http.GET "/api/devices") in
+  if resp.Http.status <> 200 then
+    Error (Printf.sprintf "devices fetch failed: HTTP %d" resp.Http.status)
+  else
+    match Json.of_string_opt resp.Http.body with
+    | Some (Json.List devices) ->
+        t.tab_list <- List.map parse_device devices;
+        Ok ()
+    | Some _ | None -> Error "unexpected /api/devices payload"
+
+let tabs t = t.tab_list
+let tabs_in t col = List.filter (fun tab -> tab.column = col) t.tab_list
+
+let simple_post t path =
+  let resp = t.http (Http.request Http.POST path) in
+  if resp.Http.status = 200 then Ok ()
+  else
+    Error
+      (match Json.of_string_opt resp.Http.body with
+      | Some json -> (
+          match Json.member_opt "error" json with
+          | Some (Json.String e) -> e
+          | _ -> Printf.sprintf "HTTP %d" resp.Http.status)
+      | None -> Printf.sprintf "HTTP %d" resp.Http.status)
+
+let drag t ~mac col =
+  let action =
+    match col with
+    | Permitted_col -> "permit"
+    | Denied_col -> "deny"
+    | Requesting -> "forget"
+  in
+  match simple_post t (Printf.sprintf "/api/devices/%s/%s" mac action) with
+  | Ok () -> refresh t
+  | Error _ as e -> e
+
+let supply_metadata t ~mac name =
+  let body = Json.to_string (Json.Obj [ ("name", Json.String name) ]) in
+  let resp = t.http (Http.request ~body Http.PUT (Printf.sprintf "/api/devices/%s/metadata" mac)) in
+  if resp.Http.status = 200 then refresh t
+  else Error (Printf.sprintf "HTTP %d" resp.Http.status)
+
+let render t =
+  let buf = Buffer.create 256 in
+  let section title col =
+    Buffer.add_string buf (Printf.sprintf "--- %s ---\n" title);
+    let entries = tabs_in t col in
+    if entries = [] then Buffer.add_string buf "(none)\n"
+    else
+      List.iter
+        (fun tab ->
+          Buffer.add_string buf
+            (Printf.sprintf "[%s] %s%s\n" tab.mac tab.label
+               (match tab.lease_ip with Some ip -> " @ " ^ ip | None -> "")))
+        entries
+  in
+  section "Requesting access" Requesting;
+  section "Permitted" Permitted_col;
+  section "Denied" Denied_col;
+  Buffer.contents buf

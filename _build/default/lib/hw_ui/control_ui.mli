@@ -1,0 +1,36 @@
+(** Figure 3: the situated-display DHCP control interface.
+
+    "Allows non-expert users to detect, interrogate and supply metadata
+    for devices requesting access, and to control the DHCP server on a
+    case-by-case basis by dragging the device's tab into the appropriate
+    permitted/denied category."
+
+    The engine talks to the control API over HTTP (a request function is
+    injected, wired to the in-process API in the simulation). *)
+
+type column = Requesting | Permitted_col | Denied_col
+
+type tab = {
+  mac : string;
+  label : string;      (** metadata name, else hostname, else MAC *)
+  hostname : string;
+  column : column;
+  lease_ip : string option;
+}
+
+type t
+
+val create : http:(Hw_control_api.Http.request -> Hw_control_api.Http.response) -> t
+
+val refresh : t -> (unit, string) result
+(** GET /api/devices. *)
+
+val tabs : t -> tab list
+val tabs_in : t -> column -> tab list
+
+val drag : t -> mac:string -> column -> (unit, string) result
+(** The drag gesture: POST permit/deny/forget, then refresh. *)
+
+val supply_metadata : t -> mac:string -> string -> (unit, string) result
+val render : t -> string
+(** The display: three columns of device tabs. *)

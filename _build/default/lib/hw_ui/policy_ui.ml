@@ -1,0 +1,80 @@
+open Hw_control_api
+open Hw_json
+
+type panels = {
+  who : string;
+  what : string list;
+  days : string;
+  window : string;
+  homework_gated : bool;
+}
+
+let kids_facebook_weekdays =
+  {
+    who = "kids";
+    what = [ "facebook" ];
+    days = "weekdays";
+    window = "16:00-21:00";
+    homework_gated = true;
+  }
+
+type t = { http : Http.request -> Http.response }
+
+let create ~http = { http }
+
+let rule_json ~rule_id ~token panels =
+  Json.Obj
+    [
+      ("id", Json.String rule_id);
+      ("group", Json.String panels.who);
+      ("services", Json.List (List.map (fun s -> Json.String s) panels.what));
+      ("days", Json.String panels.days);
+      ("window", Json.String panels.window);
+      ( "requires_token",
+        match token with
+        | Some tok when panels.homework_gated -> Json.String tok
+        | _ -> Json.Null );
+    ]
+
+let error_of_response (resp : Http.response) =
+  match Json.of_string_opt resp.Http.body with
+  | Some json -> (
+      match Json.member_opt "error" json with
+      | Some (Json.String e) -> e
+      | _ -> Printf.sprintf "HTTP %d" resp.Http.status)
+  | None -> Printf.sprintf "HTTP %d" resp.Http.status
+
+let submit t ~rule_id ~token panels =
+  if panels.homework_gated && token = None then
+    Error "homework-gated rule needs the USB key token"
+  else begin
+    let body = Json.to_string (rule_json ~rule_id ~token panels) in
+    let resp = t.http (Http.request ~body Http.POST "/api/policies") in
+    if resp.Http.status = 201 then Ok () else Error (error_of_response resp)
+  end
+
+let retract t ~rule_id =
+  let resp = t.http (Http.request Http.DELETE ("/api/policies/" ^ rule_id)) in
+  if resp.Http.status = 200 then Ok () else Error (error_of_response resp)
+
+let active_rules t =
+  let resp = t.http (Http.request Http.GET "/api/policies") in
+  if resp.Http.status <> 200 then Error (error_of_response resp)
+  else
+    match Json.of_string_opt resp.Http.body with
+    | Some (Json.List rules) -> Ok rules
+    | Some _ | None -> Error "unexpected /api/policies payload"
+
+let render panels =
+  let what = match panels.what with [] -> "anything" | ws -> String.concat " + " ws in
+  String.concat "\n"
+    [
+      "+----------------+----------------+----------------+----------------+";
+      Printf.sprintf "| WHO: %-9s | WHAT: %-8s | WHEN: %-8s | KEY: %-9s |" panels.who
+        (if String.length what > 8 then String.sub what 0 8 else what)
+        (if String.length panels.days > 8 then String.sub panels.days 0 8 else panels.days)
+        (if panels.homework_gated then "homework!" else "-");
+      Printf.sprintf "|                |                | %-14s |                |"
+        panels.window;
+      "+----------------+----------------+----------------+----------------+";
+    ]

@@ -1,0 +1,34 @@
+(** Figure 4: the "novel interactive policy interface" — a cartoon strip
+    of panels that compiles to a policy rule.
+
+    "By selecting appropriate options for each panel in the cartoon,
+    non-expert users can implement simple policies such as 'the kids can
+    only use Facebook on weekdays after they've finished their homework'."
+
+    Panels: {e who} (a device group), {e what} (services), {e when} (days
+    and a time window), and {e homework done?} (whether the allowance is
+    gated on the USB key). Submitting posts the rule to the control API. *)
+
+type panels = {
+  who : string;             (** group name, e.g. "kids" *)
+  what : string list;       (** service names; [] = everything *)
+  days : string;            (** e.g. "weekdays" *)
+  window : string;          (** e.g. "16:00-20:00" or "always" *)
+  homework_gated : bool;    (** require the USB key token *)
+}
+
+val kids_facebook_weekdays : panels
+(** The paper's worked example. *)
+
+type t
+
+val create : http:(Hw_control_api.Http.request -> Hw_control_api.Http.response) -> t
+
+val submit : t -> rule_id:string -> token:string option -> panels -> (unit, string) result
+(** Compiles the cartoon to rule JSON and POSTs /api/policies. [token]
+    names the USB key that lifts the restriction when [homework_gated]. *)
+
+val retract : t -> rule_id:string -> (unit, string) result
+val active_rules : t -> (Hw_json.Json.t list, string) result
+val render : panels -> string
+(** The cartoon as text, one panel per frame. *)

@@ -1,0 +1,1 @@
+lib/hw_util/ring.mli:

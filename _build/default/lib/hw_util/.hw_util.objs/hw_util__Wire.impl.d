@@ -1,0 +1,1 @@
+lib/hw_util/wire.ml: Buffer Bytes Char Int32 Int64 Printf String

@@ -1,0 +1,1 @@
+lib/hw_util/wire.mli:

@@ -1,0 +1,52 @@
+type 'a t = {
+  mutable data : 'a option array;
+  mutable start : int; (* index of oldest element *)
+  mutable len : int;
+  mutable pushed : int;
+  cap : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { data = Array.make capacity None; start = 0; len = 0; pushed = 0; cap = capacity }
+
+let capacity t = t.cap
+let length t = t.len
+let is_empty t = t.len = 0
+let is_full t = t.len = t.cap
+let total_pushed t = t.pushed
+
+let push t x =
+  let slot = (t.start + t.len) mod t.cap in
+  t.data.(slot) <- Some x;
+  if t.len = t.cap then t.start <- (t.start + 1) mod t.cap
+  else t.len <- t.len + 1;
+  t.pushed <- t.pushed + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Ring.get: index out of range";
+  match t.data.((t.start + i) mod t.cap) with
+  | Some x -> x
+  | None -> assert false
+
+let peek_oldest t = if t.len = 0 then None else Some (get t 0)
+let peek_newest t = if t.len = 0 then None else Some (get t (t.len - 1))
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (get t i)
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  iter (fun x -> acc := f !acc x) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc x -> x :: acc) [] t)
+let to_list_newest_first t = fold (fun acc x -> x :: acc) [] t
+let filter p t = List.filter p (to_list t)
+
+let clear t =
+  Array.fill t.data 0 t.cap None;
+  t.start <- 0;
+  t.len <- 0

@@ -1,0 +1,49 @@
+(** Fixed-capacity circular buffer.
+
+    The buffer keeps at most [capacity] elements; pushing into a full buffer
+    silently evicts the oldest element. This is the storage discipline of
+    the Homework Database ("stores ephemeral events into a fixed size memory
+    buffer"). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] is an empty ring holding at most [capacity] elements.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Number of elements currently stored, [0 <= length <= capacity]. *)
+
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** [push t x] appends [x], evicting the oldest element when full. *)
+
+val peek_oldest : 'a t -> 'a option
+val peek_newest : 'a t -> 'a option
+
+val get : 'a t -> int -> 'a
+(** [get t i] is the [i]-th element from the oldest (0 = oldest).
+    @raise Invalid_argument if [i] is out of range. *)
+
+val to_list : 'a t -> 'a list
+(** Oldest first. *)
+
+val to_list_newest_first : 'a t -> 'a list
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest first. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Oldest first. *)
+
+val filter : ('a -> bool) -> 'a t -> 'a list
+(** Elements satisfying the predicate, oldest first. *)
+
+val clear : 'a t -> unit
+
+val total_pushed : 'a t -> int
+(** Count of all pushes since creation (including evicted elements). *)

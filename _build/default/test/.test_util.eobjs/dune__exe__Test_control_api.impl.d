@@ -1,0 +1,1 @@
+test/test_control_api.ml: Alcotest Control_api Http Hw_control_api Hw_json List QCheck QCheck_alcotest Router

@@ -1,0 +1,1 @@
+test/test_controller.ml: Alcotest Hw_controller Hw_datapath Hw_openflow Hw_packet Int32 Ip List Mac Ofp_action Ofp_match Ofp_message Option Packet String

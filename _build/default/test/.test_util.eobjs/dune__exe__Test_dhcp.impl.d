@@ -1,0 +1,1 @@
+test/test_dhcp.ml: Alcotest Dhcp_server Dhcp_wire Hw_dhcp Hw_packet Ip Lease_db List Mac Option Packet QCheck QCheck_alcotest Result Udp

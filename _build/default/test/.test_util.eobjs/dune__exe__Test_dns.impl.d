@@ -1,0 +1,1 @@
+test/test_dns.ml: Alcotest Dns_proxy Dns_wire Hw_dns Hw_packet Ip List Mac QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_dns_wire.ml: Alcotest Dns_wire Hw_packet Hw_util Ip List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_failures.ml: Alcotest Dhcp_wire Hw_datapath Hw_dhcp Hw_hwdb Hw_packet Hw_policy Hw_router Hw_sim Hw_time Hw_ui Ip List Mac Option Packet Printf Result String Udp

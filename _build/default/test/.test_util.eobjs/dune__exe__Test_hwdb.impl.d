@@ -1,0 +1,1 @@
+test/test_hwdb.ml: Alcotest Array Ast Database Hw_hwdb Lexer List Option Parser Printf QCheck QCheck_alcotest Query Queue Recorder Result Rpc String Table Value

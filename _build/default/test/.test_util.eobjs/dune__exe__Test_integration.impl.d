@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Hw_control_api Hw_datapath Hw_dhcp Hw_dns Hw_hwdb Hw_json Hw_openflow Hw_packet Hw_policy Hw_router Hw_sim Hw_time Hw_ui Ip List Mac Option Printf String

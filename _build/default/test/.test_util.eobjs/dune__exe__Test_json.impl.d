@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Hw_json List Printf QCheck QCheck_alcotest

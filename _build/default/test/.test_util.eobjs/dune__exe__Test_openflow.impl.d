@@ -1,0 +1,1 @@
+test/test_openflow.ml: Alcotest Arp Bytes Hw_datapath Hw_openflow Hw_packet Hw_util Int32 Int64 Ip List Mac Ofp_action Ofp_match Ofp_message Option Packet QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Arp Bytes Dhcp_wire Ethernet Format Hw_packet Icmp Int32 Int64 Ip Ipv4 List Mac Option Packet QCheck QCheck_alcotest String Tcp Udp

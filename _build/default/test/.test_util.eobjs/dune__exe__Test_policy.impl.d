@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Hw_dns Hw_json Hw_packet Hw_policy Hw_time List Mac Policy Printf QCheck QCheck_alcotest Result Schedule Udev_monitor Usb_key

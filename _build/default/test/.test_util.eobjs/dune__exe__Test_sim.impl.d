@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Arp Device Dhcp_wire Dns_wire Event_loop Hw_packet Hw_sim Icmp Internet Ip Ipv4 List Mac Option Packet Prng Result Rssi String Tcp Udp

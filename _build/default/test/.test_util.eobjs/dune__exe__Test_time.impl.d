@@ -1,0 +1,1 @@
+test/test_time.ml: Alcotest Hw_time QCheck QCheck_alcotest

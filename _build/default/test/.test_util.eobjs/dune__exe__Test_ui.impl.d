@@ -1,0 +1,1 @@
+test/test_ui.ml: Alcotest Hashtbl Hw_control_api Hw_hwdb Hw_json Hw_ui List Option Re String

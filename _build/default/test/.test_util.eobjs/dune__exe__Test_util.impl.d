@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Char Gen Hw_util List QCheck QCheck_alcotest Ring String Wire

@@ -1,0 +1,239 @@
+(* hw_control_api: HTTP codec, router, and the REST surface over fake ops *)
+
+open Hw_control_api
+module Json = Hw_json.Json
+
+(* ------------------------------------------------------------------ *)
+(* HTTP codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_request_roundtrip () =
+  let req =
+    Http.request ~headers:[ ("x-test", "yes") ] ~body:"{\"a\":1}" Http.POST
+      "/api/devices/aa:bb/permit?force=1&note=hello%20world"
+  in
+  let raw = Http.encode_request req in
+  match Http.decode_request raw with
+  | Ok req' ->
+      Alcotest.(check string) "path" "/api/devices/aa:bb/permit" req'.Http.path;
+      Alcotest.(check bool) "query decoded" true
+        (List.assoc_opt "note" req'.Http.query = Some "hello world");
+      Alcotest.(check string) "body" "{\"a\":1}" req'.Http.body;
+      Alcotest.(check bool) "header" true (Http.header "X-Test" req' = Some "yes")
+  | Error e -> Alcotest.fail e
+
+let test_response_roundtrip () =
+  let resp = Http.json_response ~status:201 (Json.Obj [ ("ok", Json.Bool true) ]) in
+  match Http.decode_response (Http.encode_response resp) with
+  | Ok resp' ->
+      Alcotest.(check int) "status" 201 resp'.Http.status;
+      Alcotest.(check string) "body" "{\"ok\":true}" resp'.Http.body
+  | Error e -> Alcotest.fail e
+
+let test_decode_request_errors () =
+  List.iter
+    (fun raw ->
+      match Http.decode_request raw with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" raw)
+    [
+      "";
+      "GET /x HTTP/1.1";                         (* no header terminator *)
+      "BREW /x HTTP/1.1\r\n\r\n";                (* unknown method *)
+      "GET\r\n\r\n";                             (* malformed request line *)
+      "GET /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort";  (* truncated body *)
+    ]
+
+let test_url_codec () =
+  Alcotest.(check string) "decode" "a b+c/é" (Http.url_decode "a%20b%2Bc/%C3%A9");
+  Alcotest.(check string) "plus is space" "a b" (Http.url_decode "a+b");
+  Alcotest.(check string) "encode keeps safe" "/api/x-y_z.1~" (Http.url_encode "/api/x-y_z.1~");
+  Alcotest.(check string) "encode escapes" "a%20b" (Http.url_encode "a b")
+
+(* ------------------------------------------------------------------ *)
+(* Router                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_router_dispatch () =
+  let r = Router.create () in
+  Router.route r Http.GET "/api/things" (fun _req _p -> Http.response ~body:"list" 200);
+  Router.route r Http.GET "/api/things/:id" (fun _req p ->
+      Http.response ~body:("got " ^ List.assoc "id" p) 200);
+  Router.route r Http.DELETE "/api/things/:id" (fun _req _p -> Http.response 204);
+  let get path = Router.dispatch r (Http.request Http.GET path) in
+  Alcotest.(check string) "static" "list" (get "/api/things").Http.body;
+  Alcotest.(check string) "param" "got 42" (get "/api/things/42").Http.body;
+  Alcotest.(check int) "404" 404 (get "/api/nope").Http.status;
+  Alcotest.(check int) "405 wrong method" 405
+    (Router.dispatch r (Http.request Http.POST "/api/things/42")).Http.status;
+  Alcotest.(check int) "delete" 204
+    (Router.dispatch r (Http.request Http.DELETE "/api/things/42")).Http.status
+
+let test_router_handler_exception_is_500 () =
+  let r = Router.create () in
+  Router.route r Http.GET "/boom" (fun _ _ -> failwith "bug");
+  Alcotest.(check int) "500" 500 (Router.dispatch r (Http.request Http.GET "/boom")).Http.status
+
+let test_handle_raw_bad_request () =
+  let r = Router.create () in
+  let out = Router.handle_raw r "not http at all" in
+  Alcotest.(check bool) "400 response" true
+    (match Http.decode_response out with Ok resp -> resp.Http.status = 400 | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* REST surface over scripted ops                                      *)
+(* ------------------------------------------------------------------ *)
+
+type calls = { mutable permits : string list; mutable denies : string list; mutable rules : Json.t list }
+
+let fake_api () =
+  let calls = { permits = []; denies = []; rules = [] } in
+  let ops =
+    {
+      Control_api.status = (fun () -> Json.Obj [ ("router", Json.String "fake") ]);
+      list_devices =
+        (fun () ->
+          Json.List
+            [
+              Json.Obj
+                [
+                  ("mac", Json.String "aa:bb:cc:dd:ee:01");
+                  ("state", Json.String "pending");
+                  ("hostname", Json.String "h1");
+                  ("metadata", Json.String "");
+                ];
+            ]);
+      permit_device =
+        (fun mac ->
+          calls.permits <- mac :: calls.permits;
+          if mac = "bad" then Error "bad MAC bad" else Ok ());
+      deny_device =
+        (fun mac ->
+          calls.denies <- mac :: calls.denies;
+          Ok ());
+      forget_device = (fun _ -> Ok ());
+      set_device_metadata = (fun _ _ -> Ok ());
+      list_leases = (fun () -> Json.List []);
+      list_policies = (fun () -> Json.List calls.rules);
+      add_policy =
+        (fun json ->
+          calls.rules <- json :: calls.rules;
+          Ok json);
+      delete_policy = (fun id -> if id = "known" then Ok () else Error "no rule");
+      list_groups = (fun () -> Json.Obj []);
+      set_group = (fun _ _ -> Ok ());
+      usb_event = (fun _ -> Ok (Json.Obj [ ("token", Json.String "t") ]));
+      hwdb_query =
+        (fun q ->
+          if q = "bad" then Error "syntax" else Ok (Json.Obj [ ("echo", Json.String q) ]));
+      dns_stats = (fun () -> Json.Obj [ ("queries", Json.Int 0) ]);
+    }
+  in
+  (Control_api.build ops, calls)
+
+let test_api_devices_and_permit () =
+  let api, calls = fake_api () in
+  let resp = Control_api.handle api (Http.request Http.GET "/api/devices") in
+  Alcotest.(check int) "devices 200" 200 resp.Http.status;
+  Alcotest.(check bool) "payload is list" true
+    (match Json.of_string resp.Http.body with Json.List [ _ ] -> true | _ -> false);
+  let resp =
+    Control_api.handle api (Http.request Http.POST "/api/devices/aa:bb:cc:dd:ee:01/permit")
+  in
+  Alcotest.(check int) "permit 200" 200 resp.Http.status;
+  Alcotest.(check (list string)) "ops called" [ "aa:bb:cc:dd:ee:01" ] calls.permits;
+  let resp = Control_api.handle api (Http.request Http.POST "/api/devices/bad/permit") in
+  Alcotest.(check int) "bad mac 400" 400 resp.Http.status
+
+let test_api_metadata_validation () =
+  let api, _ = fake_api () in
+  let good =
+    Control_api.handle api
+      (Http.request ~body:"{\"name\": \"Tom's laptop\"}" Http.PUT "/api/devices/aa/metadata")
+  in
+  Alcotest.(check int) "good 200" 200 good.Http.status;
+  let bad =
+    Control_api.handle api (Http.request ~body:"{\"nope\": 1}" Http.PUT "/api/devices/aa/metadata")
+  in
+  Alcotest.(check int) "bad shape 400" 400 bad.Http.status;
+  let not_json =
+    Control_api.handle api (Http.request ~body:"{{{" Http.PUT "/api/devices/aa/metadata")
+  in
+  Alcotest.(check int) "not json 400" 400 not_json.Http.status
+
+let test_api_policies () =
+  let api, calls = fake_api () in
+  let rule = "{\"id\":\"r1\",\"group\":\"kids\",\"services\":[]}" in
+  let resp = Control_api.handle api (Http.request ~body:rule Http.POST "/api/policies") in
+  Alcotest.(check int) "created 201" 201 resp.Http.status;
+  Alcotest.(check int) "stored" 1 (List.length calls.rules);
+  let resp = Control_api.handle api (Http.request Http.DELETE "/api/policies/known") in
+  Alcotest.(check int) "delete ok" 200 resp.Http.status;
+  let resp = Control_api.handle api (Http.request Http.DELETE "/api/policies/unknown") in
+  Alcotest.(check int) "delete unknown 400" 400 resp.Http.status
+
+let test_api_groups_validation () =
+  let api, _ = fake_api () in
+  let ok =
+    Control_api.handle api
+      (Http.request ~body:"{\"members\": [\"aa:bb\"]}" Http.PUT "/api/groups/kids")
+  in
+  Alcotest.(check int) "ok" 200 ok.Http.status;
+  let bad =
+    Control_api.handle api (Http.request ~body:"{\"members\": [1,2]}" Http.PUT "/api/groups/kids")
+  in
+  Alcotest.(check int) "non-string members" 400 bad.Http.status
+
+let test_api_hwdb_query_param () =
+  let api, _ = fake_api () in
+  let resp = Control_api.handle api (Http.request Http.GET "/api/hwdb?q=SELECT%201") in
+  Alcotest.(check int) "ok" 200 resp.Http.status;
+  Alcotest.(check bool) "echoed" true
+    (Json.equal (Json.of_string resp.Http.body) (Json.Obj [ ("echo", Json.String "SELECT 1") ]));
+  let resp = Control_api.handle api (Http.request Http.GET "/api/hwdb") in
+  Alcotest.(check int) "missing q" 400 resp.Http.status;
+  let resp = Control_api.handle api (Http.request Http.GET "/api/hwdb?q=bad") in
+  Alcotest.(check int) "query error" 400 resp.Http.status
+
+let test_api_raw_roundtrip () =
+  let api, _ = fake_api () in
+  let raw = Http.encode_request (Http.request Http.GET "/api/status") in
+  let out = Control_api.handle_raw api raw in
+  match Http.decode_response out with
+  | Ok resp ->
+      Alcotest.(check int) "200 over the wire" 200 resp.Http.status;
+      Alcotest.(check bool) "body" true
+        (Json.equal (Json.of_string resp.Http.body) (Json.Obj [ ("router", Json.String "fake") ]))
+  | Error e -> Alcotest.fail e
+
+let prop_url_roundtrip =
+  QCheck.Test.make ~name:"url encode/decode roundtrip" ~count:300 QCheck.printable_string
+    (fun s -> Http.url_decode (Http.url_encode s) = s)
+
+let () =
+  Alcotest.run "hw_control_api"
+    [
+      ( "http",
+        [
+          Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+          Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
+          Alcotest.test_case "decode errors" `Quick test_decode_request_errors;
+          Alcotest.test_case "url codec" `Quick test_url_codec;
+          QCheck_alcotest.to_alcotest prop_url_roundtrip;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "dispatch" `Quick test_router_dispatch;
+          Alcotest.test_case "exception is 500" `Quick test_router_handler_exception_is_500;
+          Alcotest.test_case "raw bad request" `Quick test_handle_raw_bad_request;
+        ] );
+      ( "rest",
+        [
+          Alcotest.test_case "devices + permit" `Quick test_api_devices_and_permit;
+          Alcotest.test_case "metadata validation" `Quick test_api_metadata_validation;
+          Alcotest.test_case "policies" `Quick test_api_policies;
+          Alcotest.test_case "groups validation" `Quick test_api_groups_validation;
+          Alcotest.test_case "hwdb query param" `Quick test_api_hwdb_query_param;
+          Alcotest.test_case "raw roundtrip" `Quick test_api_raw_roundtrip;
+        ] );
+    ]

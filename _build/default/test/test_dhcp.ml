@@ -1,0 +1,310 @@
+(* hw_dhcp: lease pool and the DHCP server module *)
+
+open Hw_packet
+open Hw_dhcp
+
+let mac i = Mac.local (0x10 + i)
+let now = ref 0.
+let clock () = !now
+
+let pool () =
+  Lease_db.create ~pool_start:(Ip.of_octets 10 0 0 100) ~pool_end:(Ip.of_octets 10 0 0 103)
+    ~lease_time:60. ()
+
+(* ------------------------------------------------------------------ *)
+(* Lease pool                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_allocate_sequential () =
+  let db = pool () in
+  let l1 = Option.get (Lease_db.allocate db ~now:0. (mac 1)) in
+  let l2 = Option.get (Lease_db.allocate db ~now:0. (mac 2)) in
+  Alcotest.(check string) "first" "10.0.0.100" (Ip.to_string l1.Lease_db.ip);
+  Alcotest.(check string) "second" "10.0.0.101" (Ip.to_string l2.Lease_db.ip)
+
+let test_allocate_stable_for_same_client () =
+  let db = pool () in
+  let l1 = Option.get (Lease_db.allocate db ~now:0. (mac 1)) in
+  let l2 = Option.get (Lease_db.allocate db ~now:10. (mac 1)) in
+  Alcotest.(check bool) "same ip" true (Ip.equal l1.Lease_db.ip l2.Lease_db.ip);
+  Alcotest.(check int) "one binding" 1 (List.length (Lease_db.active db))
+
+let test_allocate_requested () =
+  let db = pool () in
+  let l = Option.get (Lease_db.allocate db ~now:0. ~requested:(Ip.of_octets 10 0 0 102) (mac 1)) in
+  Alcotest.(check string) "honoured" "10.0.0.102" (Ip.to_string l.Lease_db.ip);
+  (* requested address already taken: falls back to the lowest free *)
+  let l2 = Option.get (Lease_db.allocate db ~now:0. ~requested:(Ip.of_octets 10 0 0 102) (mac 2)) in
+  Alcotest.(check string) "fallback" "10.0.0.100" (Ip.to_string l2.Lease_db.ip);
+  (* out-of-pool request ignored *)
+  let l3 = Option.get (Lease_db.allocate db ~now:0. ~requested:(Ip.of_octets 99 0 0 1) (mac 3)) in
+  Alcotest.(check string) "in pool anyway" "10.0.0.101" (Ip.to_string l3.Lease_db.ip)
+
+let test_pool_exhaustion () =
+  let db = pool () in
+  for i = 1 to 4 do
+    Alcotest.(check bool) "alloc" true (Lease_db.allocate db ~now:0. (mac i) <> None)
+  done;
+  Alcotest.(check bool) "exhausted" true (Lease_db.allocate db ~now:0. (mac 9) = None);
+  Alcotest.(check (float 0.01)) "full" 1.0 (Lease_db.utilisation db);
+  ignore (Lease_db.release db (mac 2));
+  Alcotest.(check bool) "freed slot reused" true (Lease_db.allocate db ~now:0. (mac 9) <> None)
+
+let test_confirm_semantics () =
+  let db = pool () in
+  let l = Option.get (Lease_db.allocate db ~now:0. (mac 1)) in
+  (* matching confirm renews *)
+  (match Lease_db.confirm db ~now:30. (mac 1) l.Lease_db.ip () with
+  | Some l' -> Alcotest.(check (float 0.01)) "extended" 90. l'.Lease_db.expires_at
+  | None -> Alcotest.fail "confirm failed");
+  (* confirm of someone else's address is refused *)
+  Alcotest.(check bool) "conflict refused" true
+    (Lease_db.confirm db ~now:0. (mac 2) l.Lease_db.ip () = None);
+  (* silent-reboot confirm of a free in-pool address is accepted *)
+  Alcotest.(check bool) "free address accepted" true
+    (Lease_db.confirm db ~now:0. (mac 3) (Ip.of_octets 10 0 0 103) () <> None)
+
+let test_expiry () =
+  let db = pool () in
+  (* committed lease at t=0 (expires at 60), committed lease at t=30 *)
+  ignore (Lease_db.allocate db ~now:0. (mac 1));
+  ignore (Lease_db.confirm db ~now:0. (mac 1) (Ip.of_octets 10 0 0 100) ());
+  ignore (Lease_db.allocate db ~now:30. (mac 2));
+  ignore (Lease_db.confirm db ~now:30. (mac 2) (Ip.of_octets 10 0 0 101) ());
+  let expired = Lease_db.expire db ~now:61. in
+  Alcotest.(check int) "one expired" 1 (List.length expired);
+  Alcotest.(check bool) "right one" true (Mac.equal (List.hd expired).Lease_db.mac (mac 1));
+  Alcotest.(check int) "one left" 1 (List.length (Lease_db.active db))
+
+let test_offer_expires_quickly () =
+  let db = pool () in
+  (* an OFFER that is never REQUESTed frees its address after offer_time *)
+  let offer = Option.get (Lease_db.allocate db ~now:0. (mac 1)) in
+  Alcotest.(check bool) "uncommitted" false offer.Lease_db.committed;
+  let expired = Lease_db.expire db ~now:31. in
+  Alcotest.(check int) "offer expired" 1 (List.length expired);
+  Alcotest.(check (float 0.01)) "pool free again" 0.0 (Lease_db.utilisation db);
+  (* a REQUESTed binding lives the full lease time *)
+  ignore (Lease_db.allocate db ~now:40. (mac 2));
+  let lease = Option.get (Lease_db.confirm db ~now:40. (mac 2) (Ip.of_octets 10 0 0 100) ()) in
+  Alcotest.(check bool) "committed" true lease.Lease_db.committed;
+  Alcotest.(check int) "survives offer window" 0 (List.length (Lease_db.expire db ~now:75.));
+  Alcotest.(check int) "expires at lease time" 1 (List.length (Lease_db.expire db ~now:101.))
+
+let prop_unique_addresses =
+  QCheck.Test.make ~name:"no two active leases share an address" ~count:100
+    QCheck.(small_list (int_bound 15))
+    (fun clients ->
+      let db =
+        Lease_db.create ~pool_start:(Ip.of_octets 10 0 0 1) ~pool_end:(Ip.of_octets 10 0 0 8)
+          ~lease_time:60. ()
+      in
+      List.iter (fun i -> ignore (Lease_db.allocate db ~now:0. (mac i))) clients;
+      let ips = List.map (fun l -> Ip.to_string l.Lease_db.ip) (Lease_db.active db) in
+      List.length ips = List.length (List.sort_uniq compare ips))
+
+(* ------------------------------------------------------------------ *)
+(* Server module                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let make_server ?(default_permit = false) () =
+  now := 0.;
+  let config = { Dhcp_server.default_config with Dhcp_server.default_permit } in
+  Dhcp_server.create ~config ~now:clock ()
+
+let wrap server msg =
+  let cfg = Dhcp_server.config server in
+  Packet.dhcp_packet ~src_mac:msg.Dhcp_wire.chaddr ~dst_mac:Mac.broadcast ~src_ip:Ip.any
+    ~dst_ip:Ip.broadcast msg
+  |> fun pkt ->
+  ignore cfg;
+  pkt
+
+let dhcp_of_reply pkt =
+  match pkt.Packet.l3 with
+  | Packet.Ipv4 (_, Packet.Udp u) -> Result.get_ok (Dhcp_wire.decode u.Udp.payload)
+  | _ -> Alcotest.fail "reply is not UDP"
+
+let discover server m =
+  Dhcp_server.handle_packet server
+    (wrap server
+       (Dhcp_wire.make_request ~options:[ Dhcp_wire.Hostname "host" ] ~xid:1l ~chaddr:m
+          Dhcp_wire.Discover))
+
+let request server m ip =
+  Dhcp_server.handle_packet server
+    (wrap server
+       (Dhcp_wire.make_request
+          ~options:[ Dhcp_wire.Hostname "host"; Dhcp_wire.Requested_ip ip ]
+          ~xid:2l ~chaddr:m Dhcp_wire.Request))
+
+let full_dora server m =
+  match discover server m with
+  | [ offer ] -> (
+      let offer = dhcp_of_reply offer in
+      match request server m offer.Dhcp_wire.yiaddr with
+      | [ ack ] -> dhcp_of_reply ack
+      | _ -> Alcotest.fail "no ack")
+  | _ -> Alcotest.fail "no offer"
+
+let test_dora_happy_path () =
+  let server = make_server ~default_permit:true () in
+  let ack = full_dora server (mac 1) in
+  Alcotest.(check bool) "ack" true (Dhcp_wire.find_message_type ack = Some Dhcp_wire.Ack);
+  Alcotest.(check string) "address" "10.0.0.100" (Ip.to_string ack.Dhcp_wire.yiaddr);
+  Alcotest.(check bool) "options carried" true (Dhcp_wire.find_lease_time ack <> None);
+  (* events: exactly one grant *)
+  Alcotest.(check int) "one lease" 1 (List.length (Lease_db.active (Dhcp_server.lease_db server)))
+
+let test_default_deny_marks_pending () =
+  let server = make_server () in
+  let events = ref [] in
+  Dhcp_server.on_event server (fun ev -> events := ev :: !events);
+  (match discover server (mac 1) with
+  | [ reply ] ->
+      Alcotest.(check bool) "nak" true
+        (Dhcp_wire.find_message_type (dhcp_of_reply reply) = Some Dhcp_wire.Nak)
+  | _ -> Alcotest.fail "expected one NAK");
+  Alcotest.(check bool) "pending event" true
+    (List.exists (function Dhcp_server.Device_pending _ -> true | _ -> false) !events);
+  Alcotest.(check int) "appears in pending list" 1
+    (List.length (Dhcp_server.pending_devices server))
+
+let test_permit_then_join () =
+  let server = make_server () in
+  ignore (discover server (mac 1));
+  Dhcp_server.permit server (mac 1);
+  let ack = full_dora server (mac 1) in
+  Alcotest.(check bool) "acked after permit" true
+    (Dhcp_wire.find_message_type ack = Some Dhcp_wire.Ack);
+  Alcotest.(check bool) "state" true (Dhcp_server.device_state server (mac 1) = Dhcp_server.Permitted)
+
+let test_deny_revokes_lease () =
+  let server = make_server ~default_permit:true () in
+  let events = ref [] in
+  Dhcp_server.on_event server (fun ev -> events := ev :: !events);
+  ignore (full_dora server (mac 1));
+  Dhcp_server.deny server (mac 1);
+  Alcotest.(check int) "lease gone" 0 (List.length (Lease_db.active (Dhcp_server.lease_db server)));
+  Alcotest.(check bool) "revoke event" true
+    (List.exists (function Dhcp_server.Lease_revoked _ -> true | _ -> false) !events);
+  (* further requests refused *)
+  match discover server (mac 1) with
+  | [ reply ] ->
+      Alcotest.(check bool) "nak after deny" true
+        (Dhcp_wire.find_message_type (dhcp_of_reply reply) = Some Dhcp_wire.Nak)
+  | _ -> Alcotest.fail "expected NAK"
+
+let test_renewal_event () =
+  let server = make_server ~default_permit:true () in
+  let events = ref [] in
+  Dhcp_server.on_event server (fun ev -> events := ev :: !events);
+  let ack = full_dora server (mac 1) in
+  ignore (request server (mac 1) ack.Dhcp_wire.yiaddr);
+  let renewals =
+    List.length (List.filter (function Dhcp_server.Lease_renewed _ -> true | _ -> false) !events)
+  in
+  let grants =
+    List.length (List.filter (function Dhcp_server.Lease_granted _ -> true | _ -> false) !events)
+  in
+  Alcotest.(check int) "one grant" 1 grants;
+  Alcotest.(check int) "one renewal" 1 renewals
+
+let test_release_and_expiry_events () =
+  let server = make_server ~default_permit:true () in
+  let events = ref [] in
+  Dhcp_server.on_event server (fun ev -> events := ev :: !events);
+  ignore (full_dora server (mac 1));
+  ignore
+    (Dhcp_server.handle_packet server
+       (wrap server (Dhcp_wire.make_request ~xid:3l ~chaddr:(mac 1) Dhcp_wire.Release)));
+  Alcotest.(check bool) "release event" true
+    (List.exists (function Dhcp_server.Lease_released _ -> true | _ -> false) !events);
+  (* a second device's lease expires via tick *)
+  ignore (full_dora server (mac 2));
+  now := 10_000.;
+  Dhcp_server.tick server;
+  Alcotest.(check bool) "expiry revokes" true
+    (List.exists (function Dhcp_server.Lease_revoked _ -> true | _ -> false) !events)
+
+let test_nak_for_conflicting_request () =
+  let server = make_server ~default_permit:true () in
+  let ack = full_dora server (mac 1) in
+  (* a different client asks for the same address without discovery *)
+  match request server (mac 2) ack.Dhcp_wire.yiaddr with
+  | [ reply ] ->
+      Alcotest.(check bool) "nak" true
+        (Dhcp_wire.find_message_type (dhcp_of_reply reply) = Some Dhcp_wire.Nak)
+  | _ -> Alcotest.fail "expected one NAK"
+
+let test_inform () =
+  let server = make_server ~default_permit:true () in
+  match
+    Dhcp_server.handle_packet server
+      (wrap server (Dhcp_wire.make_request ~xid:4l ~chaddr:(mac 1) Dhcp_wire.Inform))
+  with
+  | [ reply ] ->
+      let reply = dhcp_of_reply reply in
+      Alcotest.(check bool) "ack" true (Dhcp_wire.find_message_type reply = Some Dhcp_wire.Ack);
+      Alcotest.(check bool) "no address assigned" true (Ip.equal reply.Dhcp_wire.yiaddr Ip.any)
+  | _ -> Alcotest.fail "expected INFORM ack"
+
+let test_non_dhcp_ignored () =
+  let server = make_server () in
+  let pkt =
+    Packet.udp_packet ~src_mac:(mac 1) ~dst_mac:Mac.broadcast ~src_ip:Ip.any ~dst_ip:Ip.broadcast
+      ~src_port:5000 ~dst_port:5001 "not dhcp"
+  in
+  Alcotest.(check int) "ignored" 0 (List.length (Dhcp_server.handle_packet server pkt));
+  (* malformed DHCP on port 67 is also ignored, not a crash *)
+  let bad =
+    Packet.udp_packet ~src_mac:(mac 1) ~dst_mac:Mac.broadcast ~src_ip:Ip.any ~dst_ip:Ip.broadcast
+      ~src_port:68 ~dst_port:67 "garbage"
+  in
+  Alcotest.(check int) "garbage ignored" 0 (List.length (Dhcp_server.handle_packet server bad))
+
+let test_metadata () =
+  let server = make_server () in
+  ignore (discover server (mac 1));
+  Dhcp_server.set_metadata server (mac 1) "Tom's Mac Air";
+  Alcotest.(check bool) "metadata stored" true
+    (Dhcp_server.metadata server (mac 1) = Some "Tom's Mac Air");
+  Alcotest.(check bool) "unknown device" true (Dhcp_server.metadata server (mac 9) = None)
+
+let test_forget_restores_default () =
+  let server = make_server ~default_permit:true () in
+  Dhcp_server.deny server (mac 1);
+  Alcotest.(check bool) "denied" true (Dhcp_server.device_state server (mac 1) = Dhcp_server.Denied);
+  Dhcp_server.forget server (mac 1);
+  Alcotest.(check bool) "back to default (permit)" true
+    (Dhcp_server.device_state server (mac 1) = Dhcp_server.Permitted)
+
+let () =
+  Alcotest.run "hw_dhcp"
+    [
+      ( "lease_db",
+        [
+          Alcotest.test_case "sequential allocation" `Quick test_allocate_sequential;
+          Alcotest.test_case "stable per client" `Quick test_allocate_stable_for_same_client;
+          Alcotest.test_case "requested address" `Quick test_allocate_requested;
+          Alcotest.test_case "exhaustion + reuse" `Quick test_pool_exhaustion;
+          Alcotest.test_case "confirm semantics" `Quick test_confirm_semantics;
+          Alcotest.test_case "expiry" `Quick test_expiry;
+          Alcotest.test_case "offer expires quickly" `Quick test_offer_expires_quickly;
+          QCheck_alcotest.to_alcotest prop_unique_addresses;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "DORA happy path" `Quick test_dora_happy_path;
+          Alcotest.test_case "default deny -> pending" `Quick test_default_deny_marks_pending;
+          Alcotest.test_case "permit then join" `Quick test_permit_then_join;
+          Alcotest.test_case "deny revokes" `Quick test_deny_revokes_lease;
+          Alcotest.test_case "renewal event" `Quick test_renewal_event;
+          Alcotest.test_case "release + expiry events" `Quick test_release_and_expiry_events;
+          Alcotest.test_case "conflicting request NAK" `Quick test_nak_for_conflicting_request;
+          Alcotest.test_case "inform" `Quick test_inform;
+          Alcotest.test_case "non-dhcp ignored" `Quick test_non_dhcp_ignored;
+          Alcotest.test_case "metadata" `Quick test_metadata;
+          Alcotest.test_case "forget restores default" `Quick test_forget_restores_default;
+        ] );
+    ]

@@ -1,0 +1,232 @@
+(* hw_dns: name policies, interception, caching, flow admission *)
+
+open Hw_packet
+open Hw_dns
+
+let now = ref 0.
+let clock () = !now
+let client_ip = Ip.of_octets 10 0 0 100
+let client_mac = Mac.local 1
+let fb_ip = Ip.of_octets 93 184 216 16
+
+let make ?(cache_ttl = 3600.) () =
+  now := 0.;
+  let proxy = Dns_proxy.create ~cache_ttl ~now:clock () in
+  Dns_proxy.set_device_of_ip proxy (fun ip ->
+      if Ip.equal ip client_ip then Some client_mac else None);
+  proxy
+
+(* ------------------------------------------------------------------ *)
+(* Policy matching                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_policy_allows () =
+  Alcotest.(check bool) "allow all" true (Dns_proxy.policy_allows Dns_proxy.Allow_all "anything");
+  Alcotest.(check bool) "block all" false (Dns_proxy.policy_allows Dns_proxy.Block_all "x");
+  let only_fb = Dns_proxy.Allow_only [ "facebook.com" ] in
+  Alcotest.(check bool) "exact" true (Dns_proxy.policy_allows only_fb "facebook.com");
+  Alcotest.(check bool) "subdomain" true (Dns_proxy.policy_allows only_fb "www.facebook.com");
+  Alcotest.(check bool) "case insensitive" true (Dns_proxy.policy_allows only_fb "WWW.Facebook.COM");
+  Alcotest.(check bool) "not a suffix label" false
+    (Dns_proxy.policy_allows only_fb "notfacebook.com");
+  Alcotest.(check bool) "other" false (Dns_proxy.policy_allows only_fb "youtube.com");
+  let blocklist = Dns_proxy.Block_listed [ "ads.example" ] in
+  Alcotest.(check bool) "blocklist hit" false (Dns_proxy.policy_allows blocklist "ads.example");
+  Alcotest.(check bool) "blocklist sub" false (Dns_proxy.policy_allows blocklist "x.ads.example");
+  Alcotest.(check bool) "blocklist miss" true (Dns_proxy.policy_allows blocklist "news.example")
+
+(* ------------------------------------------------------------------ *)
+(* Query path                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let query name = Dns_wire.query ~id:42 name Dns_wire.A
+
+let test_forward_when_allowed () =
+  let proxy = make () in
+  match Dns_proxy.handle_query proxy ~src_ip:client_ip ~src_port:5555 (query "example.com") with
+  | [ Dns_proxy.Forward_upstream q ] ->
+      Alcotest.(check bool) "rewritten id" true (q.Dns_wire.id <> 42);
+      Alcotest.(check int) "forwarded stat" 1 (Dns_proxy.stats proxy).Dns_proxy.forwarded
+  | _ -> Alcotest.fail "expected forward"
+
+let test_block_answers_nxdomain () =
+  let proxy = make () in
+  Dns_proxy.set_policy proxy client_mac (Dns_proxy.Allow_only [ "facebook.com" ]);
+  match Dns_proxy.handle_query proxy ~src_ip:client_ip ~src_port:5555 (query "youtube.com") with
+  | [ Dns_proxy.Respond_to_client { dst_ip; dst_port; msg } ] ->
+      Alcotest.(check bool) "to client" true (Ip.equal dst_ip client_ip);
+      Alcotest.(check int) "to port" 5555 dst_port;
+      Alcotest.(check bool) "nxdomain" true (msg.Dns_wire.rcode = Dns_wire.Name_error);
+      Alcotest.(check int) "same txn id" 42 msg.Dns_wire.id;
+      Alcotest.(check int) "blocked stat" 1 (Dns_proxy.stats proxy).Dns_proxy.blocked
+  | _ -> Alcotest.fail "expected immediate NXDOMAIN"
+
+let test_upstream_response_flows_back () =
+  let proxy = make () in
+  let fwd =
+    match Dns_proxy.handle_query proxy ~src_ip:client_ip ~src_port:7777 (query "www.facebook.com") with
+    | [ Dns_proxy.Forward_upstream q ] -> q
+    | _ -> Alcotest.fail "no forward"
+  in
+  let upstream_resp =
+    Dns_wire.response ~answers:[ Dns_wire.a_record "www.facebook.com" fb_ip ] fwd
+  in
+  (match Dns_proxy.handle_upstream proxy upstream_resp with
+  | [ Dns_proxy.Respond_to_client { dst_ip; dst_port; msg } ] ->
+      Alcotest.(check bool) "back to client" true (Ip.equal dst_ip client_ip);
+      Alcotest.(check int) "client port" 7777 dst_port;
+      Alcotest.(check int) "client txn id restored" 42 msg.Dns_wire.id
+  | _ -> Alcotest.fail "no response released");
+  (* answers harvested into the cache, both directions *)
+  Alcotest.(check bool) "name -> ip" true
+    (List.exists (Ip.equal fb_ip) (Dns_proxy.addresses_of proxy "www.facebook.com"));
+  Alcotest.(check bool) "ip -> name" true
+    (List.mem "www.facebook.com" (Dns_proxy.names_of proxy fb_ip))
+
+let seed_cache proxy name ip =
+  let fwd =
+    match Dns_proxy.handle_query proxy ~src_ip:client_ip ~src_port:1000 (query name) with
+    | [ Dns_proxy.Forward_upstream q ] -> q
+    | _ -> Alcotest.fail "no forward while seeding"
+  in
+  ignore
+    (Dns_proxy.handle_upstream proxy (Dns_wire.response ~answers:[ Dns_wire.a_record name ip ] fwd))
+
+let test_cache_answers_second_query () =
+  let proxy = make () in
+  seed_cache proxy "cached.example.com" fb_ip;
+  match Dns_proxy.handle_query proxy ~src_ip:client_ip ~src_port:1001 (query "cached.example.com") with
+  | [ Dns_proxy.Respond_to_client { msg; _ } ] ->
+      Alcotest.(check int) "one answer" 1 (List.length msg.Dns_wire.answers);
+      Alcotest.(check int) "cache stat" 1 (Dns_proxy.stats proxy).Dns_proxy.cache_answers
+  | _ -> Alcotest.fail "expected cache answer"
+
+let test_cache_expiry () =
+  let proxy = make ~cache_ttl:10. () in
+  seed_cache proxy "short.example.com" fb_ip;
+  Alcotest.(check int) "cached" 1 (Dns_proxy.cache_size proxy);
+  now := 60.;
+  Dns_proxy.expire_cache proxy;
+  Alcotest.(check int) "expired" 0 (Dns_proxy.cache_size proxy);
+  Alcotest.(check bool) "reverse map cleared" true (Dns_proxy.names_of proxy fb_ip = [])
+
+(* ------------------------------------------------------------------ *)
+(* Flow admission                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_flow_allow_all_device () =
+  let proxy = make () in
+  Alcotest.(check bool) "unrestricted" true
+    (Dns_proxy.check_flow proxy ~src_ip:client_ip ~dst_ip:fb_ip = Dns_proxy.Flow_allow)
+
+let test_flow_block_all_device () =
+  let proxy = make () in
+  Dns_proxy.set_policy proxy client_mac Dns_proxy.Block_all;
+  match Dns_proxy.check_flow proxy ~src_ip:client_ip ~dst_ip:fb_ip with
+  | Dns_proxy.Flow_block _ -> ()
+  | _ -> Alcotest.fail "expected block"
+
+let test_flow_admission_by_name () =
+  let proxy = make () in
+  (* cache both names while unrestricted, then restrict *)
+  seed_cache proxy "www.facebook.com" fb_ip;
+  let yt_ip = Ip.of_octets 93 184 216 19 in
+  seed_cache proxy "www.youtube.com" yt_ip;
+  Dns_proxy.set_policy proxy client_mac (Dns_proxy.Allow_only [ "facebook.com" ]);
+  Alcotest.(check bool) "facebook allowed" true
+    (Dns_proxy.check_flow proxy ~src_ip:client_ip ~dst_ip:fb_ip = Dns_proxy.Flow_allow);
+  (match Dns_proxy.check_flow proxy ~src_ip:client_ip ~dst_ip:yt_ip with
+  | Dns_proxy.Flow_block reason ->
+      Alcotest.(check bool) "reason names the site" true
+        (String.length reason > 0)
+  | _ -> Alcotest.fail "youtube should be blocked")
+
+let test_flow_reverse_lookup_path () =
+  let proxy = make () in
+  Dns_proxy.set_policy proxy client_mac (Dns_proxy.Allow_only [ "facebook.com" ]);
+  let unknown_ip = Ip.of_octets 198 51 100 7 in
+  (* unknown destination: the paper's reverse-lookup behaviour *)
+  let ptr =
+    match Dns_proxy.check_flow proxy ~src_ip:client_ip ~dst_ip:unknown_ip with
+    | Dns_proxy.Flow_reverse_lookup q -> q
+    | _ -> Alcotest.fail "expected reverse lookup"
+  in
+  Alcotest.(check int) "stat" 1 (Dns_proxy.stats proxy).Dns_proxy.reverse_lookups;
+  (match (List.hd ptr.Dns_wire.questions).Dns_wire.qtype with
+  | Dns_wire.PTR -> ()
+  | _ -> Alcotest.fail "not a PTR query");
+  (* upstream answers the PTR: now the flow can be decided *)
+  ignore
+    (Dns_proxy.handle_upstream proxy
+       (Dns_wire.response ~answers:[ Dns_wire.ptr_record unknown_ip "cdn.facebook.com" ] ptr));
+  Alcotest.(check bool) "allowed after PTR" true
+    (Dns_proxy.check_flow proxy ~src_ip:client_ip ~dst_ip:unknown_ip = Dns_proxy.Flow_allow);
+  (* and a hostile destination stays blocked *)
+  let bad_ip = Ip.of_octets 198 51 100 8 in
+  let ptr2 =
+    match Dns_proxy.check_flow proxy ~src_ip:client_ip ~dst_ip:bad_ip with
+    | Dns_proxy.Flow_reverse_lookup q -> q
+    | _ -> Alcotest.fail "expected reverse lookup"
+  in
+  ignore
+    (Dns_proxy.handle_upstream proxy
+       (Dns_wire.response ~answers:[ Dns_wire.ptr_record bad_ip "evil.example.net" ] ptr2));
+  match Dns_proxy.check_flow proxy ~src_ip:client_ip ~dst_ip:bad_ip with
+  | Dns_proxy.Flow_block _ -> ()
+  | _ -> Alcotest.fail "evil site not blocked"
+
+let test_unknown_device_unrestricted () =
+  let proxy = make () in
+  Dns_proxy.set_policy proxy client_mac Dns_proxy.Block_all;
+  let other_ip = Ip.of_octets 10 0 0 50 in
+  Alcotest.(check bool) "unknown ip allowed" true
+    (Dns_proxy.check_flow proxy ~src_ip:other_ip ~dst_ip:fb_ip = Dns_proxy.Flow_allow)
+
+let test_clear_policy () =
+  let proxy = make () in
+  Dns_proxy.set_policy proxy client_mac Dns_proxy.Block_all;
+  Dns_proxy.clear_policy proxy client_mac;
+  Alcotest.(check bool) "back to allow" true
+    (Dns_proxy.policy_of proxy client_mac = Dns_proxy.Allow_all)
+
+let test_empty_question_ignored () =
+  let proxy = make () in
+  let empty = { (query "x") with Dns_wire.questions = [] } in
+  Alcotest.(check int) "no actions" 0
+    (List.length (Dns_proxy.handle_query proxy ~src_ip:client_ip ~src_port:1 empty))
+
+let prop_policy_suffix_closed =
+  QCheck.Test.make ~name:"allow_only permits every subdomain of an allowed domain" ~count:200
+    (let label = QCheck.Gen.string_size ~gen:(QCheck.Gen.char_range 'a' 'z') (QCheck.Gen.int_range 1 8) in
+     QCheck.make (QCheck.Gen.pair label label) ~print:(fun (a, b) -> a ^ "," ^ b))
+    (fun (sub, domain) ->
+      let policy = Dns_proxy.Allow_only [ domain ^ ".com" ] in
+      Dns_proxy.policy_allows policy (sub ^ "." ^ domain ^ ".com"))
+
+let () =
+  Alcotest.run "hw_dns"
+    [
+      ( "policy",
+        [
+          Alcotest.test_case "matching" `Quick test_policy_allows;
+          QCheck_alcotest.to_alcotest prop_policy_suffix_closed;
+        ] );
+      ( "proxy",
+        [
+          Alcotest.test_case "forward when allowed" `Quick test_forward_when_allowed;
+          Alcotest.test_case "block -> NXDOMAIN" `Quick test_block_answers_nxdomain;
+          Alcotest.test_case "upstream response returns" `Quick test_upstream_response_flows_back;
+          Alcotest.test_case "cache answers" `Quick test_cache_answers_second_query;
+          Alcotest.test_case "cache expiry" `Quick test_cache_expiry;
+          Alcotest.test_case "empty question" `Quick test_empty_question_ignored;
+        ] );
+      ( "flow_admission",
+        [
+          Alcotest.test_case "allow-all device" `Quick test_flow_allow_all_device;
+          Alcotest.test_case "block-all device" `Quick test_flow_block_all_device;
+          Alcotest.test_case "admission by name" `Quick test_flow_admission_by_name;
+          Alcotest.test_case "reverse lookup path" `Quick test_flow_reverse_lookup_path;
+          Alcotest.test_case "unknown device" `Quick test_unknown_device_unrestricted;
+          Alcotest.test_case "clear policy" `Quick test_clear_policy;
+        ] );
+    ]

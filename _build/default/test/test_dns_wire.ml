@@ -1,0 +1,151 @@
+(* hw_packet DNS wire format, including name compression *)
+
+open Hw_packet
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "decode failed: %s" e
+let ip = Ip.of_octets 93 184 216 34
+
+let test_query_roundtrip () =
+  let q = Dns_wire.query ~id:0x7788 "www.Example.COM" Dns_wire.A in
+  let q' = ok (Dns_wire.decode (Dns_wire.encode q)) in
+  Alcotest.(check int) "id" 0x7788 q'.Dns_wire.id;
+  Alcotest.(check bool) "query" false q'.Dns_wire.is_response;
+  Alcotest.(check bool) "rd" true q'.Dns_wire.recursion_desired;
+  (match q'.Dns_wire.questions with
+  | [ { Dns_wire.qname; qtype } ] ->
+      Alcotest.(check string) "normalised name" "www.example.com" qname;
+      Alcotest.(check string) "qtype" "A" (Dns_wire.qtype_to_string qtype)
+  | _ -> Alcotest.fail "question lost")
+
+let test_response_roundtrip () =
+  let q = Dns_wire.query ~id:5 "a.example.com" Dns_wire.A in
+  let resp = Dns_wire.response ~answers:[ Dns_wire.a_record "a.example.com" ip ] q in
+  let resp' = ok (Dns_wire.decode (Dns_wire.encode resp)) in
+  Alcotest.(check bool) "is response" true resp'.Dns_wire.is_response;
+  Alcotest.(check int) "answer count" 1 (List.length resp'.Dns_wire.answers);
+  match (List.hd resp'.Dns_wire.answers).Dns_wire.rdata with
+  | Dns_wire.A_data a -> Alcotest.(check bool) "address" true (Ip.equal ip a)
+  | _ -> Alcotest.fail "wrong rdata"
+
+let test_nxdomain () =
+  let q = Dns_wire.query ~id:1 "nosuch.example" Dns_wire.A in
+  let resp = Dns_wire.response ~rcode:Dns_wire.Name_error q in
+  let resp' = ok (Dns_wire.decode (Dns_wire.encode resp)) in
+  Alcotest.(check int) "rcode" 3 (Dns_wire.rcode_to_int resp'.Dns_wire.rcode);
+  Alcotest.(check int) "no answers" 0 (List.length resp'.Dns_wire.answers)
+
+let test_ptr_record () =
+  Alcotest.(check string) "reverse name" "34.216.184.93.in-addr.arpa" (Dns_wire.reverse_name ip);
+  let rr = Dns_wire.ptr_record ip "server.example.com" in
+  let q = Dns_wire.query ~id:2 (Dns_wire.reverse_name ip) Dns_wire.PTR in
+  let resp = ok (Dns_wire.decode (Dns_wire.encode (Dns_wire.response ~answers:[ rr ] q))) in
+  match (List.hd resp.Dns_wire.answers).Dns_wire.rdata with
+  | Dns_wire.Ptr_data name -> Alcotest.(check string) "ptr target" "server.example.com" name
+  | _ -> Alcotest.fail "wrong rdata"
+
+let test_name_compression_decode () =
+  (* hand-crafted message: question "a.bc", answer name is a pointer to
+     offset 12 (the question name) *)
+  let w = Hw_util.Wire.Writer.create () in
+  Hw_util.Wire.Writer.u16 w 0x0101 (* id *);
+  Hw_util.Wire.Writer.u16 w 0x8180 (* response, rd, ra *);
+  Hw_util.Wire.Writer.u16 w 1 (* qd *);
+  Hw_util.Wire.Writer.u16 w 1 (* an *);
+  Hw_util.Wire.Writer.u16 w 0;
+  Hw_util.Wire.Writer.u16 w 0;
+  (* question at offset 12: 1'a' 2'bc' 0 *)
+  Hw_util.Wire.Writer.u8 w 1;
+  Hw_util.Wire.Writer.string w "a";
+  Hw_util.Wire.Writer.u8 w 2;
+  Hw_util.Wire.Writer.string w "bc";
+  Hw_util.Wire.Writer.u8 w 0;
+  Hw_util.Wire.Writer.u16 w 1 (* qtype A *);
+  Hw_util.Wire.Writer.u16 w 1 (* class IN *);
+  (* answer: name = pointer to offset 12 *)
+  Hw_util.Wire.Writer.u8 w 0xc0;
+  Hw_util.Wire.Writer.u8 w 12;
+  Hw_util.Wire.Writer.u16 w 1 (* type A *);
+  Hw_util.Wire.Writer.u16 w 1;
+  Hw_util.Wire.Writer.u32 w 60l;
+  Hw_util.Wire.Writer.u16 w 4;
+  Hw_util.Wire.Writer.u32 w (Ip.to_int32 ip);
+  let msg = ok (Dns_wire.decode (Hw_util.Wire.Writer.contents w)) in
+  Alcotest.(check string) "question name" "a.bc" (List.hd msg.Dns_wire.questions).Dns_wire.qname;
+  Alcotest.(check string) "compressed answer name" "a.bc"
+    (List.hd msg.Dns_wire.answers).Dns_wire.name
+
+let test_compression_loop_rejected () =
+  (* a name that points at itself must not hang *)
+  let w = Hw_util.Wire.Writer.create () in
+  Hw_util.Wire.Writer.u16 w 1;
+  Hw_util.Wire.Writer.u16 w 0;
+  Hw_util.Wire.Writer.u16 w 1;
+  Hw_util.Wire.Writer.u16 w 0;
+  Hw_util.Wire.Writer.u16 w 0;
+  Hw_util.Wire.Writer.u16 w 0;
+  Hw_util.Wire.Writer.u8 w 0xc0;
+  Hw_util.Wire.Writer.u8 w 12 (* points at itself *);
+  Hw_util.Wire.Writer.u16 w 1;
+  Hw_util.Wire.Writer.u16 w 1;
+  match Dns_wire.decode (Hw_util.Wire.Writer.contents w) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "compression loop accepted"
+
+let test_normalize () =
+  Alcotest.(check string) "lowercase" "www.facebook.com" (Dns_wire.normalize_name "WWW.Facebook.Com");
+  Alcotest.(check string) "trailing dot" "a.b" (Dns_wire.normalize_name "a.b.")
+
+let test_truncated_never_crashes () =
+  let bytes =
+    Dns_wire.encode
+      (Dns_wire.response
+         ~answers:[ Dns_wire.a_record "x.example.com" ip ]
+         (Dns_wire.query ~id:9 "x.example.com" Dns_wire.A))
+  in
+  for cut = 0 to String.length bytes - 1 do
+    match Dns_wire.decode (String.sub bytes 0 cut) with Ok _ | Error _ -> ()
+  done
+
+let name_gen =
+  let open QCheck.Gen in
+  let label = string_size ~gen:(char_range 'a' 'z') (int_range 1 8) in
+  map (String.concat ".") (list_size (int_range 1 4) label)
+
+let prop_query_roundtrip =
+  QCheck.Test.make ~name:"dns query roundtrip for arbitrary names" ~count:200
+    (QCheck.make name_gen ~print:(fun s -> s))
+    (fun name ->
+      let q = Dns_wire.query ~id:7 name Dns_wire.A in
+      match Dns_wire.decode (Dns_wire.encode q) with
+      | Ok q' ->
+          (List.hd q'.Dns_wire.questions).Dns_wire.qname = Dns_wire.normalize_name name
+      | Error _ -> false)
+
+let prop_multi_answer_roundtrip =
+  QCheck.Test.make ~name:"responses with many answers roundtrip" ~count:100
+    QCheck.(int_range 0 10)
+    (fun n ->
+      let name = "multi.example.com" in
+      let answers = List.init n (fun i -> Dns_wire.a_record name (Ip.of_octets 10 0 0 (i + 1))) in
+      let resp = Dns_wire.response ~answers (Dns_wire.query ~id:3 name Dns_wire.A) in
+      match Dns_wire.decode (Dns_wire.encode resp) with
+      | Ok resp' -> List.length resp'.Dns_wire.answers = n
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "hw_dns_wire"
+    [
+      ( "dns_wire",
+        [
+          Alcotest.test_case "query roundtrip" `Quick test_query_roundtrip;
+          Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
+          Alcotest.test_case "nxdomain" `Quick test_nxdomain;
+          Alcotest.test_case "ptr record" `Quick test_ptr_record;
+          Alcotest.test_case "compression decode" `Quick test_name_compression_decode;
+          Alcotest.test_case "compression loop rejected" `Quick test_compression_loop_rejected;
+          Alcotest.test_case "normalize" `Quick test_normalize;
+          Alcotest.test_case "truncation safety" `Quick test_truncated_never_crashes;
+          QCheck_alcotest.to_alcotest prop_query_roundtrip;
+          QCheck_alcotest.to_alcotest prop_multi_answer_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,786 @@
+(* hw_hwdb: values, tables, the CQL variant (lexer/parser/executor),
+   subscriptions, and the UDP RPC layer *)
+
+open Hw_hwdb
+
+let now = ref 0.
+let clock () = !now
+
+let fresh_db () =
+  now := 0.;
+  Database.create ~now:clock ()
+
+let rows_of db q =
+  match Database.query db q with
+  | Ok rs -> rs.Query.rows
+  | Error e -> Alcotest.failf "query %S failed: %s" q e
+
+let q_error db q =
+  match Database.query db q with
+  | Ok _ -> Alcotest.failf "query %S unexpectedly succeeded" q
+  | Error e -> e
+
+let seed_flows db samples =
+  (* samples: (t, src_ip, dst_port, bytes) *)
+  List.iter
+    (fun (t, src_ip, dst_port, bytes) ->
+      now := t;
+      Database.record_flow db ~proto:6 ~src_ip ~dst_ip:"93.184.216.34" ~src_port:40000
+        ~dst_port ~packets:1 ~bytes)
+    samples
+
+(* ------------------------------------------------------------------ *)
+(* Values                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_validate () =
+  let schema = [ ("a", Value.T_int); ("b", Value.T_str); ("c", Value.T_real) ] in
+  Alcotest.(check bool) "valid" true
+    (Value.validate schema [ Value.Int 1; Value.Str "x"; Value.Real 2. ] = Ok ());
+  Alcotest.(check bool) "int into real" true
+    (Value.validate schema [ Value.Int 1; Value.Str "x"; Value.Int 2 ] = Ok ());
+  Alcotest.(check bool) "arity" true
+    (Result.is_error (Value.validate schema [ Value.Int 1 ]));
+  Alcotest.(check bool) "type" true
+    (Result.is_error (Value.validate schema [ Value.Str "no"; Value.Str "x"; Value.Real 0. ]))
+
+let test_value_compare () =
+  Alcotest.(check bool) "int vs real" true (Value.compare_values (Value.Int 2) (Value.Real 2.5) < 0);
+  Alcotest.(check bool) "string order" true (Value.compare_values (Value.Str "a") (Value.Str "b") < 0);
+  Alcotest.(check bool) "numeric equal" true (Value.equal (Value.Int 3) (Value.Real 3.));
+  Alcotest.check_raises "str vs int" (Invalid_argument "cannot compare varchar with integer")
+    (fun () -> ignore (Value.compare_values (Value.Str "a") (Value.Int 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Tables & windows                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_insert_and_windows () =
+  let t = Table.create ~name:"T" ~capacity:100 [ ("v", Value.T_int) ] in
+  List.iter
+    (fun (ts, v) -> Result.get_ok (Table.insert t ~now:ts [ Value.Int v ]))
+    [ (1., 10); (2., 20); (3., 30); (4., 40) ];
+  Alcotest.(check int) "all" 4 (List.length (Table.scan_window t `All));
+  Alcotest.(check int) "range 2s from t=4" 2
+    (List.length (Table.scan_window t (`Last_seconds (2., 4.))));
+  Alcotest.(check int) "last 3 rows" 3 (List.length (Table.scan_window t (`Last_rows 3)));
+  Alcotest.(check int) "now" 1 (List.length (Table.scan_window t (`Now 4.)))
+
+let test_table_eviction_is_fifo () =
+  let t = Table.create ~name:"T" ~capacity:3 [ ("v", Value.T_int) ] in
+  for i = 1 to 5 do
+    Result.get_ok (Table.insert t ~now:(float_of_int i) [ Value.Int i ])
+  done;
+  let vals = List.map (fun (tu : Value.tuple) -> tu.Value.values.(0)) (Table.scan t) in
+  Alcotest.(check bool) "oldest dropped" true
+    (vals = [ Value.Int 3; Value.Int 4; Value.Int 5 ]);
+  Alcotest.(check int) "total counted" 5 (Table.total_inserted t)
+
+let test_table_triggers () =
+  let t = Table.create ~name:"T" ~capacity:4 [ ("v", Value.T_int) ] in
+  let fired = ref 0 in
+  Table.on_insert t (fun _ -> incr fired);
+  Result.get_ok (Table.insert t ~now:0. [ Value.Int 1 ]);
+  Result.get_ok (Table.insert t ~now:0. [ Value.Int 2 ]);
+  Alcotest.(check int) "trigger per insert" 2 !fired;
+  Alcotest.(check bool) "bad insert rejected" true
+    (Result.is_error (Table.insert t ~now:0. [ Value.Str "no" ]));
+  Alcotest.(check int) "no trigger on reject" 2 !fired
+
+(* ------------------------------------------------------------------ *)
+(* Lexer / parser                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let parse_ok s =
+  match Parser.parse s with
+  | Ok stmt -> stmt
+  | Error e -> Alcotest.failf "parse %S: %s" s e
+
+let test_lexer_basics () =
+  let toks = Lexer.tokenize "SELECT a, 'it''s' FROM t [RANGE 2.5 SECONDS] WHERE x <> 3" in
+  Alcotest.(check bool) "has string with escaped quote" true
+    (List.exists (function Lexer.Str_lit "it's" -> true | _ -> false) toks);
+  Alcotest.(check bool) "has real" true
+    (List.exists (function Lexer.Real_lit 2.5 -> true | _ -> false) toks);
+  Alcotest.(check bool) "neq symbol" true
+    (List.exists (function Lexer.Sym "<>" -> true | _ -> false) toks)
+
+let test_lexer_errors () =
+  Alcotest.(check bool) "unterminated string" true
+    (match Lexer.tokenize "SELECT 'oops" with
+    | exception Lexer.Lex_error _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "illegal char" true
+    (match Lexer.tokenize "SELECT @" with exception Lexer.Lex_error _ -> true | _ -> false)
+
+let test_parse_select_shapes () =
+  (match parse_ok "SELECT * FROM Flows" with
+  | Ast.Select { items = [ Ast.Sel_star ]; from = [ ("Flows", None) ]; window = Ast.W_all; _ } ->
+      ()
+  | _ -> Alcotest.fail "basic select");
+  (match parse_ok "SELECT a, b AS bb FROM t [ROWS 5] WHERE a > 1 LIMIT 3" with
+  | Ast.Select { items = [ _; Ast.Sel_expr (_, Some "bb") ]; window = Ast.W_rows 5; limit = Some 3; where = Some _; _ }
+    ->
+      ()
+  | _ -> Alcotest.fail "select with options");
+  (match parse_ok "SELECT COUNT(*) FROM t [NOW]" with
+  | Ast.Select { items = [ Ast.Sel_agg (Ast.Count, None, None) ]; window = Ast.W_now; _ } -> ()
+  | _ -> Alcotest.fail "count star");
+  (match parse_ok "SELECT SUM(bytes) AS total FROM Flows [RANGE 30 SECONDS] GROUP BY src_ip" with
+  | Ast.Select
+      { items = [ Ast.Sel_agg (Ast.Sum, Some _, Some "total") ]; group_by = [ (None, "src_ip") ]; _ } ->
+      ()
+  | _ -> Alcotest.fail "sum group by");
+  match parse_ok "SELECT f.src_ip, l.mac FROM Flows f, Leases l WHERE f.src_ip = l.ip" with
+  | Ast.Select { from = [ ("Flows", Some "f"); ("Leases", Some "l") ]; _ } -> ()
+  | _ -> Alcotest.fail "join with aliases"
+
+let test_parse_other_statements () =
+  (match parse_ok "INSERT INTO t VALUES (1, 'x', -2.5, true)" with
+  | Ast.Insert ("t", [ Value.Int 1; Value.Str "x"; Value.Real -2.5; Value.Bool true ]) -> ()
+  | _ -> Alcotest.fail "insert");
+  (match parse_ok "CREATE TABLE t (a INTEGER, b VARCHAR) CAPACITY 64" with
+  | Ast.Create { table = "t"; schema = [ ("a", Value.T_int); ("b", Value.T_str) ]; capacity = Some 64 }
+    ->
+      ()
+  | _ -> Alcotest.fail "create");
+  (match parse_ok "SUBSCRIBE SELECT * FROM t EVERY 5 SECONDS" with
+  | Ast.Subscribe (_, 5.) -> ()
+  | _ -> Alcotest.fail "subscribe");
+  match parse_ok "UNSUBSCRIBE 3" with
+  | Ast.Unsubscribe 3 -> ()
+  | _ -> Alcotest.fail "unsubscribe"
+
+let test_parse_expression_precedence () =
+  match parse_ok "SELECT a FROM t WHERE a + 2 * b > 4 AND NOT c OR d" with
+  | Ast.Select { where = Some (Ast.Binop (Ast.Or, Ast.Binop (Ast.And, gt, _not), _d)); _ } -> (
+      match gt with
+      | Ast.Binop (Ast.Gt, Ast.Binop (Ast.Add, _, Ast.Binop (Ast.Mul, _, _)), _) -> ()
+      | _ -> Alcotest.fail "arith precedence")
+  | _ -> Alcotest.fail "boolean precedence"
+
+let test_parse_errors () =
+  List.iter
+    (fun bad ->
+      match Parser.parse bad with
+      | Ok _ -> Alcotest.failf "accepted %S" bad
+      | Error _ -> ())
+    [
+      "";
+      "SELECT";
+      "SELECT FROM t";
+      "SELECT * FROM";
+      "SELECT * FROM t [RANGE SECONDS]";
+      "SELECT * FROM t WHERE";
+      "INSERT INTO t VALUES ()";
+      "CREATE TABLE t ()";
+      "SELECT * FROM t trailing garbage here ,";
+      "SUBSCRIBE SELECT * FROM t EVERY SECONDS";
+    ]
+
+let prop_stmt_print_parse_fixpoint =
+  (* statements printed by Ast.to_string re-parse to an identical AST *)
+  let stmt_gen =
+    let open QCheck.Gen in
+    let ident = map (Printf.sprintf "c%d") (int_bound 5) in
+    let table = map (Printf.sprintf "t%d") (int_bound 3) in
+    let lit =
+      oneof
+        [
+          map (fun i -> Value.Int i) small_signed_int;
+          map (fun s -> Value.Str s) (string_size ~gen:(char_range 'a' 'z') (int_bound 6));
+          map (fun b -> Value.Bool b) bool;
+        ]
+    in
+    let expr =
+      oneof
+        [
+          map (fun (q, n) -> Ast.Col (q, n)) (pair (oneof [ return None; map Option.some table ]) ident);
+          map (fun v -> Ast.Lit v) lit;
+          map2 (fun a b -> Ast.Binop (Ast.Add, Ast.Col (None, a), Ast.Lit b)) ident lit;
+        ]
+    in
+    let window =
+      oneof
+        [
+          return Ast.W_all;
+          map (fun n -> Ast.W_rows (1 + n)) small_nat;
+          map (fun n -> Ast.W_range_sec (float_of_int (1 + n))) small_nat;
+          return Ast.W_now;
+        ]
+    in
+    let item =
+      oneof
+        [
+          return Ast.Sel_star;
+          map (fun e -> Ast.Sel_expr (e, None)) expr;
+          map (fun (e, a) -> Ast.Sel_expr (e, Some a)) (pair expr ident);
+          map (fun e -> Ast.Sel_agg (Ast.Sum, Some e, Some "s")) expr;
+          return (Ast.Sel_agg (Ast.Count, None, None));
+        ]
+    in
+    let select =
+      map
+        (fun ((items, tbl, window), (where, group_by, limit)) ->
+          {
+            Ast.items;
+            from = [ (tbl, None) ];
+            window;
+            where;
+            group_by;
+            having = None;
+            order_by = None;
+            limit;
+          })
+        (pair
+           (triple (list_size (int_range 1 3) item) table window)
+           (triple
+              (oneof [ return None; map (fun e -> Some (Ast.Binop (Ast.Gt, e, Ast.Lit (Value.Int 0)))) expr ])
+              (oneof [ return []; map (fun c -> [ (None, c) ]) ident ])
+              (oneof [ return None; map (fun n -> Some (1 + n)) small_nat ])))
+    in
+    oneof
+      [
+        map (fun s -> Ast.Select s) select;
+        map2 (fun t vs -> Ast.Insert (t, vs)) table (list_size (int_range 1 3) lit);
+        map (fun (s, p) -> Ast.Subscribe (s, float_of_int (1 + p))) (pair select small_nat);
+        map (fun n -> Ast.Unsubscribe n) small_nat;
+      ]
+  in
+  QCheck.Test.make ~name:"print/parse fixpoint" ~count:300
+    (QCheck.make stmt_gen ~print:Ast.to_string)
+    (fun stmt ->
+      match Parser.parse (Ast.to_string stmt) with
+      | Ok stmt' -> Ast.to_string stmt = Ast.to_string stmt'
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Query execution                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_query_projection_where () =
+  let db = fresh_db () in
+  seed_flows db [ (1., "10.0.0.1", 80, 100); (2., "10.0.0.2", 443, 200); (3., "10.0.0.1", 80, 300) ];
+  let rows = rows_of db "SELECT src_ip, bytes FROM Flows WHERE src_ip = '10.0.0.1'" in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  let rows = rows_of db "SELECT bytes FROM Flows WHERE bytes > 150 AND dst_port = 443" in
+  Alcotest.(check bool) "filtered" true (rows = [ [ Value.Int 200 ] ])
+
+let test_query_arithmetic () =
+  let db = fresh_db () in
+  seed_flows db [ (1., "10.0.0.1", 80, 100) ];
+  match rows_of db "SELECT bytes * 8 AS bits, bytes / 10, bytes % 30 FROM Flows" with
+  | [ [ Value.Int 800; Value.Int 10; Value.Int 10 ] ] -> ()
+  | rows -> Alcotest.failf "unexpected rows (%d)" (List.length rows)
+
+let test_query_window () =
+  let db = fresh_db () in
+  seed_flows db [ (1., "a", 80, 1); (5., "b", 80, 2); (9., "c", 80, 3) ];
+  now := 10.;
+  Alcotest.(check int) "range 6s" 2
+    (List.length (rows_of db "SELECT * FROM Flows [RANGE 6 SECONDS]"));
+  Alcotest.(check int) "rows 1" 1 (List.length (rows_of db "SELECT * FROM Flows [ROWS 1]"));
+  Alcotest.(check int) "full" 3 (List.length (rows_of db "SELECT * FROM Flows"))
+
+let test_query_group_by_aggregates () =
+  let db = fresh_db () in
+  seed_flows db
+    [ (1., "10.0.0.1", 80, 100); (2., "10.0.0.1", 80, 300); (3., "10.0.0.2", 443, 50) ];
+  let rows =
+    rows_of db
+      "SELECT src_ip, COUNT(*) AS n, SUM(bytes) AS total, AVG(bytes) AS mean, MIN(bytes), \
+       MAX(bytes) FROM Flows GROUP BY src_ip ORDER BY total DESC"
+  in
+  match rows with
+  | [
+   [ Value.Str "10.0.0.1"; Value.Int 2; Value.Real 400.; Value.Real 200.; Value.Int 100; Value.Int 300 ];
+   [ Value.Str "10.0.0.2"; Value.Int 1; Value.Real 50.; Value.Real 50.; Value.Int 50; Value.Int 50 ];
+  ] ->
+      ()
+  | _ ->
+      Alcotest.failf "unexpected group-by result: %s"
+        (String.concat ";"
+           (List.map (fun r -> String.concat "," (List.map Value.to_string r)) rows))
+
+let test_query_aggregate_without_group () =
+  let db = fresh_db () in
+  seed_flows db [ (1., "a", 80, 10); (2., "b", 80, 20) ];
+  match rows_of db "SELECT COUNT(*) AS n, SUM(bytes) AS s FROM Flows" with
+  | [ [ Value.Int 2; Value.Real 30. ] ] -> ()
+  | _ -> Alcotest.fail "aggregate without group"
+
+let test_global_aggregate_over_empty () =
+  let db = fresh_db () in
+  (* SQL semantics: a global aggregate over zero rows yields one row *)
+  (match rows_of db "SELECT COUNT(*) AS n FROM Flows" with
+  | [ [ Value.Int 0 ] ] -> ()
+  | _ -> Alcotest.fail "count over empty");
+  (match rows_of db "SELECT SUM(bytes) AS s FROM Flows WHERE bytes > 999" with
+  | [ [ Value.Real 0. ] ] -> ()
+  | _ -> Alcotest.fail "sum over empty");
+  (* but projecting a plain column from zero rows is an error *)
+  Alcotest.(check bool) "column from empty group" true
+    (String.length (q_error db "SELECT src_ip, COUNT(*) FROM Flows") > 0)
+
+let test_query_having () =
+  let db = fresh_db () in
+  seed_flows db
+    [ (1., "10.0.0.1", 80, 100); (2., "10.0.0.1", 80, 300); (3., "10.0.0.2", 443, 50) ];
+  (* aggregate subject *)
+  (match
+     rows_of db
+       "SELECT src_ip, SUM(bytes) AS b FROM Flows GROUP BY src_ip HAVING SUM(bytes) > 100"
+   with
+  | [ [ Value.Str "10.0.0.1"; Value.Real 400. ] ] -> ()
+  | rows -> Alcotest.failf "having agg: %d rows" (List.length rows));
+  (* count subject *)
+  (match rows_of db "SELECT src_ip FROM Flows GROUP BY src_ip HAVING COUNT(*) >= 2" with
+  | [ [ Value.Str "10.0.0.1" ] ] -> ()
+  | _ -> Alcotest.fail "having count");
+  (* group-column subject *)
+  (match
+     rows_of db "SELECT src_ip FROM Flows GROUP BY src_ip HAVING src_ip = '10.0.0.2'"
+   with
+  | [ [ Value.Str "10.0.0.2" ] ] -> ()
+  | _ -> Alcotest.fail "having column");
+  (* print/parse fixpoint for HAVING *)
+  let q = "SELECT src_ip FROM Flows GROUP BY src_ip HAVING SUM(bytes) > 100" in
+  match Parser.parse q with
+  | Ok stmt -> Alcotest.(check string) "roundtrip" q (Ast.to_string stmt)
+  | Error e -> Alcotest.fail e
+
+let test_query_join () =
+  let db = fresh_db () in
+  now := 1.;
+  Database.record_lease db ~mac:"m1" ~ip:"10.0.0.1" ~hostname:"laptop" ~action:"grant";
+  Database.record_lease db ~mac:"m2" ~ip:"10.0.0.2" ~hostname:"phone" ~action:"grant";
+  seed_flows db [ (2., "10.0.0.1", 80, 111) ];
+  let rows =
+    rows_of db
+      "SELECT l.hostname, f.bytes FROM Flows f, Leases l WHERE f.src_ip = l.ip"
+  in
+  Alcotest.(check bool) "joined" true (rows = [ [ Value.Str "laptop"; Value.Int 111 ] ])
+
+let test_query_order_limit () =
+  let db = fresh_db () in
+  seed_flows db [ (1., "a", 80, 3); (2., "b", 80, 1); (3., "c", 80, 2) ];
+  (match rows_of db "SELECT src_ip, bytes FROM Flows ORDER BY bytes ASC LIMIT 2" with
+  | [ [ Value.Str "b"; _ ]; [ Value.Str "c"; _ ] ] -> ()
+  | _ -> Alcotest.fail "order asc limit");
+  match rows_of db "SELECT src_ip, bytes FROM Flows ORDER BY bytes DESC LIMIT 1" with
+  | [ [ Value.Str "a"; _ ] ] -> ()
+  | _ -> Alcotest.fail "order desc"
+
+let test_query_ts_column () =
+  let db = fresh_db () in
+  seed_flows db [ (5., "a", 80, 1) ];
+  match rows_of db "SELECT ts FROM Flows" with
+  | [ [ Value.Ts 5. ] ] -> ()
+  | _ -> Alcotest.fail "implicit ts column"
+
+let test_query_errors () =
+  let db = fresh_db () in
+  seed_flows db [ (1., "a", 80, 1) ];
+  Alcotest.(check bool) "unknown table" true
+    (String.length (q_error db "SELECT * FROM nope") > 0);
+  Alcotest.(check bool) "unknown column" true
+    (String.length (q_error db "SELECT wat FROM Flows") > 0);
+  Alcotest.(check bool) "non-boolean where" true
+    (String.length (q_error db "SELECT * FROM Flows WHERE bytes") > 0);
+  Alcotest.(check bool) "star with aggregate" true
+    (String.length (q_error db "SELECT *, COUNT(*) FROM Flows") > 0);
+  Alcotest.(check bool) "order by unknown output" true
+    (String.length (q_error db "SELECT src_ip FROM Flows ORDER BY bytes") > 0);
+  (* column resolution happens per-row, so the join needs data on both
+     sides for the ambiguity to surface *)
+  Database.record_lease db ~mac:"m" ~ip:"10.0.0.9" ~hostname:"h" ~action:"grant";
+  Alcotest.(check bool) "ambiguous column in join" true
+    (String.length (q_error db "SELECT ts FROM Flows f, Leases l") > 0)
+
+let test_division_by_zero_is_error () =
+  let db = fresh_db () in
+  seed_flows db [ (1., "a", 80, 1) ];
+  Alcotest.(check bool) "div by zero" true
+    (String.length (q_error db "SELECT bytes / 0 FROM Flows") > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Database statements & subscriptions                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_execute_create_insert_select () =
+  let db = fresh_db () in
+  Result.get_ok (Database.execute db "CREATE TABLE sensors (room VARCHAR, temp REAL) CAPACITY 8")
+  |> ignore;
+  Result.get_ok (Database.execute db "INSERT INTO sensors VALUES ('kitchen', 21.5)") |> ignore;
+  Result.get_ok (Database.execute db "INSERT INTO sensors VALUES ('hall', 19.0)") |> ignore;
+  match Database.execute db "SELECT room FROM sensors WHERE temp > 20" with
+  | Ok (Some rs) -> Alcotest.(check bool) "selected" true (rs.Query.rows = [ [ Value.Str "kitchen" ] ])
+  | _ -> Alcotest.fail "select failed"
+
+let test_execute_duplicate_create () =
+  let db = fresh_db () in
+  match Database.execute db "CREATE TABLE Flows (x INTEGER)" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate table accepted"
+
+let test_subscription_delivery () =
+  let db = fresh_db () in
+  let received = ref [] in
+  let sel = Result.get_ok (Parser.parse_select "SELECT COUNT(*) AS n FROM Flows") in
+  let id =
+    Database.subscribe db ~query:sel ~period:5. ~callback:(fun rs -> received := rs :: !received)
+  in
+  Alcotest.(check int) "registered" 1 (Database.subscription_count db);
+  now := 4.;
+  Database.tick db;
+  Alcotest.(check int) "not due yet" 0 (List.length !received);
+  now := 5.;
+  Database.tick db;
+  Alcotest.(check int) "delivered at period" 1 (List.length !received);
+  now := 6.;
+  Database.tick db;
+  Alcotest.(check int) "not again early" 1 (List.length !received);
+  now := 30.;
+  Database.tick db;
+  (* catch-up collapses missed firings into one *)
+  Alcotest.(check int) "no replay burst" 2 (List.length !received);
+  Alcotest.(check bool) "unsubscribe works" true (Database.unsubscribe db id);
+  Alcotest.(check bool) "idempotent" false (Database.unsubscribe db id)
+
+(* ------------------------------------------------------------------ *)
+(* ECA triggers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let exec_ok db stmt =
+  match Database.execute db stmt with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "execute %S: %s" stmt e
+
+let test_trigger_fires_on_condition () =
+  let db = fresh_db () in
+  ignore (exec_ok db "CREATE TABLE Alerts (what VARCHAR, who VARCHAR, amount INTEGER)");
+  ignore
+    (exec_ok db
+       "ON INSERT INTO Flows WHEN bytes > 1000 DO INSERT INTO Alerts VALUES ('big-flow', \
+        src_ip, bytes * 8)");
+  Alcotest.(check int) "registered" 1 (Database.trigger_count db);
+  seed_flows db [ (1., "10.0.0.1", 80, 500); (2., "10.0.0.2", 80, 5000); (3., "10.0.0.3", 80, 900) ];
+  match rows_of db "SELECT what, who, amount FROM Alerts" with
+  | [ [ Value.Str "big-flow"; Value.Str "10.0.0.2"; Value.Int 40000 ] ] -> ()
+  | rows -> Alcotest.failf "alerts wrong (%d rows)" (List.length rows)
+
+let test_trigger_without_condition_and_drop () =
+  let db = fresh_db () in
+  ignore (exec_ok db "CREATE TABLE Log (ip VARCHAR)");
+  let id =
+    match exec_ok db "ON INSERT INTO Flows DO INSERT INTO Log VALUES (src_ip)" with
+    | Some { Query.rows = [ [ Value.Int id ] ]; _ } -> id
+    | _ -> Alcotest.fail "no trigger id"
+  in
+  seed_flows db [ (1., "a", 80, 1); (2., "b", 80, 1) ];
+  Alcotest.(check int) "all inserts mirrored" 2 (List.length (rows_of db "SELECT * FROM Log"));
+  ignore (exec_ok db (Printf.sprintf "DROP TRIGGER %d" id));
+  Alcotest.(check int) "dropped" 0 (Database.trigger_count db);
+  seed_flows db [ (3., "c", 80, 1) ];
+  Alcotest.(check int) "no longer fires" 2 (List.length (rows_of db "SELECT * FROM Log"));
+  Alcotest.(check bool) "double drop fails" true
+    (Result.is_error (Database.execute db (Printf.sprintf "DROP TRIGGER %d" id)))
+
+let test_trigger_chain_and_loop_guard () =
+  let db = fresh_db () in
+  ignore (exec_ok db "CREATE TABLE A (v INTEGER)");
+  ignore (exec_ok db "CREATE TABLE B (v INTEGER)");
+  (* A -> B -> A: the depth guard must stop the ping-pong *)
+  ignore (exec_ok db "ON INSERT INTO A DO INSERT INTO B VALUES (v + 1)");
+  ignore (exec_ok db "ON INSERT INTO B DO INSERT INTO A VALUES (v + 1)");
+  ignore (exec_ok db "INSERT INTO A VALUES (0)");
+  let count t = List.length (rows_of db (Printf.sprintf "SELECT * FROM %s" t)) in
+  Alcotest.(check bool) "bounded" true (count "A" + count "B" <= 10);
+  Alcotest.(check bool) "chained at least once" true (count "B" >= 1)
+
+let test_trigger_validation () =
+  let db = fresh_db () in
+  Alcotest.(check bool) "unknown watch" true
+    (Result.is_error (Database.execute db "ON INSERT INTO Nope DO INSERT INTO Flows VALUES (1)"));
+  Alcotest.(check bool) "unknown target" true
+    (Result.is_error (Database.execute db "ON INSERT INTO Flows DO INSERT INTO Nope VALUES (1)"));
+  Alcotest.(check bool) "arity mismatch" true
+    (Result.is_error
+       (Database.execute db "ON INSERT INTO Flows DO INSERT INTO Leases VALUES (src_ip)"));
+  (* a trigger whose action produces a type error is isolated at runtime *)
+  ignore (exec_ok db "CREATE TABLE L (n INTEGER)");
+  ignore (exec_ok db "ON INSERT INTO Flows DO INSERT INTO L VALUES (src_ip)");
+  seed_flows db [ (1., "a", 80, 1) ];
+  Alcotest.(check int) "bad action skipped" 0 (List.length (rows_of db "SELECT * FROM L"));
+  Alcotest.(check int) "source insert unaffected" 1
+    (List.length (rows_of db "SELECT * FROM Flows"))
+
+let test_trigger_statement_roundtrip () =
+  let q = "ON INSERT INTO Flows WHEN (bytes > 1000) DO INSERT INTO Alerts VALUES (src_ip, (bytes * 8))" in
+  match Parser.parse q with
+  | Ok stmt -> Alcotest.(check string) "print/parse" q (Ast.to_string stmt)
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* RPC                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rpc_codec_roundtrip () =
+  let rs =
+    {
+      Query.columns = [ "a"; "b" ];
+      rows = [ [ Value.Int 1; Value.Str "x" ]; [ Value.Real 2.5; Value.Bool false ] ];
+    }
+  in
+  let messages =
+    [
+      Rpc.Request { seq = 7l; statement = "SELECT * FROM Flows" };
+      Rpc.Response_ok { seq = 7l; result = Some rs };
+      Rpc.Response_ok { seq = 8l; result = None };
+      Rpc.Response_error { seq = 9l; message = "nope" };
+      Rpc.Publish { subscription = 3; result = rs };
+    ]
+  in
+  List.iter
+    (fun msg ->
+      match Rpc.decode (Rpc.encode msg) with
+      | Ok msg' -> Alcotest.(check bool) "roundtrip" true (msg = msg')
+      | Error e -> Alcotest.failf "rpc decode: %s" e)
+    messages
+
+let test_rpc_rejects_garbage () =
+  Alcotest.(check bool) "bad magic" true (Result.is_error (Rpc.decode "XXlolno"));
+  Alcotest.(check bool) "empty" true (Result.is_error (Rpc.decode ""))
+
+let make_rpc_pair db =
+  let server_out = Queue.create () in
+  let server =
+    Rpc.Server.create ~db ~send:(fun ~to_ datagram -> Queue.add (to_, datagram) server_out)
+  in
+  let client_out = Queue.create () in
+  let client = Rpc.Client.create ~send:(fun datagram -> Queue.add datagram client_out) in
+  let pump () =
+    while not (Queue.is_empty client_out) do
+      Rpc.Server.handle_datagram server ~from:"c1" (Queue.pop client_out)
+    done;
+    while not (Queue.is_empty server_out) do
+      let to_, datagram = Queue.pop server_out in
+      if to_ = "c1" then Rpc.Client.handle_datagram client datagram
+    done
+  in
+  (server, client, pump)
+
+let test_rpc_query_roundtrip () =
+  let db = fresh_db () in
+  seed_flows db [ (1., "10.0.0.1", 80, 99) ];
+  let _server, client, pump = make_rpc_pair db in
+  let answer = ref None in
+  Rpc.Client.request client "SELECT src_ip, bytes FROM Flows" ~on_reply:(fun r -> answer := Some r);
+  pump ();
+  (match !answer with
+  | Some (Ok (Some rs)) ->
+      Alcotest.(check bool) "row" true (rs.Query.rows = [ [ Value.Str "10.0.0.1"; Value.Int 99 ] ])
+  | _ -> Alcotest.fail "no answer");
+  Alcotest.(check int) "nothing pending" 0 (Rpc.Client.pending_count client)
+
+let test_rpc_error_reply () =
+  let db = fresh_db () in
+  let _server, client, pump = make_rpc_pair db in
+  let answer = ref None in
+  Rpc.Client.request client "SELECT broken FROM" ~on_reply:(fun r -> answer := Some r);
+  pump ();
+  match !answer with
+  | Some (Error _) -> ()
+  | _ -> Alcotest.fail "expected error reply"
+
+let test_rpc_subscribe_publish () =
+  let db = fresh_db () in
+  let server, client, pump = make_rpc_pair db in
+  let published = ref [] in
+  Rpc.Client.on_publish client (fun ~subscription rs -> published := (subscription, rs) :: !published);
+  let sub_reply = ref None in
+  Rpc.Client.request client "SUBSCRIBE SELECT COUNT(*) AS n FROM Flows EVERY 2 SECONDS"
+    ~on_reply:(fun r -> sub_reply := Some r);
+  pump ();
+  Alcotest.(check int) "one subscriber" 1 (Rpc.Server.subscriber_count server);
+  now := 2.;
+  Database.tick db;
+  pump ();
+  now := 4.;
+  Database.tick db;
+  pump ();
+  Alcotest.(check int) "two publications" 2 (List.length !published);
+  (* drop the client: subscriptions die with it *)
+  Alcotest.(check int) "dropped" 1 (Rpc.Server.drop_client server "c1");
+  now := 6.;
+  Database.tick db;
+  pump ();
+  Alcotest.(check int) "no more publications" 2 (List.length !published)
+
+let prop_where_filter_sound =
+  (* every row a WHERE clause returns satisfies the predicate, and none
+     that satisfy it are dropped *)
+  QCheck.Test.make ~name:"WHERE returns exactly the satisfying rows" ~count:200
+    QCheck.(pair (small_list (pair small_nat small_nat)) (int_bound 100))
+    (fun (rows, threshold) ->
+      let db = fresh_db () in
+      List.iteri
+        (fun i (a, b) ->
+          now := float_of_int i;
+          Database.record_flow db ~proto:6 ~src_ip:"h" ~dst_ip:"d" ~src_port:(a mod 1000)
+            ~dst_port:80 ~packets:1 ~bytes:(b mod 200))
+        rows;
+      let q = Printf.sprintf "SELECT src_port, bytes FROM Flows WHERE bytes > %d" threshold in
+      match Database.query db q with
+      | Error _ -> false
+      | Ok rs ->
+          let expected =
+            List.filter (fun (_, b) -> b mod 200 > threshold) rows
+            |> List.map (fun (a, b) -> [ Value.Int (a mod 1000); Value.Int (b mod 200) ])
+          in
+          rs.Query.rows = expected)
+
+let prop_limit_is_prefix =
+  QCheck.Test.make ~name:"LIMIT n is a prefix of the unlimited result" ~count:100
+    QCheck.(pair (small_list small_nat) (int_range 1 5))
+    (fun (rows, n) ->
+      let db = fresh_db () in
+      List.iteri
+        (fun i v ->
+          now := float_of_int i;
+          Database.record_flow db ~proto:6 ~src_ip:"h" ~dst_ip:"d" ~src_port:v ~dst_port:80
+            ~packets:1 ~bytes:1)
+        rows;
+      match
+        ( Database.query db "SELECT src_port FROM Flows",
+          Database.query db (Printf.sprintf "SELECT src_port FROM Flows LIMIT %d" n) )
+      with
+      | Ok full, Ok limited ->
+          List.length limited.Query.rows = min n (List.length full.Query.rows)
+          && List.filteri (fun i _ -> i < n) full.Query.rows = limited.Query.rows
+      | _ -> false)
+
+let test_recorder_persists_publications () =
+  let db = fresh_db () in
+  let server, client, pump = make_rpc_pair db in
+  ignore server;
+  let rec_now = ref 0. in
+  let recorder =
+    Recorder.attach
+      ~now:(fun () -> !rec_now)
+      ~client ~statement:"SUBSCRIBE SELECT COUNT(*) AS n FROM Flows EVERY 2 SECONDS" ()
+  in
+  Alcotest.(check bool) "pending before pump" true (Recorder.status recorder = Recorder.Pending);
+  pump ();
+  (match Recorder.status recorder with
+  | Recorder.Active _ -> ()
+  | _ -> Alcotest.fail "subscription not active");
+  seed_flows db [ (0.5, "a", 80, 10) ];
+  now := 2.;
+  rec_now := 2.;
+  Database.tick db;
+  pump ();
+  seed_flows db [ (3., "b", 80, 20) ];
+  now := 4.;
+  rec_now := 4.;
+  Database.tick db;
+  pump ();
+  Alcotest.(check int) "two snapshots" 2 (Recorder.snapshot_count recorder);
+  (match Recorder.last recorder with
+  | Some (4., { Query.rows = [ [ Value.Int 2 ] ]; _ }) -> ()
+  | _ -> Alcotest.fail "last snapshot wrong");
+  let csv = Recorder.to_csv recorder in
+  Alcotest.(check bool) "csv header" true (String.length csv > 0 && String.sub csv 0 6 = "time,n");
+  Alcotest.(check int) "csv lines" 3 (List.length (String.split_on_char '\n' (String.trim csv)));
+  (* detach unsubscribes and freezes the log *)
+  Recorder.detach recorder;
+  pump ();
+  now := 6.;
+  Database.tick db;
+  pump ();
+  Alcotest.(check int) "frozen after detach" 2 (Recorder.snapshot_count recorder);
+  Alcotest.(check int) "server-side subscription gone" 0 (Database.subscription_count db)
+
+let test_recorder_rejects_non_subscribe () =
+  let db = fresh_db () in
+  let _server, client, pump = make_rpc_pair db in
+  let r =
+    Recorder.attach ~now:(fun () -> 0.) ~client ~statement:"SELECT * FROM Flows" ()
+  in
+  pump ();
+  match Recorder.status r with
+  | Recorder.Failed _ -> ()
+  | _ -> Alcotest.fail "non-subscribe accepted"
+
+let prop_rpc_decode_never_crashes =
+  QCheck.Test.make ~name:"rpc decode total on junk" ~count:300 QCheck.string (fun s ->
+      match Rpc.decode s with Ok _ | Error _ -> true)
+
+let () =
+  Alcotest.run "hw_hwdb"
+    [
+      ( "values",
+        [
+          Alcotest.test_case "validate" `Quick test_value_validate;
+          Alcotest.test_case "compare" `Quick test_value_compare;
+        ] );
+      ( "tables",
+        [
+          Alcotest.test_case "windows" `Quick test_table_insert_and_windows;
+          Alcotest.test_case "fifo eviction" `Quick test_table_eviction_is_fifo;
+          Alcotest.test_case "triggers" `Quick test_table_triggers;
+        ] );
+      ( "language",
+        [
+          Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
+          Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+          Alcotest.test_case "select shapes" `Quick test_parse_select_shapes;
+          Alcotest.test_case "other statements" `Quick test_parse_other_statements;
+          Alcotest.test_case "precedence" `Quick test_parse_expression_precedence;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          QCheck_alcotest.to_alcotest prop_stmt_print_parse_fixpoint;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "projection + where" `Quick test_query_projection_where;
+          Alcotest.test_case "arithmetic" `Quick test_query_arithmetic;
+          Alcotest.test_case "windows" `Quick test_query_window;
+          Alcotest.test_case "group by aggregates" `Quick test_query_group_by_aggregates;
+          Alcotest.test_case "aggregate without group" `Quick test_query_aggregate_without_group;
+          Alcotest.test_case "global aggregate over empty" `Quick test_global_aggregate_over_empty;
+          Alcotest.test_case "having" `Quick test_query_having;
+          Alcotest.test_case "join" `Quick test_query_join;
+          Alcotest.test_case "order + limit" `Quick test_query_order_limit;
+          Alcotest.test_case "ts column" `Quick test_query_ts_column;
+          Alcotest.test_case "errors" `Quick test_query_errors;
+          Alcotest.test_case "division by zero" `Quick test_division_by_zero_is_error;
+          QCheck_alcotest.to_alcotest prop_where_filter_sound;
+          QCheck_alcotest.to_alcotest prop_limit_is_prefix;
+        ] );
+      ( "database",
+        [
+          Alcotest.test_case "create/insert/select" `Quick test_execute_create_insert_select;
+          Alcotest.test_case "duplicate create" `Quick test_execute_duplicate_create;
+          Alcotest.test_case "subscriptions" `Quick test_subscription_delivery;
+        ] );
+      ( "triggers",
+        [
+          Alcotest.test_case "fires on condition" `Quick test_trigger_fires_on_condition;
+          Alcotest.test_case "unconditional + drop" `Quick test_trigger_without_condition_and_drop;
+          Alcotest.test_case "chain loop guard" `Quick test_trigger_chain_and_loop_guard;
+          Alcotest.test_case "validation" `Quick test_trigger_validation;
+          Alcotest.test_case "statement roundtrip" `Quick test_trigger_statement_roundtrip;
+        ] );
+      ( "rpc",
+        [
+          Alcotest.test_case "codec roundtrip" `Quick test_rpc_codec_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_rpc_rejects_garbage;
+          Alcotest.test_case "query roundtrip" `Quick test_rpc_query_roundtrip;
+          Alcotest.test_case "error reply" `Quick test_rpc_error_reply;
+          Alcotest.test_case "subscribe/publish/drop" `Quick test_rpc_subscribe_publish;
+          Alcotest.test_case "recorder persists" `Quick test_recorder_persists_publications;
+          Alcotest.test_case "recorder rejects non-subscribe" `Quick
+            test_recorder_rejects_non_subscribe;
+          QCheck_alcotest.to_alcotest prop_rpc_decode_never_crashes;
+        ] );
+    ]

@@ -1,0 +1,114 @@
+(* hw_json: parser, printer, accessors *)
+
+module Json = Hw_json.Json
+
+let parse = Json.of_string
+
+let check_json msg expected actual =
+  Alcotest.(check string) msg (Json.to_string expected) (Json.to_string actual)
+
+let test_parse_scalars () =
+  check_json "null" Json.Null (parse "null");
+  check_json "true" (Json.Bool true) (parse "true");
+  check_json "false" (Json.Bool false) (parse " false ");
+  check_json "int" (Json.Int 42) (parse "42");
+  check_json "negative" (Json.Int (-7)) (parse "-7");
+  check_json "float" (Json.Float 2.5) (parse "2.5");
+  check_json "exponent" (Json.Float 1500.) (parse "1.5e3");
+  check_json "string" (Json.String "hi") (parse "\"hi\"")
+
+let test_parse_structures () =
+  check_json "list" (Json.List [ Json.Int 1; Json.Int 2 ]) (parse "[1, 2]");
+  check_json "empty list" (Json.List []) (parse "[]");
+  check_json "obj"
+    (Json.Obj [ ("a", Json.Int 1); ("b", Json.List [ Json.Null ]) ])
+    (parse "{\"a\": 1, \"b\": [null]}");
+  check_json "empty obj" (Json.Obj []) (parse "{}");
+  check_json "nested"
+    (Json.Obj [ ("x", Json.Obj [ ("y", Json.String "z") ]) ])
+    (parse "{\"x\":{\"y\":\"z\"}}")
+
+let test_string_escapes () =
+  Alcotest.(check string) "escapes decoded" "a\"b\\c\nd\te"
+    (Json.get_string (parse {|"a\"b\\c\nd\te"|}));
+  Alcotest.(check string) "unicode bmp" "A" (Json.get_string (parse {|"A"|}));
+  Alcotest.(check string) "two-byte utf8" "\xc2\xa3" (Json.get_string (parse {|"£"|}));
+  (* control characters must be escaped on output *)
+  Alcotest.(check string) "encodes control" "\"\\u0001\"" (Json.to_string (Json.String "\x01"))
+
+let test_parse_errors () =
+  let fails s =
+    match Json.of_string_opt s with
+    | None -> ()
+    | Some _ -> Alcotest.failf "expected parse failure on %S" s
+  in
+  fails "";
+  fails "{";
+  fails "[1,]";
+  fails "{\"a\" 1}";
+  fails "\"unterminated";
+  fails "nul";
+  fails "1 2";
+  fails "{\"a\":1,}"
+
+let test_accessors () =
+  let j = parse "{\"n\": 3, \"f\": 1.5, \"s\": \"x\", \"b\": true, \"l\": [1]}" in
+  Alcotest.(check int) "member int" 3 (Json.to_int (Json.member "n" j));
+  Alcotest.(check (float 1e-9)) "member float" 1.5 (Json.to_float (Json.member "f" j));
+  Alcotest.(check (float 1e-9)) "int as float" 3.0 (Json.to_float (Json.member "n" j));
+  Alcotest.(check string) "member string" "x" (Json.get_string (Json.member "s" j));
+  Alcotest.(check bool) "member bool" true (Json.to_bool (Json.member "b" j));
+  Alcotest.(check int) "list" 1 (List.length (Json.get_list (Json.member "l" j)));
+  Alcotest.(check bool) "member_opt missing" true (Json.member_opt "zz" j = None);
+  Alcotest.check_raises "member missing raises" (Json.Parse_error "missing member \"zz\"")
+    (fun () -> ignore (Json.member "zz" j))
+
+let test_pretty_roundtrip () =
+  let j = parse "{\"a\": [1, {\"b\": null}], \"c\": \"text\"}" in
+  let pretty = Json.to_string_pretty j in
+  Alcotest.(check bool) "pretty reparses equal" true (Json.equal j (parse pretty))
+
+let json_gen =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then
+            oneof
+              [
+                return Json.Null;
+                map (fun b -> Json.Bool b) bool;
+                map (fun i -> Json.Int i) small_signed_int;
+                map (fun s -> Json.String s) (string_size ~gen:printable (int_bound 10));
+              ]
+          else
+            frequency
+              [
+                (2, map (fun l -> Json.List l) (list_size (int_bound 4) (self (n / 2))));
+                ( 2,
+                  map
+                    (fun kvs -> Json.Obj (List.mapi (fun i (_, v) -> (Printf.sprintf "k%d" i, v)) kvs))
+                    (list_size (int_bound 4) (pair unit (self (n / 2)))) );
+                (1, self 0);
+              ])
+        (min n 4))
+
+let prop_print_parse_roundtrip =
+  QCheck.Test.make ~name:"to_string then of_string is identity" ~count:300
+    (QCheck.make json_gen ~print:Json.to_string)
+    (fun j -> Json.equal j (Json.of_string (Json.to_string j)))
+
+let () =
+  Alcotest.run "hw_json"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "scalars" `Quick test_parse_scalars;
+          Alcotest.test_case "structures" `Quick test_parse_structures;
+          Alcotest.test_case "string escapes" `Quick test_string_escapes;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_accessors;
+          Alcotest.test_case "pretty roundtrip" `Quick test_pretty_roundtrip;
+          QCheck_alcotest.to_alcotest prop_print_parse_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,488 @@
+(* hw_openflow: match semantics, action and message codecs, framing *)
+
+open Hw_packet
+open Hw_openflow
+
+let mac_a = Mac.of_string_exn "aa:bb:cc:dd:ee:ff"
+let mac_b = Mac.of_string_exn "02:00:00:00:00:01"
+let ip_a = Ip.of_octets 10 0 0 5
+let ip_b = Ip.of_octets 93 184 216 34
+
+let sample_fields =
+  {
+    Ofp_match.f_in_port = 3;
+    f_dl_src = mac_a;
+    f_dl_dst = mac_b;
+    f_dl_vlan = 0xffff;
+    f_dl_vlan_pcp = 0;
+    f_dl_type = 0x0800;
+    f_nw_tos = 0;
+    f_nw_proto = 6;
+    f_nw_src = ip_a;
+    f_nw_dst = ip_b;
+    f_tp_src = 40000;
+    f_tp_dst = 80;
+  }
+
+let match_roundtrip m =
+  let w = Hw_util.Wire.Writer.create () in
+  Ofp_match.encode w m;
+  let bytes = Hw_util.Wire.Writer.contents w in
+  Alcotest.(check int) "match is 40 bytes" 40 (String.length bytes);
+  Ofp_match.decode (Hw_util.Wire.Reader.of_string bytes)
+
+(* ------------------------------------------------------------------ *)
+(* Match semantics                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_wildcard_matches_everything () =
+  Alcotest.(check bool) "matches" true (Ofp_match.matches Ofp_match.wildcard_all sample_fields)
+
+let test_exact_match () =
+  let m = Ofp_match.exact_of_fields sample_fields in
+  Alcotest.(check bool) "matches self" true (Ofp_match.matches m sample_fields);
+  Alcotest.(check bool) "rejects different port" false
+    (Ofp_match.matches m { sample_fields with Ofp_match.f_tp_dst = 81 });
+  Alcotest.(check bool) "rejects different src mac" false
+    (Ofp_match.matches m { sample_fields with Ofp_match.f_dl_src = mac_b })
+
+let test_prefix_match () =
+  let m =
+    { Ofp_match.wildcard_all with Ofp_match.nw_dst = Some (Ip.of_octets 93 184 216 0, 24) }
+  in
+  Alcotest.(check bool) "in prefix" true (Ofp_match.matches m sample_fields);
+  Alcotest.(check bool) "outside prefix" false
+    (Ofp_match.matches m { sample_fields with Ofp_match.f_nw_dst = Ip.of_octets 93 184 217 1 });
+  let m0 = { Ofp_match.wildcard_all with Ofp_match.nw_dst = Some (ip_a, 0) } in
+  Alcotest.(check bool) "0 bits = wildcard" true (Ofp_match.matches m0 sample_fields)
+
+let test_subsumes () =
+  let wild = Ofp_match.wildcard_all in
+  let exact = Ofp_match.exact_of_fields sample_fields in
+  let port_only = { Ofp_match.wildcard_all with Ofp_match.in_port = Some 3 } in
+  Alcotest.(check bool) "wild subsumes exact" true (Ofp_match.subsumes ~general:wild ~specific:exact);
+  Alcotest.(check bool) "exact not subsumes wild" false
+    (Ofp_match.subsumes ~general:exact ~specific:wild);
+  Alcotest.(check bool) "port subsumes exact on port 3" true
+    (Ofp_match.subsumes ~general:port_only ~specific:exact);
+  Alcotest.(check bool) "prefix subsumption" true
+    (Ofp_match.subsumes
+       ~general:{ wild with Ofp_match.nw_src = Some (Ip.of_octets 10 0 0 0, 8) }
+       ~specific:{ wild with Ofp_match.nw_src = Some (ip_a, 32) })
+
+let test_match_wire_roundtrip () =
+  let cases =
+    [
+      Ofp_match.wildcard_all;
+      Ofp_match.exact_of_fields sample_fields;
+      { Ofp_match.wildcard_all with Ofp_match.in_port = Some 1; dl_type = Some 0x0806 };
+      { Ofp_match.wildcard_all with Ofp_match.nw_src = Some (Ip.of_octets 10 0 0 0, 24) };
+    ]
+  in
+  List.iter
+    (fun m -> Alcotest.(check bool) (Ofp_match.to_string m) true (Ofp_match.equal m (match_roundtrip m)))
+    cases
+
+let test_fields_of_arp () =
+  let pkt =
+    Packet.arp_packet ~src_mac:mac_a (Arp.request ~sender_mac:mac_a ~sender_ip:ip_a ~target_ip:ip_b)
+  in
+  let f = Ofp_match.fields_of_packet ~in_port:2 pkt in
+  Alcotest.(check int) "dl_type arp" 0x0806 f.Ofp_match.f_dl_type;
+  Alcotest.(check int) "nw_proto = arp opcode" 1 f.Ofp_match.f_nw_proto;
+  Alcotest.(check bool) "nw_src = sender" true (Ip.equal ip_a f.Ofp_match.f_nw_src)
+
+(* ------------------------------------------------------------------ *)
+(* Actions                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let action_roundtrip actions =
+  let w = Hw_util.Wire.Writer.create () in
+  Ofp_action.encode_list w actions;
+  let bytes = Hw_util.Wire.Writer.contents w in
+  match Ofp_action.decode_list (Hw_util.Wire.Reader.of_string bytes) (String.length bytes) with
+  | Ok actions' -> actions'
+  | Error e -> Alcotest.failf "action decode: %s" e
+
+let test_action_roundtrips () =
+  let cases =
+    [
+      [ Ofp_action.output 4 ];
+      [ Ofp_action.to_controller ];
+      [ Ofp_action.Set_dl_src mac_a; Ofp_action.Set_dl_dst mac_b; Ofp_action.output 1 ];
+      [ Ofp_action.Set_nw_src ip_a; Ofp_action.Set_nw_dst ip_b; Ofp_action.Set_nw_tos 8 ];
+      [ Ofp_action.Set_tp_src 99; Ofp_action.Set_tp_dst 100 ];
+      [ Ofp_action.Set_vlan_vid 5; Ofp_action.Set_vlan_pcp 3; Ofp_action.Strip_vlan ];
+      [ Ofp_action.Enqueue { port = 2; queue_id = 7l } ];
+      [];
+    ]
+  in
+  List.iter
+    (fun actions ->
+      let actions' = action_roundtrip actions in
+      Alcotest.(check bool) "roundtrip" true (List.for_all2 Ofp_action.equal actions actions'))
+    cases
+
+let test_action_sizes () =
+  Alcotest.(check int) "output 8" 8 (Ofp_action.size (Ofp_action.output 1));
+  Alcotest.(check int) "dl 16" 16 (Ofp_action.size (Ofp_action.Set_dl_src mac_a));
+  Alcotest.(check int) "list size" 24
+    (Ofp_action.list_size [ Ofp_action.output 1; Ofp_action.Set_dl_src mac_a ])
+
+let test_port_names () =
+  Alcotest.(check string) "flood" "FLOOD" (Ofp_action.Port.to_string Ofp_action.Port.flood);
+  Alcotest.(check string) "controller" "CONTROLLER"
+    (Ofp_action.Port.to_string Ofp_action.Port.controller);
+  Alcotest.(check string) "physical" "7" (Ofp_action.Port.to_string 7)
+
+(* ------------------------------------------------------------------ *)
+(* Messages                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let msg_roundtrip msg =
+  match Ofp_message.decode (Ofp_message.encode ~xid:0x55l msg) with
+  | Ok (xid, msg') ->
+      Alcotest.(check int32) "xid" 0x55l xid;
+      msg'
+  | Error e -> Alcotest.failf "message decode (%s): %s" (Ofp_message.type_name msg) e
+
+let test_simple_messages () =
+  List.iter
+    (fun msg ->
+      let msg' = msg_roundtrip msg in
+      Alcotest.(check string) "same type" (Ofp_message.type_name msg) (Ofp_message.type_name msg'))
+    [
+      Ofp_message.Hello;
+      Ofp_message.Features_request;
+      Ofp_message.Get_config_request;
+      Ofp_message.Barrier_request;
+      Ofp_message.Barrier_reply;
+      Ofp_message.Echo_request "payload";
+      Ofp_message.Echo_reply "payload";
+      Ofp_message.Set_config { flags = 0; miss_send_len = 0xffff };
+    ]
+
+let test_features_reply () =
+  let ports =
+    [
+      Ofp_message.phy_port ~port_no:1 ~hw_addr:mac_a ~name:"wlan0";
+      Ofp_message.phy_port ~port_no:100 ~hw_addr:mac_b ~name:"upstream";
+    ]
+  in
+  let msg =
+    Ofp_message.Features_reply
+      {
+        Ofp_message.datapath_id = 0x42L;
+        n_buffers = 256l;
+        n_tables = 1;
+        capabilities = 0xc7l;
+        supported_actions = 0xfffl;
+        ports;
+      }
+  in
+  match msg_roundtrip msg with
+  | Ofp_message.Features_reply f ->
+      Alcotest.(check int64) "dpid" 0x42L f.Ofp_message.datapath_id;
+      Alcotest.(check int) "ports" 2 (List.length f.Ofp_message.ports);
+      Alcotest.(check string) "port name" "wlan0"
+        (List.hd f.Ofp_message.ports).Ofp_message.name
+  | _ -> Alcotest.fail "wrong message"
+
+let test_packet_in_roundtrip () =
+  let msg =
+    Ofp_message.Packet_in
+      {
+        Ofp_message.buffer_id = Some 77l;
+        total_len = 1000;
+        in_port = 3;
+        reason = Ofp_message.No_match;
+        data = "frame-bytes";
+      }
+  in
+  match msg_roundtrip msg with
+  | Ofp_message.Packet_in pi ->
+      Alcotest.(check bool) "buffer" true (pi.Ofp_message.buffer_id = Some 77l);
+      Alcotest.(check int) "in_port" 3 pi.Ofp_message.in_port;
+      Alcotest.(check string) "data" "frame-bytes" pi.Ofp_message.data
+  | _ -> Alcotest.fail "wrong message"
+
+let test_flow_mod_roundtrip () =
+  let m = Ofp_match.exact_of_fields sample_fields in
+  let fm =
+    Ofp_message.add_flow ~cookie:9L ~idle_timeout:10 ~hard_timeout:60 ~priority:5
+      ~send_flow_rem:true m
+      [ Ofp_action.output 4; Ofp_action.Set_dl_dst mac_b ]
+  in
+  match msg_roundtrip (Ofp_message.Flow_mod fm) with
+  | Ofp_message.Flow_mod fm' ->
+      Alcotest.(check bool) "match" true (Ofp_match.equal m fm'.Ofp_message.fm_match);
+      Alcotest.(check int64) "cookie" 9L fm'.Ofp_message.cookie;
+      Alcotest.(check int) "idle" 10 fm'.Ofp_message.idle_timeout;
+      Alcotest.(check bool) "send_flow_rem" true fm'.Ofp_message.send_flow_rem;
+      Alcotest.(check int) "actions" 2 (List.length fm'.Ofp_message.actions)
+  | _ -> Alcotest.fail "wrong message"
+
+let test_packet_out_roundtrip () =
+  let po = Ofp_message.packet_out ~in_port:2 ~data:"bytes" [ Ofp_action.output 7 ] in
+  match msg_roundtrip (Ofp_message.Packet_out po) with
+  | Ofp_message.Packet_out po' ->
+      Alcotest.(check string) "data" "bytes" po'.Ofp_message.po_data;
+      Alcotest.(check int) "in_port" 2 po'.Ofp_message.po_in_port
+  | _ -> Alcotest.fail "wrong message"
+
+let test_flow_removed_roundtrip () =
+  let msg =
+    Ofp_message.Flow_removed
+      {
+        Ofp_message.fr_match = Ofp_match.wildcard_all;
+        fr_cookie = 3L;
+        fr_priority = 9;
+        fr_reason = Ofp_message.Removed_idle_timeout;
+        duration_sec = 12l;
+        duration_nsec = 34l;
+        fr_idle_timeout = 10;
+        packet_count = 55L;
+        byte_count = 999L;
+      }
+  in
+  match msg_roundtrip msg with
+  | Ofp_message.Flow_removed fr ->
+      Alcotest.(check int64) "packets" 55L fr.Ofp_message.packet_count;
+      Alcotest.(check bool) "reason" true (fr.Ofp_message.fr_reason = Ofp_message.Removed_idle_timeout)
+  | _ -> Alcotest.fail "wrong message"
+
+let test_stats_roundtrips () =
+  (* flow stats *)
+  let entry =
+    {
+      Ofp_message.fs_table_id = 0;
+      fs_match = Ofp_match.exact_of_fields sample_fields;
+      fs_duration_sec = 1l;
+      fs_duration_nsec = 2l;
+      fs_priority = 3;
+      fs_idle_timeout = 4;
+      fs_hard_timeout = 5;
+      fs_cookie = 6L;
+      fs_packet_count = 7L;
+      fs_byte_count = 8L;
+      fs_actions = [ Ofp_action.output 1 ];
+    }
+  in
+  (match msg_roundtrip (Ofp_message.Stats_reply (Ofp_message.Flow_stats_reply [ entry; entry ])) with
+  | Ofp_message.Stats_reply (Ofp_message.Flow_stats_reply entries) ->
+      Alcotest.(check int) "two entries" 2 (List.length entries);
+      Alcotest.(check int64) "bytes" 8L (List.hd entries).Ofp_message.fs_byte_count
+  | _ -> Alcotest.fail "wrong stats");
+  (* desc *)
+  (match msg_roundtrip (Ofp_message.Stats_reply (Ofp_message.Desc_reply Hw_datapath.Datapath.stats_description)) with
+  | Ofp_message.Stats_reply (Ofp_message.Desc_reply d) ->
+      Alcotest.(check string) "dp_desc" "bridge dp0" d.Ofp_message.dp_desc
+  | _ -> Alcotest.fail "wrong stats");
+  (* aggregate *)
+  (match
+     msg_roundtrip
+       (Ofp_message.Stats_reply
+          (Ofp_message.Aggregate_reply
+             { Ofp_message.ag_packet_count = 1L; ag_byte_count = 2L; ag_flow_count = 3l }))
+   with
+  | Ofp_message.Stats_reply (Ofp_message.Aggregate_reply a) ->
+      Alcotest.(check int32) "flows" 3l a.Ofp_message.ag_flow_count
+  | _ -> Alcotest.fail "wrong stats");
+  (* port stats request/reply *)
+  (match msg_roundtrip (Ofp_message.Stats_request (Ofp_message.Port_stats_request 7)) with
+  | Ofp_message.Stats_request (Ofp_message.Port_stats_request 7) -> ()
+  | _ -> Alcotest.fail "wrong stats request");
+  match
+    msg_roundtrip
+      (Ofp_message.Stats_reply
+         (Ofp_message.Port_stats_reply
+            [
+              {
+                Ofp_message.ps_port_no = 1;
+                rx_packets = 1L;
+                tx_packets = 2L;
+                rx_bytes = 3L;
+                tx_bytes = 4L;
+                rx_dropped = 5L;
+                tx_dropped = 6L;
+                rx_errors = 0L;
+                tx_errors = 0L;
+              };
+            ]))
+  with
+  | Ofp_message.Stats_reply (Ofp_message.Port_stats_reply [ ps ]) ->
+      Alcotest.(check int64) "tx bytes" 4L ps.Ofp_message.tx_bytes
+  | _ -> Alcotest.fail "wrong port stats"
+
+let test_port_mod_roundtrip () =
+  let msg =
+    Ofp_message.Port_mod
+      {
+        Ofp_message.pm_port_no = 7;
+        pm_hw_addr = mac_a;
+        pm_config = Ofp_message.port_down_bit;
+        pm_mask = Ofp_message.port_down_bit;
+        pm_advertise = 0l;
+      }
+  in
+  match msg_roundtrip msg with
+  | Ofp_message.Port_mod pm ->
+      Alcotest.(check int) "port" 7 pm.Ofp_message.pm_port_no;
+      Alcotest.(check int32) "config" Ofp_message.port_down_bit pm.Ofp_message.pm_config;
+      Alcotest.(check bool) "hw addr" true (Mac.equal mac_a pm.Ofp_message.pm_hw_addr)
+  | _ -> Alcotest.fail "wrong message"
+
+let test_error_roundtrip () =
+  let msg =
+    Ofp_message.Error_msg
+      { Ofp_message.err_type = Ofp_message.Flow_mod_failed; err_code = 1; err_data = "ctx" }
+  in
+  match msg_roundtrip msg with
+  | Ofp_message.Error_msg e ->
+      Alcotest.(check bool) "type" true (e.Ofp_message.err_type = Ofp_message.Flow_mod_failed);
+      Alcotest.(check string) "data" "ctx" e.Ofp_message.err_data
+  | _ -> Alcotest.fail "wrong message"
+
+let test_bad_version_rejected () =
+  let bytes = Ofp_message.encode ~xid:1l Ofp_message.Hello in
+  let corrupted = Bytes.of_string bytes in
+  Bytes.set corrupted 0 '\x04';
+  match Ofp_message.decode (Bytes.to_string corrupted) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong version accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_framing_reassembly () =
+  let b = Ofp_message.Framing.create () in
+  let m1 = Ofp_message.encode ~xid:1l Ofp_message.Hello in
+  let m2 = Ofp_message.encode ~xid:2l (Ofp_message.Echo_request "x") in
+  let stream = m1 ^ m2 in
+  (* feed byte by byte *)
+  String.iter (fun c -> Ofp_message.Framing.input b (String.make 1 c)) stream;
+  match Ofp_message.Framing.pop_all b with
+  | [ Ok (1l, Ofp_message.Hello); Ok (2l, Ofp_message.Echo_request "x") ] -> ()
+  | results -> Alcotest.failf "unexpected framing results (%d)" (List.length results)
+
+let test_framing_partial () =
+  let b = Ofp_message.Framing.create () in
+  let m = Ofp_message.encode ~xid:1l (Ofp_message.Echo_request "hello") in
+  Ofp_message.Framing.input b (String.sub m 0 5);
+  Alcotest.(check bool) "incomplete" true (Ofp_message.Framing.pop b = None);
+  Ofp_message.Framing.input b (String.sub m 5 (String.length m - 5));
+  match Ofp_message.Framing.pop b with
+  | Some (Ok (1l, Ofp_message.Echo_request "hello")) -> ()
+  | _ -> Alcotest.fail "message lost"
+
+let test_framing_kills_bad_stream () =
+  let b = Ofp_message.Framing.create () in
+  Ofp_message.Framing.input b "\x09\x00\x00\x08garbage-that-should-be-dropped";
+  (match Ofp_message.Framing.pop b with
+  | Some (Error _) -> ()
+  | _ -> Alcotest.fail "bad version not reported");
+  (* stream is dead: further input ignored *)
+  Ofp_message.Framing.input b (Ofp_message.encode ~xid:1l Ofp_message.Hello);
+  Alcotest.(check bool) "dead stream" true (Ofp_message.Framing.pop b = None)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let match_gen =
+  let open QCheck.Gen in
+  let opt g = oneof [ return None; map Option.some g ] in
+  let mac = map (fun i -> Mac.of_int64 (Int64.of_int i)) big_nat in
+  let ip = map (fun i -> Ip.of_int32 (Int32.of_int i)) big_nat in
+  let prefix = pair ip (int_range 1 32) in
+  let port = int_bound 0xffff in
+  map
+    (fun ((in_port, dl_src, dl_dst, dl_type), (nw_proto, nw_src, nw_dst, tp_src, tp_dst)) ->
+      {
+        Ofp_match.in_port;
+        dl_src;
+        dl_dst;
+        dl_vlan = None;
+        dl_vlan_pcp = None;
+        dl_type;
+        nw_tos = None;
+        nw_proto;
+        nw_src;
+        nw_dst;
+        tp_src;
+        tp_dst;
+      })
+    (pair
+       (quad (opt port) (opt mac) (opt mac) (opt (int_bound 0xffff)))
+       (tup5 (opt (int_bound 255)) (opt prefix) (opt prefix) (opt port) (opt port)))
+
+let prop_match_roundtrip =
+  QCheck.Test.make ~name:"match wire roundtrip" ~count:300
+    (QCheck.make match_gen ~print:Ofp_match.to_string)
+    (fun m ->
+      (* prefix bits of 0 are canonically a full wildcard; normalise *)
+      let w = Hw_util.Wire.Writer.create () in
+      Ofp_match.encode w m;
+      let m' = Ofp_match.decode (Hw_util.Wire.Reader.of_string (Hw_util.Wire.Writer.contents w)) in
+      Ofp_match.equal m m')
+
+let prop_exact_always_matches_its_fields =
+  QCheck.Test.make ~name:"exact_of_fields matches the packet it came from" ~count:100
+    QCheck.(pair (int_bound 0xffff) (int_bound 0xffff))
+    (fun (sp, dp) ->
+      let fields = { sample_fields with Ofp_match.f_tp_src = sp; f_tp_dst = dp } in
+      Ofp_match.matches (Ofp_match.exact_of_fields fields) fields)
+
+let prop_subsumes_implies_matches =
+  QCheck.Test.make ~name:"if general subsumes specific, general matches what specific matches"
+    ~count:300
+    (QCheck.make (QCheck.Gen.pair match_gen match_gen) ~print:(fun (a, b) ->
+         Ofp_match.to_string a ^ " vs " ^ Ofp_match.to_string b))
+    (fun (general, specific) ->
+      (* test on the sample packet as witness *)
+      (not (Ofp_match.subsumes ~general ~specific))
+      || (not (Ofp_match.matches specific sample_fields))
+      || Ofp_match.matches general sample_fields)
+
+let () =
+  Alcotest.run "hw_openflow"
+    [
+      ( "match",
+        [
+          Alcotest.test_case "wildcard matches all" `Quick test_wildcard_matches_everything;
+          Alcotest.test_case "exact match" `Quick test_exact_match;
+          Alcotest.test_case "prefix match" `Quick test_prefix_match;
+          Alcotest.test_case "subsumes" `Quick test_subsumes;
+          Alcotest.test_case "wire roundtrip" `Quick test_match_wire_roundtrip;
+          Alcotest.test_case "arp fields" `Quick test_fields_of_arp;
+          QCheck_alcotest.to_alcotest prop_match_roundtrip;
+          QCheck_alcotest.to_alcotest prop_exact_always_matches_its_fields;
+          QCheck_alcotest.to_alcotest prop_subsumes_implies_matches;
+        ] );
+      ( "actions",
+        [
+          Alcotest.test_case "roundtrips" `Quick test_action_roundtrips;
+          Alcotest.test_case "sizes" `Quick test_action_sizes;
+          Alcotest.test_case "port names" `Quick test_port_names;
+        ] );
+      ( "messages",
+        [
+          Alcotest.test_case "simple messages" `Quick test_simple_messages;
+          Alcotest.test_case "features reply" `Quick test_features_reply;
+          Alcotest.test_case "packet in" `Quick test_packet_in_roundtrip;
+          Alcotest.test_case "flow mod" `Quick test_flow_mod_roundtrip;
+          Alcotest.test_case "packet out" `Quick test_packet_out_roundtrip;
+          Alcotest.test_case "flow removed" `Quick test_flow_removed_roundtrip;
+          Alcotest.test_case "stats" `Quick test_stats_roundtrips;
+          Alcotest.test_case "port mod" `Quick test_port_mod_roundtrip;
+          Alcotest.test_case "error" `Quick test_error_roundtrip;
+          Alcotest.test_case "bad version" `Quick test_bad_version_rejected;
+        ] );
+      ( "framing",
+        [
+          Alcotest.test_case "byte-by-byte reassembly" `Quick test_framing_reassembly;
+          Alcotest.test_case "partial message" `Quick test_framing_partial;
+          Alcotest.test_case "bad stream dies" `Quick test_framing_kills_bad_stream;
+        ] );
+    ]

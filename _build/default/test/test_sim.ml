@@ -1,0 +1,425 @@
+(* hw_sim: event loop, PRNG, RSSI model, internet node, device basics *)
+
+open Hw_packet
+open Hw_sim
+
+(* ------------------------------------------------------------------ *)
+(* Event loop                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_loop_ordering () =
+  let loop = Event_loop.create () in
+  let log = ref [] in
+  Event_loop.at loop 3. (fun () -> log := "c" :: !log);
+  Event_loop.at loop 1. (fun () -> log := "a" :: !log);
+  Event_loop.at loop 2. (fun () -> log := "b" :: !log);
+  Event_loop.run_until loop 10.;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock at deadline" 10. (Event_loop.now loop)
+
+let test_loop_same_time_fifo () =
+  let loop = Event_loop.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Event_loop.at loop 1. (fun () -> log := i :: !log)
+  done;
+  Event_loop.run_until loop 1.;
+  Alcotest.(check (list int)) "stable at same instant" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_loop_cascading () =
+  let loop = Event_loop.create () in
+  let fired = ref 0. in
+  Event_loop.after loop 1. (fun () ->
+      Event_loop.after loop 2. (fun () -> fired := Event_loop.now loop));
+  Event_loop.run_until loop 5.;
+  Alcotest.(check (float 1e-9)) "chained event time" 3. !fired
+
+let test_loop_run_until_boundary () =
+  let loop = Event_loop.create () in
+  let count = ref 0 in
+  Event_loop.at loop 5. (fun () -> incr count);
+  Event_loop.at loop 5.0001 (fun () -> incr count);
+  Event_loop.run_until loop 5.;
+  Alcotest.(check int) "inclusive boundary" 1 !count;
+  Alcotest.(check int) "later event pending" 1 (Event_loop.pending loop)
+
+let test_loop_every () =
+  let loop = Event_loop.create () in
+  let count = ref 0 in
+  Event_loop.every loop 1. (fun () -> incr count);
+  Event_loop.run_until loop 5.5;
+  Alcotest.(check int) "five firings" 5 !count
+
+let test_loop_past_events_run_now () =
+  let loop = Event_loop.create ~start:10. () in
+  let at = ref 0. in
+  Event_loop.at loop 1. (fun () -> at := Event_loop.now loop);
+  ignore (Event_loop.step loop);
+  Alcotest.(check (float 1e-9)) "clamped to now" 10. !at
+
+(* ------------------------------------------------------------------ *)
+(* PRNG                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:1 in
+  let xs = List.init 10 (fun _ -> Prng.float a) in
+  let ys = List.init 10 (fun _ -> Prng.float b) in
+  Alcotest.(check bool) "same seed, same stream" true (xs = ys);
+  let c = Prng.create ~seed:2 in
+  let zs = List.init 10 (fun _ -> Prng.float c) in
+  Alcotest.(check bool) "different seed differs" false (xs = zs)
+
+let test_prng_ranges () =
+  let r = Prng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let f = Prng.float r in
+    if f < 0. || f >= 1. then Alcotest.fail "float out of range";
+    let i = Prng.int r 7 in
+    if i < 0 || i >= 7 then Alcotest.fail "int out of range";
+    let e = Prng.exponential r ~mean:5. in
+    if e < 0. then Alcotest.fail "exponential negative"
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int r 0))
+
+let test_prng_exponential_mean () =
+  let r = Prng.create ~seed:4 in
+  let n = 20_000 in
+  let total = ref 0. in
+  for _ = 1 to n do
+    total := !total +. Prng.exponential r ~mean:5.
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool) "mean close to 5" true (mean > 4.5 && mean < 5.5)
+
+(* ------------------------------------------------------------------ *)
+(* RSSI                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rssi_monotone_with_distance () =
+  let p = Rssi.default_params in
+  let r1 = Rssi.rssi_at p ~distance_m:1. in
+  let r10 = Rssi.rssi_at p ~distance_m:10. in
+  let r50 = Rssi.rssi_at p ~distance_m:50. in
+  Alcotest.(check bool) "closer is stronger" true (r1 >= r10 && r10 >= r50);
+  Alcotest.(check bool) "clamped" true (r1 <= -20 && r50 >= -100)
+
+let test_rssi_quality_and_retries () =
+  Alcotest.(check (float 0.01)) "strong quality" 1.0 (Rssi.quality (-40));
+  Alcotest.(check (float 0.01)) "dead quality" 0.0 (Rssi.quality (-98));
+  Alcotest.(check bool) "retry grows as signal fades" true
+    (Rssi.retry_probability (-90) > Rssi.retry_probability (-60));
+  Alcotest.(check (float 0.001)) "no loss when strong" 0. (Rssi.loss_probability (-50))
+
+(* ------------------------------------------------------------------ *)
+(* Internet node                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let client_mac = Mac.local 1
+let client_ip = Ip.of_octets 10 0 0 100
+
+let make_internet () =
+  let loop = Event_loop.create () in
+  let received = ref [] in
+  let net = Internet.create ~loop ~send:(fun frame -> received := frame :: !received) () in
+  Internet.add_default_zone net;
+  (loop, net, received)
+
+let drain loop = Event_loop.run_for loop 1.
+
+let decode_all frames = List.filter_map (fun f -> Result.to_option (Packet.decode f)) frames
+
+let test_internet_proxy_arp () =
+  let loop, net, received = make_internet () in
+  let req =
+    Packet.arp_packet ~src_mac:client_mac
+      (Arp.request ~sender_mac:client_mac ~sender_ip:client_ip
+         ~target_ip:(Ip.of_octets 93 184 216 10))
+  in
+  Internet.deliver net (Packet.encode req);
+  drain loop;
+  (match decode_all !received with
+  | [ { Packet.l3 = Packet.Arp arp; _ } ] ->
+      Alcotest.(check bool) "reply" true (arp.Arp.op = Arp.Reply);
+      Alcotest.(check bool) "from internet mac" true (Mac.equal arp.Arp.sender_mac Internet.mac)
+  | _ -> Alcotest.fail "no proxy-arp reply");
+  (* LAN addresses are not proxied *)
+  received := [];
+  let req_lan =
+    Packet.arp_packet ~src_mac:client_mac
+      (Arp.request ~sender_mac:client_mac ~sender_ip:client_ip ~target_ip:(Ip.of_octets 10 0 0 1))
+  in
+  Internet.deliver net (Packet.encode req_lan);
+  drain loop;
+  Alcotest.(check int) "no reply for lan" 0 (List.length !received)
+
+let test_internet_dns_authority () =
+  let loop, net, received = make_internet () in
+  let query = Dns_wire.query ~id:9 "www.facebook.com" Dns_wire.A in
+  let pkt =
+    Packet.udp_packet ~src_mac:client_mac ~dst_mac:Internet.mac ~src_ip:client_ip
+      ~dst_ip:Internet.resolver_ip ~src_port:5353 ~dst_port:53 (Dns_wire.encode query)
+  in
+  Internet.deliver net (Packet.encode pkt);
+  drain loop;
+  (match decode_all !received with
+  | [ { Packet.l3 = Packet.Ipv4 (_, Packet.Udp u); _ } ] -> (
+      match Dns_wire.decode u.Udp.payload with
+      | Ok resp ->
+          Alcotest.(check int) "id echoed" 9 resp.Dns_wire.id;
+          Alcotest.(check bool) "has answer" true (List.length resp.Dns_wire.answers = 1)
+      | Error e -> Alcotest.fail e)
+  | _ -> Alcotest.fail "no dns answer");
+  (* unknown name -> NXDOMAIN *)
+  received := [];
+  let query = Dns_wire.query ~id:10 "no.such.zone" Dns_wire.A in
+  let pkt =
+    Packet.udp_packet ~src_mac:client_mac ~dst_mac:Internet.mac ~src_ip:client_ip
+      ~dst_ip:Internet.resolver_ip ~src_port:5353 ~dst_port:53 (Dns_wire.encode query)
+  in
+  Internet.deliver net (Packet.encode pkt);
+  drain loop;
+  match decode_all !received with
+  | [ { Packet.l3 = Packet.Ipv4 (_, Packet.Udp u); _ } ] -> (
+      match Dns_wire.decode u.Udp.payload with
+      | Ok resp -> Alcotest.(check bool) "nxdomain" true (resp.Dns_wire.rcode = Dns_wire.Name_error)
+      | Error e -> Alcotest.fail e)
+  | _ -> Alcotest.fail "no answer for unknown"
+
+let test_internet_reverse_zone () =
+  let loop, net, received = make_internet () in
+  let fb = Option.get (Internet.lookup_zone net "www.facebook.com") in
+  let query = Dns_wire.query ~id:11 (Dns_wire.reverse_name fb) Dns_wire.PTR in
+  let pkt =
+    Packet.udp_packet ~src_mac:client_mac ~dst_mac:Internet.mac ~src_ip:client_ip
+      ~dst_ip:Internet.resolver_ip ~src_port:5353 ~dst_port:53 (Dns_wire.encode query)
+  in
+  Internet.deliver net (Packet.encode pkt);
+  drain loop;
+  match decode_all !received with
+  | [ { Packet.l3 = Packet.Ipv4 (_, Packet.Udp u); _ } ] -> (
+      match (Result.get_ok (Dns_wire.decode u.Udp.payload)).Dns_wire.answers with
+      | [ { Dns_wire.rdata = Dns_wire.Ptr_data name; _ } ] ->
+          Alcotest.(check bool) "ptr names a facebook host" true
+            (name = "www.facebook.com" || name = "facebook.com")
+      | _ -> Alcotest.fail "no PTR answer")
+  | _ -> Alcotest.fail "no reverse answer"
+
+let test_internet_tcp_behaviour () =
+  let loop, net, received = make_internet () in
+  let dst_ip = Option.get (Internet.lookup_zone net "www.example.com") in
+  (* SYN -> SYN/ACK *)
+  let syn =
+    Packet.tcp_packet ~flags:Tcp.syn_flag ~src_mac:client_mac ~dst_mac:Internet.mac
+      ~src_ip:client_ip ~dst_ip ~src_port:40000 ~dst_port:80 ""
+  in
+  Internet.deliver net (Packet.encode syn);
+  drain loop;
+  (match decode_all !received with
+  | [ { Packet.l3 = Packet.Ipv4 (_, Packet.Tcp seg); _ } ] ->
+      Alcotest.(check bool) "syn/ack" true (seg.Tcp.flags.Tcp.syn && seg.Tcp.flags.Tcp.ack)
+  | _ -> Alcotest.fail "no syn/ack");
+  (* data -> response sized by the port factor (80 -> 20x) *)
+  received := [];
+  let data =
+    Packet.tcp_packet ~src_mac:client_mac ~dst_mac:Internet.mac ~src_ip:client_ip ~dst_ip
+      ~src_port:40000 ~dst_port:80 (String.make 100 'q')
+  in
+  Internet.deliver net (Packet.encode data);
+  Event_loop.run_for loop 2.;
+  let response_bytes =
+    List.fold_left
+      (fun acc pkt ->
+        match pkt.Packet.l3 with
+        | Packet.Ipv4 (_, Packet.Tcp seg) -> acc + String.length seg.Tcp.payload
+        | _ -> acc)
+      0 (decode_all !received)
+  in
+  Alcotest.(check int) "20x response" 2000 response_bytes
+
+let test_internet_icmp_echo () =
+  let loop, net, received = make_internet () in
+  let dst_ip = Ip.of_octets 93 184 216 99 in
+  let ping =
+    Packet.icmp_echo ~src_mac:client_mac ~dst_mac:Internet.mac ~src_ip:client_ip ~dst_ip ~id:1
+      ~seq:1
+  in
+  Internet.deliver net (Packet.encode ping);
+  drain loop;
+  match decode_all !received with
+  | [ { Packet.l3 = Packet.Ipv4 (ip, Packet.Icmp icmp); _ } ] ->
+      Alcotest.(check int) "echo reply" 0 icmp.Icmp.typ;
+      Alcotest.(check bool) "from pinged address" true (Ip.equal ip.Ipv4.src dst_ip)
+  | _ -> Alcotest.fail "no echo reply"
+
+(* ------------------------------------------------------------------ *)
+(* Device against a scripted wire                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_device_dhcp_against_script () =
+  let loop = Event_loop.create () in
+  let sent = ref [] in
+  let device =
+    Device.create
+      ~config:(Device.wired ~name:"probe" ~mac:client_mac [])
+      ~loop
+      ~send:(fun frame -> sent := frame :: !sent)
+      ()
+  in
+  Device.start device;
+  Event_loop.run_for loop 0.1;
+  (* expect a DISCOVER *)
+  let discover =
+    match decode_all !sent with
+    | [ { Packet.l3 = Packet.Ipv4 (_, Packet.Udp u); _ } ] ->
+        Result.get_ok (Dhcp_wire.decode u.Udp.payload)
+    | _ -> Alcotest.fail "no discover"
+  in
+  Alcotest.(check bool) "discover" true
+    (Dhcp_wire.find_message_type discover = Some Dhcp_wire.Discover);
+  Alcotest.(check bool) "hostname option" true
+    (Dhcp_wire.find_hostname discover = Some "probe");
+  (* script an OFFER back *)
+  sent := [];
+  let server_ip = Ip.of_octets 10 0 0 1 in
+  let yiaddr = Ip.of_octets 10 0 0 123 in
+  let offer =
+    Dhcp_wire.make_reply
+      ~options:
+        [
+          Dhcp_wire.Server_id server_ip;
+          Dhcp_wire.Lease_time 60l;
+          Dhcp_wire.Dns_servers [ server_ip ];
+        ]
+      ~xid:discover.Dhcp_wire.xid ~chaddr:client_mac ~yiaddr ~siaddr:server_ip Dhcp_wire.Offer
+  in
+  Device.deliver device
+    (Packet.encode
+       (Packet.dhcp_packet ~src_mac:(Mac.local 0xaa) ~dst_mac:Mac.broadcast ~src_ip:server_ip
+          ~dst_ip:Ip.broadcast offer));
+  (* expect a REQUEST *)
+  let request =
+    match decode_all !sent with
+    | [ { Packet.l3 = Packet.Ipv4 (_, Packet.Udp u); _ } ] ->
+        Result.get_ok (Dhcp_wire.decode u.Udp.payload)
+    | _ -> Alcotest.fail "no request"
+  in
+  Alcotest.(check bool) "request" true
+    (Dhcp_wire.find_message_type request = Some Dhcp_wire.Request);
+  Alcotest.(check bool) "requests offered ip" true
+    (Dhcp_wire.find_requested_ip request = Some yiaddr);
+  (* ACK binds the device *)
+  let ack = { offer with Dhcp_wire.options = Dhcp_wire.Message_type Dhcp_wire.Ack :: List.tl offer.Dhcp_wire.options } in
+  Device.deliver device
+    (Packet.encode
+       (Packet.dhcp_packet ~src_mac:(Mac.local 0xaa) ~dst_mac:Mac.broadcast ~src_ip:server_ip
+          ~dst_ip:Ip.broadcast ack));
+  Alcotest.(check bool) "bound" true (Device.dhcp_state device = Device.Bound);
+  Alcotest.(check bool) "ip" true (Device.ip device = Some yiaddr)
+
+let test_device_nak_denies_and_retries () =
+  let loop = Event_loop.create () in
+  let sent = ref [] in
+  let device =
+    Device.create
+      ~config:(Device.wired ~name:"probe" ~mac:client_mac [])
+      ~loop
+      ~send:(fun frame -> sent := frame :: !sent)
+      ()
+  in
+  let denied = ref 0 in
+  Device.on_denied device (fun () -> incr denied);
+  Device.start device;
+  Event_loop.run_for loop 0.1;
+  let discover =
+    match decode_all !sent with
+    | [ { Packet.l3 = Packet.Ipv4 (_, Packet.Udp u); _ } ] ->
+        Result.get_ok (Dhcp_wire.decode u.Udp.payload)
+    | _ -> Alcotest.fail "no discover"
+  in
+  sent := [];
+  (* the device in Selecting state receives a NAK... it ignores it and only
+     handles OFFER; send an OFFER then NAK the REQUEST *)
+  let server_ip = Ip.of_octets 10 0 0 1 in
+  let offer =
+    Dhcp_wire.make_reply
+      ~options:[ Dhcp_wire.Server_id server_ip ]
+      ~xid:discover.Dhcp_wire.xid ~chaddr:client_mac ~yiaddr:(Ip.of_octets 10 0 0 50)
+      ~siaddr:server_ip Dhcp_wire.Offer
+  in
+  Device.deliver device
+    (Packet.encode
+       (Packet.dhcp_packet ~src_mac:(Mac.local 0xaa) ~dst_mac:Mac.broadcast ~src_ip:server_ip
+          ~dst_ip:Ip.broadcast offer));
+  let nak =
+    Dhcp_wire.make_reply
+      ~options:[ Dhcp_wire.Server_id server_ip ]
+      ~xid:discover.Dhcp_wire.xid ~chaddr:client_mac ~yiaddr:Ip.any ~siaddr:server_ip
+      Dhcp_wire.Nak
+  in
+  Device.deliver device
+    (Packet.encode
+       (Packet.dhcp_packet ~src_mac:(Mac.local 0xaa) ~dst_mac:Mac.broadcast ~src_ip:server_ip
+          ~dst_ip:Ip.broadcast nak));
+  Alcotest.(check bool) "denied state" true (Device.dhcp_state device = Device.Denied);
+  Alcotest.(check int) "denied callback" 1 !denied;
+  (* after the 30 s backoff the device discovers again *)
+  sent := [];
+  Event_loop.run_for loop 31.;
+  Alcotest.(check bool) "retries" true (List.length !sent > 0)
+
+let test_device_wireless_stats () =
+  let loop = Event_loop.create () in
+  let device =
+    Device.create ~seed:5
+      ~config:(Device.wireless ~distance_m:40. ~name:"far" ~mac:client_mac [])
+      ~loop
+      ~send:(fun _ -> ())
+      ()
+  in
+  Alcotest.(check bool) "has rssi" true (Device.rssi device <> None);
+  Device.set_distance device 2.;
+  let near = Option.get (Device.rssi device) in
+  Device.set_distance device 60.;
+  let far = Option.get (Device.rssi device) in
+  Alcotest.(check bool) "near stronger" true (near > far)
+
+let () =
+  Alcotest.run "hw_sim"
+    [
+      ( "event_loop",
+        [
+          Alcotest.test_case "ordering" `Quick test_loop_ordering;
+          Alcotest.test_case "same-time fifo" `Quick test_loop_same_time_fifo;
+          Alcotest.test_case "cascading" `Quick test_loop_cascading;
+          Alcotest.test_case "run_until boundary" `Quick test_loop_run_until_boundary;
+          Alcotest.test_case "every" `Quick test_loop_every;
+          Alcotest.test_case "past events" `Quick test_loop_past_events_run_now;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "ranges" `Quick test_prng_ranges;
+          Alcotest.test_case "exponential mean" `Quick test_prng_exponential_mean;
+        ] );
+      ( "rssi",
+        [
+          Alcotest.test_case "monotone" `Quick test_rssi_monotone_with_distance;
+          Alcotest.test_case "quality/retries" `Quick test_rssi_quality_and_retries;
+        ] );
+      ( "internet",
+        [
+          Alcotest.test_case "proxy arp" `Quick test_internet_proxy_arp;
+          Alcotest.test_case "dns authority" `Quick test_internet_dns_authority;
+          Alcotest.test_case "reverse zone" `Quick test_internet_reverse_zone;
+          Alcotest.test_case "tcp behaviour" `Quick test_internet_tcp_behaviour;
+          Alcotest.test_case "icmp echo" `Quick test_internet_icmp_echo;
+        ] );
+      ( "device",
+        [
+          Alcotest.test_case "dhcp against script" `Quick test_device_dhcp_against_script;
+          Alcotest.test_case "nak denies + retries" `Quick test_device_nak_denies_and_retries;
+          Alcotest.test_case "wireless stats" `Quick test_device_wireless_stats;
+        ] );
+    ]

@@ -1,0 +1,79 @@
+(* hw_time: virtual clock and calendar structure *)
+
+let test_weekday_of () =
+  Alcotest.(check string) "epoch is Monday" "Mon"
+    (Hw_time.weekday_to_string (Hw_time.weekday_of 0.));
+  Alcotest.(check string) "day 5" "Sat"
+    (Hw_time.weekday_to_string (Hw_time.weekday_of (5. *. 86_400.)));
+  Alcotest.(check string) "wraps after a week" "Mon"
+    (Hw_time.weekday_to_string (Hw_time.weekday_of (7. *. 86_400. +. 10.)));
+  Alcotest.(check string) "negative wraps" "Sun"
+    (Hw_time.weekday_to_string (Hw_time.weekday_of (-10.)))
+
+let test_time_of_day () =
+  Alcotest.(check (float 1e-9)) "midnight" 0. (Hw_time.time_of_day 86_400.);
+  Alcotest.(check (float 1e-9)) "noon" 43_200. (Hw_time.time_of_day (86_400. +. 43_200.))
+
+let test_hms () =
+  Alcotest.(check (float 1e-9)) "14:30:15" 52_215. (Hw_time.hms ~hour:14 ~min:30 ~sec:15);
+  Alcotest.check_raises "hour out of range" (Invalid_argument "Hw_time.hms") (fun () ->
+      ignore (Hw_time.hms ~hour:24 ~min:0 ~sec:0))
+
+let test_at () =
+  let t = Hw_time.at ~day:Hw_time.Wed ~hour:16 ~min:5 in
+  Alcotest.(check string) "day" "Wed" (Hw_time.weekday_to_string (Hw_time.weekday_of t));
+  Alcotest.(check (float 1e-9)) "tod" (Hw_time.hms ~hour:16 ~min:5 ~sec:0) (Hw_time.time_of_day t)
+
+let test_to_string () =
+  Alcotest.(check string) "render" "Tue 01:02:03.500"
+    (Hw_time.to_string (86_400. +. 3_723.5))
+
+let test_weekday_parse () =
+  Alcotest.(check bool) "long name" true (Hw_time.weekday_of_string "friday" = Some Hw_time.Fri);
+  Alcotest.(check bool) "short name" true (Hw_time.weekday_of_string "SAT" = Some Hw_time.Sat);
+  Alcotest.(check bool) "junk" true (Hw_time.weekday_of_string "noday" = None)
+
+let test_is_weekend () =
+  Alcotest.(check bool) "sat" true (Hw_time.is_weekend Hw_time.Sat);
+  Alcotest.(check bool) "mon" false (Hw_time.is_weekend Hw_time.Mon)
+
+let test_clock_monotonic () =
+  let c = Hw_time.Clock.create () in
+  Hw_time.Clock.advance_by c 5.;
+  Alcotest.(check (float 1e-9)) "advanced" 5. (Hw_time.Clock.now c);
+  Hw_time.Clock.advance_to c 5.;
+  Alcotest.check_raises "backwards rejected"
+    (Invalid_argument "Clock.advance_to: time cannot move backwards") (fun () ->
+      Hw_time.Clock.advance_to c 4.)
+
+let test_clock_start () =
+  let c = Hw_time.Clock.create ~now:100. () in
+  Alcotest.(check (float 1e-9)) "starts at 100" 100. (Hw_time.Clock.now c)
+
+let prop_weekday_stable_within_day =
+  QCheck.Test.make ~name:"weekday constant within a day" ~count:200
+    QCheck.(pair (int_range 0 13) (float_range 0. 86_399.))
+    (fun (day, offset) ->
+      let base = float_of_int day *. 86_400. in
+      Hw_time.weekday_of base = Hw_time.weekday_of (base +. offset))
+
+let () =
+  Alcotest.run "hw_time"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "weekday_of" `Quick test_weekday_of;
+          Alcotest.test_case "time_of_day" `Quick test_time_of_day;
+          Alcotest.test_case "hms" `Quick test_hms;
+          Alcotest.test_case "at" `Quick test_at;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+          Alcotest.test_case "weekday parse" `Quick test_weekday_parse;
+          Alcotest.test_case "is_weekend" `Quick test_is_weekend;
+          QCheck_alcotest.to_alcotest prop_weekday_stable_within_day;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "monotonic" `Quick test_clock_monotonic;
+          Alcotest.test_case "custom start" `Quick test_clock_start;
+        ] );
+    ]

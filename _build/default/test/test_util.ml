@@ -1,0 +1,188 @@
+(* hw_util: ring buffer and wire codec primitives *)
+
+open Hw_util
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Ring                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_empty () =
+  let r = Ring.create ~capacity:4 in
+  check_int "length" 0 (Ring.length r);
+  Alcotest.(check bool) "is_empty" true (Ring.is_empty r);
+  Alcotest.(check (option int)) "peek_oldest" None (Ring.peek_oldest r);
+  Alcotest.(check (option int)) "peek_newest" None (Ring.peek_newest r)
+
+let test_ring_push_within_capacity () =
+  let r = Ring.create ~capacity:4 in
+  List.iter (Ring.push r) [ 1; 2; 3 ];
+  check_int "length" 3 (Ring.length r);
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (Ring.to_list r);
+  Alcotest.(check (option int)) "oldest" (Some 1) (Ring.peek_oldest r);
+  Alcotest.(check (option int)) "newest" (Some 3) (Ring.peek_newest r)
+
+let test_ring_eviction () =
+  let r = Ring.create ~capacity:3 in
+  List.iter (Ring.push r) [ 1; 2; 3; 4; 5 ];
+  check_int "length capped" 3 (Ring.length r);
+  Alcotest.(check (list int)) "oldest evicted" [ 3; 4; 5 ] (Ring.to_list r);
+  check_int "total pushed" 5 (Ring.total_pushed r)
+
+let test_ring_get_bounds () =
+  let r = Ring.create ~capacity:3 in
+  Ring.push r 10;
+  check_int "get 0" 10 (Ring.get r 0);
+  Alcotest.check_raises "get out of range" (Invalid_argument "Ring.get: index out of range")
+    (fun () -> ignore (Ring.get r 1))
+
+let test_ring_capacity_validation () =
+  Alcotest.check_raises "zero capacity" (Invalid_argument "Ring.create: capacity must be positive")
+    (fun () -> ignore (Ring.create ~capacity:0))
+
+let test_ring_clear () =
+  let r = Ring.create ~capacity:2 in
+  List.iter (Ring.push r) [ 1; 2 ];
+  Ring.clear r;
+  check_int "cleared" 0 (Ring.length r);
+  Ring.push r 9;
+  Alcotest.(check (list int)) "usable after clear" [ 9 ] (Ring.to_list r)
+
+let test_ring_newest_first () =
+  let r = Ring.create ~capacity:3 in
+  List.iter (Ring.push r) [ 1; 2; 3 ];
+  Alcotest.(check (list int)) "reverse" [ 3; 2; 1 ] (Ring.to_list_newest_first r)
+
+let test_ring_filter_fold () =
+  let r = Ring.create ~capacity:8 in
+  List.iter (Ring.push r) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (list int)) "filter" [ 2; 4 ] (Ring.filter (fun x -> x mod 2 = 0) r);
+  check_int "fold sum" 15 (Ring.fold ( + ) 0 r)
+
+let prop_ring_capacity_bound =
+  QCheck.Test.make ~name:"ring never exceeds capacity" ~count:200
+    QCheck.(pair (int_range 1 20) (small_list small_int))
+    (fun (cap, xs) ->
+      let r = Ring.create ~capacity:cap in
+      List.iter (Ring.push r) xs;
+      Ring.length r <= cap && Ring.length r = min cap (List.length xs))
+
+let prop_ring_keeps_suffix =
+  QCheck.Test.make ~name:"ring keeps the most recent elements in order" ~count:200
+    QCheck.(pair (int_range 1 20) (small_list small_int))
+    (fun (cap, xs) ->
+      let r = Ring.create ~capacity:cap in
+      List.iter (Ring.push r) xs;
+      let n = List.length xs in
+      let expected = List.filteri (fun i _ -> i >= n - cap) xs in
+      Ring.to_list r = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Wire                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_wire_roundtrip_ints () =
+  let w = Wire.Writer.create () in
+  Wire.Writer.u8 w 0xab;
+  Wire.Writer.u16 w 0xbeef;
+  Wire.Writer.u32 w 0xdeadbeefl;
+  Wire.Writer.u64 w 0x0123456789abcdefL;
+  let r = Wire.Reader.of_string (Wire.Writer.contents w) in
+  check_int "u8" 0xab (Wire.Reader.u8 r ~field:"a");
+  check_int "u16" 0xbeef (Wire.Reader.u16 r ~field:"b");
+  Alcotest.(check int32) "u32" 0xdeadbeefl (Wire.Reader.u32 r ~field:"c");
+  Alcotest.(check int64) "u64" 0x0123456789abcdefL (Wire.Reader.u64 r ~field:"d");
+  check_int "consumed" 0 (Wire.Reader.remaining r)
+
+let test_wire_u32_int () =
+  let w = Wire.Writer.create () in
+  Wire.Writer.u32_int w 0xfffffffe;
+  let r = Wire.Reader.of_string (Wire.Writer.contents w) in
+  check_int "u32_int" 0xfffffffe (Wire.Reader.u32_int r ~field:"x")
+
+let test_wire_truncation () =
+  let r = Wire.Reader.of_string "\x01" in
+  Alcotest.check_raises "u16 on 1 byte" (Wire.Truncated "len") (fun () ->
+      ignore (Wire.Reader.u16 r ~field:"len"))
+
+let test_wire_fixed_string () =
+  let w = Wire.Writer.create () in
+  Wire.Writer.fixed_string w ~len:8 "abc";
+  check_str "padded" "abc\000\000\000\000\000" (Wire.Writer.contents w);
+  let w2 = Wire.Writer.create () in
+  Wire.Writer.fixed_string w2 ~len:2 "abcdef";
+  check_str "truncated" "ab" (Wire.Writer.contents w2)
+
+let test_wire_patch_u16 () =
+  let w = Wire.Writer.create () in
+  Wire.Writer.u16 w 0;
+  Wire.Writer.string w "body";
+  Wire.Writer.patch_u16 w ~pos:0 (Wire.Writer.length w);
+  let r = Wire.Reader.of_string (Wire.Writer.contents w) in
+  check_int "patched length" 6 (Wire.Reader.u16 r ~field:"len")
+
+let test_wire_sub_reader () =
+  let r = Wire.Reader.of_string "abcdef" in
+  let sub = Wire.Reader.sub_reader r ~field:"s" 3 in
+  check_str "sub" "abc" (Wire.Reader.bytes sub ~field:"s" 3);
+  check_str "rest" "def" (Wire.Reader.bytes r ~field:"r" 3)
+
+let test_checksum_rfc1071 () =
+  (* the classic example from RFC 1071 ss. 3 *)
+  let data = "\x00\x01\xf2\x03\xf4\xf5\xf6\xf7" in
+  check_int "checksum" 0x220d (Wire.checksum_ones_complement data)
+
+let test_checksum_verifies_to_zero () =
+  let data = "\x45\x00\x00\x1c" in
+  let c = Wire.checksum_ones_complement data in
+  let full =
+    data ^ String.init 2 (function 0 -> Char.chr (c lsr 8) | _ -> Char.chr (c land 0xff))
+  in
+  check_int "self-verify" 0 (Wire.checksum_ones_complement full)
+
+let test_hex_dump_shape () =
+  let out = Wire.hex_dump "hello, homework" in
+  Alcotest.(check bool) "has offset" true (String.length out > 0 && String.sub out 0 4 = "0000");
+  Alcotest.(check bool) "has ascii" true
+    (String.length out >= 2 && String.contains out '|')
+
+let prop_checksum_zero_roundtrip =
+  QCheck.Test.make ~name:"checksum of data plus its checksum is zero (even lengths)" ~count:200
+    QCheck.(string_of_size (Gen.map (fun n -> 2 * (n mod 64)) Gen.small_nat))
+    (fun data ->
+      let c = Wire.checksum_ones_complement data in
+      let with_csum = data ^ String.init 2 (function 0 -> Char.chr (c lsr 8) | _ -> Char.chr (c land 0xff)) in
+      Wire.checksum_ones_complement with_csum = 0)
+
+let () =
+  Alcotest.run "hw_util"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "empty" `Quick test_ring_empty;
+          Alcotest.test_case "push within capacity" `Quick test_ring_push_within_capacity;
+          Alcotest.test_case "eviction" `Quick test_ring_eviction;
+          Alcotest.test_case "get bounds" `Quick test_ring_get_bounds;
+          Alcotest.test_case "capacity validation" `Quick test_ring_capacity_validation;
+          Alcotest.test_case "clear" `Quick test_ring_clear;
+          Alcotest.test_case "newest first" `Quick test_ring_newest_first;
+          Alcotest.test_case "filter and fold" `Quick test_ring_filter_fold;
+          QCheck_alcotest.to_alcotest prop_ring_capacity_bound;
+          QCheck_alcotest.to_alcotest prop_ring_keeps_suffix;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "int roundtrips" `Quick test_wire_roundtrip_ints;
+          Alcotest.test_case "u32 as int" `Quick test_wire_u32_int;
+          Alcotest.test_case "truncation raises" `Quick test_wire_truncation;
+          Alcotest.test_case "fixed string" `Quick test_wire_fixed_string;
+          Alcotest.test_case "patch u16" `Quick test_wire_patch_u16;
+          Alcotest.test_case "sub reader" `Quick test_wire_sub_reader;
+          Alcotest.test_case "RFC1071 example" `Quick test_checksum_rfc1071;
+          Alcotest.test_case "checksum self-verify" `Quick test_checksum_verifies_to_zero;
+          Alcotest.test_case "hex dump shape" `Quick test_hex_dump_shape;
+          QCheck_alcotest.to_alcotest prop_checksum_zero_roundtrip;
+        ] );
+    ]
