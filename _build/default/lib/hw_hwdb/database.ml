@@ -198,18 +198,32 @@ let subscription_count t = List.length t.subs
 
 let tick t =
   let now = t.now () in
-  List.iter
-    (fun sub ->
-      if now >= sub.next_due then begin
+  let due = List.filter (fun sub -> now >= sub.next_due) t.subs in
+  if due <> [] then begin
+    (* subscribers sharing the same query text get one evaluation per tick:
+       the result is computed on first demand and every later subscriber
+       receives the identical same-instant snapshot *)
+    let cache = Hashtbl.create 8 in
+    List.iter
+      (fun sub ->
         (* catch up without replaying a burst of stale deliveries *)
         while now >= sub.next_due do
           sub.next_due <- sub.next_due +. sub.period
         done;
-        match Query.exec ~lookup:(table t) ~now sub.sub_query with
+        let key = Ast.to_string (Ast.Select sub.sub_query) in
+        let result =
+          match Hashtbl.find_opt cache key with
+          | Some r -> r
+          | None ->
+              let r = Query.exec ~lookup:(table t) ~now sub.sub_query in
+              Hashtbl.add cache key r;
+              r
+        in
+        match result with
         | Ok result -> sub.callback result
-        | Error msg -> Log.warn (fun m -> m "subscription %d failed: %s" sub.sub_id msg)
-      end)
-    t.subs
+        | Error msg -> Log.warn (fun m -> m "subscription %d failed: %s" sub.sub_id msg))
+      due
+  end
 
 let execute t src =
   match Parser.parse src with

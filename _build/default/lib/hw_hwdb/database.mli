@@ -66,7 +66,9 @@ val subscription_count : t -> int
 
 val tick : t -> unit
 (** Runs all due subscriptions against the current clock. Call once per
-    simulated second (finer is fine; periods are respected). *)
+    simulated second (finer is fine; periods are respected). Due
+    subscriptions that share the same query text are evaluated once per
+    tick and all their callbacks receive that shared snapshot. *)
 
 (** {2 Standard-table insert helpers} *)
 

@@ -188,25 +188,32 @@ let item_name = function
 (* Main execution                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let window_spec ~now = function
+(* [RANGE s SECONDS] denotes the closed interval [now - s, now] — the
+   boundary row is included — matching Table's window convention. *)
+let window_spec ~now : Ast.window -> Table.window = function
   | Ast.W_all -> `All
   | Ast.W_range_sec s -> `Last_seconds (s, now)
   | Ast.W_rows n -> `Last_rows n
   | Ast.W_now -> `Now now
 
-let combined_rows ~now window tables =
-  let per_table =
-    List.map
-      (fun table ->
-        List.map
-          (fun (tu : Value.tuple) -> Array.append [| Value.Ts tu.Value.ts |] tu.Value.values)
-          (Table.scan_window table (window_spec ~now window)))
-      tables
-  in
-  match per_table with
-  | [ rows ] -> rows
+let row_of_tuple (tu : Value.tuple) = Array.append [| Value.Ts tu.Value.ts |] tu.Value.values
+
+(* Folds over the combined (joined) rows of the FROM clause without
+   materializing the window as a list: single-table scans consume ring
+   tuples in place; two-table joins materialize only the right side once
+   and stream the left. *)
+let fold_combined_rows ~now window tables ~init ~f =
+  let spec = window_spec ~now window in
+  match tables with
+  | [ table ] ->
+      Table.fold_window table spec ~init ~f:(fun acc tu -> f acc (row_of_tuple tu))
   | [ left; right ] ->
-      List.concat_map (fun l -> List.map (fun r -> Array.append l r) right) left
+      let right_rows =
+        List.rev (Table.fold_window right spec ~init:[] ~f:(fun acc tu -> row_of_tuple tu :: acc))
+      in
+      Table.fold_window left spec ~init ~f:(fun acc tu ->
+          let l = row_of_tuple tu in
+          List.fold_left (fun acc r -> f acc (Array.append l r)) acc right_rows)
   | _ -> fail "FROM supports one or two tables"
 
 let star_columns bindings =
@@ -222,17 +229,20 @@ let star_columns bindings =
 let exec ~lookup ~now (q : Ast.select) =
   try
     let tables, bindings = bindings_of_from ~lookup q.Ast.from in
-    let rows = combined_rows ~now q.Ast.window tables in
-    let rows =
-      match q.Ast.where with
-      | None -> rows
-      | Some pred ->
-          List.filter
-            (fun row ->
+    (* the scan/WHERE pipeline as a fold: consumers below accumulate
+       projected rows or groups directly off the ring *)
+    let fold_rows init f =
+      let f =
+        match q.Ast.where with
+        | None -> f
+        | Some pred ->
+            fun acc row -> (
               match eval bindings row pred with
-              | Value.Bool b -> b
+              | Value.Bool true -> f acc row
+              | Value.Bool false -> acc
               | v -> fail "WHERE clause is not boolean: %s" (Value.to_string v))
-            rows
+      in
+      fold_combined_rows ~now q.Ast.window tables ~init ~f
     in
     let grouped = has_aggregate q.Ast.items || q.Ast.group_by <> [] || q.Ast.having <> None in
     let columns =
@@ -246,32 +256,30 @@ let exec ~lookup ~now (q : Ast.select) =
     in
     let out_rows =
       if not grouped then
-        List.map
-          (fun row ->
-            List.concat_map
-              (fun item ->
-                match item with
-                | Ast.Sel_star -> Array.to_list row
-                | Ast.Sel_expr (e, _) -> [ eval bindings row e ]
-                | Ast.Sel_agg _ -> assert false)
-              q.Ast.items)
-          rows
+        List.rev
+          (fold_rows [] (fun acc row ->
+               List.concat_map
+                 (fun item ->
+                   match item with
+                   | Ast.Sel_star -> Array.to_list row
+                   | Ast.Sel_expr (e, _) -> [ eval bindings row e ]
+                   | Ast.Sel_agg _ -> assert false)
+                 q.Ast.items
+               :: acc))
       else begin
-        (* group rows by the GROUP BY key *)
+        (* group rows by the GROUP BY key, straight off the scan *)
         let key_of row =
           List.map (fun col -> row.(resolve bindings col)) q.Ast.group_by
         in
         let groups = Hashtbl.create 16 in
         let order = ref [] in
-        List.iter
-          (fun row ->
+        fold_rows () (fun () row ->
             let key = List.map Value.to_string (key_of row) in
             match Hashtbl.find_opt groups key with
             | Some rows_ref -> rows_ref := row :: !rows_ref
             | None ->
                 Hashtbl.replace groups key (ref [ row ]);
-                order := key :: !order)
-          rows;
+                order := key :: !order);
         (* SQL semantics: a global aggregate (no GROUP BY) over zero rows
            still yields one row (COUNT = 0, SUM = 0, ...) *)
         if q.Ast.group_by = [] && Hashtbl.length groups = 0 then begin

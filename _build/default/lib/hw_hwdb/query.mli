@@ -4,7 +4,10 @@ type result_set = { columns : string list; rows : Value.t list list }
 
 val exec :
   lookup:(string -> Table.t option) -> now:float -> Ast.select -> (result_set, string) result
-(** Evaluates the window relative to [now]. Supports projection,
+(** Evaluates the window relative to [now] ([RANGE s SECONDS] is the
+    closed interval [\[now -. s, now\]]; [NOW] is the newest-timestamp
+    batch — see {!Table.window}), consuming ring tuples via
+    {!Table.fold_window} without materializing scan lists. Supports projection,
     arithmetic and boolean predicates, two-table joins (cartesian product
     restricted by WHERE), GROUP BY with COUNT/SUM/AVG/MIN/MAX, ORDER BY on
     an output column, and LIMIT. Every table exposes an implicit [ts]

@@ -13,8 +13,15 @@ type message =
 (* Codec                                                               *)
 (* ------------------------------------------------------------------ *)
 
+exception Encode_error of string
+
 let write_string w s =
-  Wire.Writer.u16 w (String.length s);
+  let len = String.length s in
+  if len > 0xffff then
+    raise
+      (Encode_error
+         (Printf.sprintf "rpc: string of %d bytes does not fit the u16 length field" len));
+  Wire.Writer.u16 w len;
   Wire.Writer.string w s
 
 let read_string r ~field =

@@ -13,7 +13,15 @@ type message =
   | Response_error of { seq : int32; message : string }
   | Publish of { subscription : int; result : Query.result_set }
 
+exception Encode_error of string
+(** Raised by {!encode} when a message cannot be represented on the wire
+    (e.g. a string field longer than 65535 bytes, the u16 length limit).
+    Without the check such a value would silently truncate its length
+    field and corrupt the rest of the frame. *)
+
 val encode : message -> string
+(** @raise Encode_error if a string field exceeds 65535 bytes. *)
+
 val decode : string -> (message, string) result
 
 module Server : sig

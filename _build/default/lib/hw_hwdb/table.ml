@@ -1,10 +1,12 @@
 open Hw_util
 
+type window = [ `All | `Last_seconds of float * float | `Last_rows of int | `Now of float ]
+
 type t = {
   name : string;
   schema : Value.schema;
   ring : Value.tuple Ring.t;
-  mutable triggers : (Value.tuple -> unit) list;
+  mutable triggers : (Value.tuple -> unit) list; (* newest registration first *)
 }
 
 let create ~name ~capacity schema =
@@ -16,27 +18,52 @@ let capacity t = Ring.capacity t.ring
 let length t = Ring.length t.ring
 let total_inserted t = Ring.total_pushed t.ring
 
+(* registration order matters to trigger chains, so the reversed list is
+   replayed back-to-front *)
+let rec fire_triggers tuple = function
+  | [] -> ()
+  | trigger :: rest ->
+      fire_triggers tuple rest;
+      trigger tuple
+
 let insert t ~now values =
   match Value.validate t.schema values with
   | Error _ as e -> e
   | Ok () ->
       let tuple = { Value.ts = now; values = Array.of_list values } in
       Ring.push t.ring tuple;
-      List.iter (fun trigger -> trigger tuple) t.triggers;
+      fire_triggers tuple t.triggers;
       Ok ()
 
-let scan t = Ring.to_list t.ring
-
-let scan_window t = function
-  | `All -> scan t
+(* Tuples are appended in non-decreasing timestamp order, so every window
+   is a contiguous slice of the ring whose start (and, for [`Now], end) is
+   found by binary search instead of scanning the whole buffer. *)
+let window_bounds t = function
+  | `All -> (0, Ring.length t.ring)
   | `Last_seconds (range, now) ->
-      Ring.filter (fun tu -> tu.Value.ts > now -. range) t.ring
+      let cutoff = now -. range in
+      let pos = Ring.lower_bound (fun tu -> tu.Value.ts >= cutoff) t.ring in
+      (pos, Ring.length t.ring - pos)
   | `Last_rows n ->
       let len = Ring.length t.ring in
-      let skip = max 0 (len - n) in
-      List.filteri (fun i _ -> i >= skip) (scan t)
-  | `Now now -> Ring.filter (fun tu -> tu.Value.ts = now) t.ring
+      let keep = min (max 0 n) len in
+      (len - keep, keep)
+  | `Now now ->
+      let stop = Ring.lower_bound (fun tu -> tu.Value.ts > now) t.ring in
+      if stop = 0 then (0, 0)
+      else begin
+        let newest = (Ring.get t.ring (stop - 1)).Value.ts in
+        let pos = Ring.lower_bound (fun tu -> tu.Value.ts >= newest) t.ring in
+        (pos, stop - pos)
+      end
 
-let on_insert t trigger = t.triggers <- t.triggers @ [ trigger ]
+let fold_window t window ~init ~f =
+  let pos, len = window_bounds t window in
+  Ring.fold_range f init t.ring ~pos ~len
 
+let scan_window t window =
+  List.rev (fold_window t window ~init:[] ~f:(fun acc tu -> tu :: acc))
+
+let scan t = Ring.to_list t.ring
+let on_insert t trigger = t.triggers <- trigger :: t.triggers
 let clear t = Ring.clear t.ring

@@ -5,6 +5,22 @@
 
 type t
 
+type window = [ `All | `Last_seconds of float * float | `Last_rows of int | `Now of float ]
+(** Window semantics (tuples are stored in non-decreasing timestamp
+    order, so each window is a contiguous slice of the ring):
+
+    - [`All]: every live row.
+    - [`Last_seconds (range, now)]: the {e closed} interval
+      [\[now -. range, now\]] — a row whose timestamp equals
+      [now -. range] exactly is included ([ts >= now -. range]). Rows
+      stamped later than [now] (which cannot arise under a monotone
+      clock) are also kept, preserving the "suffix of the ring" shape.
+    - [`Last_rows n]: the newest [min n length] rows.
+    - [`Now now]: every row carrying the {e newest} timestamp that is
+      [<= now]. This is ordering-based — no float-equality comparison
+      against [now] — so a consumer clock that differs from the producer
+      stamp in the last bits still sees the latest batch. *)
+
 val create : name:string -> capacity:int -> Value.schema -> t
 val name : t -> string
 val schema : t -> Value.schema
@@ -13,18 +29,24 @@ val length : t -> int
 val total_inserted : t -> int
 
 val insert : t -> now:float -> Value.t list -> (unit, string) result
-(** Appends a row stamped [now]; evicts the oldest row when full. *)
+(** Appends a row stamped [now]; evicts the oldest row when full.
+    Timestamps must be non-decreasing across inserts (the database clock
+    is monotone), which is what lets window scans binary-search. *)
 
 val scan : t -> Value.tuple list
 (** All live rows, oldest first. *)
 
-val scan_window : t -> [ `All | `Last_seconds of float * float | `Last_rows of int | `Now of float ]
-  -> Value.tuple list
-(** [`Last_seconds (range, now)] keeps rows with [ts > now -. range];
-    [`Now now] keeps rows stamped exactly at the current instant. *)
+val fold_window : t -> window -> init:'acc -> f:('acc -> Value.tuple -> 'acc) -> 'acc
+(** Folds oldest-first over exactly the rows selected by [window],
+    locating the window boundary in O(log length) and iterating in place
+    — no intermediate list. This is the query executor's scan primitive. *)
+
+val scan_window : t -> window -> Value.tuple list
+(** [fold_window] materialized as a list, oldest first. *)
 
 val on_insert : t -> (Value.tuple -> unit) -> unit
 (** Registers a trigger fired after each successful insert (the "active"
-    part of the database: UI subscriptions piggyback on these). *)
+    part of the database: UI subscriptions piggyback on these). Triggers
+    fire in registration order; registration is O(1). *)
 
 val clear : t -> unit

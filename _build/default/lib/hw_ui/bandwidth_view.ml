@@ -163,16 +163,14 @@ let sparkline t which =
   match Option.bind ip (Hashtbl.find_opt t.history) with
   | None -> ""
   | Some ring ->
-      let samples = Hw_util.Ring.to_list ring in
-      let peak = List.fold_left Float.max 1. samples in
-      String.concat ""
-        (List.map
-           (fun s ->
-             let level =
-               int_of_float (Float.min 7. (s /. peak *. 7.999))
-             in
-             spark_levels.(max 0 level))
-           samples)
+      let peak = Hw_util.Ring.fold Float.max 1. ring in
+      let buf = Buffer.create (Hw_util.Ring.length ring * 3) in
+      Hw_util.Ring.iter
+        (fun s ->
+          let level = int_of_float (Float.min 7. (s /. peak *. 7.999)) in
+          Buffer.add_string buf spark_levels.(max 0 level))
+        ring;
+      Buffer.contents buf
 
 let render_device t which =
   match

@@ -32,15 +32,36 @@ let get t i =
 let peek_oldest t = if t.len = 0 then None else Some (get t 0)
 let peek_newest t = if t.len = 0 then None else Some (get t (t.len - 1))
 
+let unsafe_get t i =
+  match t.data.((t.start + i) mod t.cap) with Some x -> x | None -> assert false
+
 let iter f t =
   for i = 0 to t.len - 1 do
-    f (get t i)
+    f (unsafe_get t i)
   done
 
 let fold f acc t =
   let acc = ref acc in
   iter (fun x -> acc := f !acc x) t;
   !acc
+
+let fold_range f acc t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.len then
+    invalid_arg "Ring.fold_range: window out of range";
+  let acc = ref acc in
+  for i = pos to pos + len - 1 do
+    acc := f !acc (unsafe_get t i)
+  done;
+  !acc
+
+let lower_bound p t =
+  (* invariant: every index < lo fails [p], every index >= hi satisfies it *)
+  let lo = ref 0 and hi = ref t.len in
+  while !lo < !hi do
+    let mid = !lo + ((!hi - !lo) / 2) in
+    if p (unsafe_get t mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
 
 let to_list t = List.rev (fold (fun acc x -> x :: acc) [] t)
 let to_list_newest_first t = fold (fun acc x -> x :: acc) [] t

@@ -40,6 +40,20 @@ val iter : ('a -> unit) -> 'a t -> unit
 val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
 (** Oldest first. *)
 
+val fold_range : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> pos:int -> len:int -> 'acc
+(** [fold_range f acc t ~pos ~len] folds oldest-first over the [len]
+    elements starting at logical index [pos] (0 = oldest), without
+    materializing any intermediate list.
+    @raise Invalid_argument if the range exceeds the stored elements. *)
+
+val lower_bound : ('a -> bool) -> 'a t -> int
+(** [lower_bound p t] is the smallest logical index [i] such that
+    [p (get t i)] holds, or [length t] if no element satisfies [p].
+    Requires [p] to be monotone over the ring's logical order (a —
+    possibly empty — prefix of elements failing [p] followed by a suffix
+    satisfying it), as is the case for timestamp thresholds over
+    append-ordered data. O(log length). *)
+
 val filter : ('a -> bool) -> 'a t -> 'a list
 (** Elements satisfying the predicate, oldest first. *)
 

@@ -61,10 +61,101 @@ let test_table_insert_and_windows () =
     (fun (ts, v) -> Result.get_ok (Table.insert t ~now:ts [ Value.Int v ]))
     [ (1., 10); (2., 20); (3., 30); (4., 40) ];
   Alcotest.(check int) "all" 4 (List.length (Table.scan_window t `All));
-  Alcotest.(check int) "range 2s from t=4" 2
+  (* the window is the closed interval [now - range, now]: the row stamped
+     exactly at t = 2 is inside a 2 s window evaluated at t = 4 *)
+  Alcotest.(check int) "range 2s from t=4" 3
     (List.length (Table.scan_window t (`Last_seconds (2., 4.))));
   Alcotest.(check int) "last 3 rows" 3 (List.length (Table.scan_window t (`Last_rows 3)));
   Alcotest.(check int) "now" 1 (List.length (Table.scan_window t (`Now 4.)))
+
+let test_window_now_is_ordering_based () =
+  let t = Table.create ~name:"T" ~capacity:16 [ ("v", Value.T_int) ] in
+  (* the producer clock accumulates 0.1 ten times; its final stamp
+     (0.9999999999999999) is not bitwise-equal to the consumer's
+     10 *. 0.1 = 1.0, so a float-equality [NOW] would find nothing *)
+  let clock = ref 0. in
+  for i = 1 to 10 do
+    clock := !clock +. 0.1;
+    Result.get_ok (Table.insert t ~now:!clock [ Value.Int i ])
+  done;
+  let consumer_now = 10. *. 0.1 in
+  Alcotest.(check bool) "clocks differ bitwise" true (!clock <> consumer_now);
+  (match Table.scan_window t (`Now consumer_now) with
+  | [ tu ] -> Alcotest.(check bool) "newest row" true (tu.Value.values.(0) = Value.Int 10)
+  | l -> Alcotest.failf "NOW at consumer clock: expected 1 row, got %d" (List.length l));
+  (* all rows sharing the newest stamp <= now form the batch *)
+  let t2 = Table.create ~name:"T2" ~capacity:8 [ ("v", Value.T_int) ] in
+  List.iter
+    (fun (ts, v) -> Result.get_ok (Table.insert t2 ~now:ts [ Value.Int v ]))
+    [ (1., 1); (2., 2); (2., 3) ];
+  Alcotest.(check int) "whole batch at newest ts" 2
+    (List.length (Table.scan_window t2 (`Now 2.5)));
+  Alcotest.(check int) "older instant" 1 (List.length (Table.scan_window t2 (`Now 1.5)));
+  Alcotest.(check int) "before any data" 0 (List.length (Table.scan_window t2 (`Now 0.5)))
+
+let test_window_boundary_closed () =
+  let t = Table.create ~name:"T" ~capacity:8 [ ("v", Value.T_int) ] in
+  List.iter
+    (fun (ts, v) -> Result.get_ok (Table.insert t ~now:ts [ Value.Int v ]))
+    [ (1., 1); (2., 2); (3., 3) ];
+  (* ts = 2 sits exactly on now -. range and must be included *)
+  let rows = Table.scan_window t (`Last_seconds (1., 3.)) in
+  Alcotest.(check bool) "boundary row included" true
+    (List.map (fun (tu : Value.tuple) -> tu.Value.values.(0)) rows
+    = [ Value.Int 2; Value.Int 3 ])
+
+let test_window_wraparound () =
+  let t = Table.create ~name:"T" ~capacity:8 [ ("v", Value.T_int) ] in
+  for i = 1 to 20 do
+    Result.get_ok (Table.insert t ~now:(float_of_int i) [ Value.Int i ])
+  done;
+  (* the ring wrapped past capacity twice; it holds ts 13..20 *)
+  let vals w = List.map (fun (tu : Value.tuple) -> tu.Value.values.(0)) (Table.scan_window t w) in
+  Alcotest.(check int) "all" 8 (List.length (vals `All));
+  Alcotest.(check bool) "range straddles the wrap point" true
+    (vals (`Last_seconds (3., 20.)) = [ Value.Int 17; Value.Int 18; Value.Int 19; Value.Int 20 ]);
+  Alcotest.(check bool) "last rows" true
+    (vals (`Last_rows 3) = [ Value.Int 18; Value.Int 19; Value.Int 20 ]);
+  Alcotest.(check int) "last rows clamped to length" 8 (List.length (vals (`Last_rows 100)));
+  Alcotest.(check bool) "now" true (vals (`Now 20.) = [ Value.Int 20 ])
+
+let prop_window_scan_matches_reference =
+  (* the index-backed scan returns exactly what a naive filter over the
+     full ring returns, for every window kind, including wrapped rings and
+     duplicate timestamps *)
+  QCheck.Test.make ~name:"index-backed windows match the naive scan" ~count:300
+    QCheck.(triple (int_range 1 12) (small_list (int_bound 3)) (int_bound 24))
+    (fun (cap, steps, wparam) ->
+      let t = Table.create ~name:"T" ~capacity:cap [ ("v", Value.T_int) ] in
+      let clock = ref 0. in
+      List.iteri
+        (fun i step ->
+          clock := !clock +. (float_of_int step /. 4.);
+          Result.get_ok (Table.insert t ~now:!clock [ Value.Int i ]))
+        steps;
+      let now = !clock in
+      let all = Table.scan t in
+      let reference = function
+        | `All -> all
+        | `Last_seconds (r, n) -> List.filter (fun (tu : Value.tuple) -> tu.Value.ts >= n -. r) all
+        | `Last_rows k ->
+            let len = List.length all in
+            List.filteri (fun i _ -> i >= len - k) all
+        | `Now n -> (
+            match List.filter (fun (tu : Value.tuple) -> tu.Value.ts <= n) all with
+            | [] -> []
+            | visible ->
+                let newest = (List.nth visible (List.length visible - 1)).Value.ts in
+                List.filter (fun (tu : Value.tuple) -> tu.Value.ts = newest) all)
+      in
+      List.for_all
+        (fun w -> Table.scan_window t w = reference w)
+        [
+          `All;
+          `Last_seconds (float_of_int wparam /. 2., now);
+          `Last_rows (wparam mod 7);
+          `Now (now -. (float_of_int wparam /. 8.));
+        ])
 
 let test_table_eviction_is_fifo () =
   let t = Table.create ~name:"T" ~capacity:3 [ ("v", Value.T_int) ] in
@@ -86,6 +177,18 @@ let test_table_triggers () =
   Alcotest.(check bool) "bad insert rejected" true
     (Result.is_error (Table.insert t ~now:0. [ Value.Str "no" ]));
   Alcotest.(check int) "no trigger on reject" 2 !fired
+
+let test_trigger_registration_order () =
+  (* triggers are stored newest-first for O(1) registration but must keep
+     firing in registration order *)
+  let t = Table.create ~name:"T" ~capacity:4 [ ("v", Value.T_int) ] in
+  let seen = ref [] in
+  for i = 1 to 5 do
+    Table.on_insert t (fun _ -> seen := i :: !seen)
+  done;
+  Result.get_ok (Table.insert t ~now:0. [ Value.Int 1 ]);
+  Alcotest.(check (list int)) "fired oldest registration first" [ 1; 2; 3; 4; 5 ]
+    (List.rev !seen)
 
 (* ------------------------------------------------------------------ *)
 (* Lexer / parser                                                      *)
@@ -279,6 +382,9 @@ let test_query_window () =
   now := 10.;
   Alcotest.(check int) "range 6s" 2
     (List.length (rows_of db "SELECT * FROM Flows [RANGE 6 SECONDS]"));
+  (* closed interval: the row stamped exactly at now - 5 is in the window *)
+  Alcotest.(check int) "range boundary row included" 2
+    (List.length (rows_of db "SELECT * FROM Flows [RANGE 5 SECONDS]"));
   Alcotest.(check int) "rows 1" 1 (List.length (rows_of db "SELECT * FROM Flows [ROWS 1]"));
   Alcotest.(check int) "full" 3 (List.length (rows_of db "SELECT * FROM Flows"))
 
@@ -447,6 +553,29 @@ let test_subscription_delivery () =
   Alcotest.(check bool) "unsubscribe works" true (Database.unsubscribe db id);
   Alcotest.(check bool) "idempotent" false (Database.unsubscribe db id)
 
+let test_subscription_shared_evaluation () =
+  let db = fresh_db () in
+  let sel = Result.get_ok (Parser.parse_select "SELECT COUNT(*) AS n FROM Flows") in
+  let results = ref [] in
+  (* the first subscriber's callback inserts a row; the second shares the
+     query text, so it must receive the same pre-insert snapshot instead
+     of paying a second evaluation that would observe the new row *)
+  ignore
+    (Database.subscribe db ~query:sel ~period:1. ~callback:(fun rs ->
+         results := ("a", rs) :: !results;
+         Database.record_flow db ~proto:6 ~src_ip:"x" ~dst_ip:"y" ~src_port:1 ~dst_port:2
+           ~packets:1 ~bytes:1));
+  ignore
+    (Database.subscribe db ~query:sel ~period:1. ~callback:(fun rs ->
+         results := ("b", rs) :: !results));
+  now := 1.;
+  Database.tick db;
+  match List.rev !results with
+  | [ ("a", ra); ("b", rb) ] ->
+      Alcotest.(check bool) "identical snapshot" true (ra.Query.rows = rb.Query.rows);
+      Alcotest.(check bool) "count is pre-insert" true (ra.Query.rows = [ [ Value.Int 0 ] ])
+  | l -> Alcotest.failf "expected two deliveries, got %d" (List.length l)
+
 (* ------------------------------------------------------------------ *)
 (* ECA triggers                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -551,6 +680,24 @@ let test_rpc_codec_roundtrip () =
 let test_rpc_rejects_garbage () =
   Alcotest.(check bool) "bad magic" true (Result.is_error (Rpc.decode "XXlolno"));
   Alcotest.(check bool) "empty" true (Result.is_error (Rpc.decode ""))
+
+let test_rpc_rejects_oversized_strings () =
+  (* string lengths travel as u16: a 70000-byte value must raise instead
+     of silently truncating the length field and corrupting the frame *)
+  let big = String.make 70000 'x' in
+  (match Rpc.encode (Rpc.Request { seq = 1l; statement = big }) with
+  | exception Rpc.Encode_error _ -> ()
+  | _ -> Alcotest.fail "oversized statement encoded");
+  (let rs = { Query.columns = [ "c" ]; rows = [ [ Value.Str big ] ] } in
+   match Rpc.encode (Rpc.Publish { subscription = 1; result = rs }) with
+   | exception Rpc.Encode_error _ -> ()
+   | _ -> Alcotest.fail "oversized value encoded");
+  (* exactly 65535 bytes is the largest representable string and roundtrips *)
+  let edge = String.make 0xffff 'y' in
+  match Rpc.decode (Rpc.encode (Rpc.Request { seq = 2l; statement = edge })) with
+  | Ok (Rpc.Request { statement; _ }) ->
+      Alcotest.(check int) "edge length preserved" 0xffff (String.length statement)
+  | _ -> Alcotest.fail "edge-length string did not roundtrip"
 
 let make_rpc_pair db =
   let server_out = Queue.create () in
@@ -727,8 +874,13 @@ let () =
       ( "tables",
         [
           Alcotest.test_case "windows" `Quick test_table_insert_and_windows;
+          Alcotest.test_case "now is ordering-based" `Quick test_window_now_is_ordering_based;
+          Alcotest.test_case "closed window boundary" `Quick test_window_boundary_closed;
+          Alcotest.test_case "wrap-around windows" `Quick test_window_wraparound;
+          QCheck_alcotest.to_alcotest prop_window_scan_matches_reference;
           Alcotest.test_case "fifo eviction" `Quick test_table_eviction_is_fifo;
           Alcotest.test_case "triggers" `Quick test_table_triggers;
+          Alcotest.test_case "trigger registration order" `Quick test_trigger_registration_order;
         ] );
       ( "language",
         [
@@ -762,6 +914,7 @@ let () =
           Alcotest.test_case "create/insert/select" `Quick test_execute_create_insert_select;
           Alcotest.test_case "duplicate create" `Quick test_execute_duplicate_create;
           Alcotest.test_case "subscriptions" `Quick test_subscription_delivery;
+          Alcotest.test_case "shared evaluation" `Quick test_subscription_shared_evaluation;
         ] );
       ( "triggers",
         [
@@ -775,6 +928,7 @@ let () =
         [
           Alcotest.test_case "codec roundtrip" `Quick test_rpc_codec_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_rpc_rejects_garbage;
+          Alcotest.test_case "rejects oversized strings" `Quick test_rpc_rejects_oversized_strings;
           Alcotest.test_case "query roundtrip" `Quick test_rpc_query_roundtrip;
           Alcotest.test_case "error reply" `Quick test_rpc_error_reply;
           Alcotest.test_case "subscribe/publish/drop" `Quick test_rpc_subscribe_publish;

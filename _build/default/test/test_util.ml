@@ -61,6 +61,41 @@ let test_ring_filter_fold () =
   Alcotest.(check (list int)) "filter" [ 2; 4 ] (Ring.filter (fun x -> x mod 2 = 0) r);
   check_int "fold sum" 15 (Ring.fold ( + ) 0 r)
 
+let test_ring_fold_range () =
+  let r = Ring.create ~capacity:5 in
+  (* wrapped: holds [3;4;5;6;7] *)
+  List.iter (Ring.push r) [ 1; 2; 3; 4; 5; 6; 7 ];
+  check_int "middle slice" 15 (Ring.fold_range ( + ) 0 r ~pos:1 ~len:3);
+  check_int "whole ring" 25 (Ring.fold_range ( + ) 0 r ~pos:0 ~len:5);
+  check_int "empty slice" 0 (Ring.fold_range ( + ) 0 r ~pos:2 ~len:0);
+  Alcotest.(check (list int)) "order oldest-first" [ 5; 6; 7 ]
+    (List.rev (Ring.fold_range (fun acc x -> x :: acc) [] r ~pos:2 ~len:3));
+  Alcotest.check_raises "out of range" (Invalid_argument "Ring.fold_range: window out of range")
+    (fun () -> ignore (Ring.fold_range ( + ) 0 r ~pos:3 ~len:3))
+
+let test_ring_lower_bound () =
+  let r = Ring.create ~capacity:4 in
+  (* wrapped: holds [30;40;50;60] *)
+  List.iter (Ring.push r) [ 10; 20; 30; 40; 50; 60 ];
+  check_int "strictly inside" 2 (Ring.lower_bound (fun x -> x >= 45) r);
+  check_int "exact element" 1 (Ring.lower_bound (fun x -> x >= 40) r);
+  check_int "all satisfy" 0 (Ring.lower_bound (fun x -> x >= 0) r);
+  check_int "none satisfy" 4 (Ring.lower_bound (fun x -> x > 100) r);
+  check_int "empty ring" 0 (Ring.lower_bound (fun _ -> true) (Ring.create ~capacity:3))
+
+let prop_ring_lower_bound_matches_scan =
+  QCheck.Test.make ~name:"lower_bound agrees with a linear scan on sorted data" ~count:300
+    QCheck.(triple (int_range 1 16) (small_list small_nat) (int_bound 40))
+    (fun (cap, xs, threshold) ->
+      let r = Ring.create ~capacity:cap in
+      List.iter (Ring.push r) (List.sort compare xs);
+      let p x = x >= threshold in
+      let naive =
+        let rec go i = if i >= Ring.length r then i else if p (Ring.get r i) then i else go (i + 1) in
+        go 0
+      in
+      Ring.lower_bound p r = naive)
+
 let prop_ring_capacity_bound =
   QCheck.Test.make ~name:"ring never exceeds capacity" ~count:200
     QCheck.(pair (int_range 1 20) (small_list small_int))
@@ -169,6 +204,9 @@ let () =
           Alcotest.test_case "clear" `Quick test_ring_clear;
           Alcotest.test_case "newest first" `Quick test_ring_newest_first;
           Alcotest.test_case "filter and fold" `Quick test_ring_filter_fold;
+          Alcotest.test_case "fold range" `Quick test_ring_fold_range;
+          Alcotest.test_case "lower bound" `Quick test_ring_lower_bound;
+          QCheck_alcotest.to_alcotest prop_ring_lower_bound_matches_scan;
           QCheck_alcotest.to_alcotest prop_ring_capacity_bound;
           QCheck_alcotest.to_alcotest prop_ring_keeps_suffix;
         ] );
