@@ -276,7 +276,7 @@ let fig5 () =
     | Error _ -> ()
   in
   let loop = Hw_sim.Event_loop.create () in
-  let ctrl = Hw_controller.Controller.create ~now:(fun () -> Hw_sim.Event_loop.now loop) in
+  let ctrl = Hw_controller.Controller.create ~now:(fun () -> Hw_sim.Event_loop.now loop) () in
   let dp_ref = ref None in
   let conn =
     Hw_controller.Controller.attach_switch ctrl ~send:(fun bytes ->
@@ -295,7 +295,7 @@ let fig5 () =
       ~to_controller:(fun bytes ->
         log "dp->ctrl" bytes;
         Hw_controller.Controller.input ctrl conn bytes)
-      ~now:(fun () -> Hw_sim.Event_loop.now loop)
+      ~now:(fun () -> Hw_sim.Event_loop.now loop) ()
   in
   dp_ref := Some dp;
   (* a minimal reactive forwarding component *)
@@ -568,7 +568,7 @@ let micro_tests () =
       Hw_datapath.Datapath.create ~dpid:9L
         ~ports:[ { Hw_datapath.Datapath.port_no = 1; name = "p1"; mac = Mac.local 0xb1 };
                  { Hw_datapath.Datapath.port_no = 2; name = "p2"; mac = Mac.local 0xb2 } ]
-        ~transmit ~to_controller:(fun _ -> ()) ~now:(fun () -> 0.)
+        ~transmit ~to_controller:(fun _ -> ()) ~now:(fun () -> 0.) ()
     in
     let frame =
       Packet.encode
@@ -593,7 +593,7 @@ let micro_tests () =
       Hw_datapath.Datapath.create ~dpid:10L
         ~ports:[ { Hw_datapath.Datapath.port_no = 1; name = "p1"; mac = Mac.local 0xb3 };
                  { Hw_datapath.Datapath.port_no = 2; name = "p2"; mac = Mac.local 0xb4 } ]
-        ~transmit:(fun ~port_no:_ _ -> ()) ~to_controller:(fun _ -> ()) ~now:(fun () -> 0.)
+        ~transmit:(fun ~port_no:_ _ -> ()) ~to_controller:(fun _ -> ()) ~now:(fun () -> 0.) ()
     in
     let frame =
       Packet.encode
@@ -631,36 +631,59 @@ let run_micro () =
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None () in
   let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |] in
-  List.iter
-    (fun (group, tests) ->
-      Printf.printf "\n%s\n" group;
-      let grouped = Test.make_grouped ~name:"g" tests in
-      let raw = Benchmark.all cfg [ instance ] grouped in
-      let results = Analyze.all ols instance raw in
-      let rows =
-        Hashtbl.fold
-          (fun name ols acc ->
-            match Analyze.OLS.estimates ols with
-            | Some [ ns ] -> (name, ns) :: acc
-            | _ -> acc)
-          results []
-        |> List.sort compare
-      in
-      List.iter
-        (fun (name, ns) ->
-          let name =
-            match String.index_opt name '/' with
-            | Some i -> String.sub name (i + 1) (String.length name - i - 1)
-            | None -> name
-          in
-          let human =
-            if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
-            else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
-            else Printf.sprintf "%8.0f ns" ns
-          in
-          Printf.printf "  %-40s %s/op\n" name human)
-        rows)
-    (micro_tests ())
+  let groups_json =
+    List.map
+      (fun (group, tests) ->
+        Printf.printf "\n%s\n" group;
+        let grouped = Test.make_grouped ~name:"g" tests in
+        let raw = Benchmark.all cfg [ instance ] grouped in
+        let results = Analyze.all ols instance raw in
+        let rows =
+          Hashtbl.fold
+            (fun name ols acc ->
+              match Analyze.OLS.estimates ols with
+              | Some [ ns ] -> (name, ns) :: acc
+              | _ -> acc)
+            results []
+          |> List.sort compare
+        in
+        let rows =
+          List.map
+            (fun (name, ns) ->
+              let name =
+                match String.index_opt name '/' with
+                | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+                | None -> name
+              in
+              let human =
+                if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+                else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+                else Printf.sprintf "%8.0f ns" ns
+              in
+              Printf.printf "  %-40s %s/op\n" name human;
+              (name, ns))
+            rows
+        in
+        ( group,
+          Hw_json.Json.Obj (List.map (fun (name, ns) -> (name, Hw_json.Json.Float ns)) rows) ))
+      (micro_tests ())
+  in
+  (* The benched components report into Hw_metrics.Registry.default, so the
+     snapshot records what the run actually exercised (hwdb insert/query
+     counts, sampled latency percentiles, ...). *)
+  let report =
+    Hw_json.Json.Obj
+      [
+        ("ns_per_op", Hw_json.Json.Obj groups_json);
+        ("hw_metrics", Hw_metrics.Snapshot.to_json Hw_metrics.Registry.default);
+      ]
+  in
+  let path = "BENCH_micro.json" in
+  let oc = open_out path in
+  output_string oc (Hw_json.Json.to_string report);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
 (* Ablations: the design choices DESIGN.md calls out                   *)

@@ -16,6 +16,7 @@ type ops = {
   usb_event : Json.t -> (Json.t, string) result;
   hwdb_query : string -> (Json.t, string) result;
   dns_stats : unit -> Json.t;
+  metrics_text : unit -> string;
 }
 
 let ok_empty = Http.json_response (Json.Obj [ ("ok", Json.Bool true) ])
@@ -90,6 +91,9 @@ let build ops =
       | None -> Http.error_response 400 "missing ?q= query parameter");
   Router.route r Http.GET "/api/dns/stats" (fun _req _params ->
       Http.json_response (ops.dns_stats ()));
+  Router.route r Http.GET "/metrics" (fun _req _params ->
+      Http.response ~headers:[ ("content-type", "text/plain; version=0.0.4") ]
+        ~body:(ops.metrics_text ()) 200);
   r
 
 let handle = Router.dispatch

@@ -23,6 +23,7 @@
     POST   /api/usb                          udev event JSON
     GET    /api/hwdb?q=SELECT...
     GET    /api/dns/stats
+    GET    /metrics                          Prometheus text exposition
     v} *)
 
 open Hw_json
@@ -43,6 +44,8 @@ type ops = {
   usb_event : Json.t -> (Json.t, string) result;
   hwdb_query : string -> (Json.t, string) result;
   dns_stats : unit -> Json.t;
+  metrics_text : unit -> string;
+      (** Body of [GET /metrics] (Prometheus text exposition format). *)
 }
 
 val build : ops -> Router.t

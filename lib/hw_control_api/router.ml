@@ -41,7 +41,15 @@ let dispatch t (req : Http.request) =
         Log.err (fun m -> m "handler for %s raised %s" req.Http.path (Printexc.to_string exn));
         Http.error_response 500 (Printexc.to_string exn))
   | None ->
-      if matches <> [] then Http.error_response 405 "method not allowed"
+      if matches <> [] then begin
+        (* RFC 9110: a 405 must say which methods the resource does take *)
+        let allow =
+          List.map (fun (r, _) -> Http.meth_to_string r.meth) matches
+          |> List.sort_uniq compare |> String.concat ", "
+        in
+        let resp = Http.error_response 405 "method not allowed" in
+        { resp with Http.headers = ("allow", allow) :: resp.Http.headers }
+      end
       else Http.error_response 404 (Printf.sprintf "no route for %s" req.Http.path)
 
 let handle_raw t raw =

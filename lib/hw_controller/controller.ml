@@ -28,20 +28,31 @@ type disposition = Continue | Stop
 
 type t = {
   now : unit -> float;
+  metrics : Hw_metrics.Registry.t;
   mutable conns : conn list;
   mutable next_conn_id : int;
   mutable join_handlers : (string * (conn -> Ofp_message.switch_features -> unit)) list;
   mutable leave_handlers : (string * (conn -> unit)) list;
-  mutable packet_in_handlers : (string * (packet_in_event -> disposition)) list;
+  mutable packet_in_handlers :
+    (string * Hw_metrics.Histogram.t * (packet_in_event -> disposition)) list;
   mutable flow_removed_handlers : (string * (conn -> Ofp_message.flow_removed -> unit)) list;
   mutable port_status_handlers :
     (string * (conn -> Ofp_message.port_status_reason -> Ofp_message.phy_port -> unit)) list;
   mutable packet_in_total : int;
+  m_packet_in : Hw_metrics.Counter.t;
+  m_flow_removed : Hw_metrics.Counter.t;
+  m_port_status : Hw_metrics.Counter.t;
+  m_join : Hw_metrics.Counter.t;
+  m_leave : Hw_metrics.Counter.t;
+  m_switch_errors : Hw_metrics.Counter.t;
+  m_handler_errors : Hw_metrics.Counter.t;
 }
 
-let create ~now =
+let create ?(metrics = Hw_metrics.Registry.default) ~now () =
+  let counter name help = Hw_metrics.Registry.counter metrics name ~help in
   {
     now;
+    metrics;
     conns = [];
     next_conn_id = 1;
     join_handlers = [];
@@ -50,11 +61,26 @@ let create ~now =
     flow_removed_handlers = [];
     port_status_handlers = [];
     packet_in_total = 0;
+    m_packet_in = counter "ctrl_packet_in_total" "PACKET_IN events dispatched";
+    m_flow_removed = counter "ctrl_flow_removed_total" "FLOW_REMOVED events dispatched";
+    m_port_status = counter "ctrl_port_status_total" "PORT_STATUS events dispatched";
+    m_join = counter "ctrl_datapath_join_total" "Datapath join events";
+    m_leave = counter "ctrl_datapath_leave_total" "Datapath leave events";
+    m_switch_errors = counter "ctrl_switch_errors_total" "OpenFlow error messages from switches";
+    m_handler_errors = counter "ctrl_handler_errors_total" "Event handlers that raised";
   }
 
+let metrics t = t.metrics
 let on_datapath_join t ~name f = t.join_handlers <- t.join_handlers @ [ (name, f) ]
 let on_datapath_leave t ~name f = t.leave_handlers <- t.leave_handlers @ [ (name, f) ]
-let on_packet_in t ~name f = t.packet_in_handlers <- t.packet_in_handlers @ [ (name, f) ]
+
+let on_packet_in t ~name f =
+  let hist =
+    Hw_metrics.Registry.histogram t.metrics
+      (Printf.sprintf "ctrl_handler_%s_seconds" (Hw_metrics.Registry.sanitize_name name))
+      ~help:(Printf.sprintf "Latency of the %S packet-in handler" name)
+  in
+  t.packet_in_handlers <- t.packet_in_handlers @ [ (name, hist, f) ]
 
 let on_flow_removed t ~name f =
   t.flow_removed_handlers <- t.flow_removed_handlers @ [ (name, f) ]
@@ -62,7 +88,8 @@ let on_flow_removed t ~name f =
 let on_port_status t ~name f = t.port_status_handlers <- t.port_status_handlers @ [ (name, f) ]
 
 let handler_names t =
-  List.map fst t.packet_in_handlers @ List.map fst t.join_handlers |> List.sort_uniq compare
+  List.map (fun (name, _, _) -> name) t.packet_in_handlers @ List.map fst t.join_handlers
+  |> List.sort_uniq compare
 
 let packet_in_total t = t.packet_in_total
 
@@ -126,13 +153,16 @@ let detach_switch t conn =
   if conn.alive then begin
     conn.alive <- false;
     t.conns <- List.filter (fun c -> c.id <> conn.id) t.conns;
+    Hw_metrics.Counter.incr t.m_leave;
     List.iter (fun (name, f) -> try f conn with exn ->
+        Hw_metrics.Counter.incr t.m_handler_errors;
         Log.err (fun m -> m "leave handler %s raised %s" name (Printexc.to_string exn)))
       t.leave_handlers
   end
 
 let dispatch_packet_in t conn (pi : Ofp_message.packet_in) =
   t.packet_in_total <- t.packet_in_total + 1;
+  Hw_metrics.Counter.incr t.m_packet_in;
   let packet = Result.to_option (Packet.decode pi.Ofp_message.data) in
   let fields =
     Option.map (fun p -> Ofp_match.fields_of_packet ~in_port:pi.Ofp_message.in_port p) packet
@@ -140,11 +170,12 @@ let dispatch_packet_in t conn (pi : Ofp_message.packet_in) =
   let ev = { conn; pi; packet; fields } in
   let rec run = function
     | [] -> ()
-    | (name, handler) :: rest -> (
-        match handler ev with
+    | (name, hist, handler) :: rest -> (
+        match Hw_metrics.Histogram.observe_span hist ~now:t.now (fun () -> handler ev) with
         | Stop -> ()
         | Continue -> run rest
         | exception exn ->
+            Hw_metrics.Counter.incr t.m_handler_errors;
             Log.err (fun m -> m "packet-in handler %s raised %s" name (Printexc.to_string exn));
             run rest)
   in
@@ -161,18 +192,22 @@ let handle_message t conn xid msg =
   | Ofp_message.Echo_reply _ -> ()
   | Ofp_message.Features_reply features ->
       conn.features <- Some features;
+      Hw_metrics.Counter.incr t.m_join;
       ignore
         (send_message conn (Ofp_message.Set_config { flags = 0; miss_send_len = 0xffff }));
       List.iter
         (fun (name, f) ->
           try f conn features
           with exn ->
+            Hw_metrics.Counter.incr t.m_handler_errors;
             Log.err (fun m -> m "join handler %s raised %s" name (Printexc.to_string exn)))
         t.join_handlers
   | Ofp_message.Packet_in pi -> dispatch_packet_in t conn pi
   | Ofp_message.Flow_removed fr ->
+      Hw_metrics.Counter.incr t.m_flow_removed;
       List.iter (fun (_, f) -> f conn fr) t.flow_removed_handlers
   | Ofp_message.Port_status (reason, port) ->
+      Hw_metrics.Counter.incr t.m_port_status;
       List.iter (fun (_, f) -> f conn reason port) t.port_status_handlers
   | Ofp_message.Stats_reply reply -> (
       match Hashtbl.find_opt conn.stats_waiters xid with
@@ -187,6 +222,7 @@ let handle_message t conn xid msg =
           callback ()
       | None -> ())
   | Ofp_message.Error_msg e ->
+      Hw_metrics.Counter.incr t.m_switch_errors;
       Log.warn (fun m ->
           m "switch error type=%d code=%d" (match e.Ofp_message.err_type with
             | Ofp_message.Hello_failed -> 0

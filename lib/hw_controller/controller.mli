@@ -22,7 +22,12 @@ type packet_in_event = {
 
 type disposition = Continue | Stop
 
-val create : now:(unit -> float) -> t
+val create : ?metrics:Hw_metrics.Registry.t -> now:(unit -> float) -> unit -> t
+(** [metrics] (default {!Hw_metrics.Registry.default}) receives the ctrl_*
+    event counters plus one [ctrl_handler_<name>_seconds] latency histogram
+    per registered packet-in handler. *)
+
+val metrics : t -> Hw_metrics.Registry.t
 
 (** {2 Event registration (call before traffic flows)} *)
 

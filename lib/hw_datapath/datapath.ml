@@ -32,6 +32,11 @@ type t = {
   mutable miss_send_len : int;
   mac_learning : (Mac.t, int) Hashtbl.t; (* for OFPP_NORMAL *)
   mutable packet_ins : int;
+  m_rx_frames : Hw_metrics.Counter.t;
+  m_lookups : Hw_metrics.Counter.t;
+  m_misses : Hw_metrics.Counter.t;
+  m_packet_ins : Hw_metrics.Counter.t;
+  m_lookup_span : Hw_metrics.Sampled.t;
 }
 
 let stats_description =
@@ -43,7 +48,9 @@ let stats_description =
     dp_desc = "bridge dp0";
   }
 
-let create ~dpid ~ports ~transmit ~to_controller ~now =
+let create ?(metrics = Hw_metrics.Registry.default) ~dpid ~ports ~transmit ~to_controller ~now
+    () =
+  let counter name help = Hw_metrics.Registry.counter metrics name ~help in
   let t =
     {
       dpid;
@@ -59,6 +66,13 @@ let create ~dpid ~ports ~transmit ~to_controller ~now =
       miss_send_len = 128;
       mac_learning = Hashtbl.create 64;
       packet_ins = 0;
+      m_rx_frames = counter "dp_rx_frames_total" "Frames received on datapath ports";
+      m_lookups = counter "dp_flow_lookups_total" "Flow-table lookups";
+      m_misses = counter "dp_flow_misses_total" "Flow-table misses (sent to controller)";
+      m_packet_ins = counter "dp_packet_ins_total" "PACKET_IN messages sent to the controller";
+      m_lookup_span =
+        Hw_metrics.Registry.sampled_histogram metrics ~every:16 "dp_flow_lookup_seconds"
+          ~help:"Flow-table lookup latency (1-in-16 sampled)";
     }
   in
   List.iter
@@ -125,6 +139,7 @@ let send_packet_in t ~in_port ~reason ~buffer_id frame =
     | _ -> frame
   in
   t.packet_ins <- t.packet_ins + 1;
+  Hw_metrics.Counter.incr t.m_packet_ins;
   send t
     (Ofp_message.Packet_in
        { buffer_id; total_len = String.length frame; in_port; reason; data })
@@ -183,6 +198,7 @@ let apply_actions t ~in_port pkt_opt frame actions =
               else out
             in
             t.packet_ins <- t.packet_ins + 1;
+            Hw_metrics.Counter.incr t.m_packet_ins;
             send t
               (Ofp_message.Packet_in
                  {
@@ -247,17 +263,33 @@ let receive_frame t ~in_port frame =
   | Some p -> (
       p.counters.rx_packets <- Int64.add p.counters.rx_packets 1L;
       p.counters.rx_bytes <- Int64.add p.counters.rx_bytes (Int64.of_int (String.length frame));
+      Hw_metrics.Counter.incr t.m_rx_frames;
       match Packet.decode frame with
       | Error err ->
           Log.debug (fun m -> m "undecodable frame on port %d: %s" in_port err);
           p.counters.rx_dropped <- Int64.add p.counters.rx_dropped 1L
       | Ok pkt -> (
           let fields = Ofp_match.fields_of_packet ~in_port pkt in
-          match Flow_table.lookup t.table fields with
+          Hw_metrics.Counter.incr t.m_lookups;
+          (* per-frame path: branch on [due] to keep the unsampled
+             lookups closure- and clock-free *)
+          let hit =
+            if Hw_metrics.Sampled.due t.m_lookup_span then begin
+              let t0 = t.now () in
+              let hit = Flow_table.lookup t.table fields in
+              Hw_metrics.Histogram.observe
+                (Hw_metrics.Sampled.histogram t.m_lookup_span)
+                (t.now () -. t0);
+              hit
+            end
+            else Flow_table.lookup t.table fields
+          in
+          match hit with
           | Some entry ->
               Flow_entry.touch entry ~now:(t.now ()) ~bytes:(String.length frame);
               apply_actions t ~in_port (Some pkt) frame entry.Flow_entry.actions
           | None ->
+              Hw_metrics.Counter.incr t.m_misses;
               let buffer_id = buffer_frame t ~in_port frame in
               send_packet_in t ~in_port ~reason:Ofp_message.No_match
                 ~buffer_id:(Some buffer_id) frame))

@@ -26,12 +26,16 @@ type port_counters = {
 type t
 
 val create :
+  ?metrics:Hw_metrics.Registry.t ->
   dpid:int64 ->
   ports:port_config list ->
   transmit:(port_no:int -> string -> unit) ->
   to_controller:(string -> unit) ->
   now:(unit -> float) ->
+  unit ->
   t
+(** [metrics] (default {!Hw_metrics.Registry.default}) receives the dp_*
+    counters and the sampled [dp_flow_lookup_seconds] histogram. *)
 
 val dpid : t -> int64
 

@@ -65,9 +65,16 @@ type t = {
   leases : Lease_db.t;
   devices : (Mac.t, device) Hashtbl.t;
   mutable listeners : (event -> unit) list;
+  m_grants : Hw_metrics.Counter.t;
+  m_renewals : Hw_metrics.Counter.t;
+  m_revocations : Hw_metrics.Counter.t;
+  m_releases : Hw_metrics.Counter.t;
+  m_denials : Hw_metrics.Counter.t;
+  m_pending : Hw_metrics.Counter.t;
 }
 
-let create ?(config = default_config) ~now () =
+let create ?(metrics = Hw_metrics.Registry.default) ?(config = default_config) ~now () =
+  let counter name help = Hw_metrics.Registry.counter metrics name ~help in
   {
     cfg = config;
     now;
@@ -76,12 +83,28 @@ let create ?(config = default_config) ~now () =
         ~lease_time:config.lease_time ();
     devices = Hashtbl.create 32;
     listeners = [];
+    m_grants = counter "dhcp_grants_total" "Leases granted";
+    m_renewals = counter "dhcp_renewals_total" "Leases renewed";
+    m_revocations = counter "dhcp_revocations_total" "Leases revoked";
+    m_releases = counter "dhcp_releases_total" "Leases released by the client";
+    m_denials = counter "dhcp_denials_total" "Requests denied";
+    m_pending = counter "dhcp_pending_total" "Requests from devices awaiting a user decision";
   }
 
 let config t = t.cfg
 let lease_db t = t.leases
 let on_event t f = t.listeners <- t.listeners @ [ f ]
-let emit t ev = List.iter (fun f -> f ev) t.listeners
+
+let emit t ev =
+  Hw_metrics.Counter.incr
+    (match ev with
+    | Lease_granted _ -> t.m_grants
+    | Lease_renewed _ -> t.m_renewals
+    | Lease_revoked _ -> t.m_revocations
+    | Lease_released _ -> t.m_releases
+    | Request_denied _ -> t.m_denials
+    | Device_pending _ -> t.m_pending);
+  List.iter (fun f -> f ev) t.listeners
 
 let device t mac =
   match Hashtbl.find_opt t.devices mac with

@@ -46,7 +46,12 @@ val event_to_string : event -> string
 
 type t
 
-val create : ?config:config -> now:(unit -> float) -> unit -> t
+val create :
+  ?metrics:Hw_metrics.Registry.t -> ?config:config -> now:(unit -> float) -> unit -> t
+(** [metrics] (default {!Hw_metrics.Registry.default}) receives one
+    [dhcp_*_total] counter per event variant, bumped whenever the event
+    fires — whether or not any {!on_event} listener is attached. *)
+
 val config : t -> config
 val lease_db : t -> Lease_db.t
 

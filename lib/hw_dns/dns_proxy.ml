@@ -62,9 +62,17 @@ type t = {
   pending_reverse : (int, Ip.t) Hashtbl.t;
   mutable next_txid : int;
   st : stats;
+  m_queries : Hw_metrics.Counter.t;
+  m_blocked : Hw_metrics.Counter.t;
+  m_forwarded : Hw_metrics.Counter.t;
+  m_cache_answers : Hw_metrics.Counter.t;
+  m_reverse_lookups : Hw_metrics.Counter.t;
+  m_flow_allowed : Hw_metrics.Counter.t;
+  m_flow_blocked : Hw_metrics.Counter.t;
 }
 
-let create ?(cache_ttl = 3600.) ~now () =
+let create ?(metrics = Hw_metrics.Registry.default) ?(cache_ttl = 3600.) ~now () =
+  let counter name help = Hw_metrics.Registry.counter metrics name ~help in
   {
     now;
     cache_ttl;
@@ -76,6 +84,14 @@ let create ?(cache_ttl = 3600.) ~now () =
     pending_reverse = Hashtbl.create 32;
     next_txid = 0x1000;
     st = { queries = 0; blocked = 0; forwarded = 0; cache_answers = 0; reverse_lookups = 0 };
+    m_queries = counter "dns_queries_total" "DNS queries intercepted by the proxy";
+    m_blocked = counter "dns_query_blocked_total" "Queries answered NXDOMAIN by policy";
+    m_forwarded = counter "dns_query_forwarded_total" "Queries forwarded upstream";
+    m_cache_answers = counter "dns_cache_answers_total" "Queries answered from the proxy cache";
+    m_reverse_lookups =
+      counter "dns_reverse_lookups_total" "PTR lookups issued for unnamed flow destinations";
+    m_flow_allowed = counter "dns_flow_allowed_total" "Flow admission checks that allowed";
+    m_flow_blocked = counter "dns_flow_blocked_total" "Flow admission checks that blocked";
   }
 
 let set_policy t mac policy = Hashtbl.replace t.policies mac policy
@@ -137,12 +153,14 @@ let nxdomain query = Dns_wire.response ~rcode:Dns_wire.Name_error query
 
 let handle_query t ~src_ip ~src_port (query : Dns_wire.t) =
   t.st.queries <- t.st.queries + 1;
+  Hw_metrics.Counter.incr t.m_queries;
   match query.Dns_wire.questions with
   | [] -> []
   | { Dns_wire.qname; qtype } :: _ ->
       let policy = policy_for_ip t src_ip in
       if not (policy_allows policy qname) then begin
         t.st.blocked <- t.st.blocked + 1;
+        Hw_metrics.Counter.incr t.m_blocked;
         Log.debug (fun m -> m "blocked lookup of %s from %s" qname (Ip.to_string src_ip));
         [ Respond_to_client { dst_ip = src_ip; dst_port = src_port; msg = nxdomain query } ]
       end
@@ -152,6 +170,7 @@ let handle_query t ~src_ip ~src_port (query : Dns_wire.t) =
           when t.now () -. (Hashtbl.find t.name_cache (Dns_wire.normalize_name qname)).inserted
                <= t.cache_ttl ->
             t.st.cache_answers <- t.st.cache_answers + 1;
+            Hw_metrics.Counter.incr t.m_cache_answers;
             let answers = List.map (fun ip -> Dns_wire.a_record qname ip) ips in
             [
               Respond_to_client
@@ -167,6 +186,7 @@ let handle_query t ~src_ip ~src_port (query : Dns_wire.t) =
                 qname;
               };
             t.st.forwarded <- t.st.forwarded + 1;
+            Hw_metrics.Counter.incr t.m_forwarded;
             [ Forward_upstream { query with Dns_wire.id = txid } ]
       end
 
@@ -205,7 +225,7 @@ let handle_upstream t (response : Dns_wire.t) =
 (* Flow admission                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let check_flow t ~src_ip ~dst_ip =
+let check_flow_verdict t ~src_ip ~dst_ip =
   match policy_for_ip t src_ip with
   | Allow_all -> Flow_allow
   | Block_all -> Flow_block "device blocked from upstream access"
@@ -215,6 +235,7 @@ let check_flow t ~src_ip ~dst_ip =
           (* the paper's reverse-lookup path for flows that match no
              previously requested name *)
           t.st.reverse_lookups <- t.st.reverse_lookups + 1;
+          Hw_metrics.Counter.incr t.m_reverse_lookups;
           let txid = fresh_txid t in
           Hashtbl.replace t.pending_reverse txid dst_ip;
           Flow_reverse_lookup
@@ -225,3 +246,11 @@ let check_flow t ~src_ip ~dst_ip =
             Flow_block
               (Printf.sprintf "destination %s (%s) not permitted" (Ip.to_string dst_ip)
                  (String.concat "," names)))
+
+let check_flow t ~src_ip ~dst_ip =
+  let verdict = check_flow_verdict t ~src_ip ~dst_ip in
+  (match verdict with
+  | Flow_allow -> Hw_metrics.Counter.incr t.m_flow_allowed
+  | Flow_block _ -> Hw_metrics.Counter.incr t.m_flow_blocked
+  | Flow_reverse_lookup _ -> ());
+  verdict

@@ -43,7 +43,11 @@ type stats = {
 
 type t
 
-val create : ?cache_ttl:float -> now:(unit -> float) -> unit -> t
+val create :
+  ?metrics:Hw_metrics.Registry.t -> ?cache_ttl:float -> now:(unit -> float) -> unit -> t
+(** [metrics] (default {!Hw_metrics.Registry.default}) receives the dns_*
+    counters: query permit/deny/forward/cache decisions plus flow-admission
+    verdicts and reverse lookups. *)
 
 val set_policy : t -> Mac.t -> name_policy -> unit
 val clear_policy : t -> Mac.t -> unit

@@ -28,6 +28,16 @@ type t = {
   mutable triggers : trigger list;
   mutable next_trigger_id : int;
   mutable trigger_depth : int;
+  metrics : Hw_metrics.Registry.t;
+  m_inserts : Hw_metrics.Counter.t;
+  m_insert_errors : Hw_metrics.Counter.t;
+  m_queries : Hw_metrics.Counter.t;
+  m_query_errors : Hw_metrics.Counter.t;
+  m_sub_evals : Hw_metrics.Counter.t;
+  m_trigger_fires : Hw_metrics.Counter.t;
+  m_ticks : Hw_metrics.Counter.t;
+  m_insert_span : Hw_metrics.Sampled.t;
+  m_query_span : Hw_metrics.Sampled.t;
 }
 
 let flows_schema =
@@ -57,7 +67,12 @@ let leases_schema =
     ("action", Value.T_str);
   ]
 
-let create_empty ?(default_capacity = 4096) ~now () =
+(* the self-describing schema of the Metrics export table *)
+let metrics_schema =
+  [ ("name", Value.T_str); ("kind", Value.T_str); ("stat", Value.T_str); ("value", Value.T_real) ]
+
+let create_empty ?(default_capacity = 4096) ?(metrics = Hw_metrics.Registry.default) ~now () =
+  let counter = Hw_metrics.Registry.counter metrics in
   {
     now;
     default_capacity;
@@ -67,6 +82,21 @@ let create_empty ?(default_capacity = 4096) ~now () =
     triggers = [];
     next_trigger_id = 1;
     trigger_depth = 0;
+    metrics;
+    m_inserts = counter ~help:"hwdb rows inserted" "hwdb_inserts_total";
+    m_insert_errors = counter ~help:"hwdb inserts refused" "hwdb_insert_errors_total";
+    m_queries = counter ~help:"hwdb SELECTs executed" "hwdb_queries_total";
+    m_query_errors = counter ~help:"hwdb SELECTs that failed" "hwdb_query_errors_total";
+    m_sub_evals =
+      counter ~help:"continuous-query evaluations on tick" "hwdb_subscription_evals_total";
+    m_trigger_fires = counter ~help:"ECA trigger actions fired" "hwdb_trigger_fires_total";
+    m_ticks = counter ~help:"database ticks" "hwdb_ticks_total";
+    m_insert_span =
+      Hw_metrics.Registry.sampled_histogram metrics ~help:"insert latency (sampled 1/32)"
+        ~every:32 "hwdb_insert_seconds";
+    m_query_span =
+      Hw_metrics.Registry.sampled_histogram metrics ~help:"query latency (sampled 1/8)" ~every:8
+        "hwdb_query_seconds";
   }
 
 let create_table t ~name ?capacity schema =
@@ -79,28 +109,66 @@ let create_table t ~name ?capacity schema =
     Ok table
   end
 
-let create ?default_capacity ~now () =
-  let t = create_empty ?default_capacity ~now () in
+let create ?default_capacity ?metrics ~now () =
+  let t = create_empty ?default_capacity ?metrics ~now () in
   List.iter
     (fun (name, schema) ->
       match create_table t ~name schema with
       | Ok _ -> ()
       | Error msg -> failwith msg)
-    [ ("Flows", flows_schema); ("Links", links_schema); ("Leases", leases_schema) ];
+    [
+      ("Flows", flows_schema);
+      ("Links", links_schema);
+      ("Leases", leases_schema);
+      ("Metrics", metrics_schema);
+    ];
   t
 
 let table t name = Hashtbl.find_opt t.tables name
 let table_names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tables [] |> List.sort compare
+let metrics t = t.metrics
 
 let insert t ~table:name values =
   match table t name with
-  | None -> Error (Printf.sprintf "unknown table %s" name)
-  | Some tbl -> Table.insert tbl ~now:(t.now ()) values
+  | None ->
+      Hw_metrics.Counter.incr t.m_insert_errors;
+      Error (Printf.sprintf "unknown table %s" name)
+  | Some tbl -> (
+      Hw_metrics.Counter.incr t.m_inserts;
+      (* branch on [due] rather than wrapping in observe_span: inserts
+         are the hottest write path and must not allocate a closure *)
+      let res =
+        if Hw_metrics.Sampled.due t.m_insert_span then begin
+          let t0 = t.now () in
+          let res = Table.insert tbl ~now:t0 values in
+          Hw_metrics.Histogram.observe
+            (Hw_metrics.Sampled.histogram t.m_insert_span)
+            (t.now () -. t0);
+          res
+        end
+        else Table.insert tbl ~now:(t.now ()) values
+      in
+      match res with
+      | Ok () as ok -> ok
+      | Error _ as e ->
+          Hw_metrics.Counter.incr t.m_insert_errors;
+          e)
+
+let exec_select t sel =
+  Hw_metrics.Counter.incr t.m_queries;
+  match
+    Hw_metrics.Sampled.observe_span t.m_query_span ~now:t.now (fun () ->
+        Query.exec ~lookup:(table t) ~now:(t.now ()) sel)
+  with
+  | Ok _ as ok -> ok
+  | Error _ as e ->
+      Hw_metrics.Counter.incr t.m_query_errors;
+      e
 
 let query t src =
   match Parser.parse_select src with
   | Error _ as e -> e
-  | Ok sel -> Query.exec ~lookup:(table t) ~now:(t.now ()) sel
+  | Ok sel -> exec_select t sel
 
 (* ------------------------------------------------------------------ *)
 (* ECA triggers                                                        *)
@@ -149,6 +217,7 @@ let create_trigger t ~watch ?condition ~target ~values () =
                     | Ok false -> ()
                     | Error msg -> Log.warn (fun m -> m "trigger %d: %s" id msg)
                     | Ok true -> (
+                        Hw_metrics.Counter.incr t.m_trigger_fires;
                         let row =
                           List.fold_left
                             (fun acc e ->
@@ -196,7 +265,28 @@ let unsubscribe t id =
 
 let subscription_count t = List.length t.subs
 
+(* One row per (instrument, stat) into the Metrics ring, all stamped with
+   the same instant so [SELECT ... FROM Metrics [NOW]] reads one coherent
+   snapshot. Rows go through Table.insert directly: the export must not
+   count itself as database load. *)
+let refresh_metrics t =
+  match table t "Metrics" with
+  | None -> () (* create_empty databases opt out of the export *)
+  | Some tbl ->
+      let now = t.now () in
+      List.iter
+        (fun (r : Hw_metrics.Snapshot.row) ->
+          match
+            Table.insert tbl ~now
+              [ Value.Str r.metric; Value.Str r.kind; Value.Str r.stat; Value.Real r.value ]
+          with
+          | Ok () -> ()
+          | Error msg -> Log.warn (fun m -> m "metrics refresh: %s" msg))
+        (Hw_metrics.Snapshot.rows t.metrics)
+
 let tick t =
+  Hw_metrics.Counter.incr t.m_ticks;
+  refresh_metrics t;
   let now = t.now () in
   let due = List.filter (fun sub -> now >= sub.next_due) t.subs in
   if due <> [] then begin
@@ -215,6 +305,7 @@ let tick t =
           match Hashtbl.find_opt cache key with
           | Some r -> r
           | None ->
+              Hw_metrics.Counter.incr t.m_sub_evals;
               let r = Query.exec ~lookup:(table t) ~now sub.sub_query in
               Hashtbl.add cache key r;
               r
@@ -229,7 +320,7 @@ let execute t src =
   match Parser.parse src with
   | Error _ as e -> Error (Result.get_error e)
   | Ok (Ast.Select sel) -> (
-      match Query.exec ~lookup:(table t) ~now:(t.now ()) sel with
+      match exec_select t sel with
       | Ok rs -> Ok (Some rs)
       | Error _ as e -> Error (Result.get_error e))
   | Ok (Ast.Insert (name, values)) -> (

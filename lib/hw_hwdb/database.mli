@@ -6,15 +6,27 @@
       (proto, src_ip, dst_ip, src_port, dst_port, packets, bytes)
     - [Links]:  link-layer info per station (mac, rssi, retries, packets)
     - [Leases]: DHCP activity (mac, ip, hostname, action) where action is
-      grant | renew | revoke | deny *)
+      grant | renew | revoke | deny
+    - [Metrics]: self-describing observability export (name, kind, stat,
+      value) refreshed from the metrics registry on every {!tick}, so the
+      measurement plane can be queried and subscribed to like any other
+      stream. *)
 
 type t
 
-val create : ?default_capacity:int -> now:(unit -> float) -> unit -> t
-(** Fresh database with the three standard tables installed. *)
+val create :
+  ?default_capacity:int -> ?metrics:Hw_metrics.Registry.t -> now:(unit -> float) -> unit -> t
+(** Fresh database with the four standard tables installed. [metrics]
+    defaults to {!Hw_metrics.Registry.default}. *)
 
-val create_empty : ?default_capacity:int -> now:(unit -> float) -> unit -> t
-(** No standard tables (for unit tests). *)
+val create_empty :
+  ?default_capacity:int -> ?metrics:Hw_metrics.Registry.t -> now:(unit -> float) -> unit -> t
+(** No standard tables (for unit tests); without a [Metrics] table, {!tick}
+    skips the registry export. *)
+
+val metrics : t -> Hw_metrics.Registry.t
+(** The registry this database both reports into (hwdb_* counters) and
+    exports from (the [Metrics] table). *)
 
 val create_table : t -> name:string -> ?capacity:int -> Value.schema -> (Table.t, string) result
 val table : t -> string -> Table.t option
@@ -75,6 +87,7 @@ val tick : t -> unit
 val flows_schema : Value.schema
 val links_schema : Value.schema
 val leases_schema : Value.schema
+val metrics_schema : Value.schema
 
 val record_flow :
   t -> proto:int -> src_ip:string -> dst_ip:string -> src_port:int -> dst_port:int ->

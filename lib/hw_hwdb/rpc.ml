@@ -134,24 +134,48 @@ module Server = struct
     db : Database.t;
     send : to_:string -> string -> unit;
     mutable client_subs : (string * int) list; (* address, subscription id *)
+    m_in : Hw_metrics.Counter.t;
+    m_out : Hw_metrics.Counter.t;
+    m_dropped : Hw_metrics.Counter.t;
   }
 
-  let create ~db ~send = { db; send; client_subs = [] }
+  let create ?metrics ~db ~send () =
+    (* Defaulting to the database's registry puts rpc_* rows in its own
+       Metrics table, alongside the hwdb_* counters the server drives. *)
+    let metrics = Option.value metrics ~default:(Database.metrics db) in
+    {
+      db;
+      send;
+      client_subs = [];
+      m_in =
+        Hw_metrics.Registry.counter metrics "rpc_datagrams_in_total"
+          ~help:"Datagrams handed to the RPC server";
+      m_out =
+        Hw_metrics.Registry.counter metrics "rpc_datagrams_out_total"
+          ~help:"Datagrams sent by the RPC server (responses and publishes)";
+      m_dropped =
+        Hw_metrics.Registry.counter metrics "rpc_datagrams_dropped_total"
+          ~help:"Inbound datagrams dropped (malformed or non-request)";
+    }
+
+  let send t ~to_ data =
+    Hw_metrics.Counter.incr t.m_out;
+    t.send ~to_ data
 
   let subscriber_count t = List.length t.client_subs
 
   let handle_request t ~from seq statement =
     match Parser.parse statement with
-    | Error msg -> t.send ~to_:from (encode (Response_error { seq; message = msg }))
+    | Error msg -> send t ~to_:from (encode (Response_error { seq; message = msg }))
     | Ok (Ast.Subscribe (sel, period)) when period > 0. ->
         let sub_id = ref 0 in
         let callback result =
-          t.send ~to_:from (encode (Publish { subscription = !sub_id; result }))
+          send t ~to_:from (encode (Publish { subscription = !sub_id; result }))
         in
         let id = Database.subscribe t.db ~query:sel ~period ~callback in
         sub_id := id;
         t.client_subs <- (from, id) :: t.client_subs;
-        t.send ~to_:from
+        send t ~to_:from
           (encode
              (Response_ok
                 {
@@ -166,22 +190,27 @@ module Server = struct
     | Ok (Ast.Unsubscribe id) ->
         if Database.unsubscribe t.db id then begin
           t.client_subs <- List.filter (fun (_, i) -> i <> id) t.client_subs;
-          t.send ~to_:from (encode (Response_ok { seq; result = None }))
+          send t ~to_:from (encode (Response_ok { seq; result = None }))
         end
         else
-          t.send ~to_:from
+          send t ~to_:from
             (encode
                (Response_error { seq; message = Printf.sprintf "no subscription %d" id }))
     | Ok _ -> (
         match Database.execute t.db statement with
-        | Ok result -> t.send ~to_:from (encode (Response_ok { seq; result }))
-        | Error message -> t.send ~to_:from (encode (Response_error { seq; message })))
+        | Ok result -> send t ~to_:from (encode (Response_ok { seq; result }))
+        | Error message -> send t ~to_:from (encode (Response_error { seq; message })))
 
   let handle_datagram t ~from data =
+    Hw_metrics.Counter.incr t.m_in;
     match decode data with
     | Ok (Request { seq; statement }) -> handle_request t ~from seq statement
-    | Ok _ -> Log.debug (fun m -> m "non-request datagram from %s dropped" from)
-    | Error msg -> Log.debug (fun m -> m "malformed datagram from %s: %s" from msg)
+    | Ok _ ->
+        Hw_metrics.Counter.incr t.m_dropped;
+        Log.debug (fun m -> m "non-request datagram from %s dropped" from)
+    | Error msg ->
+        Hw_metrics.Counter.incr t.m_dropped;
+        Log.debug (fun m -> m "malformed datagram from %s: %s" from msg)
 
   let drop_client t addr =
     let mine, others = List.partition (fun (a, _) -> String.equal a addr) t.client_subs in

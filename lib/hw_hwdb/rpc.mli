@@ -27,8 +27,16 @@ val decode : string -> (message, string) result
 module Server : sig
   type t
 
-  val create : db:Database.t -> send:(to_:string -> string -> unit) -> t
-  (** [send] transmits a datagram to a client address. *)
+  val create :
+    ?metrics:Hw_metrics.Registry.t ->
+    db:Database.t ->
+    send:(to_:string -> string -> unit) ->
+    unit ->
+    t
+  (** [send] transmits a datagram to a client address. [metrics] receives
+      the rpc_datagrams_{in,out,dropped}_total counters; it defaults to
+      [Database.metrics db] so RPC traffic shows up in the database's own
+      [Metrics] table. *)
 
   val handle_datagram : t -> from:string -> string -> unit
   (** Processes one request datagram and replies via [send]. SUBSCRIBE

@@ -1,0 +1,12 @@
+type t = { name : string; help : string; mutable count : int }
+
+let create ~name ~help = { name; help; count = 0 }
+let incr t = t.count <- t.count + 1
+
+let add t n =
+  if n < 0 then invalid_arg (Printf.sprintf "Counter.add %s: negative increment %d" t.name n);
+  t.count <- t.count + n
+
+let value t = t.count
+let name t = t.name
+let help t = t.help

@@ -1,0 +1,20 @@
+(** A monotonically increasing event counter.
+
+    The hot-path operations ({!incr}, {!add}) are single mutable-field
+    updates: no allocation, no branches beyond the negative-increment
+    guard, so they are safe to leave enabled on per-packet paths. *)
+
+type t
+
+val create : name:string -> help:string -> t
+(** Normally obtained through {!Registry.counter}, which deduplicates by
+    name; [create] builds an unregistered counter (tests, scratch). *)
+
+val incr : t -> unit
+val add : t -> int -> unit
+(** Raises [Invalid_argument] on a negative increment: counters only go
+    up, which is what lets consumers compute rates from samples. *)
+
+val value : t -> int
+val name : t -> string
+val help : t -> string

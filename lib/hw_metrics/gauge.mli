@@ -1,0 +1,11 @@
+(** A gauge: an instantaneous value that can move both ways (table
+    occupancy, subscriber counts, ring fill). *)
+
+type t
+
+val create : name:string -> help:string -> t
+val set : t -> float -> unit
+val add : t -> float -> unit
+val value : t -> float
+val name : t -> string
+val help : t -> string

@@ -1,0 +1,67 @@
+(* bucket i covers [2^(lo+i-1), 2^(lo+i)); bucket 0 also absorbs
+   everything below 2^(lo-1) (including 0 and negatives), the last bucket
+   absorbs everything at or above its lower edge *)
+let lo = -30
+let n_buckets = 40
+
+type t = {
+  name : string;
+  help : string;
+  buckets : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable max : float;
+}
+
+let create ~name ~help =
+  { name; help; buckets = Array.make n_buckets 0; count = 0; sum = 0.; max = 0. }
+
+let bucket_index v =
+  if not (Float.is_finite v) || v <= 0. then 0
+  else begin
+    (* frexp: v = m * 2^e with m in [0.5, 1), i.e. v in [2^(e-1), 2^e) *)
+    let _, e = Float.frexp v in
+    let i = e - lo in
+    if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
+  end
+
+let bucket_upper i = Float.ldexp 1. (lo + i)
+
+let observe t v =
+  t.buckets.(bucket_index v) <- t.buckets.(bucket_index v) + 1;
+  t.count <- t.count + 1;
+  if Float.is_finite v && v > 0. then begin
+    t.sum <- t.sum +. v;
+    if v > t.max then t.max <- v
+  end
+
+let observe_span t ~now f =
+  let t0 = now () in
+  let r = f () in
+  observe t (now () -. t0);
+  r
+
+let count t = t.count
+let sum t = t.sum
+let max_value t = t.max
+let bucket_count t i = t.buckets.(i)
+let name t = t.name
+let help t = t.help
+
+let percentile t p =
+  if t.count = 0 then 0.
+  else begin
+    let p = Float.max 0. (Float.min 100. p) in
+    let rank = Stdlib.max 1 (int_of_float (Float.ceil (p *. float_of_int t.count /. 100.))) in
+    let rec walk i cum =
+      if i >= n_buckets then t.max
+      else begin
+        let cum = cum + t.buckets.(i) in
+        if cum >= rank then
+          if i = n_buckets - 1 then t.max (* overflow bucket: report the true max *)
+          else bucket_upper i
+        else walk (i + 1) cum
+      end
+    in
+    walk 0 0
+  end

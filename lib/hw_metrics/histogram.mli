@@ -1,0 +1,43 @@
+(** A fixed-bucket log2 latency histogram.
+
+    Durations (seconds) land in power-of-two buckets: bucket [i] covers
+    [[2^(lo+i-1), 2^(lo+i))] with [lo = -30] (≈ 1 ns) — 40 buckets reach
+    512 s, far beyond any event-dispatch latency in this system. Recording
+    is a [frexp], an array increment and two float updates: no allocation,
+    so per-packet sites can afford it (and can additionally sample through
+    {!Sampled}).
+
+    Percentile readout walks the cumulative bucket counts and reports the
+    {e upper edge} of the bucket holding the requested rank, so an
+    estimate is exact to within one bucket width (a factor of 2). *)
+
+type t
+
+val create : name:string -> help:string -> t
+val observe : t -> float -> unit
+(** Record one duration in seconds. Non-finite or negative values count
+    into the underflow bucket rather than being dropped, so [count]
+    always equals the number of calls. *)
+
+val observe_span : t -> now:(unit -> float) -> (unit -> 'a) -> 'a
+(** [observe_span t ~now f] times [f ()] against the [now] clock and
+    records the elapsed span. If [f] raises, nothing is recorded. *)
+
+val count : t -> int
+val sum : t -> float
+val max_value : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [0..100]; 0 when empty. The p100 of the
+    overflow bucket reports the exact observed maximum. *)
+
+(** {2 Bucket geometry (exposed for tests and exporters)} *)
+
+val n_buckets : int
+val bucket_index : float -> int
+val bucket_upper : int -> float
+(** Exclusive upper edge [2^(lo+i)] of bucket [i]. *)
+
+val bucket_count : t -> int -> int
+val name : t -> string
+val help : t -> string

@@ -1,0 +1,71 @@
+type instrument =
+  | Counter of Counter.t
+  | Gauge of Gauge.t
+  | Histogram of Histogram.t
+
+exception Kind_mismatch of string
+
+type t = {
+  by_name : (string, instrument) Hashtbl.t;
+  mutable order : string list; (* reverse registration order *)
+}
+
+let create () = { by_name = Hashtbl.create 32; order = [] }
+let default = create ()
+
+let name_char_ok i c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' -> true
+  | '0' .. '9' -> i > 0
+  | _ -> false
+
+let valid_name s =
+  s <> ""
+  &&
+  let ok = ref true in
+  String.iteri (fun i c -> if not (name_char_ok i c) then ok := false) s;
+  !ok
+
+let sanitize_name s =
+  if s = "" then "_"
+  else String.mapi (fun i c -> if name_char_ok i c then c else '_') s
+
+let register t name make wrap unwrap =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Hw_metrics.Registry: invalid metric name %S" name);
+  match Hashtbl.find_opt t.by_name name with
+  | Some existing -> (
+      match unwrap existing with
+      | Some v -> v
+      | None -> raise (Kind_mismatch name))
+  | None ->
+      let v = make () in
+      Hashtbl.replace t.by_name name (wrap v);
+      t.order <- name :: t.order;
+      v
+
+let counter t ?(help = "") name =
+  register t name
+    (fun () -> Counter.create ~name ~help)
+    (fun c -> Counter c)
+    (function Counter c -> Some c | _ -> None)
+
+let gauge t ?(help = "") name =
+  register t name
+    (fun () -> Gauge.create ~name ~help)
+    (fun g -> Gauge g)
+    (function Gauge g -> Some g | _ -> None)
+
+let histogram t ?(help = "") name =
+  register t name
+    (fun () -> Histogram.create ~name ~help)
+    (fun h -> Histogram h)
+    (function Histogram h -> Some h | _ -> None)
+
+let sampled_histogram t ?help ~every name = Sampled.create ~every (histogram t ?help name)
+
+let instruments t =
+  List.rev_map (fun name -> (name, Hashtbl.find t.by_name name)) t.order
+
+let find t name = Hashtbl.find_opt t.by_name name
+let size t = Hashtbl.length t.by_name

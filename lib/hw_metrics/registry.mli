@@ -1,0 +1,52 @@
+(** A typed metric registry.
+
+    Instruments are get-or-create by name: asking twice for the same
+    counter returns the same instrument, so independently constructed
+    components can share one process-wide registry without coordination.
+    Asking for a name that is already registered {e as a different kind}
+    raises {!Kind_mismatch} — a name means one thing.
+
+    Names must match [[a-zA-Z_][a-zA-Z0-9_]*] (the Prometheus metric-name
+    grammar) so every export surface can render them verbatim.
+
+    Components default to {!default}; a composition that wants isolated
+    accounting (one registry per router, as [Hw_router.Router] does)
+    passes its own {!create}d registry to each component. *)
+
+type t
+
+type instrument =
+  | Counter of Counter.t
+  | Gauge of Gauge.t
+  | Histogram of Histogram.t
+
+exception Kind_mismatch of string
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry components fall back to when none is
+    supplied. *)
+
+val counter : t -> ?help:string -> string -> Counter.t
+val gauge : t -> ?help:string -> string -> Gauge.t
+val histogram : t -> ?help:string -> string -> Histogram.t
+(** Get-or-create. Raise {!Kind_mismatch} if the name is registered as
+    another kind, [Invalid_argument] on a malformed name. On the get path
+    [?help] is ignored (the first registration wins). *)
+
+val sampled_histogram : t -> ?help:string -> every:int -> string -> Sampled.t
+(** A {!Sampled} wrapper over [histogram t name]. The sampler itself is
+    per-call-site state: calling twice returns two independent samplers
+    feeding the same histogram. *)
+
+val instruments : t -> (string * instrument) list
+(** In registration order. *)
+
+val find : t -> string -> instrument option
+val size : t -> int
+
+val valid_name : string -> bool
+val sanitize_name : string -> string
+(** Maps characters outside the metric-name grammar to ['_'] (for metric
+    names derived from user-supplied strings such as handler names). *)

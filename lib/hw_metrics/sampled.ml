@@ -1,0 +1,24 @@
+type t = { every : int; hist : Histogram.t; mutable left : int }
+
+let create ~every hist =
+  if every < 1 then invalid_arg "Sampled.create: every must be >= 1";
+  (* first call is sampled, so a site exercised only a few times per run
+     still shows up in the snapshot *)
+  { every; hist; left = 1 }
+
+let every t = t.every
+let histogram t = t.hist
+
+let tick t =
+  t.left <- t.left - 1;
+  if t.left <= 0 then begin
+    t.left <- t.every;
+    true
+  end
+  else false
+
+let observe t v = if tick t then Histogram.observe t.hist v
+let due = tick
+
+let observe_span t ~now f =
+  if tick t then Histogram.observe_span t.hist ~now f else f ()

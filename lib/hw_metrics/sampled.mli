@@ -1,0 +1,29 @@
+(** 1-in-N sampling wrapper for high-frequency histogram sites.
+
+    Per Floware's balanced-collection argument the collection layer must
+    stay cheap on the hot path: a sampled site pays one integer
+    compare-and-bump per call and only touches the clock and the
+    histogram on every [every]-th call. Counters should still record
+    every event — sampling is for the {e latency} distribution, whose
+    shape survives uniform decimation. *)
+
+type t
+
+val create : every:int -> Histogram.t -> t
+(** Raises [Invalid_argument] if [every < 1]. [every = 1] records all. *)
+
+val every : t -> int
+val histogram : t -> Histogram.t
+
+val observe : t -> float -> unit
+(** Records the value on every [every]-th call, drops the rest. *)
+
+val due : t -> bool
+(** Advances the 1-in-N state and reports whether this call is the
+    sampled one. For sites too hot for {!observe_span}'s closure: branch
+    on [due] and time the operation inline only when it returns [true],
+    recording with [Histogram.observe (histogram t)]. *)
+
+val observe_span : t -> now:(unit -> float) -> (unit -> 'a) -> 'a
+(** Runs [f] and, on sampled calls only, times it — unsampled calls never
+    read the clock. *)

@@ -1,0 +1,79 @@
+module Json = Hw_json.Json
+
+type row = { metric : string; kind : string; stat : string; value : float }
+
+let histogram_stats h =
+  [
+    ("count", float_of_int (Histogram.count h));
+    ("sum", Histogram.sum h);
+    ("max", Histogram.max_value h);
+    ("p50", Histogram.percentile h 50.);
+    ("p90", Histogram.percentile h 90.);
+    ("p99", Histogram.percentile h 99.);
+  ]
+
+let rows reg =
+  List.concat_map
+    (fun (metric, instrument) ->
+      match instrument with
+      | Registry.Counter c ->
+          [ { metric; kind = "counter"; stat = "value"; value = float_of_int (Counter.value c) } ]
+      | Registry.Gauge g -> [ { metric; kind = "gauge"; stat = "value"; value = Gauge.value g } ]
+      | Registry.Histogram h ->
+          List.map
+            (fun (stat, value) -> { metric; kind = "histogram"; stat; value })
+            (histogram_stats h))
+    (Registry.instruments reg)
+
+let to_json reg =
+  Json.Obj
+    (List.map
+       (fun (name, instrument) ->
+         let fields =
+           match instrument with
+           | Registry.Counter c ->
+               [ ("kind", Json.String "counter"); ("value", Json.Int (Counter.value c)) ]
+           | Registry.Gauge g ->
+               [ ("kind", Json.String "gauge"); ("value", Json.Float (Gauge.value g)) ]
+           | Registry.Histogram h ->
+               ("kind", Json.String "histogram")
+               :: List.map
+                    (fun (stat, v) ->
+                      (stat, if stat = "count" then Json.Int (Histogram.count h) else Json.Float v))
+                    (histogram_stats h)
+         in
+         (name, Json.Obj fields))
+       (Registry.instruments reg))
+
+(* Prometheus text format floats: plain decimal, no OCaml "1." artifacts *)
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let render_prometheus reg =
+  let buf = Buffer.create 1024 in
+  let header name help kind =
+    if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+  in
+  List.iter
+    (fun (name, instrument) ->
+      match instrument with
+      | Registry.Counter c ->
+          header name (Counter.help c) "counter";
+          Buffer.add_string buf (Printf.sprintf "%s %d\n" name (Counter.value c))
+      | Registry.Gauge g ->
+          header name (Gauge.help g) "gauge";
+          Buffer.add_string buf (Printf.sprintf "%s %s\n" name (float_str (Gauge.value g)))
+      | Registry.Histogram h ->
+          header name (Histogram.help h) "summary";
+          List.iter
+            (fun (q, p) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s{quantile=\"%s\"} %s\n" name q
+                   (float_str (Histogram.percentile h p))))
+            [ ("0.5", 50.); ("0.9", 90.); ("0.99", 99.) ];
+          Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" name (float_str (Histogram.sum h)));
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name (Histogram.count h)))
+    (Registry.instruments reg);
+  Buffer.contents buf

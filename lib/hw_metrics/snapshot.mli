@@ -1,0 +1,23 @@
+(** Read-side of the registry: one consistent flattening of every
+    instrument into (metric, kind, stat, value) rows, reused by all three
+    export surfaces — the hwdb [Metrics] table, the [GET /metrics]
+    Prometheus text endpoint, and the bench harness's JSON dump. *)
+
+type row = {
+  metric : string;
+  kind : string;  (** ["counter"] | ["gauge"] | ["histogram"] *)
+  stat : string;  (** ["value"] for scalars; ["count"|"sum"|"max"|"p50"|"p90"|"p99"] *)
+  value : float;
+}
+
+val rows : Registry.t -> row list
+(** Registration order; histograms contribute count/sum/max/p50/p90/p99. *)
+
+val to_json : Registry.t -> Hw_json.Json.t
+(** [{"name": {"kind": "counter", "value": n}, ...,
+      "h": {"kind": "histogram", "count": n, "sum": s, "max": m,
+            "p50": ..., "p90": ..., "p99": ...}}] *)
+
+val render_prometheus : Registry.t -> string
+(** Prometheus text exposition: counters and gauges as scalar samples,
+    histograms as summaries ([{quantile="0.5"}] etc. plus [_count]/[_sum]). *)

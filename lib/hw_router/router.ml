@@ -23,6 +23,7 @@ let dns_forward_port = 5353
 
 type t = {
   loop : Hw_sim.Event_loop.t;
+  metrics : Hw_metrics.Registry.t;
   dp : Datapath.t;
   ctrl : Controller.t;
   mutable conn : Controller.conn;
@@ -72,6 +73,7 @@ let prefix_bits_of_netmask mask =
   count 31 0
 
 let db t = t.database
+let metrics t = t.metrics
 let dhcp t = t.dhcp
 let dns t = t.dns
 let policy t = t.pol
@@ -700,6 +702,7 @@ let make_ops t =
             ("reverse_lookups", Json.Int st.Dns_proxy.reverse_lookups);
             ("cache_size", Json.Int (Dns_proxy.cache_size t.dns));
           ]);
+    metrics_text = (fun () -> Hw_metrics.Snapshot.render_prometheus t.metrics);
   }
 
 let http t req =
@@ -719,14 +722,17 @@ let http_raw t raw =
 let create ?(dhcp_config = Dhcp_server.default_config) ?(flow_idle_timeout = 10)
     ?(wired_ports = 4) ?nat ?(isolate_devices = false) ~loop () =
   let now () = Hw_sim.Event_loop.now loop in
-  let database = Database.create ~now () in
-  let dhcp_server = Dhcp_server.create ~config:dhcp_config ~now () in
-  let dns_proxy = Dns_proxy.create ~now () in
+  (* One registry per router instance: every subsystem reports into it, and
+     it feeds all three export surfaces (Metrics table, /metrics, bench). *)
+  let metrics = Hw_metrics.Registry.create () in
+  let database = Database.create ~metrics ~now () in
+  let dhcp_server = Dhcp_server.create ~metrics ~config:dhcp_config ~now () in
+  let dns_proxy = Dns_proxy.create ~metrics ~now () in
   Dns_proxy.set_device_of_ip dns_proxy (fun ip ->
       Option.map
         (fun l -> l.Hw_dhcp.Lease_db.mac)
         (Hw_dhcp.Lease_db.lookup_ip (Dhcp_server.lease_db dhcp_server) ip));
-  let ctrl = Controller.create ~now in
+  let ctrl = Controller.create ~metrics ~now () in
   (* mutual channel wiring uses forward references resolved below *)
   let dp_ref = ref None in
   let conn_ref = ref None in
@@ -745,19 +751,20 @@ let create ?(dhcp_config = Dhcp_server.default_config) ?(flow_idle_timeout = 10)
            { Datapath.port_no = wired_port i; name = Printf.sprintf "eth%d" i; mac = Mac.local (0xe0 + i) })
   in
   let dp =
-    Datapath.create ~dpid:1L ~ports
+    Datapath.create ~metrics ~dpid:1L ~ports
       ~transmit:(fun ~port_no frame -> !transmit_ref ~port_no frame)
       ~to_controller:(fun bytes -> Controller.input ctrl conn bytes)
-      ~now
+      ~now ()
   in
   dp_ref := Some dp;
   let rpc_send_ref = ref (fun ~to_:_ _ -> ()) in
   let rpc_server =
-    Rpc.Server.create ~db:database ~send:(fun ~to_ data -> !rpc_send_ref ~to_ data)
+    Rpc.Server.create ~db:database ~send:(fun ~to_ data -> !rpc_send_ref ~to_ data) ()
   in
   let t =
     {
       loop;
+      metrics;
       dp;
       ctrl;
       conn;

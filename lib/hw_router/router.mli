@@ -50,6 +50,12 @@ val receive_frame : t -> in_port:int -> string -> unit
 (** {2 Component access} *)
 
 val db : t -> Hw_hwdb.Database.t
+
+val metrics : t -> Hw_metrics.Registry.t
+(** The router-wide metrics registry (one per instance): all subsystem
+    instruments live here and feed the hwdb [Metrics] table, the
+    [GET /metrics] endpoint and bench snapshots. *)
+
 val dhcp : t -> Hw_dhcp.Dhcp_server.t
 val dns : t -> Hw_dns.Dns_proxy.t
 val policy : t -> Hw_policy.Policy.t

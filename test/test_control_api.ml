@@ -69,6 +69,24 @@ let test_router_dispatch () =
   Alcotest.(check int) "delete" 204
     (Router.dispatch r (Http.request Http.DELETE "/api/things/42")).Http.status
 
+let test_router_405_allow_header () =
+  let r = Router.create () in
+  Router.route r Http.GET "/api/things/:id" (fun _req _p -> Http.response 200);
+  Router.route r Http.DELETE "/api/things/:id" (fun _req _p -> Http.response 204);
+  Router.route r Http.POST "/api/actions" (fun _req _p -> Http.response 200);
+  let resp = Router.dispatch r (Http.request Http.POST "/api/things/42") in
+  Alcotest.(check int) "known path, wrong method" 405 resp.Http.status;
+  Alcotest.(check (option string)) "Allow lists every accepted method" (Some "DELETE, GET")
+    (List.assoc_opt "allow" resp.Http.headers);
+  let resp = Router.dispatch r (Http.request Http.GET "/api/actions") in
+  Alcotest.(check (option string)) "single-method Allow" (Some "POST")
+    (List.assoc_opt "allow" resp.Http.headers);
+  (* an unknown path must stay a 404, not turn into a 405 *)
+  let resp = Router.dispatch r (Http.request Http.POST "/api/nothing") in
+  Alcotest.(check int) "unknown path" 404 resp.Http.status;
+  Alcotest.(check (option string)) "no Allow on 404" None
+    (List.assoc_opt "allow" resp.Http.headers)
+
 let test_router_handler_exception_is_500 () =
   let r = Router.create () in
   Router.route r Http.GET "/boom" (fun _ _ -> failwith "bug");
@@ -127,6 +145,7 @@ let fake_api () =
         (fun q ->
           if q = "bad" then Error "syntax" else Ok (Json.Obj [ ("echo", Json.String q) ]));
       dns_stats = (fun () -> Json.Obj [ ("queries", Json.Int 0) ]);
+      metrics_text = (fun () -> "# TYPE fake_counter counter\nfake_counter 1\n");
     }
   in
   (Control_api.build ops, calls)
@@ -195,6 +214,16 @@ let test_api_hwdb_query_param () =
   let resp = Control_api.handle api (Http.request Http.GET "/api/hwdb?q=bad") in
   Alcotest.(check int) "query error" 400 resp.Http.status
 
+let test_api_metrics_endpoint () =
+  let api, _ = fake_api () in
+  let resp = Control_api.handle api (Http.request Http.GET "/metrics") in
+  Alcotest.(check int) "ok" 200 resp.Http.status;
+  Alcotest.(check (option string)) "prometheus content type"
+    (Some "text/plain; version=0.0.4")
+    (List.assoc_opt "content-type" resp.Http.headers);
+  Alcotest.(check string) "exposition body passed through verbatim"
+    "# TYPE fake_counter counter\nfake_counter 1\n" resp.Http.body
+
 let test_api_raw_roundtrip () =
   let api, _ = fake_api () in
   let raw = Http.encode_request (Http.request Http.GET "/api/status") in
@@ -224,6 +253,7 @@ let () =
       ( "router",
         [
           Alcotest.test_case "dispatch" `Quick test_router_dispatch;
+          Alcotest.test_case "405 carries Allow" `Quick test_router_405_allow_header;
           Alcotest.test_case "exception is 500" `Quick test_router_handler_exception_is_500;
           Alcotest.test_case "raw bad request" `Quick test_handle_raw_bad_request;
         ] );
@@ -234,6 +264,7 @@ let () =
           Alcotest.test_case "policies" `Quick test_api_policies;
           Alcotest.test_case "groups validation" `Quick test_api_groups_validation;
           Alcotest.test_case "hwdb query param" `Quick test_api_hwdb_query_param;
+          Alcotest.test_case "metrics endpoint" `Quick test_api_metrics_endpoint;
           Alcotest.test_case "raw roundtrip" `Quick test_api_raw_roundtrip;
         ] );
     ]

@@ -19,7 +19,7 @@ type fake_switch = {
 let make_fake () =
   let received = ref [] in
   let framing = Ofp_message.Framing.create () in
-  let ctrl = Controller.create ~now:(fun () -> 0.) in
+  let ctrl = Controller.create ~now:(fun () -> 0.) () in
   let conn =
     Controller.attach_switch ctrl ~send:(fun bytes ->
         Ofp_message.Framing.input framing bytes;
@@ -210,7 +210,7 @@ let test_bad_frame_detaches () =
 let test_two_switches_one_controller () =
   (* NOX manages multiple datapaths; events carry the right connection *)
   let received_a = ref [] and received_b = ref [] in
-  let ctrl = Controller.create ~now:(fun () -> 0.) in
+  let ctrl = Controller.create ~now:(fun () -> 0.) () in
   let framing_a = Ofp_message.Framing.create () and framing_b = Ofp_message.Framing.create () in
   let collect framing sink bytes =
     Ofp_message.Framing.input framing bytes;
@@ -248,7 +248,7 @@ let test_two_switches_one_controller () =
 
 let test_aggregate_stats_via_controller () =
   (* controller-side stats request against a real datapath *)
-  let ctrl = Controller.create ~now:(fun () -> 0.) in
+  let ctrl = Controller.create ~now:(fun () -> 0.) () in
   let dp_ref = ref None in
   let conn =
     Controller.attach_switch ctrl ~send:(fun bytes ->
@@ -259,7 +259,7 @@ let test_aggregate_stats_via_controller () =
       ~ports:[ { Hw_datapath.Datapath.port_no = 1; name = "p1"; mac = mac_a } ]
       ~transmit:(fun ~port_no:_ _ -> ())
       ~to_controller:(fun bytes -> Controller.input ctrl conn bytes)
-      ~now:(fun () -> 0.)
+      ~now:(fun () -> 0.) ()
   in
   dp_ref := Some dp;
   Hw_datapath.Datapath.connect dp;
@@ -290,7 +290,7 @@ let test_keepalive_liveness () =
   let now = ref 0. in
   let received = ref [] in
   let framing = Ofp_message.Framing.create () in
-  let ctrl = Controller.create ~now:(fun () -> !now) in
+  let ctrl = Controller.create ~now:(fun () -> !now) () in
   let conn =
     Controller.attach_switch ctrl ~send:(fun bytes ->
         Ofp_message.Framing.input framing bytes;

@@ -218,7 +218,7 @@ let make_harness ?(ports = [ 1; 2; 3 ]) () =
             | Ok (xid, msg) -> to_controller := (xid, msg) :: !to_controller
             | Error e -> Alcotest.failf "bad controller frame: %s" e)
           (Ofp_message.Framing.pop_all framing))
-      ~now:(fun () -> match !h with Some harness -> harness.now | None -> 0.)
+      ~now:(fun () -> match !h with Some harness -> harness.now | None -> 0.) ()
   in
   let harness = { dp; transmitted; to_controller; now = 0. } in
   h := Some harness;

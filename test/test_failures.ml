@@ -70,7 +70,7 @@ let test_datapath_survives_garbage_from_controller () =
       ~ports:[ { Hw_datapath.Datapath.port_no = 1; name = "p1"; mac = mac 1 } ]
       ~transmit:(fun ~port_no:_ _ -> ())
       ~to_controller:(fun _ -> incr sent)
-      ~now:(fun () -> 0.)
+      ~now:(fun () -> 0.) ()
   in
   Hw_datapath.Datapath.input_from_controller dp "\xff\xff\xff\xff total garbage";
   (* the stream is dead but the datapath still switches *)

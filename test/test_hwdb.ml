@@ -702,7 +702,7 @@ let test_rpc_rejects_oversized_strings () =
 let make_rpc_pair db =
   let server_out = Queue.create () in
   let server =
-    Rpc.Server.create ~db ~send:(fun ~to_ datagram -> Queue.add (to_, datagram) server_out)
+    Rpc.Server.create ~db ~send:(fun ~to_ datagram -> Queue.add (to_, datagram) server_out) ()
   in
   let client_out = Queue.create () in
   let client = Rpc.Client.create ~send:(fun datagram -> Queue.add datagram client_out) in

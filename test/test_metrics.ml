@@ -1,0 +1,380 @@
+(* hw_metrics: instruments, registry, exports, and the end-to-end path
+   from instrumented subsystems through the hwdb Metrics table and the
+   RPC subscription plane. *)
+
+open Hw_metrics
+module Database = Hw_hwdb.Database
+module Value = Hw_hwdb.Value
+module Rpc = Hw_hwdb.Rpc
+module Query = Hw_hwdb.Query
+module Home = Hw_router.Home
+module Router = Hw_router.Router
+module Http = Hw_control_api.Http
+
+(* ------------------------------------------------------------------ *)
+(* Counters and gauges                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter () =
+  let c = Counter.create ~name:"c" ~help:"" in
+  Alcotest.(check int) "starts at zero" 0 (Counter.value c);
+  Counter.incr c;
+  Counter.incr c;
+  Counter.add c 40;
+  Alcotest.(check int) "incr and add accumulate" 42 (Counter.value c);
+  (try
+     Counter.add c (-1);
+     Alcotest.fail "negative add accepted"
+   with Invalid_argument _ -> ());
+  Alcotest.(check int) "failed add leaves value untouched" 42 (Counter.value c)
+
+let test_gauge () =
+  let g = Gauge.create ~name:"g" ~help:"" in
+  Gauge.set g 7.5;
+  Gauge.add g (-2.5);
+  Alcotest.(check (float 1e-9)) "set then add" 5.0 (Gauge.value g)
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_get_or_create () =
+  let r = Registry.create () in
+  let a = Registry.counter r "requests_total" ~help:"first registration" in
+  let b = Registry.counter r "requests_total" ~help:"ignored on the get path" in
+  Alcotest.(check bool) "same instrument both times" true (a == b);
+  Counter.incr a;
+  Alcotest.(check int) "shared state" 1 (Counter.value b);
+  Alcotest.(check string) "first help wins" "first registration" (Counter.help b);
+  Alcotest.(check int) "one registration" 1 (Registry.size r)
+
+let test_registry_kind_mismatch () =
+  let r = Registry.create () in
+  let _ = Registry.counter r "dispatch" in
+  Alcotest.check_raises "counter name reused as histogram"
+    (Registry.Kind_mismatch "dispatch") (fun () -> ignore (Registry.histogram r "dispatch"));
+  Alcotest.check_raises "counter name reused as gauge" (Registry.Kind_mismatch "dispatch")
+    (fun () -> ignore (Registry.gauge r "dispatch"))
+
+let test_registry_names () =
+  let r = Registry.create () in
+  Alcotest.(check bool) "underscore-led name valid" true (Registry.valid_name "_up");
+  Alcotest.(check bool) "hyphen invalid" false (Registry.valid_name "dhcp-grants");
+  Alcotest.(check bool) "leading digit invalid" false (Registry.valid_name "9lives");
+  Alcotest.(check bool) "empty invalid" false (Registry.valid_name "");
+  Alcotest.(check string) "sanitize maps bad chars" "dhcp_grants_2"
+    (Registry.sanitize_name "dhcp-grants 2");
+  (try
+     ignore (Registry.counter r "not a name");
+     Alcotest.fail "malformed name accepted"
+   with Invalid_argument _ -> ());
+  let _ = Registry.counter r "a" in
+  let _ = Registry.gauge r "b" in
+  match Registry.instruments r with
+  | [ ("a", Registry.Counter _); ("b", Registry.Gauge _) ] -> ()
+  | l -> Alcotest.fail (Printf.sprintf "unexpected instrument list (%d entries)" (List.length l))
+
+(* ------------------------------------------------------------------ *)
+(* Histogram bucket geometry                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_buckets () =
+  (* bucket i covers [2^(lo+i-1), 2^(lo+i)); upper edges are exclusive,
+     so an exact power of two belongs to the bucket above its edge *)
+  Alcotest.(check (float 0.)) "0.99 s rounds up to the 1 s edge" 1.0
+    (Histogram.bucket_upper (Histogram.bucket_index 0.99));
+  Alcotest.(check (float 0.)) "1.0 s is past the 1 s edge" 2.0
+    (Histogram.bucket_upper (Histogram.bucket_index 1.0));
+  Alcotest.(check (float 0.)) "1.5 us lands under the 2 us edge"
+    (Float.ldexp 1. (-19))
+    (Histogram.bucket_upper (Histogram.bucket_index 1.5e-6));
+  (* in-range positives: the reported edge is in (v, 2v] *)
+  List.iter
+    (fun v ->
+      let upper = Histogram.bucket_upper (Histogram.bucket_index v) in
+      Alcotest.(check bool)
+        (Printf.sprintf "edge above %g" v)
+        true
+        (upper > v && upper <= 2. *. v))
+    [ 1e-8; 3.14e-5; 0.25; 0.7; 1.0; 100.; 500. ];
+  (* everything unrepresentable collapses into the underflow bucket *)
+  List.iter
+    (fun v -> Alcotest.(check int) "underflow bucket" 0 (Histogram.bucket_index v))
+    [ 0.; -1.; Float.nan; Float.neg_infinity; Float.ldexp 1. (-40) ];
+  (* and the far end clamps to the overflow bucket *)
+  Alcotest.(check int) "overflow bucket" (Histogram.n_buckets - 1)
+    (Histogram.bucket_index 1e12)
+
+let test_histogram_observe () =
+  let h = Histogram.create ~name:"h" ~help:"" in
+  Histogram.observe h 0.5;
+  Histogram.observe h 0.5;
+  Histogram.observe h 3.0;
+  Histogram.observe h (-1.0);
+  Alcotest.(check int) "count includes junk values" 4 (Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum excludes junk values" 4.0 (Histogram.sum h);
+  Alcotest.(check (float 0.)) "max tracked" 3.0 (Histogram.max_value h);
+  Alcotest.(check int) "two in the 0.5 bucket" 2
+    (Histogram.bucket_count h (Histogram.bucket_index 0.5));
+  Alcotest.(check int) "one in the junk bucket" 1 (Histogram.bucket_count h 0)
+
+let test_observe_span () =
+  let h = Histogram.create ~name:"h" ~help:"" in
+  let t = ref 10.0 in
+  let now () = !t in
+  let r =
+    Histogram.observe_span h ~now (fun () ->
+        t := !t +. 0.25;
+        "done")
+  in
+  Alcotest.(check string) "span returns f's result" "done" r;
+  Alcotest.(check int) "one observation" 1 (Histogram.count h);
+  Alcotest.(check (float 1e-9)) "elapsed span recorded" 0.25 (Histogram.sum h);
+  (try
+     ignore
+       (Histogram.observe_span h ~now (fun () ->
+            t := !t +. 1.;
+            failwith "boom"))
+   with Failure _ -> ());
+  Alcotest.(check int) "raising f records nothing" 1 (Histogram.count h)
+
+(* ------------------------------------------------------------------ *)
+(* Percentiles vs a naive sorted-array reference                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Both the histogram walk and the naive reference use rank
+   [max 1 (ceil (p/100 * n))]. bucket_index is monotone, so the bucket
+   that first accumulates [rank] observations is exactly the bucket of
+   the rank-th smallest value: the histogram answer must equal that
+   bucket's upper edge (or the true max, from the overflow bucket). *)
+let prop_percentile_matches_naive =
+  QCheck.Test.make ~name:"percentile equals bucket edge of naive rank" ~count:300
+    QCheck.(pair (list_of_size Gen.(1 -- 100) (int_range 1 2_000_000)) (int_range 1 100))
+    (fun (micros, p) ->
+      QCheck.assume (micros <> []);
+      let values = List.map (fun us -> float_of_int us *. 1e-6) micros in
+      let h = Histogram.create ~name:"h" ~help:"" in
+      List.iter (Histogram.observe h) values;
+      let sorted = Array.of_list values in
+      Array.sort compare sorted;
+      let n = Array.length sorted in
+      let p = float_of_int p in
+      let rank = max 1 (int_of_float (Float.ceil (p *. float_of_int n /. 100.))) in
+      let v_naive = sorted.(rank - 1) in
+      let i = Histogram.bucket_index v_naive in
+      let expected =
+        if i = Histogram.n_buckets - 1 then Histogram.max_value h else Histogram.bucket_upper i
+      in
+      let got = Histogram.percentile h p in
+      got = expected
+      (* and the estimate brackets the true value to one bucket width *)
+      && got >= v_naive
+      && got <= 2. *. v_naive)
+
+(* ------------------------------------------------------------------ *)
+(* Sampling                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_sampled () =
+  let h = Histogram.create ~name:"h" ~help:"" in
+  let s = Sampled.create ~every:4 h in
+  let clock_reads = ref 0 in
+  let t = ref 0. in
+  let now () =
+    incr clock_reads;
+    !t
+  in
+  for _ = 1 to 8 do
+    Sampled.observe_span s ~now (fun () -> t := !t +. 0.001)
+  done;
+  Alcotest.(check int) "1-in-4 of 8 calls recorded" 2 (Histogram.count h);
+  Alcotest.(check int) "clock touched only on sampled calls" 4 !clock_reads;
+  (try
+     ignore (Sampled.create ~every:0 h);
+     Alcotest.fail "every:0 accepted"
+   with Invalid_argument _ -> ());
+  let all = Sampled.create ~every:1 h in
+  Sampled.observe all 0.5;
+  Alcotest.(check int) "every:1 records all" 3 (Histogram.count h)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot exports                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_snapshot () =
+  let r = Registry.create () in
+  let c = Registry.counter r "events_total" ~help:"events" in
+  Counter.add c 5;
+  Gauge.set (Registry.gauge r "depth") 2.0;
+  let h = Registry.histogram r "lat_seconds" in
+  Histogram.observe h 0.5;
+  let rows = Snapshot.rows r in
+  let find metric stat =
+    match
+      List.find_opt (fun (x : Snapshot.row) -> x.metric = metric && x.stat = stat) rows
+    with
+    | Some x -> x.value
+    | None -> Alcotest.fail (Printf.sprintf "missing row %s/%s" metric stat)
+  in
+  Alcotest.(check (float 0.)) "counter row" 5.0 (find "events_total" "value");
+  Alcotest.(check (float 0.)) "gauge row" 2.0 (find "depth" "value");
+  Alcotest.(check (float 0.)) "histogram count row" 1.0 (find "lat_seconds" "count");
+  Alcotest.(check (float 0.)) "histogram p50 row" 1.0 (find "lat_seconds" "p50");
+  let text = Snapshot.render_prometheus r in
+  List.iter
+    (fun needle ->
+      let re = Re.compile (Re.str needle) in
+      Alcotest.(check bool) (Printf.sprintf "exposition contains %S" needle) true
+        (Re.execp re text))
+    [
+      "# TYPE events_total counter";
+      "events_total 5";
+      "# TYPE depth gauge";
+      "# TYPE lat_seconds summary";
+      "lat_seconds{quantile=\"0.99\"}";
+      "lat_seconds_count 1";
+    ];
+  match Snapshot.to_json r with
+  | Hw_json.Json.Obj fields ->
+      Alcotest.(check bool) "json has all metrics" true
+        (List.mem_assoc "events_total" fields
+        && List.mem_assoc "depth" fields
+        && List.mem_assoc "lat_seconds" fields)
+  | _ -> Alcotest.fail "to_json should produce an object"
+
+(* ------------------------------------------------------------------ *)
+(* hwdb Metrics table                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_value rs ~metric ~stat =
+  (* rows of (name, kind, stat, value [, ts]) from SELECT on Metrics *)
+  let cols = rs.Query.columns in
+  let col c row =
+    match List.assoc_opt c (List.combine cols row) with
+    | Some v -> v
+    | None -> Alcotest.fail (Printf.sprintf "no %s column" c)
+  in
+  List.find_map
+    (fun row ->
+      match (col "name" row, col "stat" row, col "value" row) with
+      | Value.Str n, Value.Str s, Value.Real v when n = metric && s = stat -> Some v
+      | _ -> None)
+    rs.Query.rows
+
+let test_metrics_table () =
+  let t = ref 0. in
+  let db = Database.create ~metrics:(Registry.create ()) ~now:(fun () -> !t) () in
+  Database.record_lease db ~mac:"aa:bb:cc:dd:ee:01" ~ip:"10.0.0.2" ~hostname:"h" ~action:"grant";
+  Database.record_lease db ~mac:"aa:bb:cc:dd:ee:02" ~ip:"10.0.0.3" ~hostname:"h" ~action:"grant";
+  (match Database.query db "SELECT * FROM Metrics [NOW]" with
+  | Ok rs -> Alcotest.(check int) "no export before the first tick" 0 (List.length rs.Query.rows)
+  | Error e -> Alcotest.fail e);
+  t := 1.;
+  Database.tick db;
+  let rs =
+    match Database.query db "SELECT name, kind, stat, value FROM Metrics [NOW]" with
+    | Ok rs -> rs
+    | Error e -> Alcotest.fail e
+  in
+  (match metrics_value rs ~metric:"hwdb_inserts_total" ~stat:"value" with
+  | Some v -> Alcotest.(check bool) "insert counter exported and nonzero" true (v >= 2.)
+  | None -> Alcotest.fail "hwdb_inserts_total not exported");
+  (* the refresh replaces the batch each tick rather than double-counting *)
+  t := 2.;
+  Database.tick db;
+  let rs2 =
+    match Database.query db "SELECT name, stat, value FROM Metrics [NOW]" with
+    | Ok rs -> rs
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check int) "[NOW] returns exactly one batch" (List.length rs.Query.rows)
+    (List.length rs2.Query.rows);
+  match metrics_value rs2 ~metric:"hwdb_ticks_total" ~stat:"value" with
+  | Some v -> Alcotest.(check (float 0.)) "tick counter advanced" 2.0 v
+  | None -> Alcotest.fail "hwdb_ticks_total not exported"
+
+(* ------------------------------------------------------------------ *)
+(* End to end: a running home exports live counters on every surface   *)
+(* ------------------------------------------------------------------ *)
+
+let test_home_metrics_end_to_end () =
+  let home = Home.standard_home ~seed:11 () in
+  let r = Home.router home in
+  (* hook the hwdb RPC plane up to a client before traffic starts *)
+  let from_router = Queue.create () in
+  Router.set_rpc_send r (fun ~to_:_ data -> Queue.add data from_router);
+  let client = Rpc.Client.create ~send:(fun d -> Router.rpc_datagram r ~from:"ui:9000" d) in
+  let published = ref [] in
+  Rpc.Client.on_publish client (fun ~subscription:_ rs -> published := rs :: !published);
+  let pump () =
+    while not (Queue.is_empty from_router) do
+      Rpc.Client.handle_datagram client (Queue.pop from_router)
+    done
+  in
+  let sub_ok = ref false in
+  Rpc.Client.request client "SUBSCRIBE SELECT name, kind, stat, value FROM Metrics [NOW] EVERY 2 SECONDS"
+    ~on_reply:(fun reply -> sub_ok := Result.is_ok reply);
+  pump ();
+  Alcotest.(check bool) "subscription accepted" true !sub_ok;
+  Home.run_for home 30.;
+  pump ();
+  (* 1. the RPC subscription published a Metrics snapshot with live counts *)
+  Alcotest.(check bool) "publications arrived" true (!published <> []);
+  let latest = List.hd !published in
+  let nonzero metric =
+    match metrics_value latest ~metric ~stat:"value" with
+    | Some v -> Alcotest.(check bool) (metric ^ " > 0") true (v > 0.)
+    | None -> Alcotest.fail (metric ^ " missing from published snapshot")
+  in
+  nonzero "ctrl_packet_in_total";
+  nonzero "hwdb_inserts_total";
+  nonzero "rpc_datagrams_in_total";
+  nonzero "rpc_datagrams_out_total";
+  nonzero "dp_flow_lookups_total";
+  nonzero "dhcp_grants_total";
+  (* 2. the same data answers a plain query through the database *)
+  (match Database.query (Router.db r) "SELECT name, stat, value FROM Metrics [NOW]" with
+  | Ok rs -> (
+      match metrics_value rs ~metric:"ctrl_packet_in_total" ~stat:"value" with
+      | Some v -> Alcotest.(check bool) "SELECT sees dispatch counts" true (v > 0.)
+      | None -> Alcotest.fail "ctrl_packet_in_total missing from Metrics table")
+  | Error e -> Alcotest.fail e);
+  (* 3. and the Prometheus endpoint renders it as text *)
+  let resp = Router.http r (Http.request Http.GET "/metrics") in
+  Alcotest.(check int) "GET /metrics ok" 200 resp.Http.status;
+  Alcotest.(check (option string)) "prometheus content type"
+    (Some "text/plain; version=0.0.4")
+    (List.assoc_opt "content-type" resp.Http.headers);
+  let has needle = Re.execp (Re.compile (Re.str needle)) resp.Http.body in
+  Alcotest.(check bool) "controller counter exposed" true (has "ctrl_packet_in_total");
+  Alcotest.(check bool) "handler latency summary exposed" true
+    (has "quantile=\"0.5\"");
+  let zero_packet_in = has "\nctrl_packet_in_total 0\n" in
+  Alcotest.(check bool) "controller dispatch count is nonzero" false zero_packet_in
+
+let () =
+  Alcotest.run "hw_metrics"
+    [
+      ( "instruments",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "histogram observe" `Quick test_histogram_observe;
+          Alcotest.test_case "observe_span" `Quick test_observe_span;
+          Alcotest.test_case "sampled" `Quick test_sampled;
+          QCheck_alcotest.to_alcotest prop_percentile_matches_naive;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "get or create" `Quick test_registry_get_or_create;
+          Alcotest.test_case "kind mismatch" `Quick test_registry_kind_mismatch;
+          Alcotest.test_case "name grammar" `Quick test_registry_names;
+          Alcotest.test_case "snapshot exports" `Quick test_snapshot;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "hwdb Metrics table" `Quick test_metrics_table;
+          Alcotest.test_case "home end to end" `Quick test_home_metrics_end_to_end;
+        ] );
+    ]
