@@ -616,6 +616,28 @@ let micro_tests () =
     Test.make ~name:"datapath_fast_path_with_NAT_rewrite"
       (Staged.stage (fun () -> Hw_datapath.Datapath.receive_frame dp ~in_port:1 frame))
   in
+  (* PERF7: tracer hot path. The untraced/disabled cases are the cost every
+     packet pays when tracing is off or no trace is active (budget: a few
+     ns — one branch, no allocation, no clock read); the recorded case is
+     the full open/close/ring-push cycle for a kept trace. *)
+  let trace_tests =
+    let module Tracer = Hw_trace.Tracer in
+    let clock = ref 0. in
+    let live =
+      Tracer.create ~metrics:(Hw_metrics.Registry.create ()) ~now:(fun () -> !clock) ()
+    in
+    [
+      Test.make ~name:"with_span_disabled"
+        (Staged.stage (fun () -> Tracer.with_span Tracer.disabled "bench" (fun () -> ())));
+      Test.make ~name:"with_span_untraced"
+        (Staged.stage (fun () -> Tracer.with_span live "bench" (fun () -> ())));
+      Test.make ~name:"trace_3_spans_recorded"
+        (Staged.stage (fun () ->
+             Tracer.with_trace live "root" (fun () ->
+                 Tracer.with_span live "a" (fun () -> ());
+                 Tracer.with_span live "b" (fun () -> ()))));
+    ]
+  in
   [
     ("PERF1 flow table", lookup_tests);
     ("PERF2 openflow codec", codec_tests);
@@ -623,10 +645,13 @@ let micro_tests () =
     ("PERF4 dhcp", dhcp_tests);
     ("PERF5 dns proxy", dns_tests);
     ("PERF6 pipeline", [ table_dp; table_dp_nat ]);
+    ("PERF7 tracer", trace_tests);
   ]
 
 let run_micro () =
-  banner "PERF1-6  System microbenchmarks (Bechamel, monotonic clock)";
+  banner "PERF1-7  System microbenchmarks (Bechamel, monotonic clock)";
+  (* identify the build in the snapshot below *)
+  ignore (Hw_metrics.Build_info.register ());
   let open Bechamel in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None () in

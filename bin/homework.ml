@@ -5,8 +5,14 @@
 
 open Cmdliner
 
+(* All diagnostics go through the trace-aware logger: library log sites
+   (hw.dhcp, hw.router, ...) are bridged via its Logs reporter, and each
+   record is stamped with the active trace id once a router's tracer is
+   registered (see [wire_tracer]). *)
 let setup_logs verbose =
-  Logs.set_reporter (Logs_fmt.reporter ());
+  Hw_trace.Log.install_reporter
+    ~level:(if verbose then Hw_trace.Log.Info else Hw_trace.Log.Warn)
+    ();
   Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
 
 let log_term =
@@ -25,8 +31,12 @@ let duration_arg default =
   let doc = "Virtual time to simulate, in seconds." in
   Arg.(value & opt float default & info [ "d"; "duration" ] ~docv:"SECONDS" ~doc)
 
+let wire_tracer home =
+  Hw_trace.Log.use (Hw_router.Router.tracer (Hw_router.Home.router home))
+
 let run_standard ~seed ~duration ~permit_kids =
   let home = Hw_router.Home.standard_home ~seed () in
+  wire_tracer home;
   if permit_kids then Hw_router.Home.permit_all home;
   Hw_router.Home.run_for home duration;
   home
@@ -134,6 +144,7 @@ let http_cmd =
 
 let artifact seed duration () =
   let home = Hw_router.Home.standard_home ~seed () in
+  wire_tracer home;
   Hw_router.Home.permit_all home;
   let artifact = Hw_ui.Artifact.create () in
   Hw_ui.Artifact.set_mode artifact Hw_ui.Artifact.Event_flashes;
@@ -162,7 +173,7 @@ let artifact_cmd =
 
 let main_cmd =
   let doc = "Homework home-router reproduction (Mortier et al., SIGCOMM 2011)" in
-  let info = Cmd.info "homework" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "homework" ~version:Hw_metrics.Build_info.version ~doc in
   Cmd.group info [ demo_cmd; query_cmd; http_cmd; artifact_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -17,6 +17,8 @@ type ops = {
   hwdb_query : string -> (Json.t, string) result;
   dns_stats : unit -> Json.t;
   metrics_text : unit -> string;
+  list_traces : unit -> Json.t;
+  get_trace : string -> (Json.t, string) result;
 }
 
 let ok_empty = Http.json_response (Json.Obj [ ("ok", Json.Bool true) ])
@@ -94,6 +96,12 @@ let build ops =
   Router.route r Http.GET "/metrics" (fun _req _params ->
       Http.response ~headers:[ ("content-type", "text/plain; version=0.0.4") ]
         ~body:(ops.metrics_text ()) 200);
+  Router.route r Http.GET "/traces" (fun _req _params ->
+      Http.json_response (ops.list_traces ()));
+  Router.route r Http.GET "/traces/:id" (fun _req params ->
+      match ops.get_trace (param "id" params) with
+      | Ok json -> Http.json_response json
+      | Error msg -> Http.error_response 404 msg);
   r
 
 let handle = Router.dispatch

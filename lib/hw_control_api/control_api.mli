@@ -24,6 +24,8 @@
     GET    /api/hwdb?q=SELECT...
     GET    /api/dns/stats
     GET    /metrics                          Prometheus text exposition
+    GET    /traces                           flight-recorder trace summaries
+    GET    /traces/:id                       one trace, Chrome trace-event JSON
     v} *)
 
 open Hw_json
@@ -46,6 +48,12 @@ type ops = {
   dns_stats : unit -> Json.t;
   metrics_text : unit -> string;
       (** Body of [GET /metrics] (Prometheus text exposition format). *)
+  list_traces : unit -> Json.t;
+      (** [GET /traces]: summaries of every trace in the flight recorder,
+          newest first. *)
+  get_trace : string -> (Json.t, string) result;
+      (** [GET /traces/:id]: one trace rendered as Chrome trace-event JSON
+          (loadable in Perfetto / chrome://tracing). [Error] maps to 404. *)
 }
 
 val build : ops -> Router.t

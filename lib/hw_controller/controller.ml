@@ -26,9 +26,12 @@ type packet_in_event = {
 
 type disposition = Continue | Stop
 
+module Tracer = Hw_trace.Tracer
+
 type t = {
   now : unit -> float;
   metrics : Hw_metrics.Registry.t;
+  trace : Tracer.t;
   mutable conns : conn list;
   mutable next_conn_id : int;
   mutable join_handlers : (string * (conn -> Ofp_message.switch_features -> unit)) list;
@@ -48,11 +51,12 @@ type t = {
   m_handler_errors : Hw_metrics.Counter.t;
 }
 
-let create ?(metrics = Hw_metrics.Registry.default) ~now () =
+let create ?(metrics = Hw_metrics.Registry.default) ?(trace = Tracer.disabled) ~now () =
   let counter name help = Hw_metrics.Registry.counter metrics name ~help in
   {
     now;
     metrics;
+    trace;
     conns = [];
     next_conn_id = 1;
     join_handlers = [];
@@ -171,15 +175,27 @@ let dispatch_packet_in t conn (pi : Ofp_message.packet_in) =
   let rec run = function
     | [] -> ()
     | (name, hist, handler) :: rest -> (
-        match Hw_metrics.Histogram.observe_span hist ~now:t.now (fun () -> handler ev) with
-        | Stop -> ()
+        let invoke () =
+          Hw_metrics.Histogram.observe_span hist ~now:t.now (fun () -> handler ev)
+        in
+        match Tracer.with_span t.trace ("ctrl.handler." ^ name) invoke with
+        | Stop -> if Tracer.in_trace t.trace then Tracer.set_attr t.trace "stopped_by" (Tracer.Str name)
         | Continue -> run rest
         | exception exn ->
             Hw_metrics.Counter.incr t.m_handler_errors;
             Log.err (fun m -> m "packet-in handler %s raised %s" name (Printexc.to_string exn));
             run rest)
   in
-  run t.packet_in_handlers
+  (* Roots a trace when the packet-in arrived without one (a foreign
+     event source); nests as a child span under the datapath's
+     dp.packet_in root otherwise. *)
+  Tracer.with_trace t.trace "ctrl.dispatch" (fun () ->
+      if Tracer.in_trace t.trace then begin
+        Tracer.set_attr t.trace "conn" (Tracer.Int conn.id);
+        Tracer.set_attr t.trace "in_port" (Tracer.Int pi.Ofp_message.in_port);
+        Tracer.set_attr t.trace "total_len" (Tracer.Int pi.Ofp_message.total_len)
+      end;
+      run t.packet_in_handlers)
 
 let handle_message t conn xid msg =
   match msg with

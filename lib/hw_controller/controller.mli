@@ -22,10 +22,21 @@ type packet_in_event = {
 
 type disposition = Continue | Stop
 
-val create : ?metrics:Hw_metrics.Registry.t -> now:(unit -> float) -> unit -> t
+val create :
+  ?metrics:Hw_metrics.Registry.t ->
+  ?trace:Hw_trace.Tracer.t ->
+  now:(unit -> float) ->
+  unit ->
+  t
 (** [metrics] (default {!Hw_metrics.Registry.default}) receives the ctrl_*
     event counters plus one [ctrl_handler_<name>_seconds] latency histogram
-    per registered packet-in handler. *)
+    per registered packet-in handler.
+
+    [trace] (default {!Hw_trace.Tracer.disabled}) wraps packet-in
+    dispatch in a [ctrl.dispatch] span (a trace root when the event did
+    not come from a traced datapath) and each handler invocation in a
+    [ctrl.handler.<name>] child span; a handler that raises marks its
+    span — and hence the trace — errored. *)
 
 val metrics : t -> Hw_metrics.Registry.t
 

@@ -18,8 +18,11 @@ type port_counters = {
 
 type port = { config : port_config; counters : port_counters; mutable up : bool }
 
+module Tracer = Hw_trace.Tracer
+
 type t = {
   dpid : int64;
+  trace : Tracer.t;
   ports : (int, port) Hashtbl.t;
   table : Flow_table.t;
   transmit : port_no:int -> string -> unit;
@@ -48,12 +51,13 @@ let stats_description =
     dp_desc = "bridge dp0";
   }
 
-let create ?(metrics = Hw_metrics.Registry.default) ~dpid ~ports ~transmit ~to_controller ~now
-    () =
+let create ?(metrics = Hw_metrics.Registry.default) ?(trace = Tracer.disabled) ~dpid ~ports
+    ~transmit ~to_controller ~now () =
   let counter name help = Hw_metrics.Registry.counter metrics name ~help in
   let t =
     {
       dpid;
+      trace;
       ports = Hashtbl.create 8;
       table = Flow_table.create ();
       transmit;
@@ -255,6 +259,46 @@ let buffer_frame t ~in_port frame =
   Hashtbl.replace t.buffers id (in_port, frame);
   id
 
+(* Root-span attributes: dpid, rx port and as much of the five-tuple as
+   the packet carries. Only computed on the (already slow) miss path,
+   and only when tracing is enabled. *)
+let trace_attrs t ~in_port pkt =
+  if not (Tracer.enabled t.trace) then []
+  else
+    let l3 =
+      match pkt.Packet.l3 with
+      | Packet.Ipv4 (ip, l4) ->
+          let l4_attrs =
+            match l4 with
+            | Packet.Udp u ->
+                [
+                  ("tp_src", Tracer.Int u.Udp.src_port);
+                  ("tp_dst", Tracer.Int u.Udp.dst_port);
+                ]
+            | Packet.Tcp seg ->
+                [
+                  ("tp_src", Tracer.Int seg.Tcp.src_port);
+                  ("tp_dst", Tracer.Int seg.Tcp.dst_port);
+                ]
+            | _ -> []
+          in
+          [
+            ("nw_src", Tracer.Str (Ip.to_string ip.Ipv4.src));
+            ("nw_dst", Tracer.Str (Ip.to_string ip.Ipv4.dst));
+            ("nw_proto", Tracer.Int ip.Ipv4.protocol);
+          ]
+          @ l4_attrs
+      | Packet.Arp _ -> [ ("l3", Tracer.Str "arp") ]
+      | Packet.Raw_l3 _ -> []
+    in
+    [
+      ("dpid", Tracer.Int (Int64.to_int t.dpid));
+      ("in_port", Tracer.Int in_port);
+      ("eth_src", Tracer.Str (Mac.to_string pkt.Packet.eth.Ethernet.src));
+      ("eth_dst", Tracer.Str (Mac.to_string pkt.Packet.eth.Ethernet.dst));
+    ]
+    @ l3
+
 let receive_frame t ~in_port frame =
   match Hashtbl.find_opt t.ports in_port with
   | None -> Log.warn (fun m -> m "frame on unknown port %d" in_port)
@@ -290,9 +334,16 @@ let receive_frame t ~in_port frame =
               apply_actions t ~in_port (Some pkt) frame entry.Flow_entry.actions
           | None ->
               Hw_metrics.Counter.incr t.m_misses;
-              let buffer_id = buffer_frame t ~in_port frame in
-              send_packet_in t ~in_port ~reason:Ofp_message.No_match
-                ~buffer_id:(Some buffer_id) frame))
+              (* A miss is where a packet's controller lifecycle begins:
+                 root the trace here so the synchronous packet-in ->
+                 dispatch -> handler -> hwdb chain nests under it. The
+                 hit path above never touches the tracer. *)
+              Tracer.with_trace t.trace "dp.packet_in"
+                ~attrs:(trace_attrs t ~in_port pkt)
+                (fun () ->
+                  let buffer_id = buffer_frame t ~in_port frame in
+                  send_packet_in t ~in_port ~reason:Ofp_message.No_match
+                    ~buffer_id:(Some buffer_id) frame)))
 
 (* ------------------------------------------------------------------ *)
 (* Controller input                                                    *)
@@ -459,6 +510,30 @@ let handle_stats_request t xid req =
   in
   send_with_xid t xid (Ofp_message.Stats_reply reply)
 
+let handle_packet_out t xid po =
+  let frame =
+    match po.Ofp_message.po_buffer_id with
+    | Some bid -> (
+        match Hashtbl.find_opt t.buffers bid with
+        | Some (_, frame) ->
+            Hashtbl.remove t.buffers bid;
+            Some frame
+        | None -> None)
+    | None -> Some po.Ofp_message.po_data
+  in
+  match frame with
+  | None ->
+      send_with_xid t xid
+        (Ofp_message.Error_msg
+           {
+             Ofp_message.err_type = Ofp_message.Bad_request;
+             err_code = 8 (* OFPBRC_BUFFER_UNKNOWN *);
+             err_data = "";
+           })
+  | Some frame ->
+      let pkt = Result.to_option (Packet.decode frame) in
+      apply_actions t ~in_port:po.Ofp_message.po_in_port pkt frame po.Ofp_message.po_actions
+
 let handle_message t xid msg =
   match msg with
   | Ofp_message.Hello -> ()
@@ -483,31 +558,22 @@ let handle_message t xid msg =
       send_with_xid t xid
         (Ofp_message.Get_config_reply { flags = 0; miss_send_len = t.miss_send_len })
   | Ofp_message.Set_config { miss_send_len; _ } -> t.miss_send_len <- miss_send_len
-  | Ofp_message.Packet_out po -> (
-      let frame =
-        match po.Ofp_message.po_buffer_id with
-        | Some bid -> (
-            match Hashtbl.find_opt t.buffers bid with
-            | Some (_, frame) ->
-                Hashtbl.remove t.buffers bid;
-                Some frame
-            | None -> None)
-        | None -> Some po.Ofp_message.po_data
-      in
-      match frame with
-      | None ->
-          send_with_xid t xid
-            (Ofp_message.Error_msg
-               {
-                 Ofp_message.err_type = Ofp_message.Bad_request;
-                 err_code = 8 (* OFPBRC_BUFFER_UNKNOWN *);
-                 err_data = "";
-               })
-      | Some frame ->
-          let pkt = Result.to_option (Packet.decode frame) in
-          apply_actions t ~in_port:po.Ofp_message.po_in_port pkt frame
-            po.Ofp_message.po_actions)
-  | Ofp_message.Flow_mod fm -> handle_flow_mod t xid fm
+  | Ofp_message.Packet_out po ->
+      Tracer.with_span t.trace "dp.packet_out" (fun () -> handle_packet_out t xid po)
+  | Ofp_message.Flow_mod fm ->
+      Tracer.with_span t.trace "dp.flow_mod" (fun () ->
+          if Tracer.in_trace t.trace then begin
+            Tracer.set_attr t.trace "command"
+              (Tracer.Str
+                 (match fm.Ofp_message.command with
+                 | Ofp_message.Add -> "add"
+                 | Ofp_message.Modify -> "modify"
+                 | Ofp_message.Modify_strict -> "modify_strict"
+                 | Ofp_message.Delete -> "delete"
+                 | Ofp_message.Delete_strict -> "delete_strict"));
+            Tracer.set_attr t.trace "priority" (Tracer.Int fm.Ofp_message.priority)
+          end;
+          handle_flow_mod t xid fm)
   | Ofp_message.Port_mod pm -> (
       match Hashtbl.find_opt t.ports pm.Ofp_message.pm_port_no with
       | None ->

@@ -27,6 +27,7 @@ type t
 
 val create :
   ?metrics:Hw_metrics.Registry.t ->
+  ?trace:Hw_trace.Tracer.t ->
   dpid:int64 ->
   ports:port_config list ->
   transmit:(port_no:int -> string -> unit) ->
@@ -35,7 +36,14 @@ val create :
   unit ->
   t
 (** [metrics] (default {!Hw_metrics.Registry.default}) receives the dp_*
-    counters and the sampled [dp_flow_lookup_seconds] histogram. *)
+    counters and the sampled [dp_flow_lookup_seconds] histogram.
+
+    [trace] (default {!Hw_trace.Tracer.disabled}) roots a trace
+    ([dp.packet_in]) at each flow-table miss — the packet's whole
+    synchronous controller lifecycle nests under it — and opens
+    [dp.flow_mod] / [dp.packet_out] child spans around controller-driven
+    table and output operations. The flow-table {e hit} path never
+    touches the tracer. *)
 
 val dpid : t -> int64
 

@@ -59,9 +59,12 @@ type device = {
   mutable acked : bool; (* completed at least one DORA; later ACKs are renewals *)
 }
 
+module Tracer = Hw_trace.Tracer
+
 type t = {
   cfg : config;
   now : unit -> float;
+  trace : Tracer.t;
   leases : Lease_db.t;
   devices : (Mac.t, device) Hashtbl.t;
   mutable listeners : (event -> unit) list;
@@ -73,11 +76,13 @@ type t = {
   m_pending : Hw_metrics.Counter.t;
 }
 
-let create ?(metrics = Hw_metrics.Registry.default) ?(config = default_config) ~now () =
+let create ?(metrics = Hw_metrics.Registry.default) ?(trace = Tracer.disabled)
+    ?(config = default_config) ~now () =
   let counter name help = Hw_metrics.Registry.counter metrics name ~help in
   {
     cfg = config;
     now;
+    trace;
     leases =
       Lease_db.create ~pool_start:config.pool_start ~pool_end:config.pool_end
         ~lease_time:config.lease_time ();
@@ -104,6 +109,10 @@ let emit t ev =
     | Lease_released _ -> t.m_releases
     | Request_denied _ -> t.m_denials
     | Device_pending _ -> t.m_pending);
+  (* The state transition is what the trace is about: stamp the verdict
+     on the enclosing dhcp.handle span. *)
+  if Tracer.in_trace t.trace then
+    Tracer.set_attr t.trace "dhcp.event" (Tracer.Str (event_to_string ev));
   List.iter (fun f -> f ev) t.listeners
 
 let device t mac =
@@ -278,7 +287,25 @@ let handle_packet t (pkt : Packet.t) =
   match pkt.Packet.l3 with
   | Packet.Ipv4 (_, Packet.Udp u) when u.Udp.dst_port = Dhcp_wire.server_port -> (
       match Dhcp_wire.decode u.Udp.payload with
-      | Ok req when req.Dhcp_wire.op = Dhcp_wire.Bootrequest -> handle_dhcp t req
+      | Ok req when req.Dhcp_wire.op = Dhcp_wire.Bootrequest ->
+          Tracer.with_span t.trace "dhcp.handle" (fun () ->
+              if Tracer.in_trace t.trace then begin
+                Tracer.set_attr t.trace "mac"
+                  (Tracer.Str (Mac.to_string req.Dhcp_wire.chaddr));
+                Tracer.set_attr t.trace "msg_type"
+                  (Tracer.Str
+                     (match Dhcp_wire.find_message_type req with
+                     | Some Dhcp_wire.Discover -> "discover"
+                     | Some Dhcp_wire.Offer -> "offer"
+                     | Some Dhcp_wire.Request -> "request"
+                     | Some Dhcp_wire.Decline -> "decline"
+                     | Some Dhcp_wire.Ack -> "ack"
+                     | Some Dhcp_wire.Nak -> "nak"
+                     | Some Dhcp_wire.Release -> "release"
+                     | Some Dhcp_wire.Inform -> "inform"
+                     | None -> "unknown"))
+              end;
+              handle_dhcp t req)
       | Ok _ -> []
       | Error msg ->
           Log.debug (fun m -> m "malformed DHCP: %s" msg);

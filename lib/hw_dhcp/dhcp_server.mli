@@ -47,10 +47,20 @@ val event_to_string : event -> string
 type t
 
 val create :
-  ?metrics:Hw_metrics.Registry.t -> ?config:config -> now:(unit -> float) -> unit -> t
+  ?metrics:Hw_metrics.Registry.t ->
+  ?trace:Hw_trace.Tracer.t ->
+  ?config:config ->
+  now:(unit -> float) ->
+  unit ->
+  t
 (** [metrics] (default {!Hw_metrics.Registry.default}) receives one
     [dhcp_*_total] counter per event variant, bumped whenever the event
-    fires — whether or not any {!on_event} listener is attached. *)
+    fires — whether or not any {!on_event} listener is attached.
+
+    [trace] (default {!Hw_trace.Tracer.disabled}) opens a [dhcp.handle]
+    span around each BOOTREQUEST, carrying the client MAC, message type
+    and — once the state machine decides — the resulting event
+    ([dhcp.event] attribute: grant/renew/deny/...). *)
 
 val config : t -> config
 val lease_db : t -> Lease_db.t

@@ -51,8 +51,11 @@ type pending = {
 
 type cache_entry = { ips : Ip.t list; inserted : float }
 
+module Tracer = Hw_trace.Tracer
+
 type t = {
   now : unit -> float;
+  trace : Tracer.t;
   cache_ttl : float;
   policies : (Mac.t, name_policy) Hashtbl.t;
   mutable device_of_ip : Ip.t -> Mac.t option;
@@ -71,10 +74,12 @@ type t = {
   m_flow_blocked : Hw_metrics.Counter.t;
 }
 
-let create ?(metrics = Hw_metrics.Registry.default) ?(cache_ttl = 3600.) ~now () =
+let create ?(metrics = Hw_metrics.Registry.default) ?(trace = Tracer.disabled)
+    ?(cache_ttl = 3600.) ~now () =
   let counter name help = Hw_metrics.Registry.counter metrics name ~help in
   {
     now;
+    trace;
     cache_ttl;
     policies = Hashtbl.create 16;
     device_of_ip = (fun _ -> None);
@@ -151,7 +156,10 @@ let expire_cache t =
 
 let nxdomain query = Dns_wire.response ~rcode:Dns_wire.Name_error query
 
-let handle_query t ~src_ip ~src_port (query : Dns_wire.t) =
+let verdict_attr t v =
+  if Tracer.in_trace t.trace then Tracer.set_attr t.trace "verdict" (Tracer.Str v)
+
+let handle_query_inner t ~src_ip ~src_port (query : Dns_wire.t) =
   t.st.queries <- t.st.queries + 1;
   Hw_metrics.Counter.incr t.m_queries;
   match query.Dns_wire.questions with
@@ -161,6 +169,7 @@ let handle_query t ~src_ip ~src_port (query : Dns_wire.t) =
       if not (policy_allows policy qname) then begin
         t.st.blocked <- t.st.blocked + 1;
         Hw_metrics.Counter.incr t.m_blocked;
+        verdict_attr t "blocked";
         Log.debug (fun m -> m "blocked lookup of %s from %s" qname (Ip.to_string src_ip));
         [ Respond_to_client { dst_ip = src_ip; dst_port = src_port; msg = nxdomain query } ]
       end
@@ -171,6 +180,7 @@ let handle_query t ~src_ip ~src_port (query : Dns_wire.t) =
                <= t.cache_ttl ->
             t.st.cache_answers <- t.st.cache_answers + 1;
             Hw_metrics.Counter.incr t.m_cache_answers;
+            verdict_attr t "cache_answer";
             let answers = List.map (fun ip -> Dns_wire.a_record qname ip) ips in
             [
               Respond_to_client
@@ -187,8 +197,19 @@ let handle_query t ~src_ip ~src_port (query : Dns_wire.t) =
               };
             t.st.forwarded <- t.st.forwarded + 1;
             Hw_metrics.Counter.incr t.m_forwarded;
+            verdict_attr t "forwarded";
             [ Forward_upstream { query with Dns_wire.id = txid } ]
       end
+
+let handle_query t ~src_ip ~src_port (query : Dns_wire.t) =
+  Tracer.with_span t.trace "dns.query" (fun () ->
+      if Tracer.in_trace t.trace then begin
+        Tracer.set_attr t.trace "src" (Tracer.Str (Ip.to_string src_ip));
+        match query.Dns_wire.questions with
+        | { Dns_wire.qname; _ } :: _ -> Tracer.set_attr t.trace "qname" (Tracer.Str qname)
+        | [] -> ()
+      end;
+      handle_query_inner t ~src_ip ~src_port query)
 
 let handle_upstream t (response : Dns_wire.t) =
   let txid = response.Dns_wire.id in
@@ -248,9 +269,20 @@ let check_flow_verdict t ~src_ip ~dst_ip =
                  (String.concat "," names)))
 
 let check_flow t ~src_ip ~dst_ip =
-  let verdict = check_flow_verdict t ~src_ip ~dst_ip in
-  (match verdict with
-  | Flow_allow -> Hw_metrics.Counter.incr t.m_flow_allowed
-  | Flow_block _ -> Hw_metrics.Counter.incr t.m_flow_blocked
-  | Flow_reverse_lookup _ -> ());
-  verdict
+  Tracer.with_span t.trace "dns.flow_check" (fun () ->
+      let verdict = check_flow_verdict t ~src_ip ~dst_ip in
+      (match verdict with
+      | Flow_allow -> Hw_metrics.Counter.incr t.m_flow_allowed
+      | Flow_block _ -> Hw_metrics.Counter.incr t.m_flow_blocked
+      | Flow_reverse_lookup _ -> ());
+      if Tracer.in_trace t.trace then begin
+        Tracer.set_attr t.trace "src" (Tracer.Str (Ip.to_string src_ip));
+        Tracer.set_attr t.trace "dst" (Tracer.Str (Ip.to_string dst_ip));
+        Tracer.set_attr t.trace "verdict"
+          (Tracer.Str
+             (match verdict with
+             | Flow_allow -> "allow"
+             | Flow_block reason -> "block: " ^ reason
+             | Flow_reverse_lookup _ -> "reverse_lookup"))
+      end;
+      verdict)

@@ -44,10 +44,20 @@ type stats = {
 type t
 
 val create :
-  ?metrics:Hw_metrics.Registry.t -> ?cache_ttl:float -> now:(unit -> float) -> unit -> t
+  ?metrics:Hw_metrics.Registry.t ->
+  ?trace:Hw_trace.Tracer.t ->
+  ?cache_ttl:float ->
+  now:(unit -> float) ->
+  unit ->
+  t
 (** [metrics] (default {!Hw_metrics.Registry.default}) receives the dns_*
     counters: query permit/deny/forward/cache decisions plus flow-admission
-    verdicts and reverse lookups. *)
+    verdicts and reverse lookups.
+
+    [trace] (default {!Hw_trace.Tracer.disabled}) opens [dns.query] spans
+    (qname + blocked/cache_answer/forwarded verdict) and [dns.flow_check]
+    spans (five-tuple endpoints + allow/block/reverse_lookup verdict)
+    under whatever trace is active when the proxy is invoked. *)
 
 val set_policy : t -> Mac.t -> name_policy -> unit
 val clear_policy : t -> Mac.t -> unit

@@ -19,8 +19,11 @@ type trigger = {
   mutable trig_enabled : bool;
 }
 
+module Tracer = Hw_trace.Tracer
+
 type t = {
   now : unit -> float;
+  trace : Tracer.t;
   default_capacity : int;
   tables : (string, Table.t) Hashtbl.t;
   mutable subs : subscription list;
@@ -71,10 +74,25 @@ let leases_schema =
 let metrics_schema =
   [ ("name", Value.T_str); ("kind", Value.T_str); ("stat", Value.T_str); ("value", Value.T_real) ]
 
-let create_empty ?(default_capacity = 4096) ?(metrics = Hw_metrics.Registry.default) ~now () =
+(* one row per span of each flight-recorded trace *)
+let traces_schema =
+  [
+    ("trace_id", Value.T_int);
+    ("span_id", Value.T_int);
+    ("parent", Value.T_int);
+    ("span", Value.T_str);
+    ("start", Value.T_real);
+    ("dur", Value.T_real);
+    ("attrs", Value.T_str);
+    ("error", Value.T_str);
+  ]
+
+let create_empty ?(default_capacity = 4096) ?(metrics = Hw_metrics.Registry.default)
+    ?(trace = Tracer.disabled) ~now () =
   let counter = Hw_metrics.Registry.counter metrics in
   {
     now;
+    trace;
     default_capacity;
     tables = Hashtbl.create 8;
     subs = [];
@@ -109,8 +127,8 @@ let create_table t ~name ?capacity schema =
     Ok table
   end
 
-let create ?default_capacity ?metrics ~now () =
-  let t = create_empty ?default_capacity ?metrics ~now () in
+let create ?default_capacity ?metrics ?trace ~now () =
+  let t = create_empty ?default_capacity ?metrics ?trace ~now () in
   List.iter
     (fun (name, schema) ->
       match create_table t ~name schema with
@@ -121,38 +139,50 @@ let create ?default_capacity ?metrics ~now () =
       ("Links", links_schema);
       ("Leases", leases_schema);
       ("Metrics", metrics_schema);
+      ("Traces", traces_schema);
     ];
   t
 
 let table t name = Hashtbl.find_opt t.tables name
 let table_names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tables [] |> List.sort compare
 let metrics t = t.metrics
+let tracer t = t.trace
+
+let insert_into t tbl values =
+  Hw_metrics.Counter.incr t.m_inserts;
+  (* branch on [due] rather than wrapping in observe_span: inserts
+     are the hottest write path and must not allocate a closure *)
+  let res =
+    if Hw_metrics.Sampled.due t.m_insert_span then begin
+      let t0 = t.now () in
+      let res = Table.insert tbl ~now:t0 values in
+      Hw_metrics.Histogram.observe
+        (Hw_metrics.Sampled.histogram t.m_insert_span)
+        (t.now () -. t0);
+      res
+    end
+    else Table.insert tbl ~now:(t.now ()) values
+  in
+  match res with
+  | Ok () as ok -> ok
+  | Error msg as e ->
+      Hw_metrics.Counter.incr t.m_insert_errors;
+      Tracer.mark_error t.trace msg;
+      e
 
 let insert t ~table:name values =
   match table t name with
   | None ->
       Hw_metrics.Counter.incr t.m_insert_errors;
       Error (Printf.sprintf "unknown table %s" name)
-  | Some tbl -> (
-      Hw_metrics.Counter.incr t.m_inserts;
-      (* branch on [due] rather than wrapping in observe_span: inserts
-         are the hottest write path and must not allocate a closure *)
-      let res =
-        if Hw_metrics.Sampled.due t.m_insert_span then begin
-          let t0 = t.now () in
-          let res = Table.insert tbl ~now:t0 values in
-          Hw_metrics.Histogram.observe
-            (Hw_metrics.Sampled.histogram t.m_insert_span)
-            (t.now () -. t0);
-          res
-        end
-        else Table.insert tbl ~now:(t.now ()) values
-      in
-      match res with
-      | Ok () as ok -> ok
-      | Error _ as e ->
-          Hw_metrics.Counter.incr t.m_insert_errors;
-          e)
+  | Some tbl ->
+      (* same discipline as the sampler: the untraced insert path must
+         not allocate the span closure *)
+      if Tracer.in_trace t.trace then
+        Tracer.with_span t.trace "hwdb.insert"
+          ~attrs:[ ("table", Tracer.Str name) ]
+          (fun () -> insert_into t tbl values)
+      else insert_into t tbl values
 
 let exec_select t sel =
   Hw_metrics.Counter.incr t.m_queries;
@@ -216,8 +246,17 @@ let create_trigger t ~watch ?condition ~target ~values () =
                     match fire with
                     | Ok false -> ()
                     | Error msg -> Log.warn (fun m -> m "trigger %d: %s" id msg)
-                    | Ok true -> (
+                    | Ok true ->
                         Hw_metrics.Counter.incr t.m_trigger_fires;
+                        Tracer.with_span t.trace "hwdb.trigger"
+                          ~attrs:
+                            (if Tracer.in_trace t.trace then
+                               [
+                                 ("trigger_id", Tracer.Int id);
+                                 ("target", Tracer.Str target);
+                               ]
+                             else [])
+                          (fun () ->
                         let row =
                           List.fold_left
                             (fun acc e ->
@@ -284,9 +323,45 @@ let refresh_metrics t =
           | Error msg -> Log.warn (fun m -> m "metrics refresh: %s" msg))
         (Hw_metrics.Snapshot.rows t.metrics)
 
+(* Same discipline as refresh_metrics: one row per span of every trace
+   currently in the flight recorder, all stamped with the same instant so
+   [SELECT ... FROM Traces [NOW]] reads one coherent dump, and raw
+   Table.insert so the export neither counts as load nor re-enters the
+   tracer. *)
+let refresh_traces t =
+  if Tracer.enabled t.trace then
+    match table t "Traces" with
+    | None -> ()
+    | Some tbl ->
+        let now = t.now () in
+        List.iter
+          (fun (c : Hw_trace.Tracer.completed) ->
+            Array.iter
+              (fun (s : Hw_trace.Tracer.span) ->
+                match
+                  Table.insert tbl ~now
+                    [
+                      Value.Int c.Hw_trace.Tracer.id;
+                      Value.Int s.Hw_trace.Tracer.span_id;
+                      Value.Int s.Hw_trace.Tracer.parent;
+                      Value.Str s.Hw_trace.Tracer.name;
+                      Value.Real s.Hw_trace.Tracer.start;
+                      Value.Real s.Hw_trace.Tracer.duration;
+                      Value.Str (Tracer.attrs_to_string s.Hw_trace.Tracer.attrs);
+                      Value.Str (Option.value s.Hw_trace.Tracer.error ~default:"");
+                    ]
+                with
+                | Ok () -> ()
+                | Error msg -> Log.warn (fun m -> m "traces refresh: %s" msg))
+              c.Hw_trace.Tracer.spans)
+          (* oldest first, so under ring pressure the newest traces'
+             rows are the ones that survive *)
+          (List.rev (Tracer.traces t.trace))
+
 let tick t =
   Hw_metrics.Counter.incr t.m_ticks;
   refresh_metrics t;
+  refresh_traces t;
   let now = t.now () in
   let due = List.filter (fun sub -> now >= sub.next_due) t.subs in
   if due <> [] then begin

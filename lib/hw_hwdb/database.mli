@@ -10,23 +10,45 @@
     - [Metrics]: self-describing observability export (name, kind, stat,
       value) refreshed from the metrics registry on every {!tick}, so the
       measurement plane can be queried and subscribed to like any other
+      stream.
+    - [Traces]: the tracer's flight recorder, one row per span (trace_id,
+      span_id, parent, span, start, dur, attrs, error), refreshed on every
+      {!tick} when a tracer is attached — so [SELECT ... FROM Traces [NOW]]
+      and [SUBSCRIBE ... FROM Traces] work over the UDP RPC like any other
       stream. *)
 
 type t
 
 val create :
-  ?default_capacity:int -> ?metrics:Hw_metrics.Registry.t -> now:(unit -> float) -> unit -> t
-(** Fresh database with the four standard tables installed. [metrics]
-    defaults to {!Hw_metrics.Registry.default}. *)
+  ?default_capacity:int ->
+  ?metrics:Hw_metrics.Registry.t ->
+  ?trace:Hw_trace.Tracer.t ->
+  now:(unit -> float) ->
+  unit ->
+  t
+(** Fresh database with the five standard tables installed. [metrics]
+    defaults to {!Hw_metrics.Registry.default}; [trace] to
+    {!Hw_trace.Tracer.disabled} — attach the composition's tracer to get
+    [hwdb.insert] / [hwdb.trigger] spans inside active traces and the
+    [Traces] table export. *)
 
 val create_empty :
-  ?default_capacity:int -> ?metrics:Hw_metrics.Registry.t -> now:(unit -> float) -> unit -> t
-(** No standard tables (for unit tests); without a [Metrics] table, {!tick}
-    skips the registry export. *)
+  ?default_capacity:int ->
+  ?metrics:Hw_metrics.Registry.t ->
+  ?trace:Hw_trace.Tracer.t ->
+  now:(unit -> float) ->
+  unit ->
+  t
+(** No standard tables (for unit tests); without a [Metrics] ([Traces])
+    table, {!tick} skips the registry (flight recorder) export. *)
 
 val metrics : t -> Hw_metrics.Registry.t
 (** The registry this database both reports into (hwdb_* counters) and
     exports from (the [Metrics] table). *)
+
+val tracer : t -> Hw_trace.Tracer.t
+(** The tracer whose flight recorder feeds the [Traces] table
+    ({!Hw_trace.Tracer.disabled} unless one was attached). *)
 
 val create_table : t -> name:string -> ?capacity:int -> Value.schema -> (Table.t, string) result
 val table : t -> string -> Table.t option
@@ -88,6 +110,7 @@ val flows_schema : Value.schema
 val links_schema : Value.schema
 val leases_schema : Value.schema
 val metrics_schema : Value.schema
+val traces_schema : Value.schema
 
 val record_flow :
   t -> proto:int -> src_ip:string -> dst_ip:string -> src_port:int -> dst_port:int ->

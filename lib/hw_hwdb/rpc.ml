@@ -130,8 +130,11 @@ module Server = struct
 
   module Log = (val Logs.src_log log_src : Logs.LOG)
 
+  module Tracer = Hw_trace.Tracer
+
   type t = {
     db : Database.t;
+    trace : Tracer.t;
     send : to_:string -> string -> unit;
     mutable client_subs : (string * int) list; (* address, subscription id *)
     m_in : Hw_metrics.Counter.t;
@@ -139,12 +142,15 @@ module Server = struct
     m_dropped : Hw_metrics.Counter.t;
   }
 
-  let create ?metrics ~db ~send () =
+  let create ?metrics ?trace ~db ~send () =
     (* Defaulting to the database's registry puts rpc_* rows in its own
-       Metrics table, alongside the hwdb_* counters the server drives. *)
+       Metrics table, alongside the hwdb_* counters the server drives;
+       same reasoning for the tracer. *)
     let metrics = Option.value metrics ~default:(Database.metrics db) in
+    let trace = Option.value trace ~default:(Database.tracer db) in
     {
       db;
+      trace;
       send;
       client_subs = [];
       m_in =
@@ -204,7 +210,15 @@ module Server = struct
   let handle_datagram t ~from data =
     Hw_metrics.Counter.incr t.m_in;
     match decode data with
-    | Ok (Request { seq; statement }) -> handle_request t ~from seq statement
+    | Ok (Request { seq; statement }) ->
+        (* an RPC query is an event lifecycle of its own: root a trace so
+           the statement's hwdb work is causally recorded *)
+        Tracer.with_trace t.trace "rpc.request"
+          ~attrs:
+            (if Tracer.enabled t.trace then
+               [ ("from", Tracer.Str from); ("statement", Tracer.Str statement) ]
+             else [])
+          (fun () -> handle_request t ~from seq statement)
     | Ok _ ->
         Hw_metrics.Counter.incr t.m_dropped;
         Log.debug (fun m -> m "non-request datagram from %s dropped" from)

@@ -29,6 +29,7 @@ module Server : sig
 
   val create :
     ?metrics:Hw_metrics.Registry.t ->
+    ?trace:Hw_trace.Tracer.t ->
     db:Database.t ->
     send:(to_:string -> string -> unit) ->
     unit ->
@@ -36,7 +37,8 @@ module Server : sig
   (** [send] transmits a datagram to a client address. [metrics] receives
       the rpc_datagrams_{in,out,dropped}_total counters; it defaults to
       [Database.metrics db] so RPC traffic shows up in the database's own
-      [Metrics] table. *)
+      [Metrics] table. [trace] (default [Database.tracer db]) roots an
+      [rpc.request] trace around each request statement. *)
 
   val handle_datagram : t -> from:string -> string -> unit
   (** Processes one request datagram and replies via [send]. SUBSCRIBE

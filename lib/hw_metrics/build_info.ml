@@ -1,0 +1,11 @@
+let version = "1.0.0"
+
+let register ?(registry = Registry.default) () =
+  let info =
+    Registry.gauge registry "homework_build_info"
+      ~help:"Constant 1; the version label identifies the build serving this scrape"
+      ~labels:[ ("version", version) ]
+  in
+  Gauge.set info 1.;
+  Registry.gauge registry "homework_uptime_seconds"
+    ~help:"Seconds since this process registered build info"

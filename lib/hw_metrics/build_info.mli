@@ -1,0 +1,18 @@
+(** Build identity for scrapes: the Prometheus "info pattern".
+
+    [register] puts two gauges in the registry so every [/metrics] scrape
+    is self-identifying:
+    - [homework_build_info{version="..."} 1] — constant;
+    - [homework_uptime_seconds] — returned to the caller, who is expected
+      to keep it current (the router updates it from its periodic tick).
+
+    Idempotent: registration is get-or-create, so calling twice returns
+    the same uptime gauge. *)
+
+val version : string
+(** The single source of truth for the homework version string (the CLI's
+    [--version] reports the same value). *)
+
+val register : ?registry:Registry.t -> unit -> Gauge.t
+(** Registers both gauges (default: {!Registry.default}) and returns the
+    uptime gauge. *)

@@ -1,8 +1,14 @@
-type t = { name : string; help : string; mutable v : float }
+type t = {
+  name : string;
+  help : string;
+  labels : (string * string) list;
+  mutable v : float;
+}
 
-let create ~name ~help = { name; help; v = 0. }
+let create ?(labels = []) ~name ~help () = { name; help; labels; v = 0. }
 let set t v = t.v <- v
 let add t d = t.v <- t.v +. d
 let value t = t.v
 let name t = t.name
 let help t = t.help
+let labels t = t.labels

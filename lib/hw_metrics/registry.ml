@@ -50,9 +50,9 @@ let counter t ?(help = "") name =
     (fun c -> Counter c)
     (function Counter c -> Some c | _ -> None)
 
-let gauge t ?(help = "") name =
+let gauge t ?(help = "") ?(labels = []) name =
   register t name
-    (fun () -> Gauge.create ~name ~help)
+    (fun () -> Gauge.create ~labels ~name ~help ())
     (fun g -> Gauge g)
     (function Gauge g -> Some g | _ -> None)
 

@@ -29,11 +29,12 @@ val default : t
     supplied. *)
 
 val counter : t -> ?help:string -> string -> Counter.t
-val gauge : t -> ?help:string -> string -> Gauge.t
+val gauge : t -> ?help:string -> ?labels:(string * string) list -> string -> Gauge.t
 val histogram : t -> ?help:string -> string -> Histogram.t
 (** Get-or-create. Raise {!Kind_mismatch} if the name is registered as
     another kind, [Invalid_argument] on a malformed name. On the get path
-    [?help] is ignored (the first registration wins). *)
+    [?help] (and [?labels] for gauges) is ignored (the first registration
+    wins). *)
 
 val sampled_histogram : t -> ?help:string -> every:int -> string -> Sampled.t
 (** A {!Sampled} wrapper over [histogram t name]. The sampler itself is

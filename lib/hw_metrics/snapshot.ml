@@ -34,7 +34,14 @@ let to_json reg =
            | Registry.Counter c ->
                [ ("kind", Json.String "counter"); ("value", Json.Int (Counter.value c)) ]
            | Registry.Gauge g ->
-               [ ("kind", Json.String "gauge"); ("value", Json.Float (Gauge.value g)) ]
+               let labels =
+                 match Gauge.labels g with
+                 | [] -> []
+                 | ls ->
+                     [ ("labels", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) ls)) ]
+               in
+               (("kind", Json.String "gauge") :: labels)
+               @ [ ("value", Json.Float (Gauge.value g)) ]
            | Registry.Histogram h ->
                ("kind", Json.String "histogram")
                :: List.map
@@ -50,6 +57,16 @@ let float_str v =
   if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%.9g" v
 
+(* Prometheus label syntax: {k="v",...}. OCaml's %S escaping covers the
+   three sequences the exposition format defines (backslash, quote,
+   newline). *)
+let label_str = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+      ^ "}"
+
 let render_prometheus reg =
   let buf = Buffer.create 1024 in
   let header name help kind =
@@ -64,7 +81,10 @@ let render_prometheus reg =
           Buffer.add_string buf (Printf.sprintf "%s %d\n" name (Counter.value c))
       | Registry.Gauge g ->
           header name (Gauge.help g) "gauge";
-          Buffer.add_string buf (Printf.sprintf "%s %s\n" name (float_str (Gauge.value g)))
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" name
+               (label_str (Gauge.labels g))
+               (float_str (Gauge.value g)))
       | Registry.Histogram h ->
           header name (Histogram.help h) "summary";
           List.iter

@@ -24,6 +24,7 @@ let dns_forward_port = 5353
 type t = {
   loop : Hw_sim.Event_loop.t;
   metrics : Hw_metrics.Registry.t;
+  trace : Hw_trace.Tracer.t;
   dp : Datapath.t;
   ctrl : Controller.t;
   mutable conn : Controller.conn;
@@ -74,6 +75,7 @@ let prefix_bits_of_netmask mask =
 
 let db t = t.database
 let metrics t = t.metrics
+let tracer t = t.trace
 let dhcp t = t.dhcp
 let dns t = t.dns
 let policy t = t.pol
@@ -703,6 +705,15 @@ let make_ops t =
             ("cache_size", Json.Int (Dns_proxy.cache_size t.dns));
           ]);
     metrics_text = (fun () -> Hw_metrics.Snapshot.render_prometheus t.metrics);
+    list_traces = (fun () -> Hw_trace.Export.summaries t.trace);
+    get_trace =
+      (fun id_str ->
+        match int_of_string_opt id_str with
+        | None -> Error (Printf.sprintf "bad trace id %S" id_str)
+        | Some id -> (
+            match Hw_trace.Tracer.find t.trace id with
+            | Some c -> Ok (Hw_trace.Export.chrome_json c)
+            | None -> Error (Printf.sprintf "no trace %d in the flight recorder" id)));
   }
 
 let http t req =
@@ -725,14 +736,20 @@ let create ?(dhcp_config = Dhcp_server.default_config) ?(flow_idle_timeout = 10)
   (* One registry per router instance: every subsystem reports into it, and
      it feeds all three export surfaces (Metrics table, /metrics, bench). *)
   let metrics = Hw_metrics.Registry.create () in
-  let database = Database.create ~metrics ~now () in
-  let dhcp_server = Dhcp_server.create ~metrics ~config:dhcp_config ~now () in
-  let dns_proxy = Dns_proxy.create ~metrics ~now () in
+  (* One tracer per router instance, same shape as the registry: every
+     subsystem records spans into it and it feeds all three trace export
+     surfaces (hwdb Traces table, /traces endpoints, Trace.Log stamps). *)
+  let trace = Hw_trace.Tracer.create ~metrics ~now () in
+  let uptime = Hw_metrics.Build_info.register ~registry:metrics () in
+  let started_at = now () in
+  let database = Database.create ~metrics ~trace ~now () in
+  let dhcp_server = Dhcp_server.create ~metrics ~trace ~config:dhcp_config ~now () in
+  let dns_proxy = Dns_proxy.create ~metrics ~trace ~now () in
   Dns_proxy.set_device_of_ip dns_proxy (fun ip ->
       Option.map
         (fun l -> l.Hw_dhcp.Lease_db.mac)
         (Hw_dhcp.Lease_db.lookup_ip (Dhcp_server.lease_db dhcp_server) ip));
-  let ctrl = Controller.create ~metrics ~now () in
+  let ctrl = Controller.create ~metrics ~trace ~now () in
   (* mutual channel wiring uses forward references resolved below *)
   let dp_ref = ref None in
   let conn_ref = ref None in
@@ -751,7 +768,7 @@ let create ?(dhcp_config = Dhcp_server.default_config) ?(flow_idle_timeout = 10)
            { Datapath.port_no = wired_port i; name = Printf.sprintf "eth%d" i; mac = Mac.local (0xe0 + i) })
   in
   let dp =
-    Datapath.create ~metrics ~dpid:1L ~ports
+    Datapath.create ~metrics ~trace ~dpid:1L ~ports
       ~transmit:(fun ~port_no frame -> !transmit_ref ~port_no frame)
       ~to_controller:(fun bytes -> Controller.input ctrl conn bytes)
       ~now ()
@@ -765,6 +782,7 @@ let create ?(dhcp_config = Dhcp_server.default_config) ?(flow_idle_timeout = 10)
     {
       loop;
       metrics;
+      trace;
       dp;
       ctrl;
       conn;
@@ -861,6 +879,7 @@ let create ?(dhcp_config = Dhcp_server.default_config) ?(flow_idle_timeout = 10)
   Datapath.connect dp;
   (* periodic work: timeouts, subscriptions, measurement, policy *)
   Hw_sim.Event_loop.every loop 1.0 (fun () ->
+      Hw_metrics.Gauge.set uptime (now () -. started_at);
       Datapath.tick dp;
       Dhcp_server.tick dhcp_server;
       poll_flow_stats t;

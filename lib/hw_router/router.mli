@@ -56,6 +56,12 @@ val metrics : t -> Hw_metrics.Registry.t
     instruments live here and feed the hwdb [Metrics] table, the
     [GET /metrics] endpoint and bench snapshots. *)
 
+val tracer : t -> Hw_trace.Tracer.t
+(** The router-wide tracer (one per instance, mirroring {!metrics}):
+    every subsystem records spans into it; its flight recorder feeds the
+    hwdb [Traces] table, [GET /traces](/:id) and [Hw_trace.Log]
+    stamping. *)
+
 val dhcp : t -> Hw_dhcp.Dhcp_server.t
 val dns : t -> Hw_dns.Dns_proxy.t
 val policy : t -> Hw_policy.Policy.t

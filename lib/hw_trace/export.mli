@@ -1,0 +1,23 @@
+(** JSON export of the flight recorder's traces.
+
+    Two shapes: a plain JSON listing for the control API ([GET /traces],
+    [GET /traces/:id] detail), and the Chrome trace-event format so one
+    trace can be dropped straight into [chrome://tracing] or
+    {{:https://ui.perfetto.dev}Perfetto}. *)
+
+val summaries : Tracer.t -> Hw_json.Json.t
+(** Newest-first list of one-line trace summaries
+    ([trace_id]/[root]/[start]/[duration_ms]/[spans]/[errored]). *)
+
+val trace_json : Tracer.completed -> Hw_json.Json.t
+(** Full spans with attributes, plain JSON. *)
+
+val chrome_json : Tracer.completed -> Hw_json.Json.t
+(** [{"displayTimeUnit":"ms","traceEvents":[{"ph":"X",...}]}] — complete
+    events with microsecond [ts]/[dur]; span id, parent link, attributes
+    and error land in each event's [args]. *)
+
+val span_json : Tracer.span -> Hw_json.Json.t
+val attr_json : Tracer.attr -> Hw_json.Json.t
+val attrs_json : (string * Tracer.attr) list -> Hw_json.Json.t
+(** Insertion order. *)

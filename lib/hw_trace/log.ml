@@ -1,0 +1,80 @@
+module Ring = Hw_util.Ring
+
+type level = Debug | Info | Warn | Error
+
+type record = {
+  ts : float;
+  level : level;
+  src : string;
+  trace : int option;
+  message : string;
+}
+
+let level_tag = function
+  | Debug -> "DEBUG"
+  | Info -> "INFO"
+  | Warn -> "WARN"
+  | Error -> "ERROR"
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+(* Process-wide state: logging is ambient by nature. The registered
+   tracer supplies the trace id stamp and the clock; absent one, records
+   carry no trace id and ts 0. *)
+let tracer : Tracer.t option ref = ref None
+let threshold = ref Info
+let dst : Format.formatter option ref = ref (Some Format.err_formatter)
+let recent_ring : record Ring.t = Ring.create ~capacity:256
+
+let use t = tracer := Some t
+let set_level l = threshold := l
+let set_output f = dst := f
+let recent () = Ring.to_list_newest_first recent_ring
+
+let stamp () =
+  match !tracer with
+  | None -> (0., None)
+  | Some t -> (Tracer.time t, Tracer.trace_id t)
+
+let emit ~src level message =
+  if severity level >= severity !threshold then begin
+    let ts, trace = stamp () in
+    Ring.push recent_ring { ts; level; src; trace; message };
+    match !dst with
+    | None -> ()
+    | Some fmt ->
+        let tr = match trace with None -> "" | Some id -> Printf.sprintf " trace=%d" id in
+        Format.fprintf fmt "[%.3f] %-5s %s%s: %s@." ts (level_tag level) src tr message
+  end
+
+let log ?(src = "app") level fmtstr = Printf.ksprintf (emit ~src level) fmtstr
+let debug ?src fmtstr = log ?src Debug fmtstr
+let info ?src fmtstr = log ?src Info fmtstr
+let warn ?src fmtstr = log ?src Warn fmtstr
+let err ?src fmtstr = log ?src Error fmtstr
+
+(* Bridge for code logging through the Logs library (the hw_* libraries'
+   Logs.Src sites): a reporter that routes every record through [emit],
+   so library logs pick up the trace stamp and land in [recent] too. *)
+let of_logs_level : Logs.level -> level = function
+  | Logs.App -> Info
+  | Logs.Error -> Error
+  | Logs.Warning -> Warn
+  | Logs.Info -> Info
+  | Logs.Debug -> Debug
+
+let reporter () =
+  let report src level ~over k msgf =
+    msgf @@ fun ?header:_ ?tags:_ fmtstr ->
+    Format.kasprintf
+      (fun message ->
+        emit ~src:(Logs.Src.name src) (of_logs_level level) message;
+        over ();
+        k ())
+      fmtstr
+  in
+  { Logs.report }
+
+let install_reporter ?level () =
+  (match level with Some l -> set_level l | None -> ());
+  Logs.set_reporter (reporter ())

@@ -1,0 +1,55 @@
+(** A structured, leveled logger that stamps records with the active
+    trace id.
+
+    Replaces ad-hoc [Printf] diagnostics in [bin/]: every record carries
+    a timestamp (from the registered tracer's clock), a level, a source,
+    the active trace id when one exists, and the message. Records are
+    kept in a bounded in-memory ring ({!recent}) and optionally printed
+    to a formatter — so a log line like "blocking a.com" can be joined
+    back to the exact trace (and hence packet) that caused it.
+
+    State is process-wide, as logging conventionally is; {!use}
+    registers the tracer consulted for stamping (a composition with one
+    router calls [Log.use (Router.tracer r)] once at startup). *)
+
+type level = Debug | Info | Warn | Error
+
+type record = {
+  ts : float;
+  level : level;
+  src : string;
+  trace : int option; (** active trace id at emit time *)
+  message : string;
+}
+
+val use : Tracer.t -> unit
+(** Register the tracer whose clock and active trace stamp records. *)
+
+val set_level : level -> unit
+(** Threshold; records below it are discarded entirely. Default
+    [Info]. *)
+
+val set_output : Format.formatter option -> unit
+(** Where to print ([None] silences printing; the ring still fills).
+    Default [Format.err_formatter]. *)
+
+val log : ?src:string -> level -> ('a, unit, string, unit) format4 -> 'a
+val debug : ?src:string -> ('a, unit, string, unit) format4 -> 'a
+val info : ?src:string -> ('a, unit, string, unit) format4 -> 'a
+val warn : ?src:string -> ('a, unit, string, unit) format4 -> 'a
+val err : ?src:string -> ('a, unit, string, unit) format4 -> 'a
+
+val recent : unit -> record list
+(** Newest first, bounded (256). *)
+
+val level_tag : level -> string
+
+(** {2 Logs-library bridge} *)
+
+val reporter : unit -> Logs.reporter
+(** A [Logs] reporter routing library log sites ([hw.dhcp], [hw.hwdb.rpc],
+    ...) through this logger, picking up trace stamps and the ring. *)
+
+val install_reporter : ?level:level -> unit -> unit
+(** [Logs.set_reporter (reporter ())], optionally setting the threshold
+    first. *)

@@ -1,0 +1,195 @@
+module Ring = Hw_util.Ring
+
+type attr = Str of string | Int of int | Bool of bool | Real of float
+
+type span = {
+  span_id : int;
+  parent : int; (* span_id of the enclosing span; 0 for the root *)
+  name : string;
+  start : float;
+  mutable duration : float;
+  mutable attrs : (string * attr) list; (* reverse insertion order *)
+  mutable error : string option;
+}
+
+type completed = {
+  id : int;
+  start : float;
+  duration : float;
+  errored : bool;
+  spans : span array; (* open order: spans.(0) is the root *)
+}
+
+type t = {
+  now : unit -> float;
+  enabled : bool;
+  slow_threshold : float;
+  sample_every : int;
+  recorder : completed Ring.t;
+  (* One trace at a time: the whole packet/event lifecycle is a single
+     synchronous call stack (datapath rx -> controller -> handlers ->
+     hwdb), so per-trace state can live flat in the tracer. *)
+  mutable trace_id : int; (* 0 when no trace is active *)
+  mutable stack : span list; (* open spans, innermost first *)
+  mutable finished : span list; (* closed spans, completion order reversed *)
+  mutable errored : bool;
+  mutable left : int; (* Sampled-style 1-in-N countdown *)
+  mutable next_trace_id : int;
+  m_started : Hw_metrics.Counter.t;
+  m_kept : Hw_metrics.Counter.t;
+  m_dropped : Hw_metrics.Counter.t;
+  m_spans : Hw_metrics.Counter.t;
+  h_duration : Hw_metrics.Histogram.t;
+}
+
+let make ~enabled ~capacity ~sample_every ~slow_threshold ~counter ~histogram ~now =
+  {
+    now;
+    enabled;
+    slow_threshold;
+    sample_every;
+    recorder = Ring.create ~capacity;
+    trace_id = 0;
+    stack = [];
+    finished = [];
+    errored = false;
+    left = 1; (* first completed trace is sampled, like Sampled.create *)
+    next_trace_id = 1;
+    m_started = counter "trace_started_total" "Traces opened at a root span";
+    m_kept = counter "trace_kept_total" "Completed traces retained in the flight recorder";
+    m_dropped = counter "trace_dropped_total" "Completed traces discarded by tail-sampling";
+    m_spans = counter "trace_spans_total" "Spans closed across all traces";
+    h_duration = histogram "trace_duration_seconds" "End-to-end duration of sampled traces";
+  }
+
+let create ?(capacity = 128) ?(sample_every = 1) ?(slow_threshold = 0.05) ?metrics ~now () =
+  if capacity <= 0 then invalid_arg "Hw_trace.Tracer.create: capacity must be positive";
+  if sample_every <= 0 then invalid_arg "Hw_trace.Tracer.create: sample_every must be positive";
+  let metrics = Option.value metrics ~default:Hw_metrics.Registry.default in
+  make ~enabled:true ~capacity ~sample_every ~slow_threshold
+    ~counter:(fun name help -> Hw_metrics.Registry.counter metrics name ~help)
+    ~histogram:(fun name help -> Hw_metrics.Registry.histogram metrics name ~help)
+    ~now
+
+(* Standalone instruments: the disabled tracer must not pollute the
+   default registry (or require one). It never records, so they stay 0. *)
+let disabled =
+  make ~enabled:false ~capacity:1 ~sample_every:1 ~slow_threshold:infinity
+    ~counter:(fun name help -> Hw_metrics.Counter.create ~name ~help)
+    ~histogram:(fun name help -> Hw_metrics.Histogram.create ~name ~help)
+    ~now:(fun () -> 0.)
+
+let enabled t = t.enabled
+let in_trace t = t.trace_id <> 0
+let trace_id t = if t.trace_id = 0 then None else Some t.trace_id
+
+let set_attr t key v =
+  match t.stack with [] -> () | s :: _ -> s.attrs <- (key, v) :: s.attrs
+
+let mark_error t msg =
+  match t.stack with
+  | [] -> ()
+  | s :: _ ->
+      s.error <- Some msg;
+      t.errored <- true
+
+let open_span t name attrs =
+  let parent = match t.stack with [] -> 0 | p :: _ -> p.span_id in
+  (* span ids are allocated densely in open order, starting at 1 *)
+  let span_id = List.length t.finished + List.length t.stack + 1 in
+  let s =
+    { span_id; parent; name; start = t.now (); duration = 0.; attrs; error = None }
+  in
+  t.stack <- s :: t.stack;
+  s
+
+let close_span t (s : span) =
+  s.duration <- t.now () -. s.start;
+  (match t.stack with
+  | top :: rest when top == s -> t.stack <- rest
+  | _ ->
+      (* unbalanced close (shouldn't happen with the with_* combinators);
+         drop everything opened above [s] as implicitly closed *)
+      let rec drop = function
+        | [] -> []
+        | x :: rest -> if x == s then rest else drop rest
+      in
+      t.stack <- drop t.stack);
+  t.finished <- s :: t.finished;
+  Hw_metrics.Counter.incr t.m_spans
+
+let finish_trace t root =
+  close_span t root;
+  let duration = root.duration in
+  let sampled = t.left <= 1 in
+  if sampled then begin
+    t.left <- t.sample_every;
+    Hw_metrics.Histogram.observe t.h_duration duration
+  end
+  else t.left <- t.left - 1;
+  let keep = t.errored || duration >= t.slow_threshold || sampled in
+  if keep then begin
+    let spans = Array.of_list t.finished in
+    Array.sort (fun a b -> compare a.span_id b.span_id) spans;
+    Ring.push t.recorder
+      { id = t.trace_id; start = root.start; duration; errored = t.errored; spans };
+    Hw_metrics.Counter.incr t.m_kept
+  end
+  else Hw_metrics.Counter.incr t.m_dropped;
+  t.trace_id <- 0;
+  t.stack <- [];
+  t.finished <- [];
+  t.errored <- false
+
+let with_span t ?(attrs = []) name f =
+  if t.trace_id = 0 then f ()
+  else begin
+    let s = open_span t name attrs in
+    match f () with
+    | v ->
+        close_span t s;
+        v
+    | exception exn ->
+        s.error <- Some (Printexc.to_string exn);
+        t.errored <- true;
+        close_span t s;
+        raise exn
+  end
+
+let with_trace t ?attrs name f =
+  if not t.enabled then f ()
+  else if t.trace_id <> 0 then with_span t ?attrs name f
+  else begin
+    Hw_metrics.Counter.incr t.m_started;
+    t.trace_id <- t.next_trace_id;
+    t.next_trace_id <- t.next_trace_id + 1;
+    let root = open_span t name (Option.value attrs ~default:[]) in
+    match f () with
+    | v ->
+        finish_trace t root;
+        v
+    | exception exn ->
+        root.error <- Some (Printexc.to_string exn);
+        t.errored <- true;
+        finish_trace t root;
+        raise exn
+  end
+
+let time t = t.now ()
+let traces t = Ring.to_list_newest_first t.recorder
+let find t id = List.find_opt (fun c -> c.id = id) (Ring.to_list t.recorder)
+let kept t = Ring.length t.recorder
+let capacity t = Ring.capacity t.recorder
+let clear t = Ring.clear t.recorder
+let started t = Hw_metrics.Counter.value t.m_started
+let dropped t = Hw_metrics.Counter.value t.m_dropped
+
+let attr_to_string = function
+  | Str s -> s
+  | Int i -> string_of_int i
+  | Bool b -> string_of_bool b
+  | Real f -> Printf.sprintf "%g" f
+
+let attrs_to_string attrs =
+  String.concat ","
+    (List.rev_map (fun (k, v) -> k ^ "=" ^ attr_to_string v) attrs)

@@ -146,6 +146,8 @@ let fake_api () =
           if q = "bad" then Error "syntax" else Ok (Json.Obj [ ("echo", Json.String q) ]));
       dns_stats = (fun () -> Json.Obj [ ("queries", Json.Int 0) ]);
       metrics_text = (fun () -> "# TYPE fake_counter counter\nfake_counter 1\n");
+      list_traces = (fun () -> Json.List []);
+      get_trace = (fun id -> Error (Printf.sprintf "no trace %s" id));
     }
   in
   (Control_api.build ops, calls)

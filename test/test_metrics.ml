@@ -29,7 +29,7 @@ let test_counter () =
   Alcotest.(check int) "failed add leaves value untouched" 42 (Counter.value c)
 
 let test_gauge () =
-  let g = Gauge.create ~name:"g" ~help:"" in
+  let g = Gauge.create ~name:"g" ~help:"" () in
   Gauge.set g 7.5;
   Gauge.add g (-2.5);
   Alcotest.(check (float 1e-9)) "set then add" 5.0 (Gauge.value g)
@@ -242,6 +242,20 @@ let test_snapshot () =
         && List.mem_assoc "lat_seconds" fields)
   | _ -> Alcotest.fail "to_json should produce an object"
 
+let test_build_info () =
+  let r = Registry.create () in
+  let uptime = Build_info.register ~registry:r () in
+  Gauge.set uptime 12.5;
+  let text = Snapshot.render_prometheus r in
+  let has needle = Re.execp (Re.compile (Re.str needle)) text in
+  Alcotest.(check bool) "info-pattern gauge rendered with label" true
+    (has (Printf.sprintf "homework_build_info{version=%S} 1" Build_info.version));
+  Alcotest.(check bool) "uptime rendered" true (has "homework_uptime_seconds 12.5");
+  (* idempotent: a second registration returns the same gauge *)
+  let again = Build_info.register ~registry:r () in
+  Gauge.add again 1.;
+  Alcotest.(check (float 1e-9)) "same uptime gauge" 13.5 (Gauge.value uptime)
+
 (* ------------------------------------------------------------------ *)
 (* hwdb Metrics table                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -345,12 +359,21 @@ let test_home_metrics_end_to_end () =
   Alcotest.(check (option string)) "prometheus content type"
     (Some "text/plain; version=0.0.4")
     (List.assoc_opt "content-type" resp.Http.headers);
-  let has needle = Re.execp (Re.compile (Re.str needle)) resp.Http.body in
+  let body = resp.Http.body in
+  Alcotest.(check bool) "exposition ends with a newline" true
+    (String.length body > 0 && body.[String.length body - 1] = '\n');
+  let has needle = Re.execp (Re.compile (Re.str needle)) body in
   Alcotest.(check bool) "controller counter exposed" true (has "ctrl_packet_in_total");
   Alcotest.(check bool) "handler latency summary exposed" true
     (has "quantile=\"0.5\"");
+  (* the scrape is self-identifying (satellite: build_info + uptime) *)
+  Alcotest.(check bool) "build info gauge with version label" true
+    (has (Printf.sprintf "homework_build_info{version=%S} 1" Build_info.version));
+  Alcotest.(check bool) "uptime gauge exposed" true (has "homework_uptime_seconds");
   let zero_packet_in = has "\nctrl_packet_in_total 0\n" in
-  Alcotest.(check bool) "controller dispatch count is nonzero" false zero_packet_in
+  Alcotest.(check bool) "controller dispatch count is nonzero" false zero_packet_in;
+  let zero_uptime = has "\nhomework_uptime_seconds 0\n" in
+  Alcotest.(check bool) "uptime advanced with the loop" false zero_uptime
 
 let () =
   Alcotest.run "hw_metrics"
@@ -371,6 +394,7 @@ let () =
           Alcotest.test_case "kind mismatch" `Quick test_registry_kind_mismatch;
           Alcotest.test_case "name grammar" `Quick test_registry_names;
           Alcotest.test_case "snapshot exports" `Quick test_snapshot;
+          Alcotest.test_case "build info" `Quick test_build_info;
         ] );
       ( "export",
         [

@@ -1,0 +1,377 @@
+(* hw_trace: span recording, tail-sampling, the flight recorder, JSON
+   export surfaces, the trace-stamping logger, and the end-to-end causal
+   chain of a DHCP handshake through a running home. *)
+
+module Tracer = Hw_trace.Tracer
+module Export = Hw_trace.Export
+module Log = Hw_trace.Log
+module Json = Hw_json.Json
+module Database = Hw_hwdb.Database
+module Value = Hw_hwdb.Value
+module Rpc = Hw_hwdb.Rpc
+module Query = Hw_hwdb.Query
+module Home = Hw_router.Home
+module Router = Hw_router.Router
+module Http = Hw_control_api.Http
+
+let make ?(capacity = 16) ?(sample_every = 1) ?(slow_threshold = 1000.) () =
+  let t = ref 0. in
+  let tracer =
+    Tracer.create ~capacity ~sample_every ~slow_threshold
+      ~metrics:(Hw_metrics.Registry.create ())
+      ~now:(fun () -> !t)
+      ()
+  in
+  (tracer, t)
+
+let span_names (c : Tracer.completed) =
+  Array.to_list (Array.map (fun (s : Tracer.span) -> s.Tracer.name) c.Tracer.spans)
+
+let find_span (c : Tracer.completed) name =
+  match Array.to_list c.Tracer.spans |> List.find_opt (fun (s : Tracer.span) -> s.Tracer.name = name) with
+  | Some s -> s
+  | None -> Alcotest.fail (Printf.sprintf "no span %s in trace %d" name c.Tracer.id)
+
+(* ------------------------------------------------------------------ *)
+(* Recording                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_nesting () =
+  let tracer, t = make () in
+  Tracer.with_trace tracer "root" (fun () ->
+      t := 0.1;
+      Tracer.with_span tracer "a" (fun () ->
+          Tracer.with_span tracer "a.a" (fun () -> t := 0.2));
+      Tracer.with_span tracer "b" (fun () -> ()));
+  match Tracer.traces tracer with
+  | [ c ] ->
+      Alcotest.(check (list string)) "spans in open order"
+        [ "root"; "a"; "a.a"; "b" ] (span_names c);
+      let root = find_span c "root" and a = find_span c "a" in
+      let aa = find_span c "a.a" and b = find_span c "b" in
+      Alcotest.(check int) "root has no parent" 0 root.Tracer.parent;
+      Alcotest.(check int) "a under root" root.Tracer.span_id a.Tracer.parent;
+      Alcotest.(check int) "a.a under a" a.Tracer.span_id aa.Tracer.parent;
+      Alcotest.(check int) "b under root" root.Tracer.span_id b.Tracer.parent;
+      Alcotest.(check bool) "not errored" false c.Tracer.errored;
+      Alcotest.(check (float 1e-9)) "root spans the whole trace" 0.2 c.Tracer.duration
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 trace, recorder has %d" (List.length l))
+
+let test_reentrant_trace () =
+  (* a packet-out re-entering the datapath nests rather than opening a
+     second trace *)
+  let tracer, _ = make () in
+  Tracer.with_trace tracer "outer" (fun () ->
+      Tracer.with_trace tracer "inner" (fun () -> ()));
+  match Tracer.traces tracer with
+  | [ c ] ->
+      Alcotest.(check (list string)) "one trace, nested" [ "outer"; "inner" ] (span_names c);
+      Alcotest.(check int) "inner is a child span" 1 (find_span c "inner").Tracer.parent
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 trace, got %d" (List.length l))
+
+let test_attrs_and_error () =
+  let tracer, _ = make () in
+  Tracer.with_trace tracer "root" (fun () ->
+      Tracer.with_span tracer "hop" ~attrs:[ ("k", Tracer.Str "v") ] (fun () ->
+          Tracer.set_attr tracer "n" (Tracer.Int 7);
+          Tracer.mark_error tracer "soft failure"));
+  let c = List.hd (Tracer.traces tracer) in
+  Alcotest.(check bool) "trace errored" true c.Tracer.errored;
+  let hop = find_span c "hop" in
+  Alcotest.(check (option string)) "error recorded" (Some "soft failure") hop.Tracer.error;
+  Alcotest.(check string) "attrs render in insertion order" "k=v,n=7"
+    (Tracer.attrs_to_string hop.Tracer.attrs)
+
+let test_exception_marks_error () =
+  let tracer, _ = make ~sample_every:1000 () in
+  (try
+     Tracer.with_trace tracer "root" (fun () ->
+         Tracer.with_span tracer "boom" (fun () -> failwith "kaput"))
+   with Failure _ -> ());
+  (* errored traces are always kept, even at 1-in-1000 sampling *)
+  match Tracer.traces tracer with
+  | [ c ] ->
+      Alcotest.(check bool) "errored" true c.Tracer.errored;
+      let boom = find_span c "boom" in
+      Alcotest.(check bool) "exception text captured" true
+        (match boom.Tracer.error with Some e -> e <> "" | None -> false)
+  | l -> Alcotest.fail (Printf.sprintf "expected errored trace kept, got %d" (List.length l))
+
+(* ------------------------------------------------------------------ *)
+(* Tail sampling and the flight recorder                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_sampling_one_in_n () =
+  let tracer, _ = make ~sample_every:3 () in
+  for _ = 1 to 7 do
+    Tracer.with_trace tracer "t" (fun () -> ())
+  done;
+  Alcotest.(check int) "started" 7 (Tracer.started tracer);
+  (* first completion sampled, then every third: traces 1, 4, 7 *)
+  Alcotest.(check (list int)) "kept 1-in-3, newest first" [ 7; 4; 1 ]
+    (List.map (fun (c : Tracer.completed) -> c.Tracer.id) (Tracer.traces tracer));
+  Alcotest.(check int) "dropped the rest" 4 (Tracer.dropped tracer)
+
+let test_slow_always_kept () =
+  let tracer, t = make ~sample_every:1000 ~slow_threshold:0.05 () in
+  Tracer.with_trace tracer "fast" (fun () -> ());
+  (* the first trace is sampled by the 1-in-N discipline; the next fast
+     one must be dropped while a slow one survives *)
+  Tracer.with_trace tracer "fast2" (fun () -> ());
+  Tracer.with_trace tracer "slow" (fun () -> t := !t +. 0.1);
+  let roots =
+    List.map (fun (c : Tracer.completed) -> c.Tracer.spans.(0).Tracer.name) (Tracer.traces tracer)
+  in
+  Alcotest.(check (list string)) "slow kept, unremarkable dropped" [ "slow"; "fast" ] roots
+
+let test_ring_bounded () =
+  let tracer, _ = make ~capacity:4 () in
+  for _ = 1 to 10 do
+    Tracer.with_trace tracer "t" (fun () -> ())
+  done;
+  Alcotest.(check int) "capacity" 4 (Tracer.capacity tracer);
+  Alcotest.(check int) "ring holds the last 4" 4 (Tracer.kept tracer);
+  Alcotest.(check (list int)) "newest first, oldest evicted" [ 10; 9; 8; 7 ]
+    (List.map (fun (c : Tracer.completed) -> c.Tracer.id) (Tracer.traces tracer));
+  Alcotest.(check bool) "find hits a kept trace" true (Tracer.find tracer 8 <> None);
+  Alcotest.(check bool) "find misses an evicted trace" true (Tracer.find tracer 3 = None)
+
+let test_untraced_path_touches_nothing () =
+  let clock_reads = ref 0 in
+  let tracer =
+    Tracer.create
+      ~metrics:(Hw_metrics.Registry.create ())
+      ~now:(fun () ->
+        incr clock_reads;
+        0.)
+      ()
+  in
+  clock_reads := 0;
+  for _ = 1 to 100 do
+    Alcotest.(check int) "value passes through" 41 (Tracer.with_span tracer "hot" (fun () -> 41))
+  done;
+  Alcotest.(check int) "no clock reads outside a trace" 0 !clock_reads;
+  Alcotest.(check int) "nothing recorded" 0 (Tracer.kept tracer);
+  (* the shared disabled tracer behaves the same, plus with_trace *)
+  Alcotest.(check bool) "disabled is disabled" false (Tracer.enabled Tracer.disabled);
+  Alcotest.(check int) "disabled with_trace passes through" 42
+    (Tracer.with_trace Tracer.disabled "t" (fun () -> 42))
+
+let test_invalid_args () =
+  let reject f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "capacity 0 rejected" true
+    (reject (fun () ->
+         Tracer.create ~capacity:0 ~metrics:(Hw_metrics.Registry.create ()) ~now:(fun () -> 0.) ()));
+  Alcotest.(check bool) "sample_every 0 rejected" true
+    (reject (fun () ->
+         Tracer.create ~sample_every:0 ~metrics:(Hw_metrics.Registry.create ()) ~now:(fun () -> 0.) ()))
+
+(* ------------------------------------------------------------------ *)
+(* Export: JSON escaping survives hostile span names and attrs         *)
+(* ------------------------------------------------------------------ *)
+
+let nasty = "a \"quoted\" \\back\\slash\ttab\nnewline \x01ctl"
+
+let test_chrome_json_escaping () =
+  let tracer, _ = make () in
+  Tracer.with_trace tracer nasty ~attrs:[ (nasty, Tracer.Str nasty) ] (fun () -> ());
+  let c = List.hd (Tracer.traces tracer) in
+  let reparsed = Json.of_string (Json.to_string (Export.chrome_json c)) in
+  let events = Json.get_list (Json.member "traceEvents" reparsed) in
+  Alcotest.(check int) "one event" 1 (List.length events);
+  let ev = List.hd events in
+  Alcotest.(check string) "name round-trips" nasty (Json.get_string (Json.member "name" ev));
+  Alcotest.(check string) "attr value round-trips" nasty
+    (Json.get_string (Json.member nasty (Json.member "args" ev)));
+  Alcotest.(check string) "complete event" "X" (Json.get_string (Json.member "ph" ev));
+  (* and the plain listing too *)
+  let reparsed = Json.of_string (Json.to_string (Export.trace_json c)) in
+  let span = List.hd (Json.get_list (Json.member "spans" reparsed)) in
+  Alcotest.(check string) "span name round-trips" nasty
+    (Json.get_string (Json.member "name" span))
+
+let test_chrome_json_timebase () =
+  let tracer, t = make () in
+  t := 2.5;
+  Tracer.with_trace tracer "root" (fun () ->
+      t := 2.75;
+      Tracer.with_span tracer "child" (fun () -> t := 3.))
+  ;
+  let c = List.hd (Tracer.traces tracer) in
+  let j = Export.chrome_json c in
+  let events = Json.get_list (Json.member "traceEvents" j) in
+  let root = List.hd events and child = List.nth events 1 in
+  Alcotest.(check (float 1.)) "ts in microseconds" 2.5e6
+    (Json.to_float (Json.member "ts" root));
+  Alcotest.(check (float 1.)) "dur in microseconds" 0.5e6
+    (Json.to_float (Json.member "dur" root));
+  Alcotest.(check int) "child links its parent" 1
+    (Json.to_int (Json.member "parent" (Json.member "args" child)))
+
+(* ------------------------------------------------------------------ *)
+(* The trace-stamping logger                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_log_stamps_trace () =
+  let tracer, _ = make () in
+  Log.use tracer;
+  Log.set_output None;
+  Log.info "before any trace";
+  let id_inside = ref None in
+  Tracer.with_trace tracer "root" (fun () ->
+      id_inside := Tracer.trace_id tracer;
+      Log.warn ~src:"test" "inside trace %d" (Option.get !id_inside));
+  (match Log.recent () with
+  | inside :: before :: _ ->
+      Alcotest.(check (option int)) "stamped with the active trace" !id_inside
+        inside.Log.trace;
+      Alcotest.(check bool) "level kept" true (inside.Log.level = Log.Warn);
+      Alcotest.(check string) "source kept" "test" inside.Log.src;
+      Alcotest.(check (option int)) "no stamp outside a trace" None before.Log.trace
+  | _ -> Alcotest.fail "expected two records in the ring");
+  (* records below the threshold are discarded *)
+  Log.set_level Log.Warn;
+  let n = List.length (Log.recent ()) in
+  Log.info "filtered out";
+  Alcotest.(check int) "below-threshold record dropped" n (List.length (Log.recent ()));
+  Log.set_level Log.Info;
+  Log.use Tracer.disabled;
+  Log.set_output (Some Format.err_formatter)
+
+(* ------------------------------------------------------------------ *)
+(* End to end: one DHCP handshake, one causal chain, three surfaces    *)
+(* ------------------------------------------------------------------ *)
+
+let test_home_trace_end_to_end () =
+  let home = Home.standard_home ~seed:11 () in
+  let r = Home.router home in
+  (* hwdb RPC plane, as a visualisation UI would attach *)
+  let from_router = Queue.create () in
+  Router.set_rpc_send r (fun ~to_:_ data -> Queue.add data from_router);
+  let client = Rpc.Client.create ~send:(fun d -> Router.rpc_datagram r ~from:"ui:9100" d) in
+  let published = ref [] in
+  Rpc.Client.on_publish client (fun ~subscription:_ rs -> published := rs :: !published);
+  let pump () =
+    while not (Queue.is_empty from_router) do
+      Rpc.Client.handle_datagram client (Queue.pop from_router)
+    done
+  in
+  let sub_ok = ref false in
+  Rpc.Client.request client "SUBSCRIBE SELECT trace_id, span, parent FROM Traces [NOW] EVERY 2 SECONDS"
+    ~on_reply:(fun reply -> sub_ok := Result.is_ok reply);
+  pump ();
+  Alcotest.(check bool) "SUBSCRIBE ... FROM Traces accepted" true !sub_ok;
+  Home.permit_all home;
+  Home.run_for home 8.;
+  pump ();
+  (* 1. the flight recorder holds the DHCP grant's causal chain: packet-in
+     rooted at the datapath, through controller dispatch and the DHCP
+     handler, down to the hwdb Leases insert *)
+  let tracer = Router.tracer r in
+  let is_grant (c : Tracer.completed) =
+    c.Tracer.spans.(0).Tracer.name = "dp.packet_in"
+    && Array.exists
+         (fun (s : Tracer.span) ->
+           s.Tracer.name = "hwdb.insert"
+           && List.exists (fun (k, v) -> k = "table" && v = Tracer.Str "Leases") s.Tracer.attrs)
+         c.Tracer.spans
+    && Array.exists (fun (s : Tracer.span) -> s.Tracer.name = "dhcp.handle") c.Tracer.spans
+  in
+  let grant =
+    match List.find_opt is_grant (Tracer.traces tracer) with
+    | Some c -> c
+    | None -> Alcotest.fail "no DHCP-grant trace in the flight recorder"
+  in
+  Alcotest.(check bool) "at least 4 spans" true (Array.length grant.Tracer.spans >= 4);
+  (* the chain is causally linked: each hop is a descendant of the root
+     through its parent pointers *)
+  let span_by_id id =
+    Array.to_list grant.Tracer.spans
+    |> List.find (fun (s : Tracer.span) -> s.Tracer.span_id = id)
+  in
+  let rec depth (s : Tracer.span) =
+    if s.Tracer.parent = 0 then 0 else 1 + depth (span_by_id s.Tracer.parent)
+  in
+  let chain = [ "dp.packet_in"; "ctrl.dispatch"; "ctrl.handler.dhcp"; "dhcp.handle" ] in
+  List.iteri
+    (fun i name ->
+      Alcotest.(check int) (name ^ " at causal depth") i (depth (find_span grant name)))
+    chain;
+  Alcotest.(check bool) "hwdb.insert under the dhcp handler" true
+    (depth (find_span grant "hwdb.insert") > List.length chain - 1);
+  (* 2. the hwdb Traces table: plain CQL and the RPC subscription both see
+     the same rows *)
+  let has_trace_row (rs : Query.result_set) =
+    let cols = rs.Query.columns in
+    List.exists
+      (fun row ->
+        match (List.assoc_opt "trace_id" (List.combine cols row),
+               List.assoc_opt "span" (List.combine cols row)) with
+        | Some (Value.Int id), Some (Value.Str span) ->
+            id = grant.Tracer.id && span = "dhcp.handle"
+        | _ -> false)
+      rs.Query.rows
+  in
+  (match Database.query (Router.db r) "SELECT trace_id, span, parent FROM Traces [NOW]" with
+  | Ok rs -> Alcotest.(check bool) "SELECT FROM Traces sees the grant" true (has_trace_row rs)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "subscription published the grant trace" true
+    (List.exists has_trace_row !published);
+  (* 3. the control API: the listing carries the trace, the detail is
+     loadable Chrome trace-event JSON *)
+  let resp = Router.http r (Http.request Http.GET "/traces") in
+  Alcotest.(check int) "GET /traces ok" 200 resp.Http.status;
+  let listing = Json.of_string resp.Http.body in
+  Alcotest.(check bool) "listing has the grant trace" true
+    (List.exists
+       (fun s -> Json.to_int (Json.member "trace_id" s) = grant.Tracer.id)
+       (Json.get_list listing));
+  let resp =
+    Router.http r (Http.request Http.GET (Printf.sprintf "/traces/%d" grant.Tracer.id))
+  in
+  Alcotest.(check int) "GET /traces/:id ok" 200 resp.Http.status;
+  let chrome = Json.of_string resp.Http.body in
+  Alcotest.(check string) "displayTimeUnit for the trace viewer" "ms"
+    (Json.get_string (Json.member "displayTimeUnit" chrome));
+  let events = Json.get_list (Json.member "traceEvents" chrome) in
+  Alcotest.(check int) "every span became an event" (Array.length grant.Tracer.spans)
+    (List.length events);
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " exported") true
+        (List.exists (fun e -> Json.get_string (Json.member "name" e) = name) events))
+    chain;
+  (* unknown ids are a 404, not a crash *)
+  let resp = Router.http r (Http.request Http.GET "/traces/999999") in
+  Alcotest.(check int) "unknown trace is 404" 404 resp.Http.status;
+  let resp = Router.http r (Http.request Http.GET "/traces/nonsense") in
+  Alcotest.(check int) "malformed id is 404" 404 resp.Http.status
+
+let () =
+  Alcotest.run "hw_trace"
+    [
+      ( "recording",
+        [
+          Alcotest.test_case "nesting and parents" `Quick test_nesting;
+          Alcotest.test_case "re-entrant with_trace" `Quick test_reentrant_trace;
+          Alcotest.test_case "attrs and mark_error" `Quick test_attrs_and_error;
+          Alcotest.test_case "exception marks error" `Quick test_exception_marks_error;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "1-in-N tail sampling" `Quick test_sampling_one_in_n;
+          Alcotest.test_case "slow always kept" `Quick test_slow_always_kept;
+          Alcotest.test_case "ring bounded" `Quick test_ring_bounded;
+          Alcotest.test_case "untraced path is inert" `Quick test_untraced_path_touches_nothing;
+          Alcotest.test_case "invalid args" `Quick test_invalid_args;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome json escaping" `Quick test_chrome_json_escaping;
+          Alcotest.test_case "chrome json timebase" `Quick test_chrome_json_timebase;
+        ] );
+      ( "log",
+        [ Alcotest.test_case "stamps trace id" `Quick test_log_stamps_trace ] );
+      ( "end to end",
+        [ Alcotest.test_case "home dhcp causal chain" `Quick test_home_trace_end_to_end ] );
+    ]
