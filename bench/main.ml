@@ -638,6 +638,33 @@ let micro_tests () =
                  Tracer.with_span live "b" (fun () -> ()))));
     ]
   in
+  (* PERF8: fault-injector hot path. The disarmed case is the cost every
+     transmitted frame / RPC datagram / channel write pays when chaos is
+     off (budget: <= 10 ns over the raw send — one load and one branch);
+     the armed case prices an active drop regime. *)
+  let fault_tests =
+    let module Fault = Hw_fault.Fault in
+    let sink = ref 0 in
+    let deliver payload = sink := !sink + String.length payload in
+    let payload = String.make 64 'x' in
+    let disarmed =
+      Fault.create ~metrics:(Hw_metrics.Registry.create ()) ~now:(fun () -> 0.) ~point:"bench" ()
+    in
+    let armed =
+      Fault.create ~metrics:(Hw_metrics.Registry.create ()) ~seed:42 ~now:(fun () -> 0.)
+        ~point:"bench" ()
+    in
+    Fault.set_plan armed [ Fault.Drop 0.3 ];
+    [
+      Test.make ~name:"send_raw" (Staged.stage (fun () -> deliver payload));
+      Test.make ~name:"send_injector_disarmed"
+        (Staged.stage (fun () ->
+             if Fault.armed disarmed then Fault.apply disarmed payload ~deliver
+             else deliver payload));
+      Test.make ~name:"send_injector_armed_drop30"
+        (Staged.stage (fun () -> Fault.apply armed payload ~deliver));
+    ]
+  in
   [
     ("PERF1 flow table", lookup_tests);
     ("PERF2 openflow codec", codec_tests);
@@ -646,6 +673,7 @@ let micro_tests () =
     ("PERF5 dns proxy", dns_tests);
     ("PERF6 pipeline", [ table_dp; table_dp_nat ]);
     ("PERF7 tracer", trace_tests);
+    ("PERF8 fault injector", fault_tests);
   ]
 
 let run_micro () =

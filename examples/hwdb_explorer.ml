@@ -32,9 +32,11 @@ let () =
             | Some c -> Hw_hwdb.Rpc.Client.handle_datagram c datagram
             | None -> ()));
   let c =
-    Hw_hwdb.Rpc.Client.create ~send:(fun datagram ->
+    Hw_hwdb.Rpc.Client.create
+      ~send:(fun datagram ->
         Hw_sim.Event_loop.after loop 0.001 (fun () ->
             Hw_router.Router.rpc_datagram router ~from:client_addr datagram))
+      ()
   in
   client := Some c;
 

@@ -49,6 +49,7 @@ type t = {
   m_leave : Hw_metrics.Counter.t;
   m_switch_errors : Hw_metrics.Counter.t;
   m_handler_errors : Hw_metrics.Counter.t;
+  m_echo_timeouts : Hw_metrics.Counter.t;
 }
 
 let create ?(metrics = Hw_metrics.Registry.default) ?(trace = Tracer.disabled) ~now () =
@@ -72,6 +73,8 @@ let create ?(metrics = Hw_metrics.Registry.default) ?(trace = Tracer.disabled) ~
     m_leave = counter "ctrl_datapath_leave_total" "Datapath leave events";
     m_switch_errors = counter "ctrl_switch_errors_total" "OpenFlow error messages from switches";
     m_handler_errors = counter "ctrl_handler_errors_total" "Event handlers that raised";
+    m_echo_timeouts =
+      counter "echo_timeouts_total" "Connections declared dead after missed echo keepalives";
   }
 
 let metrics t = t.metrics
@@ -275,7 +278,11 @@ let ping_stale t ~idle_after ~dead_after =
   let dead =
     List.filter (fun conn -> now -. conn.last_heard > dead_after) (connections t)
   in
-  List.iter (fun conn -> detach_switch t conn) dead;
+  List.iter
+    (fun conn ->
+      Hw_metrics.Counter.incr t.m_echo_timeouts;
+      detach_switch t conn)
+    dead;
   List.iter
     (fun conn -> if now -. conn.last_heard > idle_after then send_echo conn)
     (connections t);

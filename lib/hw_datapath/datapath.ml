@@ -28,7 +28,7 @@ type t = {
   transmit : port_no:int -> string -> unit;
   to_controller : string -> unit;
   now : unit -> float;
-  framing : Ofp_message.Framing.buffer;
+  mutable framing : Ofp_message.Framing.buffer;
   buffers : (int32, int * string) Hashtbl.t; (* buffer_id -> in_port, frame *)
   mutable next_buffer_id : int32;
   mutable next_xid : int32;
@@ -117,6 +117,11 @@ let send t msg =
 let send_with_xid t xid msg = t.to_controller (Ofp_message.encode ~xid msg)
 
 let connect t = send t Ofp_message.Hello
+
+(* A framing buffer that saw garbage (e.g. an injected corruption) is
+   permanently dead by design; a reconnect must start from a fresh one
+   or the revived channel stays deaf. *)
+let reset_channel t = t.framing <- Ofp_message.Framing.create ()
 
 (* ------------------------------------------------------------------ *)
 (* Frame output                                                        *)

@@ -51,6 +51,11 @@ val connect : t -> unit
 (** Starts the OpenFlow session: sends HELLO (the controller side answers
     and drives FEATURES_REQUEST etc.). *)
 
+val reset_channel : t -> unit
+(** Replace the control-channel framing buffer with a fresh one. A
+    framing buffer goes permanently dead after malformed input; call
+    this before replaying the Hello handshake on a reconnect. *)
+
 val input_from_controller : t -> string -> unit
 (** Feed raw bytes from the controller channel. Complete messages are
     processed immediately; partial input is buffered. *)

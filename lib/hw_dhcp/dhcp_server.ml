@@ -74,6 +74,7 @@ type t = {
   m_releases : Hw_metrics.Counter.t;
   m_denials : Hw_metrics.Counter.t;
   m_pending : Hw_metrics.Counter.t;
+  m_recovered : Hw_metrics.Counter.t;
 }
 
 let create ?(metrics = Hw_metrics.Registry.default) ?(trace = Tracer.disabled)
@@ -94,6 +95,7 @@ let create ?(metrics = Hw_metrics.Registry.default) ?(trace = Tracer.disabled)
     m_releases = counter "dhcp_releases_total" "Leases released by the client";
     m_denials = counter "dhcp_denials_total" "Requests denied";
     m_pending = counter "dhcp_pending_total" "Requests from devices awaiting a user decision";
+    m_recovered = counter "dhcp_leases_recovered_total" "Leases replayed from the hwdb Leases log";
   }
 
 let config t = t.cfg
@@ -160,6 +162,49 @@ let forget t mac =
   match Hashtbl.find_opt t.devices mac with
   | Some d -> d.decision <- None
   | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Replay the hwdb Leases log (chronological (mac, ip, hostname, action)
+   rows) into a fresh server: the last action per client wins, so a
+   device whose final record is grant/renew gets its old address back
+   with a full lease, while revoked/released/denied devices stay gone.
+   Restored devices are re-marked permitted and acked — their next
+   REQUEST is a renewal of the same address, which is what keeps the
+   paper's "all traffic visible at the router" invariant across a
+   restart. *)
+let restore t rows =
+  let final = Hashtbl.create 16 in
+  List.iter
+    (fun (mac, ip, hostname, action) ->
+      match action with
+      | "grant" | "renew" -> Hashtbl.replace final mac (ip, hostname)
+      | "revoke" | "release" | "deny" -> Hashtbl.remove final mac
+      | _ -> ())
+    rows;
+  let survivors =
+    Hashtbl.fold (fun mac (ip, hostname) acc -> (mac, ip, hostname) :: acc) final []
+    |> List.sort compare
+  in
+  let now = t.now () in
+  List.fold_left
+    (fun n (mac_s, ip_s, hostname) ->
+      match (Mac.of_string mac_s, Ip.of_string ip_s) with
+      | Some mac, Some ip ->
+          ignore (Lease_db.bind t.leases ~now ~hostname ~committed:true mac ip);
+          let d = device t mac in
+          d.decision <- Some Permitted;
+          d.acked <- true;
+          if hostname <> "" then d.last_hostname <- hostname;
+          Hw_metrics.Counter.incr t.m_recovered;
+          Log.info (fun m -> m "recovered lease %s -> %s" mac_s ip_s);
+          n + 1
+      | _ ->
+          Log.warn (fun m -> m "unparseable Leases row %s / %s skipped" mac_s ip_s);
+          n)
+    0 survivors
 
 (* ------------------------------------------------------------------ *)
 (* Protocol                                                            *)

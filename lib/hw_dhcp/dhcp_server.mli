@@ -74,6 +74,15 @@ val handle_packet : t -> Packet.t -> Packet.t list
 val tick : t -> unit
 (** Expires leases; emits [Lease_revoked]. *)
 
+val restore : t -> (string * string * string * string) list -> int
+(** Crash recovery: replay chronological [(mac, ip, hostname, action)]
+    rows — the hwdb [Leases] log — into a freshly created server. The
+    last action per mac wins: grant/renew re-binds the address (full
+    lease from now, device permitted and acked, so its next REQUEST is a
+    renewal of the same address); revoke/release/deny leaves it unbound.
+    Returns the number of leases restored; each one increments
+    [dhcp_leases_recovered_total]. *)
+
 (** {2 Control API surface (Figure 3)} *)
 
 val permit : t -> Mac.t -> unit

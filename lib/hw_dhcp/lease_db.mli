@@ -35,6 +35,12 @@ val allocate : t -> now:float -> ?requested:Ip.t -> ?hostname:string -> Mac.t ->
 val confirm : t -> now:float -> Mac.t -> Ip.t -> ?hostname:string -> unit -> lease option
 (** REQUEST handling: renews when the binding matches, [None] otherwise. *)
 
+val bind : t -> now:float -> hostname:string -> committed:bool -> Mac.t -> Ip.t -> lease
+(** Install a binding directly, replacing any previous binding for the
+    client — the primitive behind allocate/confirm, exposed for
+    crash-recovery replay (rebuilding the table from the hwdb [Leases]
+    log). [committed] leases get the full lease TTL from [now]. *)
+
 val release : t -> Mac.t -> lease option
 val expire : t -> now:float -> lease list
 (** Removes and returns leases past their expiry. *)

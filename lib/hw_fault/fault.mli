@@ -1,0 +1,108 @@
+(** Deterministic, seed-driven fault injection.
+
+    An injector interposes on a message path (a [deliver] continuation)
+    at one named choke point. All randomness comes from a
+    {!Hw_sim.Prng.t}, so a fault schedule is a pure function of the
+    seed: chaos runs replay exactly. Each probabilistic spec draws from
+    the PRNG exactly once per message regardless of earlier outcomes, so
+    the schedule depends only on the seed and the message count — never
+    on which faults fired.
+
+    Hot-path discipline matches [Tracer.with_span]: a disarmed injector
+    costs one branch at the call site —
+
+    {[
+      if Fault.armed inj then Fault.apply inj payload ~deliver
+      else deliver payload
+    ]}
+
+    Every injected fault increments [fault_injected_total{kind=...}] and
+    tags the active trace (attribute ["fault"]) when one is open. *)
+
+type spec =
+  | Drop of float  (** drop the payload with probability p *)
+  | Duplicate of float  (** deliver the payload twice with probability p *)
+  | Reorder of float
+      (** with probability p, hold the payload and release it after the
+          next one passes through (pairwise swap) *)
+  | Delay of { p : float; min_s : float; max_s : float }
+      (** with probability p, deliver after a uniform [min_s, max_s]
+          delay (needs a scheduler; without one the delay is a no-op) *)
+  | Corrupt of float  (** flip one byte of the payload with probability p *)
+  | Partition of { from_s : float; until_s : float }
+      (** drop everything while [from_s <= now < until_s] *)
+  | Clock_skew of float  (** {!wrap_clock} adds this many seconds *)
+  | Crash of float  (** {!maybe_crash} raises with probability p *)
+
+exception Injected_crash of string
+(** Carries the choke-point name; raised by {!maybe_crash}. *)
+
+type t
+
+val create :
+  ?metrics:Hw_metrics.Registry.t ->
+  ?trace:Hw_trace.Tracer.t ->
+  ?schedule:(float -> (unit -> unit) -> unit) ->
+  ?seed:int ->
+  ?prng:Hw_sim.Prng.t ->
+  now:(unit -> float) ->
+  point:string ->
+  unit ->
+  t
+(** [point] names the choke point (metrics label context, crash payload,
+    trace attribute). [schedule] is required for [Delay] to take effect.
+    [prng] overrides [seed] — used by {!plane} to split one root stream.
+    A fresh injector is disarmed. *)
+
+val point : t -> string
+
+val armed : t -> bool
+(** The single branch the hot path pays when no plan is installed. *)
+
+val plan : t -> spec list
+
+val set_plan : t -> spec list -> unit
+(** Installs (and arms) a fault plan; [set_plan t []] disarms. A
+    [Clock_skew] spec is counted once at installation — it is a standing
+    condition, not a per-message event. *)
+
+val disarm : t -> unit
+
+val apply : t -> string -> deliver:(string -> unit) -> unit
+(** Pass one payload through the injector. Precedence when multiple
+    specs fire on one message: partition (drops everything, including a
+    held reordered payload) > drop > reorder (hold behind the next
+    delivered payload) > delay > deliver (+ duplicate). *)
+
+val skew : t -> float
+(** Sum of armed [Clock_skew] specs, 0 when disarmed. *)
+
+val wrap_clock : t -> (unit -> float) -> unit -> float
+(** [wrap_clock t now] is a clock reading [now () +. skew t]. *)
+
+val partition_active : t -> float -> bool
+
+val maybe_crash : t -> unit
+(** Call where a crashing handler is survivable.
+    @raise Injected_crash with probability p per armed [Crash p] spec. *)
+
+(** {2 The router's three choke points as one unit} *)
+
+type plane = {
+  tx : t;  (** dataplane transmit hook *)
+  rpc : t;  (** hwdb RPC datagrams, both directions *)
+  chan : t;  (** controller<->datapath byte channel, both directions *)
+}
+
+val plane :
+  ?metrics:Hw_metrics.Registry.t ->
+  ?trace:Hw_trace.Tracer.t ->
+  ?schedule:(float -> (unit -> unit) -> unit) ->
+  ?seed:int ->
+  now:(unit -> float) ->
+  unit ->
+  plane
+(** Three injectors with independent PRNG streams split from one [seed],
+    all disarmed. *)
+
+val disarm_plane : plane -> unit

@@ -147,6 +147,7 @@ let table t name = Hashtbl.find_opt t.tables name
 let table_names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tables [] |> List.sort compare
 let metrics t = t.metrics
 let tracer t = t.trace
+let clock t = t.now
 
 let insert_into t tbl values =
   Hw_metrics.Counter.incr t.m_inserts;

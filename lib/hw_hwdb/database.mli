@@ -50,6 +50,9 @@ val tracer : t -> Hw_trace.Tracer.t
 (** The tracer whose flight recorder feeds the [Traces] table
     ({!Hw_trace.Tracer.disabled} unless one was attached). *)
 
+val clock : t -> unit -> float
+(** The [now] function the database was created with. *)
+
 val create_table : t -> name:string -> ?capacity:int -> Value.schema -> (Table.t, string) result
 val table : t -> string -> Table.t option
 val table_names : t -> string list

@@ -132,27 +132,69 @@ module Server = struct
 
   module Tracer = Hw_trace.Tracer
 
+  (* One remote subscriber. The lease covers [lease_periods] publish
+     periods; every re-SUBSCRIBE of the same (address, statement) pair
+     renews it instead of creating a second subscription, and a
+     subscriber whose lease has lapsed is evicted the next time its
+     query fires — which is what bounds [client_subs] against clients
+     that silently die. *)
+  type client_sub = {
+    cs_addr : string;
+    cs_key : string; (* statement text + period: the renewal identity *)
+    mutable cs_id : int;
+    mutable cs_expires : float;
+  }
+
   type t = {
     db : Database.t;
     trace : Tracer.t;
+    now : unit -> float;
+    lease_periods : int;
     send : to_:string -> string -> unit;
-    mutable client_subs : (string * int) list; (* address, subscription id *)
+    mutable client_subs : client_sub list;
+    (* idempotency: retried requests replay the cached response instead
+       of re-executing the statement *)
+    dedup : (string, string) Hashtbl.t;
+    dedup_order : string Queue.t;
+    dedup_cap : int;
     m_in : Hw_metrics.Counter.t;
     m_out : Hw_metrics.Counter.t;
     m_dropped : Hw_metrics.Counter.t;
+    m_dedup_hits : Hw_metrics.Counter.t;
+    m_subs_evicted : Hw_metrics.Counter.t;
   }
 
-  let create ?metrics ?trace ~db ~send () =
+  let create ?metrics ?trace ?now ?(lease_periods = 4) ?(dedup_window = 256) ~db ~send
+      () =
     (* Defaulting to the database's registry puts rpc_* rows in its own
        Metrics table, alongside the hwdb_* counters the server drives;
-       same reasoning for the tracer. *)
+       same reasoning for the tracer and the clock. *)
     let metrics = Option.value metrics ~default:(Database.metrics db) in
     let trace = Option.value trace ~default:(Database.tracer db) in
+    let now = Option.value now ~default:(Database.clock db) in
+    (* Pre-register the client-side retry family at zero so the series
+       appear on every export surface of this registry even before any
+       co-resident client sends a request; a client created with the
+       same registry increments these same instruments. *)
+    ignore
+      (Hw_metrics.Registry.counter metrics "rpc_retries_total"
+         ~help:"Requests retransmitted after a timeout");
+    ignore
+      (Hw_metrics.Registry.counter metrics "rpc_request_timeouts_total"
+         ~help:"Requests abandoned after exhausting their retry budget");
+    ignore
+      (Hw_metrics.Registry.counter metrics "rpc_resubscribes_total"
+         ~help:"Subscriptions re-established after publish silence");
     {
       db;
       trace;
+      now;
+      lease_periods;
       send;
       client_subs = [];
+      dedup = Hashtbl.create (2 * dedup_window);
+      dedup_order = Queue.create ();
+      dedup_cap = dedup_window;
       m_in =
         Hw_metrics.Registry.counter metrics "rpc_datagrams_in_total"
           ~help:"Datagrams handed to the RPC server";
@@ -162,6 +204,12 @@ module Server = struct
       m_dropped =
         Hw_metrics.Registry.counter metrics "rpc_datagrams_dropped_total"
           ~help:"Inbound datagrams dropped (malformed or non-request)";
+      m_dedup_hits =
+        Hw_metrics.Registry.counter metrics "rpc_dedup_hits_total"
+          ~help:"Retried requests answered from the dedup window";
+      m_subs_evicted =
+        Hw_metrics.Registry.counter metrics "subs_evicted_total"
+          ~help:"Subscribers evicted after their lease lapsed";
     }
 
   let send t ~to_ data =
@@ -170,55 +218,86 @@ module Server = struct
 
   let subscriber_count t = List.length t.client_subs
 
+  let evict t cs =
+    ignore (Database.unsubscribe t.db cs.cs_id);
+    t.client_subs <- List.filter (fun c -> c != cs) t.client_subs;
+    Hw_metrics.Counter.incr t.m_subs_evicted;
+    Log.info (fun m ->
+        m "evicted subscriber %s (sub %d): lease lapsed" cs.cs_addr cs.cs_id)
+
+  let sub_ok_response seq id =
+    Response_ok
+      {
+        seq;
+        result = Some { Query.columns = [ "subscription_id" ]; rows = [ [ Value.Int id ] ] };
+      }
+
   let handle_request t ~from seq statement =
     match Parser.parse statement with
-    | Error msg -> send t ~to_:from (encode (Response_error { seq; message = msg }))
-    | Ok (Ast.Subscribe (sel, period)) when period > 0. ->
-        let sub_id = ref 0 in
-        let callback result =
-          send t ~to_:from (encode (Publish { subscription = !sub_id; result }))
-        in
-        let id = Database.subscribe t.db ~query:sel ~period ~callback in
-        sub_id := id;
-        t.client_subs <- (from, id) :: t.client_subs;
-        send t ~to_:from
-          (encode
-             (Response_ok
-                {
-                  seq;
-                  result =
-                    Some
-                      {
-                        Query.columns = [ "subscription_id" ];
-                        rows = [ [ Value.Int id ] ];
-                      };
-                }))
+    | Error msg -> Response_error { seq; message = msg }
+    | Ok (Ast.Subscribe (sel, period)) when period > 0. -> (
+        let key = Printf.sprintf "%s|%g" statement period in
+        let lease = float_of_int t.lease_periods *. period in
+        match
+          List.find_opt (fun cs -> cs.cs_addr = from && cs.cs_key = key) t.client_subs
+        with
+        | Some cs ->
+            (* renewal: extend the lease, keep the existing subscription *)
+            cs.cs_expires <- t.now () +. lease;
+            sub_ok_response seq cs.cs_id
+        | None ->
+            let cs =
+              { cs_addr = from; cs_key = key; cs_id = 0; cs_expires = t.now () +. lease }
+            in
+            let callback result =
+              (* lease check rides on the publish path: a lapsed
+                 subscriber is evicted instead of published to *)
+              if t.now () > cs.cs_expires then evict t cs
+              else send t ~to_:from (encode (Publish { subscription = cs.cs_id; result }))
+            in
+            let id = Database.subscribe t.db ~query:sel ~period ~callback in
+            cs.cs_id <- id;
+            t.client_subs <- cs :: t.client_subs;
+            sub_ok_response seq id)
     | Ok (Ast.Unsubscribe id) ->
         if Database.unsubscribe t.db id then begin
-          t.client_subs <- List.filter (fun (_, i) -> i <> id) t.client_subs;
-          send t ~to_:from (encode (Response_ok { seq; result = None }))
+          t.client_subs <- List.filter (fun cs -> cs.cs_id <> id) t.client_subs;
+          Response_ok { seq; result = None }
         end
-        else
-          send t ~to_:from
-            (encode
-               (Response_error { seq; message = Printf.sprintf "no subscription %d" id }))
+        else Response_error { seq; message = Printf.sprintf "no subscription %d" id }
     | Ok _ -> (
         match Database.execute t.db statement with
-        | Ok result -> send t ~to_:from (encode (Response_ok { seq; result }))
-        | Error message -> send t ~to_:from (encode (Response_error { seq; message })))
+        | Ok result -> Response_ok { seq; result }
+        | Error message -> Response_error { seq; message })
 
   let handle_datagram t ~from data =
     Hw_metrics.Counter.incr t.m_in;
     match decode data with
-    | Ok (Request { seq; statement }) ->
-        (* an RPC query is an event lifecycle of its own: root a trace so
-           the statement's hwdb work is causally recorded *)
-        Tracer.with_trace t.trace "rpc.request"
-          ~attrs:
-            (if Tracer.enabled t.trace then
-               [ ("from", Tracer.Str from); ("statement", Tracer.Str statement) ]
-             else [])
-          (fun () -> handle_request t ~from seq statement)
+    | Ok (Request { seq; statement }) -> (
+        (* (sender, seq, statement) identifies a request across retries;
+           a hit replays the cached response without re-executing, so a
+           retried INSERT is applied exactly once *)
+        let dkey = Printf.sprintf "%s#%ld#%s" from seq statement in
+        match Hashtbl.find_opt t.dedup dkey with
+        | Some cached ->
+            Hw_metrics.Counter.incr t.m_dedup_hits;
+            send t ~to_:from cached
+        | None ->
+            (* an RPC query is an event lifecycle of its own: root a trace
+               so the statement's hwdb work is causally recorded *)
+            Tracer.with_trace t.trace "rpc.request"
+              ~attrs:
+                (if Tracer.enabled t.trace then
+                   [ ("from", Tracer.Str from); ("statement", Tracer.Str statement) ]
+                 else [])
+              (fun () ->
+                let response = handle_request t ~from seq statement in
+                let data = encode response in
+                Hashtbl.replace t.dedup dkey data;
+                Queue.add dkey t.dedup_order;
+                if Queue.length t.dedup_order > t.dedup_cap then
+                  Hashtbl.remove t.dedup (Queue.pop t.dedup_order);
+                send t ~to_:from data))
     | Ok _ ->
         Hw_metrics.Counter.incr t.m_dropped;
         Log.debug (fun m -> m "non-request datagram from %s dropped" from)
@@ -227,8 +306,10 @@ module Server = struct
         Log.debug (fun m -> m "malformed datagram from %s: %s" from msg)
 
   let drop_client t addr =
-    let mine, others = List.partition (fun (a, _) -> String.equal a addr) t.client_subs in
-    List.iter (fun (_, id) -> ignore (Database.unsubscribe t.db id)) mine;
+    let mine, others =
+      List.partition (fun cs -> String.equal cs.cs_addr addr) t.client_subs
+    in
+    List.iter (fun cs -> ignore (Database.unsubscribe t.db cs.cs_id)) mine;
     t.client_subs <- others;
     List.length mine
 end
@@ -238,40 +319,216 @@ end
 (* ------------------------------------------------------------------ *)
 
 module Client = struct
-  type t = {
-    send : string -> unit;
-    mutable next_seq : int32;
-    pending : (int32, (Query.result_set option, string) result -> unit) Hashtbl.t;
-    mutable publish_handlers : (subscription:int -> Query.result_set -> unit) list;
+  let log_src = Logs.Src.create "hw.hwdb.rpc.client" ~doc:"hwdb RPC client"
+
+  module Log = (val Logs.src_log log_src : Logs.LOG)
+
+  type retry = {
+    timeout : float;  (** first-attempt timeout, seconds *)
+    max_attempts : int;
+    backoff : float;  (** timeout multiplier per attempt *)
+    max_timeout : float;  (** backoff cap *)
+    jitter : float;  (** +- fraction of the timeout, e.g. 0.2 *)
   }
 
-  let create ~send = { send; next_seq = 1l; pending = Hashtbl.create 8; publish_handlers = [] }
+  let default_retry =
+    { timeout = 1.; max_attempts = 5; backoff = 2.; max_timeout = 10.; jitter = 0.2 }
+
+  type pending = {
+    p_statement : string;
+    p_reply : (Query.result_set option, string) result -> unit;
+    mutable p_attempt : int;
+  }
+
+  type t = {
+    send : string -> unit;
+    schedule : (float -> (unit -> unit) -> unit) option;
+    retry : retry;
+    mutable jstate : int64; (* splitmix64 state for retry jitter *)
+    mutable next_seq : int32;
+    pending : (int32, pending) Hashtbl.t;
+    mutable publish_handlers : (subscription:int -> Query.result_set -> unit) list;
+    m_retries : Hw_metrics.Counter.t;
+    m_timeouts : Hw_metrics.Counter.t;
+  }
+
+  let create ?(metrics = Hw_metrics.Registry.default) ?schedule ?(retry = default_retry)
+      ?(seed = 1) ~send () =
+    {
+      send;
+      schedule;
+      retry;
+      jstate = Int64.of_int seed;
+      next_seq = 1l;
+      pending = Hashtbl.create 8;
+      publish_handlers = [];
+      m_retries =
+        Hw_metrics.Registry.counter metrics "rpc_retries_total"
+          ~help:"Requests retransmitted after a timeout";
+      m_timeouts =
+        Hw_metrics.Registry.counter metrics "rpc_request_timeouts_total"
+          ~help:"Requests abandoned after exhausting every retry";
+    }
+
+  (* splitmix64 step — self-contained so the client does not pull the
+     simulator in just for jitter; same constants as Hw_sim.Prng *)
+  let jitter_unit t =
+    t.jstate <- Int64.add t.jstate 0x9E3779B97F4A7C15L;
+    let z = t.jstate in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992. (* [0,1) *)
+
+  (* Arm the retransmit timer for attempt [p.p_attempt]. Retries reuse
+     the original sequence number — that IS the idempotency key the
+     server's dedup window matches on. Capped exponential backoff with
+     +-jitter; without a scheduler requests simply never time out (the
+     pre-existing fire-and-forget behaviour). *)
+  let rec arm t seq p =
+    match t.schedule with
+    | None -> ()
+    | Some schedule ->
+        let attempt = p.p_attempt in
+        let base =
+          Float.min t.retry.max_timeout
+            (t.retry.timeout *. (t.retry.backoff ** float_of_int (attempt - 1)))
+        in
+        let d = base *. (1. +. (t.retry.jitter *. ((2. *. jitter_unit t) -. 1.))) in
+        schedule d (fun () ->
+            match Hashtbl.find_opt t.pending seq with
+            | Some p' when p' == p && p'.p_attempt = attempt ->
+                if attempt >= t.retry.max_attempts then begin
+                  Hashtbl.remove t.pending seq;
+                  Hw_metrics.Counter.incr t.m_timeouts;
+                  Log.debug (fun m ->
+                      m "request %ld timed out after %d attempts" seq attempt);
+                  p.p_reply
+                    (Error (Printf.sprintf "rpc: timed out after %d attempts" attempt))
+                end
+                else begin
+                  p.p_attempt <- attempt + 1;
+                  Hw_metrics.Counter.incr t.m_retries;
+                  t.send (encode (Request { seq; statement = p.p_statement }));
+                  arm t seq p
+                end
+            | _ -> () (* answered (or superseded) in the meantime *))
 
   let request t statement ~on_reply =
     let seq = t.next_seq in
     t.next_seq <- Int32.add seq 1l;
-    Hashtbl.replace t.pending seq on_reply;
-    t.send (encode (Request { seq; statement }))
+    let p = { p_statement = statement; p_reply = on_reply; p_attempt = 1 } in
+    Hashtbl.replace t.pending seq p;
+    t.send (encode (Request { seq; statement }));
+    arm t seq p
 
   let on_publish t f = t.publish_handlers <- t.publish_handlers @ [ f ]
 
+  let settle t seq outcome =
+    match Hashtbl.find_opt t.pending seq with
+    | Some p ->
+        Hashtbl.remove t.pending seq;
+        p.p_reply outcome
+    | None -> () (* duplicate response after a retry raced the original *)
+
   let handle_datagram t data =
     match decode data with
-    | Ok (Response_ok { seq; result }) -> (
-        match Hashtbl.find_opt t.pending seq with
-        | Some k ->
-            Hashtbl.remove t.pending seq;
-            k (Ok result)
-        | None -> ())
-    | Ok (Response_error { seq; message }) -> (
-        match Hashtbl.find_opt t.pending seq with
-        | Some k ->
-            Hashtbl.remove t.pending seq;
-            k (Error message)
-        | None -> ())
+    | Ok (Response_ok { seq; result }) -> settle t seq (Ok result)
+    | Ok (Response_error { seq; message }) -> settle t seq (Error message)
     | Ok (Publish { subscription; result }) ->
         List.iter (fun f -> f ~subscription result) t.publish_handlers
     | Ok (Request _) | Error _ -> ()
 
   let pending_count t = Hashtbl.length t.pending
+end
+
+(* ------------------------------------------------------------------ *)
+(* Leased subscriber                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Subscriber = struct
+  (* The client half of the subscription-lease protocol: re-SUBSCRIBE
+     both proactively (before the server-side lease lapses) and
+     reactively (on publish silence, which is what a server restart,
+     an eviction or a lost SUBSCRIBE all look like from here). The
+     server treats a repeated SUBSCRIBE of the same statement as a
+     renewal, so this is idempotent. *)
+
+  type t = {
+    client : Client.t;
+    statement : string;
+    now : unit -> float;
+    renew_every : float;
+    silence_after : float;
+    on_result : Query.result_set -> unit;
+    mutable sub_id : int option;
+    mutable last_heard : float;
+    mutable last_renewal : float;
+    mutable resubscribes : int;
+    mutable stopped : bool;
+    m_resubs : Hw_metrics.Counter.t;
+  }
+
+  let subscribe t =
+    t.last_renewal <- t.now ();
+    Client.request t.client t.statement ~on_reply:(fun reply ->
+        match reply with
+        | Ok (Some { Query.rows = [ [ Value.Int id ] ]; _ }) ->
+            t.sub_id <- Some id;
+            t.last_heard <- t.now ()
+        | _ -> () (* lost or rejected; the watchdog will try again *))
+
+  let attach ?(metrics = Hw_metrics.Registry.default) ?renew_every ?silence_after ~now
+      ~schedule ~client ~statement ~period ~on_result () =
+    let t =
+      {
+        client;
+        statement;
+        now;
+        renew_every = Option.value renew_every ~default:(2. *. period);
+        silence_after = Option.value silence_after ~default:(3. *. period);
+        on_result;
+        sub_id = None;
+        last_heard = now ();
+        last_renewal = now ();
+        resubscribes = 0;
+        stopped = false;
+        m_resubs =
+          Hw_metrics.Registry.counter metrics "rpc_resubscribes_total"
+            ~help:"SUBSCRIBEs re-sent on publish silence";
+      }
+    in
+    Client.on_publish client (fun ~subscription rs ->
+        if (not t.stopped) && t.sub_id = Some subscription then begin
+          t.last_heard <- t.now ();
+          t.on_result rs
+        end);
+    subscribe t;
+    let rec watchdog () =
+      if not t.stopped then begin
+        let now = t.now () in
+        if now -. t.last_heard > t.silence_after then begin
+          (* silent: the subscription is gone as far as we can tell *)
+          t.resubscribes <- t.resubscribes + 1;
+          Hw_metrics.Counter.incr t.m_resubs;
+          subscribe t
+        end
+        else if now -. t.last_renewal >= t.renew_every then subscribe t;
+        schedule period watchdog
+      end
+    in
+    schedule period watchdog;
+    t
+
+  let detach t =
+    t.stopped <- true;
+    match t.sub_id with
+    | None -> ()
+    | Some id ->
+        t.sub_id <- None;
+        Client.request t.client (Printf.sprintf "UNSUBSCRIBE %d" id)
+          ~on_reply:(fun _ -> ())
+
+  let sub_id t = t.sub_id
+  let resubscribes t = t.resubscribes
 end

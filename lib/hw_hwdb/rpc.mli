@@ -30,6 +30,9 @@ module Server : sig
   val create :
     ?metrics:Hw_metrics.Registry.t ->
     ?trace:Hw_trace.Tracer.t ->
+    ?now:(unit -> float) ->
+    ?lease_periods:int ->
+    ?dedup_window:int ->
     db:Database.t ->
     send:(to_:string -> string -> unit) ->
     unit ->
@@ -38,13 +41,22 @@ module Server : sig
       the rpc_datagrams_{in,out,dropped}_total counters; it defaults to
       [Database.metrics db] so RPC traffic shows up in the database's own
       [Metrics] table. [trace] (default [Database.tracer db]) roots an
-      [rpc.request] trace around each request statement. *)
+      [rpc.request] trace around each request statement. [now] (default
+      [Database.clock db]) times subscription leases: a subscriber that
+      does not renew (re-SUBSCRIBE) within [lease_periods] publish
+      periods is evicted at its next publish instant. [dedup_window] is
+      the number of recent (sender, seq, statement) responses replayed
+      verbatim when a client retransmits — the idempotency window that
+      makes retried INSERTs apply exactly once. *)
 
   val handle_datagram : t -> from:string -> string -> unit
   (** Processes one request datagram and replies via [send]. SUBSCRIBE
-      statements attach the requester as a publish target. A malformed
-      datagram is dropped (UDP semantics), a well-formed request with a bad
-      statement gets a [Response_error]. *)
+      statements attach the requester as a publish target; re-SUBSCRIBE
+      of the same statement from the same address renews its lease and
+      returns the existing subscription id. A malformed datagram is
+      dropped (UDP semantics), a well-formed request with a bad
+      statement gets a [Response_error], and a retransmitted request is
+      answered from the dedup window without re-executing. *)
 
   val subscriber_count : t -> int
 
@@ -53,12 +65,40 @@ module Server : sig
 end
 
 module Client : sig
-  (** Client-side helper that correlates responses by sequence number. *)
+  (** Client-side helper that correlates responses by sequence number,
+      with optional at-least-once delivery: given a scheduler, an
+      unanswered request is retransmitted under capped exponential
+      backoff with jitter, reusing its sequence number so the server's
+      dedup window recognises the retry. *)
 
   type t
 
-  val create : send:(string -> unit) -> t
-  (** [send] transmits a datagram to the server. *)
+  type retry = {
+    timeout : float;  (** first-attempt timeout, seconds *)
+    max_attempts : int;
+    backoff : float;  (** timeout multiplier per attempt *)
+    max_timeout : float;  (** backoff cap *)
+    jitter : float;  (** +- fraction of the timeout, e.g. 0.2 *)
+  }
+
+  val default_retry : retry
+  (** 1 s first timeout, 5 attempts, x2 backoff capped at 10 s, 20% jitter. *)
+
+  val create :
+    ?metrics:Hw_metrics.Registry.t ->
+    ?schedule:(float -> (unit -> unit) -> unit) ->
+    ?retry:retry ->
+    ?seed:int ->
+    send:(string -> unit) ->
+    unit ->
+    t
+  (** [send] transmits a datagram to the server. Without [schedule]
+      requests are fire-and-forget (no timeouts, no retries — the
+      pre-existing behaviour); with it, each request is retried per
+      [retry] and [on_reply] receives [Error] after the final timeout.
+      [seed] drives the deterministic jitter. [metrics] (default the
+      process registry) receives [rpc_retries_total] and
+      [rpc_request_timeouts_total]. *)
 
   val request :
     t -> string ->
@@ -70,4 +110,39 @@ module Client : sig
   (** Feed datagrams arriving from the server. *)
 
   val pending_count : t -> int
+end
+
+module Subscriber : sig
+  (** The client half of the subscription-lease protocol: keeps one
+      SUBSCRIBE alive by renewing it (re-SUBSCRIBE) before the server's
+      lease lapses, and re-establishing it on publish silence — which is
+      what a server restart, an eviction or a lost SUBSCRIBE all look
+      like from the client. The server treats a repeated SUBSCRIBE of
+      the same statement as a renewal, so recovery is idempotent. *)
+
+  type t
+
+  val attach :
+    ?metrics:Hw_metrics.Registry.t ->
+    ?renew_every:float ->
+    ?silence_after:float ->
+    now:(unit -> float) ->
+    schedule:(float -> (unit -> unit) -> unit) ->
+    client:Client.t ->
+    statement:string ->
+    period:float ->
+    on_result:(Query.result_set -> unit) ->
+    unit ->
+    t
+  (** [statement] must be the full SUBSCRIBE statement and [period] its
+      EVERY interval in seconds. Renews every [renew_every] (default
+      [2 * period]) and re-subscribes after [silence_after] (default
+      [3 * period]) without a publish. [on_result] sees only publishes
+      matching the current subscription id. *)
+
+  val detach : t -> unit
+  (** Stops the watchdog and sends UNSUBSCRIBE for the live id, if any. *)
+
+  val sub_id : t -> int option
+  val resubscribes : t -> int
 end

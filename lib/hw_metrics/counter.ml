@@ -1,6 +1,12 @@
-type t = { name : string; help : string; mutable count : int }
+type t = {
+  name : string;
+  help : string;
+  labels : (string * string) list;
+  mutable count : int;
+}
 
-let create ~name ~help = { name; help; count = 0 }
+let create ~name ~help = { name; help; labels = []; count = 0 }
+let create_labeled ~labels ~name ~help = { name; help; labels; count = 0 }
 let incr t = t.count <- t.count + 1
 
 let add t n =
@@ -10,3 +16,4 @@ let add t n =
 let value t = t.count
 let name t = t.name
 let help t = t.help
+let labels t = t.labels

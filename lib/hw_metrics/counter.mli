@@ -10,6 +10,10 @@ val create : name:string -> help:string -> t
 (** Normally obtained through {!Registry.counter}, which deduplicates by
     name; [create] builds an unregistered counter (tests, scratch). *)
 
+val create_labeled : labels:(string * string) list -> name:string -> help:string -> t
+(** A counter carrying constant labels; one label combination is one
+    series. Normally obtained through {!Registry.labeled_counter}. *)
+
 val incr : t -> unit
 val add : t -> int -> unit
 (** Raises [Invalid_argument] on a negative increment: counters only go
@@ -18,3 +22,6 @@ val add : t -> int -> unit
 val value : t -> int
 val name : t -> string
 val help : t -> string
+
+val labels : t -> (string * string) list
+(** Constant labels, [[]] for counters made with {!create}. *)

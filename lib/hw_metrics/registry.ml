@@ -50,6 +50,19 @@ let counter t ?(help = "") name =
     (fun c -> Counter c)
     (function Counter c -> Some c | _ -> None)
 
+(* Labeled counters register under a sanitized name+labels key so each
+   label combination is its own series; the counter itself keeps the
+   display name and labels for export. *)
+let labeled_counter t ?(help = "") name ~labels =
+  let key =
+    sanitize_name
+      (String.concat "_" (name :: List.concat_map (fun (k, v) -> [ k; v ]) labels))
+  in
+  register t key
+    (fun () -> Counter.create_labeled ~labels ~name ~help)
+    (fun c -> Counter c)
+    (function Counter c -> Some c | _ -> None)
+
 let gauge t ?(help = "") ?(labels = []) name =
   register t name
     (fun () -> Gauge.create ~labels ~name ~help ())

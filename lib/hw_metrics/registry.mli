@@ -36,6 +36,14 @@ val histogram : t -> ?help:string -> string -> Histogram.t
     [?help] (and [?labels] for gauges) is ignored (the first registration
     wins). *)
 
+val labeled_counter :
+  t -> ?help:string -> string -> labels:(string * string) list -> Counter.t
+(** Get-or-create one series of a labeled counter family (e.g.
+    [fault_injected_total{kind="drop"}]). The registry key is the
+    sanitized concatenation of name and labels, so each label
+    combination is a distinct instrument while every series shares the
+    display name. *)
+
 val sampled_histogram : t -> ?help:string -> every:int -> string -> Sampled.t
 (** A {!Sampled} wrapper over [histogram t name]. The sampler itself is
     per-call-site state: calling twice returns two independent samplers

@@ -12,11 +12,22 @@ let histogram_stats h =
     ("p99", Histogram.percentile h 99.);
   ]
 
+(* Prometheus label syntax: {k="v",...}. OCaml's %S escaping covers the
+   three sequences the exposition format defines (backslash, quote,
+   newline). *)
+let label_str = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+      ^ "}"
+
 let rows reg =
   List.concat_map
     (fun (metric, instrument) ->
       match instrument with
       | Registry.Counter c ->
+          let metric = Counter.name c ^ label_str (Counter.labels c) in
           [ { metric; kind = "counter"; stat = "value"; value = float_of_int (Counter.value c) } ]
       | Registry.Gauge g -> [ { metric; kind = "gauge"; stat = "value"; value = Gauge.value g } ]
       | Registry.Histogram h ->
@@ -32,7 +43,14 @@ let to_json reg =
          let fields =
            match instrument with
            | Registry.Counter c ->
-               [ ("kind", Json.String "counter"); ("value", Json.Int (Counter.value c)) ]
+               let labels =
+                 match Counter.labels c with
+                 | [] -> []
+                 | ls ->
+                     [ ("labels", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) ls)) ]
+               in
+               (("kind", Json.String "counter") :: labels)
+               @ [ ("value", Json.Int (Counter.value c)) ]
            | Registry.Gauge g ->
                let labels =
                  match Gauge.labels g with
@@ -57,28 +75,26 @@ let float_str v =
   if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%.9g" v
 
-(* Prometheus label syntax: {k="v",...}. OCaml's %S escaping covers the
-   three sequences the exposition format defines (backslash, quote,
-   newline). *)
-let label_str = function
-  | [] -> ""
-  | labels ->
-      "{"
-      ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
-      ^ "}"
-
 let render_prometheus reg =
   let buf = Buffer.create 1024 in
+  (* consecutive series of one labeled metric share a single header *)
+  let last_header = ref "" in
   let header name help kind =
-    if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
-    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    if name <> !last_header then begin
+      last_header := name;
+      if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
   in
   List.iter
     (fun (name, instrument) ->
       match instrument with
       | Registry.Counter c ->
-          header name (Counter.help c) "counter";
-          Buffer.add_string buf (Printf.sprintf "%s %d\n" name (Counter.value c))
+          header (Counter.name c) (Counter.help c) "counter";
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %d\n" (Counter.name c)
+               (label_str (Counter.labels c))
+               (Counter.value c))
       | Registry.Gauge g ->
           header name (Gauge.help g) "gauge";
           Buffer.add_string buf

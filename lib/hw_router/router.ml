@@ -15,6 +15,7 @@ module Policy = Hw_policy.Policy
 module Database = Hw_hwdb.Database
 module Rpc = Hw_hwdb.Rpc
 module Value = Hw_hwdb.Value
+module Fault = Hw_fault.Fault
 
 let wireless_port = 1
 let upstream_port = 100
@@ -25,6 +26,7 @@ type t = {
   loop : Hw_sim.Event_loop.t;
   metrics : Hw_metrics.Registry.t;
   trace : Hw_trace.Tracer.t;
+  faults : Fault.plane;
   dp : Datapath.t;
   ctrl : Controller.t;
   mutable conn : Controller.conn;
@@ -92,7 +94,16 @@ let nat_binding_count t = Hashtbl.length t.nat_by_cookie
 let set_transmit t f = t.transmit <- f
 let receive_frame t ~in_port frame = Datapath.receive_frame t.dp ~in_port frame
 let set_rpc_send t f = t.rpc_send <- f
-let rpc_datagram t ~from data = Rpc.Server.handle_datagram t.rpc_server ~from data
+let faults t = t.faults
+
+let rpc_datagram t ~from data =
+  (* inbound half of the RPC choke point; the outbound half wraps
+     rpc_send in [create] *)
+  let inj = t.faults.Fault.rpc in
+  if Fault.armed inj then
+    Fault.apply inj data ~deliver:(fun data ->
+        Rpc.Server.handle_datagram t.rpc_server ~from data)
+  else Rpc.Server.handle_datagram t.rpc_server ~from data
 
 (* ------------------------------------------------------------------ *)
 (* Packet-out helpers                                                  *)
@@ -727,23 +738,62 @@ let http_raw t raw =
   | None -> Http.encode_response (Http.error_response 500 "control API not initialised")
 
 (* ------------------------------------------------------------------ *)
+(* DHCP crash recovery from hwdb                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Replay the Leases log of [db] (ring order is chronological) into a
+   DHCP server — the recovery path for "the router restarted but the
+   hwdb survived": devices keep their addresses, so the measurement
+   plane's per-device attribution holds across the restart. *)
+let recover_dhcp_leases ~db server =
+  match Database.query db "SELECT mac, ip, hostname, action FROM Leases" with
+  | Error msg ->
+      Log.warn (fun m -> m "lease recovery: cannot read Leases table: %s" msg);
+      0
+  | Ok rs ->
+      let rows =
+        List.filter_map
+          (function
+            | [ Value.Str mac; Value.Str ip; Value.Str hostname; Value.Str action ] ->
+                Some (mac, ip, hostname, action)
+            | _ -> None)
+          rs.Hw_hwdb.Query.rows
+      in
+      let n = Dhcp_server.restore server rows in
+      if n > 0 then Log.info (fun m -> m "recovered %d lease(s) from hwdb" n);
+      n
+
+(* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
 let create ?(dhcp_config = Dhcp_server.default_config) ?(flow_idle_timeout = 10)
-    ?(wired_ports = 4) ?nat ?(isolate_devices = false) ~loop () =
+    ?(wired_ports = 4) ?nat ?(isolate_devices = false) ?(fault_seed = 0x4a11)
+    ?restore_leases_from ~loop () =
   let now () = Hw_sim.Event_loop.now loop in
   (* One registry per router instance: every subsystem reports into it, and
      it feeds all three export surfaces (Metrics table, /metrics, bench). *)
   let metrics = Hw_metrics.Registry.create () in
+  Hw_sim.Event_loop.attach_metrics loop metrics;
   (* One tracer per router instance, same shape as the registry: every
      subsystem records spans into it and it feeds all three trace export
      surfaces (hwdb Traces table, /traces endpoints, Trace.Log stamps). *)
   let trace = Hw_trace.Tracer.create ~metrics ~now () in
+  (* One fault plane per router instance, disarmed by default: injectors
+     for the dataplane transmit hook, the RPC datagram path and the
+     controller<->datapath channel. Disarmed cost is one branch per hop. *)
+  let faults =
+    Fault.plane ~metrics ~trace
+      ~schedule:(fun d f -> Hw_sim.Event_loop.after loop d f)
+      ~seed:fault_seed ~now ()
+  in
   let uptime = Hw_metrics.Build_info.register ~registry:metrics () in
   let started_at = now () in
   let database = Database.create ~metrics ~trace ~now () in
   let dhcp_server = Dhcp_server.create ~metrics ~trace ~config:dhcp_config ~now () in
+  (match restore_leases_from with
+  | Some old_db -> ignore (recover_dhcp_leases ~db:old_db dhcp_server)
+  | None -> ());
   let dns_proxy = Dns_proxy.create ~metrics ~trace ~now () in
   Dns_proxy.set_device_of_ip dns_proxy (fun ip ->
       Option.map
@@ -753,12 +803,17 @@ let create ?(dhcp_config = Dhcp_server.default_config) ?(flow_idle_timeout = 10)
   (* mutual channel wiring uses forward references resolved below *)
   let dp_ref = ref None in
   let conn_ref = ref None in
-  let conn =
-    Controller.attach_switch ctrl ~send:(fun bytes ->
-        match !dp_ref with
-        | Some dp -> Datapath.input_from_controller dp bytes
-        | None -> ())
+  (* controller -> datapath direction of the channel choke point *)
+  let send_to_dp bytes =
+    match !dp_ref with
+    | Some dp ->
+        let inj = faults.Fault.chan in
+        if Fault.armed inj then
+          Fault.apply inj bytes ~deliver:(Datapath.input_from_controller dp)
+        else Datapath.input_from_controller dp bytes
+    | None -> ()
   in
+  let conn = Controller.attach_switch ctrl ~send:send_to_dp in
   conn_ref := Some conn;
   let transmit_ref = ref (fun ~port_no:_ _ -> ()) in
   let ports =
@@ -770,7 +825,17 @@ let create ?(dhcp_config = Dhcp_server.default_config) ?(flow_idle_timeout = 10)
   let dp =
     Datapath.create ~metrics ~trace ~dpid:1L ~ports
       ~transmit:(fun ~port_no frame -> !transmit_ref ~port_no frame)
-      ~to_controller:(fun bytes -> Controller.input ctrl conn bytes)
+      ~to_controller:(fun bytes ->
+        (* datapath -> controller direction of the channel choke point;
+           routed through [conn_ref] so a reconnect's fresh conn (not the
+           one captured at construction) receives the bytes *)
+        match !conn_ref with
+        | Some conn ->
+            let inj = faults.Fault.chan in
+            if Fault.armed inj then
+              Fault.apply inj bytes ~deliver:(fun b -> Controller.input ctrl conn b)
+            else Controller.input ctrl conn bytes
+        | None -> ())
       ~now ()
   in
   dp_ref := Some dp;
@@ -783,6 +848,7 @@ let create ?(dhcp_config = Dhcp_server.default_config) ?(flow_idle_timeout = 10)
       loop;
       metrics;
       trace;
+      faults;
       dp;
       ctrl;
       conn;
@@ -811,8 +877,18 @@ let create ?(dhcp_config = Dhcp_server.default_config) ?(flow_idle_timeout = 10)
       next_nat_cookie = 1L;
     }
   in
-  transmit_ref := (fun ~port_no frame -> t.transmit ~port_no frame);
-  rpc_send_ref := (fun ~to_ data -> t.rpc_send ~to_ data);
+  (transmit_ref :=
+     fun ~port_no frame ->
+       let inj = faults.Fault.tx in
+       if Fault.armed inj then
+         Fault.apply inj frame ~deliver:(fun frame -> t.transmit ~port_no frame)
+       else t.transmit ~port_no frame);
+  (rpc_send_ref :=
+     fun ~to_ data ->
+       let inj = faults.Fault.rpc in
+       if Fault.armed inj then
+         Fault.apply inj data ~deliver:(fun data -> t.rpc_send ~to_ data)
+       else t.rpc_send ~to_ data);
   (* NOX components, in dispatch order *)
   Controller.on_packet_in ctrl ~name:"dhcp" (dhcp_component t);
   Controller.on_packet_in ctrl ~name:"dns" (dns_component t);
@@ -875,6 +951,32 @@ let create ?(dhcp_config = Dhcp_server.default_config) ?(flow_idle_timeout = 10)
       | Hw_policy.Udev_monitor.Invalid_key { device; reason } ->
           Log.warn (fun m -> m "invalid policy key on %s: %s" device reason));
   t.api := Some (Hw_control_api.Control_api.build (make_ops t));
+  (* Channel supervision: the 15 s ping_stale tick below sends echo
+     keepalives and detaches a datapath that misses them; the leave
+     handler then drives the reconnect handshake. The join handler
+     re-syncs the flow table on every (re)join — delete-all plus cleared
+     measurement snapshots — so no stale entry from a previous session
+     survives into the new one. *)
+  Controller.on_datapath_join ctrl ~name:"resync" (fun conn _features ->
+      Controller.send_flow_mod conn (Ofp_message.delete_flow Ofp_match.wildcard_all);
+      Hashtbl.reset t.flow_snapshots);
+  let reconnect () =
+    if Controller.connections ctrl = [] then begin
+      (* the old framing buffer may have died on injected garbage *)
+      Datapath.reset_channel dp;
+      let conn = Controller.attach_switch ctrl ~send:send_to_dp in
+      conn_ref := Some conn;
+      t.conn <- conn;
+      Datapath.connect dp;
+      (* if the handshake itself is lost (e.g. mid-partition), detach and
+         go around again; detaching fires the leave handler below *)
+      Hw_sim.Event_loop.after loop 5.0 (fun () ->
+          if Controller.conn_features conn = None then
+            Controller.detach_switch ctrl conn)
+    end
+  in
+  Controller.on_datapath_leave ctrl ~name:"supervisor" (fun _conn ->
+      Hw_sim.Event_loop.after loop 1.0 reconnect);
   (* OpenFlow session *)
   Datapath.connect dp;
   (* periodic work: timeouts, subscriptions, measurement, policy *)

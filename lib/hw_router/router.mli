@@ -23,12 +23,22 @@ val create :
   ?wired_ports:int ->
   ?nat:Ip.t ->
   ?isolate_devices:bool ->
+  ?fault_seed:int ->
+  ?restore_leases_from:Hw_hwdb.Database.t ->
   loop:Hw_sim.Event_loop.t ->
   unit ->
   t
 (** Builds and connects everything; periodic work (datapath timeouts, hwdb
     subscription delivery, flow-stats measurement, policy evaluation) is
     scheduled on [loop].
+
+    [fault_seed] seeds the router's {!faults} injection plane (disarmed
+    until a plan is installed; the seed fixes the whole fault schedule).
+
+    [restore_leases_from] replays that database's [Leases] log into the
+    fresh DHCP server before anything connects — the crash-recovery path
+    for "the router process restarted but the hwdb survived": devices
+    keep their addresses and their next REQUEST is a renewal.
 
     [isolate_devices] (default false) refuses IP flows between two home
     devices — the paper's "avoiding direct Ethernet-layer communication
@@ -61,6 +71,17 @@ val tracer : t -> Hw_trace.Tracer.t
     every subsystem records spans into it; its flight recorder feeds the
     hwdb [Traces] table, [GET /traces](/:id) and [Hw_trace.Log]
     stamping. *)
+
+val faults : t -> Hw_fault.Fault.plane
+(** The router's fault-injection plane: [tx] interposes on the dataplane
+    transmit hook, [rpc] on both directions of the hwdb RPC datagram
+    path, [chan] on both directions of the controller<->datapath
+    channel. All three are disarmed (one-branch overhead) until a plan
+    is installed with [Hw_fault.Fault.set_plan]. *)
+
+val recover_dhcp_leases : db:Hw_hwdb.Database.t -> Hw_dhcp.Dhcp_server.t -> int
+(** Replay [db]'s [Leases] log into a DHCP server (see
+    [Hw_dhcp.Dhcp_server.restore]); returns the number restored. *)
 
 val dhcp : t -> Hw_dhcp.Dhcp_server.t
 val dns : t -> Hw_dns.Dns_proxy.t

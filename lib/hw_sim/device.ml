@@ -275,6 +275,21 @@ let rec send_discover t ~attempt =
           send_discover t ~attempt:(attempt + 1))
   end
 
+(* A REQUEST whose ACK never arrives would otherwise wedge the device in
+   [Requesting] forever — the discover backoff only re-fires while
+   [Selecting].  Fall back to a fresh discovery if the transaction is
+   still unanswered after the timeout. *)
+let arm_request_timeout t =
+  let generation = t.generation and xid = t.xid in
+  Event_loop.after t.loop 8. (fun () ->
+      if
+        generation = t.generation && t.running && t.state = Requesting
+        && Int32.equal xid t.xid
+      then begin
+        Log.debug (fun m -> m "%s: REQUEST unanswered, restarting discovery" t.cfg.name);
+        send_discover t ~attempt:0
+      end)
+
 let start t =
   if not t.running then begin
     t.running <- true;
@@ -306,7 +321,8 @@ let schedule_renewal t (lease : lease_info) =
         send_dhcp t
           (Dhcp_wire.make_request
              ~options:(Dhcp_wire.Requested_ip lease.lease_ip :: dhcp_options t)
-             ~xid:(fresh_xid t) ~chaddr:t.cfg.mac Dhcp_wire.Request)
+             ~xid:(fresh_xid t) ~chaddr:t.cfg.mac Dhcp_wire.Request);
+        arm_request_timeout t
       end)
 
 let handle_dhcp_reply t (reply : Dhcp_wire.t) =
@@ -323,7 +339,8 @@ let handle_dhcp_reply t (reply : Dhcp_wire.t) =
           @ dhcp_options t
         in
         send_dhcp t
-          (Dhcp_wire.make_request ~options ~xid:t.xid ~chaddr:t.cfg.mac Dhcp_wire.Request)
+          (Dhcp_wire.make_request ~options ~xid:t.xid ~chaddr:t.cfg.mac Dhcp_wire.Request);
+        arm_request_timeout t
     | Some Dhcp_wire.Ack when t.state = Requesting ->
         let dns_server =
           match

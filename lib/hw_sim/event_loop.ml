@@ -5,7 +5,10 @@ module Pq = struct
     mutable size : int;
   }
 
-  let create () = { heap = Array.make 64 (0., 0, Obj.magic 0); size = 0 }
+  (* start empty and grow on demand: the first pushed item seeds the
+     backing array, so no dummy element (previously an unsound
+     Obj.magic 0) is ever needed *)
+  let create () = { heap = [||]; size = 0 }
 
   let swap h i j =
     let tmp = h.heap.(i) in
@@ -16,7 +19,7 @@ module Pq = struct
 
   let push h item =
     if h.size = Array.length h.heap then begin
-      let bigger = Array.make (2 * h.size) h.heap.(0) in
+      let bigger = Array.make (max 64 (2 * h.size)) item in
       Array.blit h.heap 0 bigger 0 h.size;
       h.heap <- bigger
     end;
@@ -55,13 +58,32 @@ module Pq = struct
   let size h = h.size
 end
 
+let log_src = Logs.Src.create "hw.sim.loop" ~doc:"Discrete-event loop"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
 type t = {
   clock : Hw_time.Clock.t;
   queue : (unit -> unit) Pq.t;
   mutable seq : int;
+  mutable m_timer_errors : Hw_metrics.Counter.t;
 }
 
-let create ?(start = 0.) () = { clock = Hw_time.Clock.create ~now:start (); queue = Pq.create (); seq = 0 }
+let timer_error_counter metrics =
+  Hw_metrics.Registry.counter metrics "event_loop_timer_errors_total"
+    ~help:"Periodic timer thunks that raised (the timer is kept alive)"
+
+let create ?(start = 0.) ?(metrics = Hw_metrics.Registry.default) () =
+  {
+    clock = Hw_time.Clock.create ~now:start ();
+    queue = Pq.create ();
+    seq = 0;
+    m_timer_errors = timer_error_counter metrics;
+  }
+
+(* rebind the error counter into a different registry; lets a router
+   that creates its own registry after the loop still own the series *)
+let attach_metrics t metrics = t.m_timer_errors <- timer_error_counter metrics
 
 let now t = Hw_time.Clock.now t.clock
 let clock t = t.clock
@@ -76,8 +98,14 @@ let after t delay thunk = at t (now t +. delay) thunk
 let every t ?start_in period thunk =
   if period <= 0. then invalid_arg "Event_loop.every: period must be positive";
   let rec fire () =
-    thunk ();
-    after t period fire
+    (* reschedule before invoking: a raising thunk must not kill the
+       periodic timer *)
+    after t period fire;
+    try thunk ()
+    with exn ->
+      Hw_metrics.Counter.incr t.m_timer_errors;
+      Log.warn (fun m ->
+          m "periodic timer raised %s; timer kept alive" (Printexc.to_string exn))
   in
   after t (Option.value start_in ~default:period) fire
 

@@ -4,7 +4,14 @@
 
 type t
 
-val create : ?start:Hw_time.timestamp -> unit -> t
+val create : ?start:Hw_time.timestamp -> ?metrics:Hw_metrics.Registry.t -> unit -> t
+(** [metrics] (default {!Hw_metrics.Registry.default}) receives the
+    [event_loop_timer_errors_total] counter. *)
+
+val attach_metrics : t -> Hw_metrics.Registry.t -> unit
+(** Rebind the loop's error counter into [metrics] — for compositions
+    that build their registry after the loop (e.g. [Router.create]). *)
+
 val now : t -> Hw_time.timestamp
 val clock : t -> Hw_time.Clock.t
 
@@ -15,9 +22,10 @@ val at : t -> Hw_time.timestamp -> (unit -> unit) -> unit
 val after : t -> float -> (unit -> unit) -> unit
 
 val every : t -> ?start_in:float -> float -> (unit -> unit) -> unit
-(** Recurring event; reschedules itself until [cancel_recurring]. Returns
-    nothing — recurring events are identified by their closure and live for
-    the whole simulation (the common case here). *)
+(** Recurring event; reschedules itself forever. The next firing is
+    scheduled {e before} the thunk runs, so a raising thunk cannot kill
+    the timer: the exception is logged and counted in
+    [event_loop_timer_errors_total], and the timer keeps firing. *)
 
 val step : t -> bool
 (** Runs the earliest event, advancing the clock to it. [false] if the

@@ -705,7 +705,7 @@ let make_rpc_pair db =
     Rpc.Server.create ~db ~send:(fun ~to_ datagram -> Queue.add (to_, datagram) server_out) ()
   in
   let client_out = Queue.create () in
-  let client = Rpc.Client.create ~send:(fun datagram -> Queue.add datagram client_out) in
+  let client = Rpc.Client.create ~send:(fun datagram -> Queue.add datagram client_out) () in
   let pump () =
     while not (Queue.is_empty client_out) do
       Rpc.Server.handle_datagram server ~from:"c1" (Queue.pop client_out)

@@ -313,7 +313,7 @@ let test_rpc_through_router () =
   let inbox = ref [] in
   Router.set_rpc_send router (fun ~to_:_ datagram -> inbox := datagram :: !inbox);
   Home.run_for home 10.;
-  let client = Hw_hwdb.Rpc.Client.create ~send:(fun d -> Router.rpc_datagram router ~from:"app" d) in
+  let client = Hw_hwdb.Rpc.Client.create ~send:(fun d -> Router.rpc_datagram router ~from:"app" d) () in
   let rows = ref None in
   Hw_hwdb.Rpc.Client.request client "SELECT COUNT(*) AS n FROM Leases" ~on_reply:(fun r ->
       rows := Some r);

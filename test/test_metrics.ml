@@ -317,7 +317,7 @@ let test_home_metrics_end_to_end () =
   (* hook the hwdb RPC plane up to a client before traffic starts *)
   let from_router = Queue.create () in
   Router.set_rpc_send r (fun ~to_:_ data -> Queue.add data from_router);
-  let client = Rpc.Client.create ~send:(fun d -> Router.rpc_datagram r ~from:"ui:9000" d) in
+  let client = Rpc.Client.create ~send:(fun d -> Router.rpc_datagram r ~from:"ui:9000" d) () in
   let published = ref [] in
   Rpc.Client.on_publish client (fun ~subscription:_ rs -> published := rs :: !published);
   let pump () =

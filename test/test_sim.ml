@@ -57,6 +57,72 @@ let test_loop_past_events_run_now () =
   ignore (Event_loop.step loop);
   Alcotest.(check (float 1e-9)) "clamped to now" 10. !at
 
+let test_loop_every_survives_exception () =
+  let metrics = Hw_metrics.Registry.create () in
+  let loop = Event_loop.create ~metrics () in
+  let fired = ref 0 in
+  Event_loop.every loop 1. (fun () ->
+      incr fired;
+      if !fired <= 2 then failwith "boom");
+  Event_loop.run_until loop 5.;
+  Alcotest.(check int) "kept firing after the exceptions" 5 !fired;
+  Alcotest.(check int) "exceptions counted" 2
+    (Hw_metrics.Counter.value
+       (Hw_metrics.Registry.counter metrics "event_loop_timer_errors_total"))
+
+(* Model-based qcheck property for the event queue: run a random script
+   of root events, each of which schedules further events from inside
+   its handler (interleaved pushes and pops), and compare the observed
+   firing order against a reference model that pops strictly by
+   (time, insertion seq).  Equal timestamps are common by construction
+   (integer times), so the FIFO tie-break is exercised heavily. *)
+let prop_loop_pop_order =
+  let script_gen =
+    QCheck.(
+      list_of_size (Gen.int_range 0 40) (pair (int_bound 9) (small_list (int_bound 3))))
+  in
+  let model_run roots =
+    let seq = ref 0 in
+    let q = ref [] in
+    let push time label children =
+      q := (time, !seq, label, children) :: !q;
+      incr seq
+    in
+    List.iteri (fun i (t, cs) -> push t (Printf.sprintf "r%d" i) cs) roots;
+    let order = ref [] in
+    let rec go () =
+      match List.sort compare !q with
+      | [] -> ()
+      | (time, s, label, children) :: _ ->
+          q := List.filter (fun (_, s', _, _) -> s' <> s) !q;
+          order := label :: !order;
+          List.iteri
+            (fun j d -> push (time + d) (Printf.sprintf "%s.%d" label j) [])
+            children;
+          go ()
+    in
+    go ();
+    List.rev !order
+  in
+  let loop_run roots =
+    let loop = Event_loop.create () in
+    let order = ref [] in
+    List.iteri
+      (fun i (t, children) ->
+        Event_loop.at loop (float_of_int t) (fun () ->
+            order := Printf.sprintf "r%d" i :: !order;
+            List.iteri
+              (fun j d ->
+                Event_loop.after loop (float_of_int d) (fun () ->
+                    order := Printf.sprintf "r%d.%d" i j :: !order))
+              children))
+      roots;
+    Event_loop.run_until loop 1000.;
+    List.rev !order
+  in
+  QCheck.Test.make ~name:"events fire in (time, seq) order under interleaved scheduling"
+    ~count:300 script_gen (fun roots -> loop_run roots = model_run roots)
+
 (* ------------------------------------------------------------------ *)
 (* PRNG                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -396,6 +462,9 @@ let () =
           Alcotest.test_case "run_until boundary" `Quick test_loop_run_until_boundary;
           Alcotest.test_case "every" `Quick test_loop_every;
           Alcotest.test_case "past events" `Quick test_loop_past_events_run_now;
+          Alcotest.test_case "every survives exceptions" `Quick
+            test_loop_every_survives_exception;
+          QCheck_alcotest.to_alcotest prop_loop_pop_order;
         ] );
       ( "prng",
         [

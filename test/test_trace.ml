@@ -248,7 +248,7 @@ let test_home_trace_end_to_end () =
   (* hwdb RPC plane, as a visualisation UI would attach *)
   let from_router = Queue.create () in
   Router.set_rpc_send r (fun ~to_:_ data -> Queue.add data from_router);
-  let client = Rpc.Client.create ~send:(fun d -> Router.rpc_datagram r ~from:"ui:9100" d) in
+  let client = Rpc.Client.create ~send:(fun d -> Router.rpc_datagram r ~from:"ui:9100" d) () in
   let published = ref [] in
   Rpc.Client.on_publish client (fun ~subscription:_ rs -> published := rs :: !published);
   let pump () =
