@@ -2,7 +2,10 @@
    figures from the reproduced system, then runs the system-performance
    microbenchmarks (PERF1-5 in DESIGN.md) with Bechamel.
 
-   Usage: main.exe [fig1|fig2|fig3|fig4|fig5|micro|all]      (default all) *)
+   Usage: main.exe [fig1|fig2|fig3|fig4|fig5|micro|check|all]   (default all)
+
+   [check] gates the latest BENCH_micro.json against PERF_budget.json
+   (exit 1 on violation) — used as the CI perf-regression step. *)
 
 open Hw_packet
 module Home = Hw_router.Home
@@ -385,17 +388,21 @@ let make_flow_table n =
        [ Hw_openflow.Ofp_action.output 1 ]);
   (table, fields)
 
+(* Each group's fixtures are built lazily (inside the thunk) so a group is
+   measured against a heap holding only its own state: fixtures from other
+   groups (hwdb rings especially) would otherwise inflate every
+   allocating benchmark with GC work charged to the measured loop. *)
 let micro_tests () =
   let open Bechamel in
   (* PERF1: flow table lookups *)
-  let lookup_tests =
+  let lookup_tests () =
     List.map
       (fun n ->
         let table, fields = make_flow_table n in
         Test.make
           ~name:(Printf.sprintf "exact_hit/%d_entries" n)
           (Staged.stage (fun () -> ignore (Hw_datapath.Flow_table.lookup table fields))))
-      [ 10; 100; 1000 ]
+      [ 10; 16; 100; 256; 1000 ]
     @ List.map
         (fun n ->
           let table, fields = make_flow_table n in
@@ -403,10 +410,11 @@ let micro_tests () =
           Test.make
             ~name:(Printf.sprintf "wildcard_scan_miss/%d_entries" n)
             (Staged.stage (fun () -> ignore (Hw_datapath.Flow_table.lookup table miss))))
-        [ 10; 100; 1000 ]
+        [ 10; 16; 100; 256; 1000 ]
   in
   (* PERF2: OpenFlow codec *)
-  let fm =
+  let codec_tests () =
+    let fm =
     Hw_openflow.Ofp_message.Flow_mod
       (Hw_openflow.Ofp_message.add_flow ~idle_timeout:10
          (Hw_openflow.Ofp_match.exact_of_fields (snd (make_flow_table 0)))
@@ -424,7 +432,6 @@ let micro_tests () =
            data = String.make 128 'x';
          })
   in
-  let codec_tests =
     [
       Test.make ~name:"encode_flow_mod"
         (Staged.stage (fun () -> ignore (Hw_openflow.Ofp_message.encode ~xid:1l fm)));
@@ -435,7 +442,8 @@ let micro_tests () =
     ]
   in
   (* PERF3: hwdb *)
-  let now = ref 0. in
+  let hwdb_tests () =
+    let now = ref 0. in
   let db = Hw_hwdb.Database.create ~now:(fun () -> !now) () in
   for i = 0 to 4095 do
     now := float_of_int i /. 100.;
@@ -482,7 +490,6 @@ let micro_tests () =
         ])
       window_dbs
   in
-  let hwdb_tests =
     [
       Test.make ~name:"insert"
         (Staged.stage (fun () ->
@@ -506,9 +513,9 @@ let micro_tests () =
     @ window_scan_tests
   in
   (* PERF4: DHCP transaction *)
-  let server = Hw_dhcp.Dhcp_server.create ~config:{ Hw_dhcp.Dhcp_server.default_config with Hw_dhcp.Dhcp_server.default_permit = true } ~now:(fun () -> 0.) () in
-  let counter = ref 0 in
-  let dhcp_tests =
+  let dhcp_tests () =
+    let server = Hw_dhcp.Dhcp_server.create ~config:{ Hw_dhcp.Dhcp_server.default_config with Hw_dhcp.Dhcp_server.default_permit = true } ~now:(fun () -> 0.) () in
+    let counter = ref 0 in
     [
       Test.make ~name:"full_DORA"
         (Staged.stage (fun () ->
@@ -537,7 +544,8 @@ let micro_tests () =
     ]
   in
   (* PERF5: DNS proxy decision *)
-  let proxy = Hw_dns.Dns_proxy.create ~now:(fun () -> 0.) () in
+  let dns_tests () =
+    let proxy = Hw_dns.Dns_proxy.create ~now:(fun () -> 0.) () in
   let kid = Mac.local 9 in
   let kid_ip = Ip.of_octets 10 0 0 109 in
   Hw_dns.Dns_proxy.set_device_of_ip proxy (fun ip -> if Ip.equal ip kid_ip then Some kid else None);
@@ -550,8 +558,7 @@ let micro_tests () =
         (Hw_dns.Dns_proxy.handle_upstream proxy
            (Dns_wire.response ~answers:[ Dns_wire.a_record "www.facebook.com" fb_ip ] q))
   | _ -> ());
-  let blocked_query = Dns_wire.query ~id:2 "www.youtube.com" Dns_wire.A in
-  let dns_tests =
+    let blocked_query = Dns_wire.query ~id:2 "www.youtube.com" Dns_wire.A in
     [
       Test.make ~name:"blocked_query_decision"
         (Staged.stage (fun () ->
@@ -562,7 +569,7 @@ let micro_tests () =
     ]
   in
   (* end-to-end fast path through the datapath *)
-  let table_dp =
+  let table_dp () =
     let transmit ~port_no:_ _ = () in
     let dp =
       Hw_datapath.Datapath.create ~dpid:9L
@@ -588,7 +595,7 @@ let micro_tests () =
       (Staged.stage (fun () -> Hw_datapath.Datapath.receive_frame dp ~in_port:1 frame))
   in
   (* the same fast path but through NAT rewrite actions (re-encode cost) *)
-  let table_dp_nat =
+  let table_dp_nat () =
     let dp =
       Hw_datapath.Datapath.create ~dpid:10L
         ~ports:[ { Hw_datapath.Datapath.port_no = 1; name = "p1"; mac = Mac.local 0xb3 };
@@ -616,11 +623,38 @@ let micro_tests () =
     Test.make ~name:"datapath_fast_path_with_NAT_rewrite"
       (Staged.stage (fun () -> Hw_datapath.Datapath.receive_frame dp ~in_port:1 frame))
   in
+  (* the batched input pipeline: 32 frames per receive_frames call, so the
+     reported ns/op is the cost of the whole batch *)
+  let table_dp_batch () =
+    let dp =
+      Hw_datapath.Datapath.create ~dpid:11L
+        ~ports:[ { Hw_datapath.Datapath.port_no = 1; name = "p1"; mac = Mac.local 0xb5 };
+                 { Hw_datapath.Datapath.port_no = 2; name = "p2"; mac = Mac.local 0xb6 } ]
+        ~transmit:(fun ~port_no:_ _ -> ()) ~to_controller:(fun _ -> ()) ~now:(fun () -> 0.) ()
+    in
+    let frame =
+      Packet.encode
+        (Packet.tcp_packet ~src_mac:(Mac.local 1) ~dst_mac:(Mac.local 2)
+           ~src_ip:(Ip.of_octets 10 0 0 1) ~dst_ip:(Ip.of_octets 10 0 0 2) ~src_port:1000
+           ~dst_port:80 "x")
+    in
+    let pkt = Result.get_ok (Packet.decode frame) in
+    let fields = Hw_openflow.Ofp_match.fields_of_packet ~in_port:1 pkt in
+    Hw_datapath.Datapath.input_from_controller dp
+      (Hw_openflow.Ofp_message.encode ~xid:1l
+         (Hw_openflow.Ofp_message.Flow_mod
+            (Hw_openflow.Ofp_message.add_flow
+               (Hw_openflow.Ofp_match.exact_of_fields fields)
+               [ Hw_openflow.Ofp_action.output 2 ])));
+    let batch = List.init 32 (fun _ -> (1, frame)) in
+    Test.make ~name:"datapath_fast_path_batch32"
+      (Staged.stage (fun () -> Hw_datapath.Datapath.receive_frames dp batch))
+  in
   (* PERF7: tracer hot path. The untraced/disabled cases are the cost every
      packet pays when tracing is off or no trace is active (budget: a few
      ns — one branch, no allocation, no clock read); the recorded case is
      the full open/close/ring-push cycle for a kept trace. *)
-  let trace_tests =
+  let trace_tests () =
     let module Tracer = Hw_trace.Tracer in
     let clock = ref 0. in
     let live =
@@ -642,7 +676,7 @@ let micro_tests () =
      transmitted frame / RPC datagram / channel write pays when chaos is
      off (budget: <= 10 ns over the raw send — one load and one branch);
      the armed case prices an active drop regime. *)
-  let fault_tests =
+  let fault_tests () =
     let module Fault = Hw_fault.Fault in
     let sink = ref 0 in
     let deliver payload = sink := !sink + String.length payload in
@@ -671,7 +705,7 @@ let micro_tests () =
     ("PERF3 hwdb", hwdb_tests);
     ("PERF4 dhcp", dhcp_tests);
     ("PERF5 dns proxy", dns_tests);
-    ("PERF6 pipeline", [ table_dp; table_dp_nat ]);
+    ("PERF6 pipeline", fun () -> [ table_dp (); table_dp_nat (); table_dp_batch () ]);
     ("PERF7 tracer", trace_tests);
     ("PERF8 fault injector", fault_tests);
   ]
@@ -686,8 +720,14 @@ let run_micro () =
   let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |] in
   let groups_json =
     List.map
-      (fun (group, tests) ->
+      (fun (group, make_tests) ->
         Printf.printf "\n%s\n" group;
+        (* build this group's fixtures only now, and compact first so the
+           measured loops run against a minimal heap: with tens of MB of
+           other groups' fixtures live, the GC work their allocations
+           trigger is charged to the loop and dominates sub-µs costs *)
+        let tests = make_tests () in
+        Gc.compact ();
         let grouped = Test.make_grouped ~name:"g" tests in
         let raw = Benchmark.all cfg [ instance ] grouped in
         let results = Analyze.all ols instance raw in
@@ -737,6 +777,68 @@ let run_micro () =
   output_char oc '\n';
   close_out oc;
   Printf.printf "\nwrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
+(* Budget gate: compare BENCH_micro.json against PERF_budget.json      *)
+(* ------------------------------------------------------------------ *)
+
+(* CI regression gate: every row in PERF_budget.json names a measurement
+   from the latest micro run; the gate fails when a median exceeds its
+   budget by more than the file's headroom factor (default 1.25). *)
+let run_check () =
+  banner "CHECK  Microbenchmark budgets (PERF_budget.json vs BENCH_micro.json)";
+  let read path =
+    let ic = open_in path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Hw_json.Json.of_string s
+  in
+  let budget_file =
+    try read "PERF_budget.json"
+    with Sys_error _ ->
+      Printf.eprintf "PERF_budget.json not found (run from the repo root)\n";
+      exit 1
+  in
+  let measured =
+    try read "BENCH_micro.json"
+    with Sys_error _ ->
+      Printf.eprintf "BENCH_micro.json not found; run `bench micro` first\n";
+      exit 1
+  in
+  let headroom =
+    match Hw_json.Json.member_opt "headroom" budget_file with
+    | Some v -> Hw_json.Json.to_float v
+    | None -> 1.25
+  in
+  let ns = Hw_json.Json.member "ns_per_op" measured in
+  let failures = ref 0 in
+  Printf.printf "\n%-24s %-40s %12s %12s  %s\n" "group" "benchmark" "budget" "measured" "";
+  List.iter
+    (fun (group, entries) ->
+      List.iter
+        (fun (name, budget) ->
+          let budget = Hw_json.Json.to_float budget in
+          let limit = budget *. headroom in
+          let value =
+            Option.bind (Hw_json.Json.member_opt group ns) (Hw_json.Json.member_opt name)
+          in
+          match value with
+          | None ->
+              incr failures;
+              Printf.printf "%-24s %-40s %10.0fns %12s  MISSING\n" group name budget "-"
+          | Some v ->
+              let v = Hw_json.Json.to_float v in
+              let ok = v <= limit in
+              if not ok then incr failures;
+              Printf.printf "%-24s %-40s %10.0fns %10.0fns  %s\n" group name budget v
+                (if ok then "ok" else Printf.sprintf "FAIL (> %.0fns)" limit))
+        (Hw_json.Json.get_obj entries))
+    (Hw_json.Json.get_obj (Hw_json.Json.member "budgets_ns" budget_file));
+  if !failures > 0 then begin
+    Printf.printf "\n%d budget violation(s); headroom factor %.2f\n" !failures headroom;
+    exit 1
+  end;
+  Printf.printf "\nall budgets met (headroom factor %.2f)\n" headroom
 
 (* ------------------------------------------------------------------ *)
 (* Ablations: the design choices DESIGN.md calls out                   *)
@@ -940,7 +1042,7 @@ let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let all =
     [ ("fig1", fig1); ("fig2", fig2); ("fig3", fig3); ("fig4", fig4); ("fig5", fig5);
-      ("micro", run_micro); ("ablation", run_ablations) ]
+      ("micro", run_micro); ("check", run_check); ("ablation", run_ablations) ]
   in
   match which with
   | "all" -> List.iter (fun (_, f) -> f ()) all
@@ -948,5 +1050,5 @@ let () =
       match List.assoc_opt name all with
       | Some f -> f ()
       | None ->
-          Printf.eprintf "unknown bench %S; expected fig1..fig5, micro or all\n" name;
+          Printf.eprintf "unknown bench %S; expected fig1..fig5, micro, check or all\n" name;
           exit 1)

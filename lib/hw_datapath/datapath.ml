@@ -30,6 +30,7 @@ type t = {
   now : unit -> float;
   mutable framing : Ofp_message.Framing.buffer;
   buffers : (int32, int * string) Hashtbl.t; (* buffer_id -> in_port, frame *)
+  buffer_fifo : int32 Queue.t; (* insertion order, for oldest-first eviction *)
   mutable next_buffer_id : int32;
   mutable next_xid : int32;
   mutable miss_send_len : int;
@@ -39,6 +40,7 @@ type t = {
   m_lookups : Hw_metrics.Counter.t;
   m_misses : Hw_metrics.Counter.t;
   m_packet_ins : Hw_metrics.Counter.t;
+  m_buffer_evictions : Hw_metrics.Counter.t;
   m_lookup_span : Hw_metrics.Sampled.t;
 }
 
@@ -65,6 +67,7 @@ let create ?(metrics = Hw_metrics.Registry.default) ?(trace = Tracer.disabled) ~
       now;
       framing = Ofp_message.Framing.create ();
       buffers = Hashtbl.create 64;
+      buffer_fifo = Queue.create ();
       next_buffer_id = 1l;
       next_xid = 1l;
       miss_send_len = 128;
@@ -74,6 +77,9 @@ let create ?(metrics = Hw_metrics.Registry.default) ?(trace = Tracer.disabled) ~
       m_lookups = counter "dp_flow_lookups_total" "Flow-table lookups";
       m_misses = counter "dp_flow_misses_total" "Flow-table misses (sent to controller)";
       m_packet_ins = counter "dp_packet_ins_total" "PACKET_IN messages sent to the controller";
+      m_buffer_evictions =
+        counter "dp_buffer_evictions_total"
+          "Buffered miss frames evicted oldest-first before the controller consumed them";
       m_lookup_span =
         Hw_metrics.Registry.sampled_histogram metrics ~every:16 "dp_flow_lookup_seconds"
           ~help:"Flow-table lookup latency (1-in-16 sampled)";
@@ -257,12 +263,32 @@ let apply_actions t ~in_port pkt_opt frame actions =
 (* Dataplane input                                                     *)
 (* ------------------------------------------------------------------ *)
 
+let max_buffers = 1024
+
+(* Buffer ids are 24-bit on the wire (0xffffffff is the reserved "no
+   buffer" value); wrap at 0xffffff, skipping 0. *)
+let next_buffer_id_after id = if Int32.equal id 0xffffffl then 1l else Int32.add id 1l
+
 let buffer_frame t ~in_port frame =
   let id = t.next_buffer_id in
-  t.next_buffer_id <- (if Int32.equal t.next_buffer_id 0x00fffffl then 1l else Int32.add id 1l);
-  if Hashtbl.length t.buffers > 1024 then Hashtbl.reset t.buffers;
+  t.next_buffer_id <- next_buffer_id_after id;
+  (* At capacity, evict the single oldest live buffer instead of dropping
+     them all. Ids already consumed by flow-mod/packet-out stay in the
+     FIFO as stale markers and are drained for free as they surface. *)
+  while Hashtbl.length t.buffers >= max_buffers do
+    match Queue.take_opt t.buffer_fifo with
+    | None -> Hashtbl.reset t.buffers (* unreachable: every live id is queued *)
+    | Some old ->
+        if Hashtbl.mem t.buffers old then begin
+          Hashtbl.remove t.buffers old;
+          Hw_metrics.Counter.incr t.m_buffer_evictions
+        end
+  done;
   Hashtbl.replace t.buffers id (in_port, frame);
+  Queue.push id t.buffer_fifo;
   id
+
+let buffered_count t = Hashtbl.length t.buffers
 
 (* Root-span attributes: dpid, rx port and as much of the five-tuple as
    the packet carries. Only computed on the (already slow) miss path,
@@ -304,7 +330,17 @@ let trace_attrs t ~in_port pkt =
     ]
     @ l3
 
-let receive_frame t ~in_port frame =
+(* Batched-input accumulator: registry counters are bumped once per batch
+   (in [flush_rx_stats]) rather than once per frame, so the per-frame hot
+   path touches only plain ints. *)
+type rx_stats = { mutable s_rx : int; mutable s_lookups : int; mutable s_misses : int }
+
+let flush_rx_stats t s =
+  if s.s_rx > 0 then Hw_metrics.Counter.add t.m_rx_frames s.s_rx;
+  if s.s_lookups > 0 then Hw_metrics.Counter.add t.m_lookups s.s_lookups;
+  if s.s_misses > 0 then Hw_metrics.Counter.add t.m_misses s.s_misses
+
+let process_frame t stats ~in_port frame =
   match Hashtbl.find_opt t.ports in_port with
   | None -> Log.warn (fun m -> m "frame on unknown port %d" in_port)
   | Some p when not p.up ->
@@ -312,14 +348,14 @@ let receive_frame t ~in_port frame =
   | Some p -> (
       p.counters.rx_packets <- Int64.add p.counters.rx_packets 1L;
       p.counters.rx_bytes <- Int64.add p.counters.rx_bytes (Int64.of_int (String.length frame));
-      Hw_metrics.Counter.incr t.m_rx_frames;
+      stats.s_rx <- stats.s_rx + 1;
       match Packet.decode frame with
       | Error err ->
           Log.debug (fun m -> m "undecodable frame on port %d: %s" in_port err);
           p.counters.rx_dropped <- Int64.add p.counters.rx_dropped 1L
       | Ok pkt -> (
           let fields = Ofp_match.fields_of_packet ~in_port pkt in
-          Hw_metrics.Counter.incr t.m_lookups;
+          stats.s_lookups <- stats.s_lookups + 1;
           (* per-frame path: branch on [due] to keep the unsampled
              lookups closure- and clock-free *)
           let hit =
@@ -338,7 +374,7 @@ let receive_frame t ~in_port frame =
               Flow_entry.touch entry ~now:(t.now ()) ~bytes:(String.length frame);
               apply_actions t ~in_port (Some pkt) frame entry.Flow_entry.actions
           | None ->
-              Hw_metrics.Counter.incr t.m_misses;
+              stats.s_misses <- stats.s_misses + 1;
               (* A miss is where a packet's controller lifecycle begins:
                  root the trace here so the synchronous packet-in ->
                  dispatch -> handler -> hwdb chain nests under it. The
@@ -350,6 +386,16 @@ let receive_frame t ~in_port frame =
                   send_packet_in t ~in_port ~reason:Ofp_message.No_match
                     ~buffer_id:(Some buffer_id) frame)))
 
+let receive_frame t ~in_port frame =
+  let stats = { s_rx = 0; s_lookups = 0; s_misses = 0 } in
+  process_frame t stats ~in_port frame;
+  flush_rx_stats t stats
+
+let receive_frames t frames =
+  let stats = { s_rx = 0; s_lookups = 0; s_misses = 0 } in
+  List.iter (fun (in_port, frame) -> process_frame t stats ~in_port frame) frames;
+  flush_rx_stats t stats
+
 (* ------------------------------------------------------------------ *)
 (* Controller input                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -358,6 +404,12 @@ let flow_mod_error t xid code data =
   send_with_xid t xid
     (Ofp_message.Error_msg
        { Ofp_message.err_type = Ofp_message.Flow_mod_failed; err_code = code; err_data = data })
+
+(* A failed ADD never applies the named buffer, so drop it here — otherwise
+   the frame sits in [t.buffers] until eviction crowds it out. *)
+let release_buffer t = function
+  | Some bid -> Hashtbl.remove t.buffers bid
+  | None -> ()
 
 let rec handle_flow_mod t xid (fm : Ofp_message.flow_mod) =
   let now = t.now () in
@@ -383,8 +435,12 @@ let rec handle_flow_mod t xid (fm : Ofp_message.flow_mod) =
             | None -> ())
         | None -> ()
       with
-      | Flow_table.Table_full -> flow_mod_error t xid 0 "" (* OFPFMFC_ALL_TABLES_FULL *)
-      | Flow_table.Overlap -> flow_mod_error t xid 1 "" (* OFPFMFC_OVERLAP *))
+      | Flow_table.Table_full ->
+          release_buffer t fm.Ofp_message.fm_buffer_id;
+          flow_mod_error t xid 0 "" (* OFPFMFC_ALL_TABLES_FULL *)
+      | Flow_table.Overlap ->
+          release_buffer t fm.Ofp_message.fm_buffer_id;
+          flow_mod_error t xid 1 "" (* OFPFMFC_OVERLAP *))
   | Ofp_message.Modify | Ofp_message.Modify_strict ->
       let strict = fm.Ofp_message.command = Ofp_message.Modify_strict in
       let updated =

@@ -65,6 +65,21 @@ val receive_frame : t -> in_port:int -> string -> unit
     buffers the frame and raises PACKET_IN. Undecodable frames are
     counted as drops. *)
 
+val receive_frames : t -> (int * string) list -> unit
+(** Batched input: process [(in_port, frame)] pairs in order through the
+    decode → lookup → apply pipeline, updating the shared metrics
+    counters once per batch instead of once per frame. Semantically
+    identical to calling {!receive_frame} on each pair in order. *)
+
+val buffered_count : t -> int
+(** Miss frames currently buffered awaiting a controller decision (at
+    most 1024; beyond that the oldest is evicted and counted on
+    [dp_buffer_evictions_total]). *)
+
+val next_buffer_id_after : int32 -> int32
+(** The buffer id issued after [id]: increments within the 24-bit wire
+    space, wrapping [0xffffff] back to [1]. Exposed for tests. *)
+
 val tick : t -> unit
 (** Expire flows by the current virtual time; emits FLOW_REMOVED where
     requested. Call once per simulated second (or finer). *)

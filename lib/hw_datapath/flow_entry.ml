@@ -2,6 +2,8 @@ open Hw_openflow
 
 type t = {
   entry_match : Ofp_match.t;
+  entry_mask : Ofp_match.mask;
+  entry_hash : int;
   priority : int;
   cookie : int64;
   idle_timeout : int;
@@ -18,6 +20,8 @@ let create ?(cookie = 0L) ?(idle_timeout = 0) ?(hard_timeout = 0) ?(send_flow_re
     ~priority entry_match actions =
   {
     entry_match;
+    entry_mask = Ofp_match.mask_of entry_match;
+    entry_hash = Ofp_match.hash_match entry_match;
     priority;
     cookie;
     idle_timeout;

@@ -4,6 +4,8 @@ open Hw_openflow
 
 type t = {
   entry_match : Ofp_match.t;
+  entry_mask : Ofp_match.mask;  (** cached {!Ofp_match.mask_of} of the match *)
+  entry_hash : int;  (** cached {!Ofp_match.hash_match}: the classifier bucket key *)
   priority : int;
   cookie : int64;
   idle_timeout : int; (* seconds; 0 = never *)

@@ -1,9 +1,15 @@
 (** The switch's flow table: priority-ordered entries with OF 1.0
     add/modify/delete semantics, timeout expiry and lookup counters.
 
-    Exact-match entries (the common case on the reactive Homework router)
-    are indexed in a hash table; wildcard entries are scanned in priority
-    order. *)
+    Implemented as a tuple-space classifier: entries are bucketed by
+    wildcard mask ({!Ofp_match.mask}) into per-tuple hash tables keyed by
+    a precomputed integer hash of the masked field values. Exact-match
+    entries (the common case on the reactive Homework router) live in a
+    dedicated tuple probed first — a hit there wins outright, since OF 1.0
+    gives exact entries precedence over any wildcard entry. Wildcard
+    tuples are probed in descending order of their highest live priority,
+    with early exit once no remaining tuple can beat the best match. A
+    lookup is allocation-free on the hit path. *)
 
 open Hw_openflow
 
@@ -17,9 +23,11 @@ exception Overlap
 val add :
   t -> now:float -> check_overlap:bool -> Flow_entry.t -> unit
 (** OFPFC_ADD: replaces an entry with an identical match and priority
-    (counters reset, as OF 1.0 specifies).
+    (counters reset, as OF 1.0 specifies). The entry being replaced is
+    never counted as an overlap.
     @raise Table_full at capacity.
-    @raise Overlap when [check_overlap] and an overlapping entry exists. *)
+    @raise Overlap when [check_overlap] and a distinct overlapping entry
+    exists. *)
 
 val modify : t -> strict:bool -> m:Ofp_match.t -> priority:int -> Ofp_action.t list -> int
 (** OFPFC_MODIFY[_STRICT]: updates actions of matching entries (counters
@@ -41,6 +49,11 @@ val entries : t -> Flow_entry.t list
 (** Priority order, highest first. *)
 
 val length : t -> int
+
+val wildcard_tuple_count : t -> int
+(** Number of distinct wildcard masks currently live (classifier tuples,
+    excluding the exact tuple). *)
+
 val lookup_count : t -> int64
 val matched_count : t -> int64
 val max_entries : t -> int

@@ -110,6 +110,121 @@ let exact_of_fields f =
 let prefix_matches (net, bits) addr =
   bits = 0 || Ip.Prefix.mem addr (Ip.Prefix.make net bits)
 
+(* --------------------------------------------------------------- *)
+(* Wildcard masks and zero-alloc field hashing (for the classifier) *)
+(* --------------------------------------------------------------- *)
+
+type mask = { m_spec : int; m_src_bits : int; m_dst_bits : int }
+
+let mb_in_port = 1 lsl 0
+let mb_dl_src = 1 lsl 1
+let mb_dl_dst = 1 lsl 2
+let mb_dl_vlan = 1 lsl 3
+let mb_dl_vlan_pcp = 1 lsl 4
+let mb_dl_type = 1 lsl 5
+let mb_nw_tos = 1 lsl 6
+let mb_nw_proto = 1 lsl 7
+let mb_tp_src = 1 lsl 8
+let mb_tp_dst = 1 lsl 9
+let mb_all = (1 lsl 10) - 1
+
+(* A /0 prefix constrains nothing, so it canonicalises to "wildcarded":
+   two matches differing only between [None] and [Some (_, 0)] land in the
+   same tuple and hash identically. *)
+let mask_of (m : t) =
+  let bit b o = match o with Some _ -> b | None -> 0 in
+  let prefix_bits = function Some (_, b) when b > 0 -> b | _ -> 0 in
+  {
+    m_spec =
+      bit mb_in_port m.in_port
+      lor bit mb_dl_src m.dl_src
+      lor bit mb_dl_dst m.dl_dst
+      lor bit mb_dl_vlan m.dl_vlan
+      lor bit mb_dl_vlan_pcp m.dl_vlan_pcp
+      lor bit mb_dl_type m.dl_type
+      lor bit mb_nw_tos m.nw_tos
+      lor bit mb_nw_proto m.nw_proto
+      lor bit mb_tp_src m.tp_src
+      lor bit mb_tp_dst m.tp_dst;
+    m_src_bits = prefix_bits m.nw_src;
+    m_dst_bits = prefix_bits m.nw_dst;
+  }
+
+let mask_exact = { m_spec = mb_all; m_src_bits = 32; m_dst_bits = 32 }
+
+let mask_equal a b =
+  a.m_spec = b.m_spec && a.m_src_bits = b.m_src_bits && a.m_dst_bits = b.m_dst_bits
+
+let mask_is_exact m = mask_equal m mask_exact
+
+(* FNV-1a over the specified field values, all in the int domain so the
+   hot path never allocates (Int32 ops would box their results). *)
+let[@inline] mix h v = ((h lxor v) * 0x01000193) land max_int
+
+let fnv_seed = 0x811c9dc5
+
+let[@inline] mac_bits mac =
+  let m = Mac.to_bytes mac (* identity: Mac.t is the 6-byte string *) in
+  let b i = Char.code (String.unsafe_get m i) in
+  (b 0 lsl 40) lor (b 1 lsl 32) lor (b 2 lsl 24) lor (b 3 lsl 16) lor (b 4 lsl 8) lor b 5
+
+let[@inline] ip_bits ip = Int32.to_int (Ip.to_int32 ip) land 0xffffffff
+
+let[@inline] prefix_mask_bits bits =
+  if bits <= 0 then 0 else 0xffffffff lsl (32 - bits) land 0xffffffff
+
+(* The two hash functions below must agree: for any match [m] and packet
+   fields [f] with [matches m f], [hash_match m = hash_fields (mask_of m) f].
+   Both fold the specified fields in declaration order. *)
+let hash_fields mask (f : fields) =
+  let s = mask.m_spec in
+  let h = fnv_seed in
+  let h = if s land mb_in_port <> 0 then mix h f.f_in_port else h in
+  let h = if s land mb_dl_src <> 0 then mix h (mac_bits f.f_dl_src) else h in
+  let h = if s land mb_dl_dst <> 0 then mix h (mac_bits f.f_dl_dst) else h in
+  let h = if s land mb_dl_vlan <> 0 then mix h f.f_dl_vlan else h in
+  let h = if s land mb_dl_vlan_pcp <> 0 then mix h f.f_dl_vlan_pcp else h in
+  let h = if s land mb_dl_type <> 0 then mix h f.f_dl_type else h in
+  let h = if s land mb_nw_tos <> 0 then mix h f.f_nw_tos else h in
+  let h = if s land mb_nw_proto <> 0 then mix h f.f_nw_proto else h in
+  let h =
+    if mask.m_src_bits > 0 then
+      mix h (ip_bits f.f_nw_src land prefix_mask_bits mask.m_src_bits)
+    else h
+  in
+  let h =
+    if mask.m_dst_bits > 0 then
+      mix h (ip_bits f.f_nw_dst land prefix_mask_bits mask.m_dst_bits)
+    else h
+  in
+  let h = if s land mb_tp_src <> 0 then mix h f.f_tp_src else h in
+  let h = if s land mb_tp_dst <> 0 then mix h f.f_tp_dst else h in
+  h
+
+let hash_match (m : t) =
+  let h = fnv_seed in
+  let h = match m.in_port with Some v -> mix h v | None -> h in
+  let h = match m.dl_src with Some v -> mix h (mac_bits v) | None -> h in
+  let h = match m.dl_dst with Some v -> mix h (mac_bits v) | None -> h in
+  let h = match m.dl_vlan with Some v -> mix h v | None -> h in
+  let h = match m.dl_vlan_pcp with Some v -> mix h v | None -> h in
+  let h = match m.dl_type with Some v -> mix h v | None -> h in
+  let h = match m.nw_tos with Some v -> mix h v | None -> h in
+  let h = match m.nw_proto with Some v -> mix h v | None -> h in
+  let h =
+    match m.nw_src with
+    | Some (net, bits) when bits > 0 -> mix h (ip_bits net land prefix_mask_bits bits)
+    | _ -> h
+  in
+  let h =
+    match m.nw_dst with
+    | Some (net, bits) when bits > 0 -> mix h (ip_bits net land prefix_mask_bits bits)
+    | _ -> h
+  in
+  let h = match m.tp_src with Some v -> mix h v | None -> h in
+  let h = match m.tp_dst with Some v -> mix h v | None -> h in
+  h
+
 let opt_eq eq spec value = match spec with None -> true | Some v -> eq v value
 
 let matches m f =

@@ -48,6 +48,28 @@ val exact_of_fields : fields -> t
 
 val matches : t -> fields -> bool
 
+(** Which fields a match specifies: a bitmask over the ten scalar fields
+    plus the two prefix lengths (0 = wildcarded; a [/0] prefix
+    canonicalises to 0). Entries with equal masks form one tuple of the
+    tuple-space classifier in {!Hw_datapath.Flow_table}. *)
+type mask = { m_spec : int; m_src_bits : int; m_dst_bits : int }
+
+val mask_of : t -> mask
+val mask_exact : mask
+(** Every field specified, both prefixes [/32]. *)
+
+val mask_equal : mask -> mask -> bool
+val mask_is_exact : mask -> bool
+
+val hash_fields : mask -> fields -> int
+(** Hash of the packet's field values under [mask] (unspecified fields
+    ignored, prefixes masked). Allocation-free: this is the per-packet
+    classifier probe. *)
+
+val hash_match : t -> int
+(** Hash of the match's specified values, consistent with {!hash_fields}:
+    [matches m f] implies [hash_match m = hash_fields (mask_of m) f]. *)
+
 val subsumes : general:t -> specific:t -> bool
 (** [subsumes ~general ~specific] is true when every packet matched by
     [specific] is also matched by [general]. Used for OFPFC_DELETE

@@ -7,6 +7,9 @@ type t = {
   rt : Router.t;
   net : Hw_sim.Internet.t;
   hop_delay : float;
+  ingress : (int * string) Hw_sim.Delay_line.t;
+      (* device -> router hop: frames sent at the same instant arrive as
+         one batch through Router.receive_frames *)
   the_seed : int;
   mutable attachments : attachment list;
   mutable next_wired : int;
@@ -33,8 +36,12 @@ let create ?(seed = 7) ?(start = 0.) ?dhcp_config ?flow_idle_timeout ?nat ?isola
   in
   net_ref := Some net;
   Hw_sim.Internet.add_default_zone net;
+  let ingress =
+    Hw_sim.Delay_line.create ~loop:sim_loop ~delay:hop_delay
+      ~deliver:(fun frames -> Router.receive_frames rt frames)
+  in
   let t =
-    { sim_loop; rt; net; hop_delay; the_seed = seed; attachments = []; next_wired = 0 }
+    { sim_loop; rt; net; hop_delay; ingress; the_seed = seed; attachments = []; next_wired = 0 }
   in
   (* router port -> attached nodes *)
   Router.set_transmit rt (fun ~port_no frame ->
@@ -84,9 +91,7 @@ let add_device t config =
   in
   let device =
     Hw_sim.Device.create ~seed:t.the_seed ~config ~loop:t.sim_loop
-      ~send:(fun frame ->
-        Hw_sim.Event_loop.after t.sim_loop t.hop_delay (fun () ->
-            Router.receive_frame t.rt ~in_port:port frame))
+      ~send:(fun frame -> Hw_sim.Delay_line.push t.ingress (port, frame))
       ()
   in
   t.attachments <- t.attachments @ [ { device; port } ];

@@ -93,6 +93,7 @@ let nat_enabled t = t.wan_ip <> None
 let nat_binding_count t = Hashtbl.length t.nat_by_cookie
 let set_transmit t f = t.transmit <- f
 let receive_frame t ~in_port frame = Datapath.receive_frame t.dp ~in_port frame
+let receive_frames t frames = Datapath.receive_frames t.dp frames
 let set_rpc_send t f = t.rpc_send <- f
 let faults t = t.faults
 

@@ -57,6 +57,10 @@ val create :
 val set_transmit : t -> (port_no:int -> string -> unit) -> unit
 val receive_frame : t -> in_port:int -> string -> unit
 
+val receive_frames : t -> (int * string) list -> unit
+(** Batched [(in_port, frame)] delivery into the datapath pipeline; see
+    {!Hw_datapath.Datapath.receive_frames}. *)
+
 (** {2 Component access} *)
 
 val db : t -> Hw_hwdb.Database.t

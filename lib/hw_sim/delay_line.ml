@@ -1,0 +1,25 @@
+type 'a t = {
+  loop : Event_loop.t;
+  delay : float;
+  deliver : 'a list -> unit;
+  pending : (float, 'a Queue.t) Hashtbl.t; (* deadline -> batch *)
+}
+
+let create ~loop ~delay ~deliver = { loop; delay; deliver; pending = Hashtbl.create 8 }
+
+let push t item =
+  (* Items pushed at the same virtual instant compute the same float
+     deadline and join one batch; the flush event is scheduled when the
+     batch opens, so it fires at the first item's original position. *)
+  let deadline = Event_loop.now t.loop +. t.delay in
+  match Hashtbl.find_opt t.pending deadline with
+  | Some q -> Queue.push item q
+  | None ->
+      let q = Queue.create () in
+      Queue.push item q;
+      Hashtbl.replace t.pending deadline q;
+      Event_loop.at t.loop deadline (fun () ->
+          Hashtbl.remove t.pending deadline;
+          t.deliver (List.of_seq (Queue.to_seq q)))
+
+let pending_batches t = Hashtbl.length t.pending

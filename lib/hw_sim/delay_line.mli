@@ -1,0 +1,16 @@
+(** A fixed-delay link that batches items sharing a delivery instant.
+
+    [push] schedules the item [delay] seconds ahead on the event loop;
+    every item pushed at the same virtual instant lands in one batch and
+    is handed to [deliver] in push order by a single event. Feeds
+    {!Hw_datapath.Datapath.receive_frames}-style batched inputs without
+    changing virtual-time semantics: a batch fires exactly when its first
+    item's individual event would have. *)
+
+type 'a t
+
+val create : loop:Event_loop.t -> delay:float -> deliver:('a list -> unit) -> 'a t
+val push : 'a t -> 'a -> unit
+
+val pending_batches : 'a t -> int
+(** Batches currently scheduled but not yet delivered. *)

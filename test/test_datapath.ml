@@ -479,6 +479,75 @@ let test_unknown_buffer_packet_out () =
       Alcotest.(check bool) "bad request" true (e.Ofp_message.err_type = Ofp_message.Bad_request)
   | _ -> Alcotest.fail "no error for unknown buffer"
 
+(* ------------------------------------------------------------------ *)
+(* Pinned edge semantics and PR-6 regressions                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Regression: an ADD with OFPFF_CHECK_OVERLAP must not count the
+   identical (priority, match) entry it is about to replace as an
+   overlap. *)
+let test_overlap_excludes_replaced_entry () =
+  let table = Flow_table.create () in
+  let m = { Ofp_match.wildcard_all with Ofp_match.nw_proto = Some 6 } in
+  Flow_table.add table ~now:0. ~check_overlap:false
+    (entry ~priority:7 m [ Ofp_action.output 1 ]);
+  (* re-adding the same (priority, match) replaces, even when checking *)
+  Flow_table.add table ~now:0. ~check_overlap:true
+    (entry ~priority:7 m [ Ofp_action.output 2 ]);
+  Alcotest.(check int) "replaced, not duplicated" 1 (Flow_table.length table);
+  (match Flow_table.lookup table (fields ()) with
+  | Some e -> Alcotest.(check bool) "new actions live" true (e.Flow_entry.actions = [ Ofp_action.output 2 ])
+  | None -> Alcotest.fail "no match");
+  (* a genuinely different overlapping entry still raises *)
+  Alcotest.check_raises "distinct overlap still detected" Flow_table.Overlap (fun () ->
+      Flow_table.add table ~now:0. ~check_overlap:true
+        (entry ~priority:7
+           { Ofp_match.wildcard_all with Ofp_match.tp_src = Some 40000 }
+           [ Ofp_action.output 3 ]))
+
+let test_exact_beats_wildcard_all_priorities () =
+  let table = Flow_table.create () in
+  List.iter
+    (fun prio ->
+      Flow_table.add table ~now:0. ~check_overlap:false
+        (entry ~priority:prio
+           { Ofp_match.wildcard_all with Ofp_match.in_port = Some 1 }
+           [ Ofp_action.output 1 ]))
+    [ 0; 100; 0xffff ];
+  Flow_table.add table ~now:0. ~check_overlap:false
+    (entry ~priority:0 (Ofp_match.exact_of_fields (fields ())) [ Ofp_action.output 2 ]);
+  match Flow_table.lookup table (fields ()) with
+  | Some e ->
+      Alcotest.(check bool) "priority-0 exact beats priority-0xffff wildcard" true
+        (e.Flow_entry.actions = [ Ofp_action.output 2 ])
+  | None -> Alcotest.fail "no match"
+
+let test_delete_out_port_exact_entry () =
+  let table = Flow_table.create () in
+  let e = entry ~priority:3 (Ofp_match.exact_of_fields (fields ())) [ Ofp_action.output 2 ] in
+  Flow_table.add table ~now:0. ~check_overlap:false e;
+  (* non-strict delete of everything-to-port-3 must not touch it *)
+  let removed =
+    Flow_table.delete table ~strict:false ~m:Ofp_match.wildcard_all ~priority:0 ~out_port:3
+  in
+  Alcotest.(check int) "wrong out_port leaves exact entry" 0 (List.length removed);
+  Alcotest.(check int) "still installed" 1 (Flow_table.length table);
+  let removed =
+    Flow_table.delete table ~strict:false ~m:Ofp_match.wildcard_all ~priority:0 ~out_port:2
+  in
+  Alcotest.(check int) "matching out_port removes it" 1 (List.length removed);
+  Alcotest.(check int) "table empty" 0 (Flow_table.length table)
+
+let test_hard_reason_when_both_expired () =
+  let table = Flow_table.create () in
+  Flow_table.add table ~now:0. ~check_overlap:false
+    (entry ~priority:1 ~idle:5 ~hard:10 (Ofp_match.exact_of_fields (fields ())) []);
+  (* at t=20 both timeouts have fired; hard takes precedence *)
+  match Flow_table.expire table ~now:20. with
+  | [ (_, reason) ] ->
+      Alcotest.(check bool) "hard wins" true (reason = Ofp_message.Removed_hard_timeout)
+  | l -> Alcotest.failf "expected one expiry, got %d" (List.length l)
+
 let prop_flow_table_lookup_consistent =
   QCheck.Test.make ~name:"lookup result actually matches the fields" ~count:200
     QCheck.(pair (int_range 1 4) (int_bound 0xffff))
@@ -492,6 +561,293 @@ let prop_flow_table_lookup_consistent =
       match Flow_table.lookup table f with
       | Some e -> Ofp_match.matches e.Flow_entry.entry_match f
       | None -> in_port <> 1 && tp_dst <> 80)
+
+(* ------------------------------------------------------------------ *)
+(* PR-6: datapath-level regressions (buffers, error paths, batching)   *)
+(* ------------------------------------------------------------------ *)
+
+(* OF 1.0: MODIFY that matches nothing behaves like ADD. *)
+let test_modify_no_match_acts_as_add () =
+  let h = make_harness () in
+  let m = { Ofp_match.wildcard_all with Ofp_match.in_port = Some 1 } in
+  send_to_dp h
+    (Ofp_message.Flow_mod
+       {
+         (Ofp_message.add_flow m [ Ofp_action.output 2 ]) with
+         Ofp_message.command = Ofp_message.Modify;
+       });
+  Alcotest.(check int) "entry added" 1 (Flow_table.length (Datapath.flow_table h.dp));
+  Datapath.receive_frame h.dp ~in_port:1 (sample_frame ());
+  match !(h.transmitted) with
+  | [ (2, _) ] -> ()
+  | _ -> Alcotest.fail "added entry not forwarding"
+
+let test_buffer_id_wraparound () =
+  Alcotest.(check int32) "24-bit wrap back to 1" 1l (Datapath.next_buffer_id_after 0xffffffl);
+  (* regression for the five-f typo: 2^20-1 must NOT wrap *)
+  Alcotest.(check int32) "no wrap at 2^20-1" 0x100000l (Datapath.next_buffer_id_after 0xfffffl);
+  Alcotest.(check int32) "plain increment" 2l (Datapath.next_buffer_id_after 1l)
+
+let test_buffer_fifo_eviction () =
+  let h = make_harness () in
+  let frame = sample_frame () in
+  (* 1100 misses: ids 1..1100 issued; at the 1025th the oldest live
+     buffer is evicted, never the whole store *)
+  for _ = 1 to 1100 do
+    Datapath.receive_frame h.dp ~in_port:1 frame
+  done;
+  Alcotest.(check int) "capped at 1024" 1024 (Datapath.buffered_count h.dp);
+  (* the oldest id was evicted: referencing it errors *)
+  h.to_controller := [];
+  send_to_dp h
+    (Ofp_message.Packet_out
+       {
+         Ofp_message.po_buffer_id = Some 1l;
+         po_in_port = Ofp_action.Port.none;
+         po_actions = [ Ofp_action.output 2 ];
+         po_data = "";
+       });
+  (match !(h.to_controller) with
+  | [ (_, Ofp_message.Error_msg e) ] ->
+      Alcotest.(check bool) "evicted id unknown" true
+        (e.Ofp_message.err_type = Ofp_message.Bad_request)
+  | _ -> Alcotest.fail "expected buffer-unknown error for evicted id");
+  (* the newest id is still live and releases its frame *)
+  h.transmitted := [];
+  send_to_dp h
+    (Ofp_message.Packet_out
+       {
+         Ofp_message.po_buffer_id = Some 1100l;
+         po_in_port = Ofp_action.Port.none;
+         po_actions = [ Ofp_action.output 2 ];
+         po_data = "";
+       });
+  (match !(h.transmitted) with
+  | [ (2, out) ] -> Alcotest.(check string) "newest frame intact" frame out
+  | _ -> Alcotest.fail "newest buffer lost");
+  Alcotest.(check int) "consumed id freed" 1023 (Datapath.buffered_count h.dp)
+
+(* Regression: a failed ADD (overlap or full table) must release the
+   buffer named by fm_buffer_id instead of stranding the frame. *)
+let test_failed_flow_mod_releases_buffer () =
+  let h = make_harness () in
+  (* install a wildcard entry that does NOT match the sample frame *)
+  send_to_dp h
+    (Ofp_message.Flow_mod
+       (Ofp_message.add_flow ~priority:7
+          { Ofp_match.wildcard_all with Ofp_match.tp_dst = Some 9999 }
+          [ Ofp_action.output 2 ]));
+  Datapath.receive_frame h.dp ~in_port:1 (sample_frame ());
+  let bid =
+    match !(h.to_controller) with
+    | (_, Ofp_message.Packet_in pi) :: _ -> pi.Ofp_message.buffer_id
+    | _ -> Alcotest.fail "no packet-in"
+  in
+  Alcotest.(check bool) "miss was buffered" true (bid <> None);
+  (* overlapping same-priority ADD with CHECK_OVERLAP and the buffer id *)
+  h.to_controller := [];
+  send_to_dp h
+    (Ofp_message.Flow_mod
+       {
+         (Ofp_message.add_flow ~priority:7
+            { Ofp_match.wildcard_all with Ofp_match.tp_src = Some 40000 }
+            [ Ofp_action.output 3 ])
+         with
+         Ofp_message.check_overlap = true;
+         fm_buffer_id = bid;
+       });
+  (match !(h.to_controller) with
+  | [ (_, Ofp_message.Error_msg e) ] ->
+      Alcotest.(check bool) "overlap error" true
+        (e.Ofp_message.err_type = Ofp_message.Flow_mod_failed && e.Ofp_message.err_code = 1)
+  | _ -> Alcotest.fail "expected overlap error");
+  Alcotest.(check int) "buffer released on error path" 0 (Datapath.buffered_count h.dp);
+  (* and the id is really gone: packet-out on it errors *)
+  h.to_controller := [];
+  send_to_dp h
+    (Ofp_message.Packet_out
+       {
+         Ofp_message.po_buffer_id = bid;
+         po_in_port = Ofp_action.Port.none;
+         po_actions = [ Ofp_action.output 2 ];
+         po_data = "";
+       });
+  match !(h.to_controller) with
+  | [ (_, Ofp_message.Error_msg e) ] ->
+      Alcotest.(check bool) "buffer unknown" true
+        (e.Ofp_message.err_type = Ofp_message.Bad_request)
+  | _ -> Alcotest.fail "expected buffer-unknown error"
+
+let test_receive_frames_batch () =
+  let h = make_harness () in
+  let frame = sample_frame () in
+  let pkt = Result.get_ok (Packet.decode frame) in
+  let m = Ofp_match.exact_of_fields (Ofp_match.fields_of_packet ~in_port:1 pkt) in
+  send_to_dp h (Ofp_message.Flow_mod (Ofp_message.add_flow m [ Ofp_action.output 2 ]));
+  Datapath.receive_frames h.dp [ (1, frame); (1, frame); (1, frame) ];
+  Alcotest.(check int) "all three forwarded" 3 (List.length !(h.transmitted));
+  Alcotest.(check int) "no controller traffic" 0 (List.length !(h.to_controller));
+  match Flow_table.entries (Datapath.flow_table h.dp) with
+  | [ e ] -> Alcotest.(check int64) "entry counters batched" 3L e.Flow_entry.packet_count
+  | _ -> Alcotest.fail "expected one flow"
+
+(* ------------------------------------------------------------------ *)
+(* PR-6: classifier vs naive linear reference (qcheck)                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Small value domains force overlapping entries, shared tuples and
+   priority ties; the reference implements the specified semantics
+   directly: exact entries beat wildcards, then highest priority, then
+   earliest install. Results are compared by physical identity. *)
+module Ref_model = struct
+  let ip_pool = [| Ip.of_octets 10 0 0 1; Ip.of_octets 10 0 0 2; Ip.of_octets 10 1 0 1 |]
+  let mac_pool = [| mac_a; mac_b |]
+
+  let gen_match =
+    let open QCheck.Gen in
+    let opt g = oneof [ return None; map Option.some g ] in
+    let prefix = opt (pair (oneofa ip_pool) (oneofl [ 0; 8; 24; 32 ])) in
+    let* in_port = opt (oneofl [ 1; 2 ]) in
+    let* dl_src = opt (oneofa mac_pool) in
+    let* dl_dst = opt (oneofa mac_pool) in
+    let* dl_type = opt (oneofl [ 0x0800; 0x0806 ]) in
+    let* nw_proto = opt (oneofl [ 6; 17 ]) in
+    let* nw_src = prefix in
+    let* nw_dst = prefix in
+    let* tp_src = opt (oneofl [ 80; 443 ]) in
+    let* tp_dst = opt (oneofl [ 80; 443 ]) in
+    return
+      {
+        Ofp_match.wildcard_all with
+        Ofp_match.in_port;
+        dl_src;
+        dl_dst;
+        dl_type;
+        nw_proto;
+        nw_src;
+        nw_dst;
+        tp_src;
+        tp_dst;
+      }
+
+  let gen_fields =
+    let open QCheck.Gen in
+    let* f_in_port = oneofl [ 1; 2 ] in
+    let* f_dl_src = oneofa mac_pool in
+    let* f_dl_dst = oneofa mac_pool in
+    let* f_dl_type = oneofl [ 0x0800; 0x0806 ] in
+    let* f_nw_proto = oneofl [ 6; 17 ] in
+    let* f_nw_src = oneofa ip_pool in
+    let* f_nw_dst = oneofa ip_pool in
+    let* f_tp_src = oneofl [ 80; 443 ] in
+    let* f_tp_dst = oneofl [ 80; 443 ] in
+    return
+      {
+        Ofp_match.f_in_port;
+        f_dl_src;
+        f_dl_dst;
+        f_dl_vlan = 0xffff;
+        f_dl_vlan_pcp = 0;
+        f_dl_type;
+        f_nw_tos = 0;
+        f_nw_proto;
+        f_nw_src;
+        f_nw_dst;
+        f_tp_src;
+        f_tp_dst;
+      }
+
+  let gen_spec =
+    let open QCheck.Gen in
+    pair (oneofl [ 1; 5; 9 ]) gen_match
+
+  (* [entries] oldest-first; same precedence rules the classifier claims *)
+  let lookup entries f =
+    let matching =
+      List.filter (fun e -> Ofp_match.matches e.Flow_entry.entry_match f) entries
+    in
+    let exacts =
+      List.filter (fun e -> Ofp_match.mask_is_exact e.Flow_entry.entry_mask) matching
+    in
+    let pool = if exacts <> [] then exacts else matching in
+    List.fold_left
+      (fun acc e ->
+        match acc with
+        | Some best when best.Flow_entry.priority >= e.Flow_entry.priority -> acc
+        | _ -> Some e)
+      None pool
+
+  let add entries (e : Flow_entry.t) =
+    List.filter
+      (fun (r : Flow_entry.t) ->
+        not
+          (r.Flow_entry.priority = e.Flow_entry.priority
+          && Ofp_match.equal r.Flow_entry.entry_match e.Flow_entry.entry_match))
+      entries
+    @ [ e ]
+
+  let agree table entries pkts =
+    List.for_all
+      (fun f ->
+        match (lookup entries f, Flow_table.lookup table f) with
+        | None, None -> true
+        | Some a, Some b -> a == b
+        | _ -> false)
+      pkts
+end
+
+let prop_classifier_agrees_with_reference =
+  QCheck.Test.make ~name:"tuple-space classifier = linear reference (10k)" ~count:10_000
+    (QCheck.make
+       QCheck.Gen.(pair (list_size (int_range 2 14) Ref_model.gen_spec)
+                     (list_size (int_range 1 6) Ref_model.gen_fields)))
+    (fun (specs, pkts) ->
+      let table = Flow_table.create () in
+      let reference =
+        List.fold_left
+          (fun acc (prio, m) ->
+            let e = entry ~priority:prio m [] in
+            Flow_table.add table ~now:0. ~check_overlap:false e;
+            Ref_model.add acc e)
+          [] specs
+      in
+      Ref_model.agree table reference pkts)
+
+let prop_classifier_agrees_after_deletes =
+  QCheck.Test.make ~name:"classifier = reference after strict deletes" ~count:1_000
+    (QCheck.make
+       QCheck.Gen.(pair
+                     (list_size (int_range 2 12) (pair Ref_model.gen_spec bool))
+                     (list_size (int_range 1 6) Ref_model.gen_fields)))
+    (fun (specs, pkts) ->
+      let table = Flow_table.create () in
+      let reference =
+        List.fold_left
+          (fun acc ((prio, m), _) ->
+            let e = entry ~priority:prio m [] in
+            Flow_table.add table ~now:0. ~check_overlap:false e;
+            Ref_model.add acc e)
+          [] specs
+      in
+      (* strict-delete the flagged specs, exercising per-tuple removal and
+         max-priority recomputation *)
+      let reference =
+        List.fold_left
+          (fun acc ((prio, m), doomed) ->
+            if not doomed then acc
+            else begin
+              ignore
+                (Flow_table.delete table ~strict:true ~m ~priority:prio
+                   ~out_port:Ofp_action.Port.none);
+              List.filter
+                (fun (r : Flow_entry.t) ->
+                  not (r.Flow_entry.priority = prio && Ofp_match.equal r.Flow_entry.entry_match m))
+                acc
+            end)
+          reference specs
+      in
+      Alcotest.(check int) "sizes agree" (List.length reference) (Flow_table.length table);
+      Ref_model.agree table reference pkts)
 
 let () =
   Alcotest.run "hw_datapath"
@@ -508,7 +864,20 @@ let () =
           Alcotest.test_case "modify preserves counters" `Quick test_modify_preserves_counters;
           Alcotest.test_case "timeouts" `Quick test_idle_and_hard_timeout;
           Alcotest.test_case "lookup counters" `Quick test_lookup_counters;
+          Alcotest.test_case "overlap excludes replaced entry" `Quick
+            test_overlap_excludes_replaced_entry;
+          Alcotest.test_case "exact beats wildcard at any priority" `Quick
+            test_exact_beats_wildcard_all_priorities;
+          Alcotest.test_case "delete out_port on exact entry" `Quick
+            test_delete_out_port_exact_entry;
+          Alcotest.test_case "hard reason when both expired" `Quick
+            test_hard_reason_when_both_expired;
           QCheck_alcotest.to_alcotest prop_flow_table_lookup_consistent;
+        ] );
+      ( "classifier",
+        [
+          QCheck_alcotest.to_alcotest prop_classifier_agrees_with_reference;
+          QCheck_alcotest.to_alcotest prop_classifier_agrees_after_deletes;
         ] );
       ( "pipeline",
         [
@@ -524,5 +893,12 @@ let () =
           Alcotest.test_case "garbage frames dropped" `Quick test_undecodable_frame_dropped;
           Alcotest.test_case "unknown buffer errors" `Quick test_unknown_buffer_packet_out;
           Alcotest.test_case "port mod up/down" `Quick test_port_mod_up_down;
+          Alcotest.test_case "modify with no match acts as add" `Quick
+            test_modify_no_match_acts_as_add;
+          Alcotest.test_case "buffer id 24-bit wraparound" `Quick test_buffer_id_wraparound;
+          Alcotest.test_case "buffer FIFO eviction" `Quick test_buffer_fifo_eviction;
+          Alcotest.test_case "failed flow-mod releases buffer" `Quick
+            test_failed_flow_mod_releases_buffer;
+          Alcotest.test_case "batched receive_frames" `Quick test_receive_frames_batch;
         ] );
     ]
