@@ -779,6 +779,128 @@ let run_micro () =
   Printf.printf "\nwrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* PERF9: fleet management plane (lib/hw_fleet)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Macro benchmarks: wall-clock over whole fleet operations rather than
+   Bechamel per-op loops (one iteration builds thousands of routers).
+   Everything is still recorded as ns so `check` gates them with the
+   same budget logic as the micro groups; results go to BENCH_fleet.json
+   and `check` merges that file when present. *)
+let run_fleet () =
+  banner "PERF9  Fleet: bring-up, federated fan-out/merge, rollup";
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1e9)
+  in
+  let module Fleet_sim = Hw_fleet.Fleet_sim in
+  let module Manager = Hw_fleet.Manager in
+  let bring_up n =
+    wall (fun () ->
+        let fleet = Fleet_sim.create ~n () in
+        let mgr = Fleet_sim.manager fleet in
+        let rec wait () =
+          if Manager.session_count mgr < n then begin
+            Fleet_sim.run_for fleet 0.25;
+            wait ()
+          end
+        in
+        wait ();
+        fleet)
+  in
+  (* median of 3 bring-ups at 1k *)
+  let samples =
+    List.init 3 (fun _ ->
+        let f, ns = bring_up 1000 in
+        ignore (Sys.opaque_identity f);
+        Gc.compact ();
+        ns)
+    |> List.sort compare
+  in
+  let bring_up_1k_ns = List.nth samples 1 in
+  Printf.printf "  %-40s %8.1f ms\n" "fleet_bring_up_1k" (bring_up_1k_ns /. 1e6);
+  (* federated SELECT fan-out + merge at 100 and 1k routers: median of 5
+     queries against a registered fleet *)
+  let fed_select n =
+    let fleet, _ = bring_up n in
+    let one () =
+      let _, ns =
+        wall (fun () ->
+            match Fleet_sim.query_sync fleet "SELECT COUNT(ts) AS n FROM Leases" with
+            | Some o when o.Manager.ok = n -> ()
+            | Some o -> failwith (Printf.sprintf "fed select: %d/%d answered" o.Manager.ok n)
+            | None -> failwith "fed select: did not complete")
+      in
+      ns
+    in
+    let s = List.init 5 (fun _ -> one ()) |> List.sort compare in
+    List.nth s 2
+  in
+  let fed_100_ns = fed_select 100 in
+  Printf.printf "  %-40s %8.2f ms\n" "fed_select_100" (fed_100_ns /. 1e6);
+  let fed_1k_ns = fed_select 1000 in
+  Printf.printf "  %-40s %8.2f ms\n" "fed_select_1k" (fed_1k_ns /. 1e6);
+  (* steady-state rollup: 1k routers publishing a 2 s continuous query,
+     20 simulated seconds; report wall ns per rolled-up event *)
+  let rollup_event_ns =
+    let fleet, _ = bring_up 1000 in
+    let mgr = Fleet_sim.manager fleet in
+    let _fs =
+      Manager.subscribe mgr
+        ~statement:"SUBSCRIBE SELECT COUNT(ts) AS n FROM Leases EVERY 2 SECONDS" ~period:2.
+        ~on_event:(fun ~router:_ _ -> ())
+    in
+    (* let every subscription attach before timing *)
+    Fleet_sim.run_for fleet 3.;
+    let before = Manager.rollup_events_total mgr in
+    let _, ns = wall (fun () -> Fleet_sim.run_for fleet 20.) in
+    let events = Manager.rollup_events_total mgr - before in
+    Printf.printf "  %-40s %8d events, %6.0f ns/event (%.0f events/s)\n" "rollup_20s_1k"
+      events (ns /. float_of_int events)
+      (float_of_int events /. (ns /. 1e9));
+    ns /. float_of_int events
+  in
+  (* per-router heap cost at the fleet configuration, for EXPERIMENTS.md *)
+  let router_heap_words =
+    Gc.compact ();
+    let loop = Hw_sim.Event_loop.create () in
+    let cfg = Hw_router.Router.config ~hwdb_capacity:256 () in
+    let live0 = (Gc.stat ()).Gc.live_words in
+    let routers = Array.init 200 (fun _ -> Hw_router.Router.create ~config:cfg ~loop ()) in
+    Gc.compact ();
+    let live1 = (Gc.stat ()).Gc.live_words in
+    ignore (Sys.opaque_identity routers);
+    (live1 - live0) / 200
+  in
+  Printf.printf "  %-40s %8d words (%d bytes)\n" "router_heap_words_fleet_cfg"
+    router_heap_words (8 * router_heap_words);
+  let report =
+    Hw_json.Json.Obj
+      [
+        ( "ns_per_op",
+          Hw_json.Json.Obj
+            [
+              ( "PERF9 fleet",
+                Hw_json.Json.Obj
+                  [
+                    ("fleet_bring_up_1k", Hw_json.Json.Float bring_up_1k_ns);
+                    ("fed_select_100", Hw_json.Json.Float fed_100_ns);
+                    ("fed_select_1k", Hw_json.Json.Float fed_1k_ns);
+                    ("rollup_event", Hw_json.Json.Float rollup_event_ns);
+                  ] );
+            ] );
+        ("router_heap_words_fleet_cfg", Hw_json.Json.Float (float_of_int router_heap_words));
+      ]
+  in
+  let path = "BENCH_fleet.json" in
+  let oc = open_out path in
+  output_string oc (Hw_json.Json.to_string report);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Budget gate: compare BENCH_micro.json against PERF_budget.json      *)
 (* ------------------------------------------------------------------ *)
 
@@ -811,6 +933,15 @@ let run_check () =
     | None -> 1.25
   in
   let ns = Hw_json.Json.member "ns_per_op" measured in
+  (* the fleet macro benches land in their own file; fold the group in
+     when it exists so one budget table gates both *)
+  let ns =
+    match read "BENCH_fleet.json" with
+    | fleet ->
+        Hw_json.Json.Obj
+          (Hw_json.Json.get_obj ns @ Hw_json.Json.get_obj (Hw_json.Json.member "ns_per_op" fleet))
+    | exception Sys_error _ -> ns
+  in
   let failures = ref 0 in
   Printf.printf "\n%-24s %-40s %12s %12s  %s\n" "group" "benchmark" "budget" "measured" "";
   List.iter
@@ -1042,7 +1173,8 @@ let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let all =
     [ ("fig1", fig1); ("fig2", fig2); ("fig3", fig3); ("fig4", fig4); ("fig5", fig5);
-      ("micro", run_micro); ("check", run_check); ("ablation", run_ablations) ]
+      ("micro", run_micro); ("fleet", run_fleet); ("check", run_check);
+      ("ablation", run_ablations) ]
   in
   match which with
   | "all" -> List.iter (fun (_, f) -> f ()) all
@@ -1050,5 +1182,6 @@ let () =
       match List.assoc_opt name all with
       | Some f -> f ()
       | None ->
-          Printf.eprintf "unknown bench %S; expected fig1..fig5, micro, check or all\n" name;
+          Printf.eprintf "unknown bench %S; expected fig1..fig5, micro, fleet, check or all\n"
+            name;
           exit 1)

@@ -37,7 +37,7 @@ type t = {
   mutable join_handlers : (string * (conn -> Ofp_message.switch_features -> unit)) list;
   mutable leave_handlers : (string * (conn -> unit)) list;
   mutable packet_in_handlers :
-    (string * Hw_metrics.Histogram.t * (packet_in_event -> disposition)) list;
+    (string * Hw_metrics.Histogram.t Lazy.t * (packet_in_event -> disposition)) list;
   mutable flow_removed_handlers : (string * (conn -> Ofp_message.flow_removed -> unit)) list;
   mutable port_status_handlers :
     (string * (conn -> Ofp_message.port_status_reason -> Ofp_message.phy_port -> unit)) list;
@@ -82,10 +82,14 @@ let on_datapath_join t ~name f = t.join_handlers <- t.join_handlers @ [ (name, f
 let on_datapath_leave t ~name f = t.leave_handlers <- t.leave_handlers @ [ (name, f) ]
 
 let on_packet_in t ~name f =
+  (* The histogram is materialized on the first packet this handler
+     sees: a fleet of mostly-idle routers must not pay one 40-bucket
+     array per handler per instance up front. *)
   let hist =
-    Hw_metrics.Registry.histogram t.metrics
-      (Printf.sprintf "ctrl_handler_%s_seconds" (Hw_metrics.Registry.sanitize_name name))
-      ~help:(Printf.sprintf "Latency of the %S packet-in handler" name)
+    lazy
+      (Hw_metrics.Registry.histogram t.metrics
+         (Printf.sprintf "ctrl_handler_%s_seconds" (Hw_metrics.Registry.sanitize_name name))
+         ~help:(Printf.sprintf "Latency of the %S packet-in handler" name))
   in
   t.packet_in_handlers <- t.packet_in_handlers @ [ (name, hist, f) ]
 
@@ -179,7 +183,7 @@ let dispatch_packet_in t conn (pi : Ofp_message.packet_in) =
     | [] -> ()
     | (name, hist, handler) :: rest -> (
         let invoke () =
-          Hw_metrics.Histogram.observe_span hist ~now:t.now (fun () -> handler ev)
+          Hw_metrics.Histogram.observe_span (Lazy.force hist) ~now:t.now (fun () -> handler ev)
         in
         match Tracer.with_span t.trace ("ctrl.handler." ^ name) invoke with
         | Stop -> if Tracer.in_trace t.trace then Tracer.set_attr t.trace "stopped_by" (Tracer.Str name)

@@ -41,7 +41,8 @@ type t = {
   m_misses : Hw_metrics.Counter.t;
   m_packet_ins : Hw_metrics.Counter.t;
   m_buffer_evictions : Hw_metrics.Counter.t;
-  m_lookup_span : Hw_metrics.Sampled.t;
+  (* lazy: fleet routers that never forward a frame skip the histogram *)
+  m_lookup_span : Hw_metrics.Sampled.t Lazy.t;
 }
 
 let stats_description =
@@ -81,8 +82,9 @@ let create ?(metrics = Hw_metrics.Registry.default) ?(trace = Tracer.disabled) ~
         counter "dp_buffer_evictions_total"
           "Buffered miss frames evicted oldest-first before the controller consumed them";
       m_lookup_span =
-        Hw_metrics.Registry.sampled_histogram metrics ~every:16 "dp_flow_lookup_seconds"
-          ~help:"Flow-table lookup latency (1-in-16 sampled)";
+        lazy
+          (Hw_metrics.Registry.sampled_histogram metrics ~every:16 "dp_flow_lookup_seconds"
+             ~help:"Flow-table lookup latency (1-in-16 sampled)");
     }
   in
   List.iter
@@ -359,12 +361,11 @@ let process_frame t stats ~in_port frame =
           (* per-frame path: branch on [due] to keep the unsampled
              lookups closure- and clock-free *)
           let hit =
-            if Hw_metrics.Sampled.due t.m_lookup_span then begin
+            let span = Lazy.force t.m_lookup_span in
+            if Hw_metrics.Sampled.due span then begin
               let t0 = t.now () in
               let hit = Flow_table.lookup t.table fields in
-              Hw_metrics.Histogram.observe
-                (Hw_metrics.Sampled.histogram t.m_lookup_span)
-                (t.now () -. t0);
+              Hw_metrics.Histogram.observe (Hw_metrics.Sampled.histogram span) (t.now () -. t0);
               hit
             end
             else Flow_table.lookup t.table fields

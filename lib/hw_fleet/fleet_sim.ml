@@ -1,0 +1,92 @@
+module Router = Hw_router.Router
+module Home = Hw_router.Home
+module Prng = Hw_sim.Prng
+
+type t = {
+  loop : Hw_sim.Event_loop.t;
+  manager : Manager.t;
+  homes : Home.t array;
+  agents : Agent.t array;
+  by_addr : (string, Agent.t) Hashtbl.t;
+  n : int;
+}
+
+let manager t = t.manager
+let loop t = t.loop
+let size t = t.n
+let homes t = t.homes
+let agents t = t.agents
+let agent t id = Hashtbl.find_opt t.by_addr id
+let run_for t d = Hw_sim.Event_loop.run_for t.loop d
+let now t = Hw_sim.Event_loop.now t.loop
+
+let device_profiles =
+  [| Hw_sim.App_profile.web; Hw_sim.App_profile.video; Hw_sim.App_profile.iot_telemetry |]
+
+let create ?(seed = 7) ?(start = 0.) ?(hop_delay = 0.0005) ?(hwdb_capacity = 256)
+    ?(devices_per_home = 0) ?(lease_s = 30.) ?renew_period ?max_inflight ~n () =
+  let renew_period = Option.value renew_period ~default:(lease_s /. 6.) in
+  let loop = Hw_sim.Event_loop.create ~start () in
+  let by_addr = Hashtbl.create (2 * n) in
+  (* manager -> router: resolve the session address to its agent after
+     one hop. The receive side of a dropped agent simply never fires. *)
+  let manager =
+    Manager.create ~lease_s ?max_inflight
+      ~loop
+      ~send:(fun ~to_ data ->
+        Hw_sim.Event_loop.after loop hop_delay (fun () ->
+            match Hashtbl.find_opt by_addr to_ with
+            | Some agent -> Agent.handle_datagram agent data
+            | None -> ()))
+      ()
+  in
+  (* one immutable config shared by every router in the fleet *)
+  let config = Router.config ~hwdb_capacity () in
+  let homes = Array.make n None in
+  let agents =
+    Array.init n (fun i ->
+        let id = Printf.sprintf "r%04d" i in
+        (* independent per-home stream from the one fleet seed: NOT
+           seed + i, which replays neighbours' draws shifted by one *)
+        let home = Home.create ~loop ~config ~seed:(Prng.stream_seed ~seed ~index:i) () in
+        homes.(i) <- Some home;
+        if devices_per_home > 0 then begin
+          let dhcp = Router.dhcp (Home.router home) in
+          for d = 0 to devices_per_home - 1 do
+            let cfg =
+              Hw_sim.Device.wireless
+                ~distance_m:(4. +. (3. *. float_of_int d))
+                ~name:(Printf.sprintf "%s-dev%d" id d)
+                ~mac:(Hw_packet.Mac.local (1 + d))
+                [ device_profiles.(d mod Array.length device_profiles) ]
+            in
+            Hw_dhcp.Dhcp_server.permit dhcp cfg.Hw_sim.Device.mac;
+            ignore (Home.add_device home cfg)
+          done
+        end;
+        let agent =
+          Agent.attach ~id ~router:(Home.router home) ~loop ~renew_period
+            ~seed:(Prng.stream_seed ~seed ~index:(n + i))
+            ~send:(fun data ->
+              Hw_sim.Event_loop.after loop hop_delay (fun () ->
+                  Manager.datagram manager ~from:id data))
+            ()
+        in
+        Hashtbl.replace by_addr id agent;
+        agent)
+  in
+  let homes = Array.map Option.get homes in
+  { loop; manager; homes; agents; by_addr; n }
+
+let query_sync t ?(within = 120.) statement =
+  let result = ref None in
+  Manager.query t.manager statement ~on_done:(fun o -> result := Some o);
+  let deadline = now t +. within in
+  let rec step () =
+    if !result = None && now t < deadline then begin
+      Hw_sim.Event_loop.run_for t.loop 0.05;
+      step ()
+    end
+  in
+  step ();
+  !result

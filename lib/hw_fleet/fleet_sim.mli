@@ -1,0 +1,49 @@
+(** N simulated homes and one fleet manager on ONE discrete event loop —
+    the harness fleet tests and benches drive.
+
+    Each home derives an independent PRNG stream from the fleet seed
+    ({!Hw_sim.Prng.stream_seed}), so device behavior across homes is
+    decorrelated; all homes share one immutable {!Hw_router.Router.config}
+    with small hwdb rings, which is what makes 1k–10k instances cheap. *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?start:Hw_time.timestamp ->
+  ?hop_delay:float ->
+  ?hwdb_capacity:int ->
+  ?devices_per_home:int ->
+  ?lease_s:float ->
+  ?renew_period:float ->
+  ?max_inflight:int ->
+  n:int ->
+  unit ->
+  t
+(** Builds [n] homes with routers ["r0000"… ] and attaches each to the
+    manager over a simulated datagram transport with [hop_delay]
+    (default 0.5 ms) each way. Agents dial out during [create]; run the
+    loop briefly (one renew period covers retries) before asserting
+    full registration. [hwdb_capacity] (default 256) sizes each
+    router's hwdb rings — see {!Hw_router.Router.config}.
+    [devices_per_home] (default 0) attaches that many wireless devices
+    per home, pre-permitted, for workloads that need lease/flow
+    activity. [lease_s] (default 30) and [renew_period] (default
+    [lease_s / 6]) pace the call-home sessions. *)
+
+val manager : t -> Manager.t
+val loop : t -> Hw_sim.Event_loop.t
+val size : t -> int
+val homes : t -> Hw_router.Home.t array
+val agents : t -> Agent.t array
+val agent : t -> string -> Agent.t option
+(** By router id. *)
+
+val run_for : t -> float -> unit
+val now : t -> Hw_time.timestamp
+
+val query_sync : t -> ?within:float -> string -> Manager.outcome option
+(** Fan a federated query out and run the loop until it completes (at
+    most [within] simulated seconds, default 120 — past every retry
+    cap, so [None] only means "no routers answered AND the loop ran
+    dry", which a live fleet never produces). *)

@@ -1,0 +1,295 @@
+let log_src = Logs.Src.create "hw.fleet.manager" ~doc:"Fleet manager"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+module Rpc = Hw_hwdb.Rpc
+module Query = Hw_hwdb.Query
+module Value = Hw_hwdb.Value
+
+(* One registered router. The session is the router's dialed-out
+   call-home connection: [s_client] sends manager->router requests down
+   it and correlates the replies coming back up. Sessions are keyed by
+   router id, so a retried or re-sent REGISTER upserts in place — there
+   is structurally no way to hold two sessions for one router. *)
+type session = {
+  s_id : string;
+  mutable s_addr : string;
+  s_client : Rpc.Client.t;
+  mutable s_expires : float;
+  s_token : int;  (* echoed in REGISTER acks; the agent's lease handle *)
+  mutable s_subs : (fleet_sub * Rpc.Subscriber.t) list;
+}
+
+and fleet_sub = {
+  fs_statement : string;
+  fs_period : float;
+  fs_on_event : router:string -> Query.result_set -> unit;
+  mutable fs_active : bool;
+}
+
+type t = {
+  loop : Hw_sim.Event_loop.t;
+  send : to_:string -> string -> unit;
+  lease_s : float;
+  retry : Rpc.Client.retry;
+  max_inflight : int;
+  seed : int;
+  metrics : Hw_metrics.Registry.t;
+  sessions : (string, session) Hashtbl.t; (* by router id *)
+  by_addr : (string, session) Hashtbl.t;
+  mutable fleet_subs : fleet_sub list;
+  mutable next_token : int;
+  mutable registrations : int;
+  mutable evictions : int;
+  mutable rollup_events : int;
+  m_sessions : Hw_metrics.Gauge.t;
+  m_registrations : Hw_metrics.Counter.t;
+  m_evictions : Hw_metrics.Counter.t;
+  m_fanout_requests : Hw_metrics.Counter.t;
+  m_fanout_errors : Hw_metrics.Counter.t;
+  m_rollup_events : Hw_metrics.Counter.t;
+}
+
+type outcome = {
+  columns : string list;
+  rows : Value.t list list;
+  ok : int;
+  errors : (string * string) list;
+}
+
+let session_count t = Hashtbl.length t.sessions
+
+let sessions t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.sessions [] |> List.sort compare
+
+let registrations_total t = t.registrations
+let evictions_total t = t.evictions
+let rollup_events_total t = t.rollup_events
+
+(* -- fleet subscriptions ------------------------------------------- *)
+
+let attach_sub t s fs =
+  let sub =
+    Rpc.Subscriber.attach ~metrics:t.metrics
+      ~now:(fun () -> Hw_sim.Event_loop.now t.loop)
+      ~schedule:(fun d f -> Hw_sim.Event_loop.after t.loop d f)
+      ~client:s.s_client ~statement:fs.fs_statement ~period:fs.fs_period
+      ~on_result:(fun rs ->
+        if fs.fs_active then begin
+          t.rollup_events <- t.rollup_events + 1;
+          Hw_metrics.Counter.incr t.m_rollup_events;
+          fs.fs_on_event ~router:s.s_id rs
+        end)
+      ()
+  in
+  s.s_subs <- (fs, sub) :: s.s_subs
+
+let subscribe t ~statement ~period ~on_event =
+  let fs =
+    { fs_statement = statement; fs_period = period; fs_on_event = on_event; fs_active = true }
+  in
+  t.fleet_subs <- fs :: t.fleet_subs;
+  Hashtbl.iter (fun _ s -> attach_sub t s fs) t.sessions;
+  fs
+
+let unsubscribe t fs =
+  fs.fs_active <- false;
+  t.fleet_subs <- List.filter (fun f -> f != fs) t.fleet_subs;
+  Hashtbl.iter
+    (fun _ s ->
+      List.iter (fun (f, sub) -> if f == fs then Rpc.Subscriber.detach sub) s.s_subs;
+      s.s_subs <- List.filter (fun (f, _) -> f != fs) s.s_subs)
+    t.sessions
+
+(* -- session lifecycle --------------------------------------------- *)
+
+let drop_session t s ~reason =
+  Hashtbl.remove t.sessions s.s_id;
+  Hashtbl.remove t.by_addr s.s_addr;
+  (* detaching sends UNSUBSCRIBE down a session we just declared dead;
+     that is fine — it is best-effort and settles via the client's own
+     retry cap *)
+  List.iter (fun (_, sub) -> Rpc.Subscriber.detach sub) s.s_subs;
+  s.s_subs <- [];
+  Hw_metrics.Gauge.set t.m_sessions (float_of_int (Hashtbl.length t.sessions));
+  Log.debug (fun m -> m "session %s dropped (%s)" s.s_id reason)
+
+let evict_lapsed t =
+  let now = Hw_sim.Event_loop.now t.loop in
+  let lapsed =
+    Hashtbl.fold (fun _ s acc -> if now > s.s_expires then s :: acc else acc) t.sessions []
+  in
+  List.iter
+    (fun s ->
+      t.evictions <- t.evictions + 1;
+      Hw_metrics.Counter.incr t.m_evictions;
+      drop_session t s ~reason:"lease lapsed")
+    lapsed
+
+let register t ~from ~id =
+  let now = Hw_sim.Event_loop.now t.loop in
+  match Hashtbl.find_opt t.sessions id with
+  | Some s ->
+      (* renewal; the router may come back on a new transport address *)
+      s.s_expires <- now +. t.lease_s;
+      if not (String.equal s.s_addr from) then begin
+        Hashtbl.remove t.by_addr s.s_addr;
+        s.s_addr <- from;
+        Hashtbl.replace t.by_addr from s
+      end;
+      s
+  | None ->
+      let token = t.next_token in
+      t.next_token <- t.next_token + 1;
+      let s =
+        {
+          s_id = id;
+          s_addr = from;
+          s_client =
+            Rpc.Client.create ~metrics:t.metrics
+              ~schedule:(fun d f -> Hw_sim.Event_loop.after t.loop d f)
+              ~retry:t.retry ~seed:(t.seed + token)
+              ~send:(fun data -> t.send ~to_:from data)
+              ();
+          s_expires = now +. t.lease_s;
+          s_token = token;
+          s_subs = [];
+        }
+      in
+      Hashtbl.replace t.sessions id s;
+      Hashtbl.replace t.by_addr from s;
+      Hw_metrics.Gauge.set t.m_sessions (float_of_int (Hashtbl.length t.sessions));
+      List.iter (fun fs -> attach_sub t s fs) t.fleet_subs;
+      s
+
+(* Session-control statements arriving as RPC Requests up the session.
+   FLEET REGISTER doubles as the renewal (the agent keeps it alive with
+   the same leased-subscriber machinery hwdb subscriptions use), and the
+   ack mirrors a SUBSCRIBE ack — one row, one Int, the session token —
+   so Rpc.Subscriber accepts it as its subscription id. *)
+let handle_request t ~from ~seq statement =
+  let reply msg = t.send ~to_:from (Rpc.encode msg) in
+  match String.split_on_char ' ' (String.trim statement) with
+  | [ "FLEET"; "REGISTER"; id ] when id <> "" ->
+      let s = register t ~from ~id in
+      t.registrations <- t.registrations + 1;
+      Hw_metrics.Counter.incr t.m_registrations;
+      reply
+        (Rpc.Response_ok
+           {
+             seq;
+             result = Some { Query.columns = [ "session" ]; rows = [ [ Value.Int s.s_token ] ] };
+           })
+  | [ "UNSUBSCRIBE"; token ] -> (
+      (* the agent's detach path: Rpc.Subscriber.detach releases its
+         "subscription" — our session token *)
+      match (Hashtbl.find_opt t.by_addr from, int_of_string_opt token) with
+      | Some s, Some tok when s.s_token = tok ->
+          drop_session t s ~reason:"unregistered";
+          reply (Rpc.Response_ok { seq; result = None })
+      | _ -> reply (Rpc.Response_ok { seq; result = None }))
+  | _ ->
+      reply (Rpc.Response_error { seq; message = "fleet: unknown control statement" })
+
+let datagram t ~from data =
+  match Rpc.decode data with
+  | Ok (Rpc.Request { seq; statement }) -> handle_request t ~from ~seq statement
+  | Ok (Rpc.Response_ok _ | Rpc.Response_error _ | Rpc.Publish _) -> (
+      match Hashtbl.find_opt t.by_addr from with
+      | Some s -> Rpc.Client.handle_datagram s.s_client data
+      | None -> () (* a reply outliving its session; UDP semantics *))
+  | Error _ -> () (* malformed datagram: drop *)
+
+(* -- federated queries --------------------------------------------- *)
+
+let empty_outcome = { columns = []; rows = []; ok = 0; errors = [] }
+
+let query t statement ~on_done =
+  let targets =
+    Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions []
+    |> List.sort (fun a b -> compare a.s_id b.s_id)
+    |> Array.of_list
+  in
+  let n = Array.length targets in
+  if n = 0 then on_done empty_outcome
+  else begin
+    (* per-target slots keep the merge deterministic (id order)
+       regardless of reply arrival order *)
+    let results = Array.make n None in
+    let remaining = ref n in
+    let launched = ref 0 in
+    let finish () =
+      let columns = ref [] in
+      let rows = ref [] in
+      let ok = ref 0 in
+      let errors = ref [] in
+      Array.iteri
+        (fun i slot ->
+          let id = targets.(i).s_id in
+          match slot with
+          | None -> assert false (* finish only runs at remaining = 0 *)
+          | Some (Error msg) -> errors := (id, msg) :: !errors
+          | Some (Ok None) -> incr ok (* non-SELECT fan-out: no rows *)
+          | Some (Ok (Some rs)) ->
+              if !columns = [] then columns := rs.Query.columns;
+              if rs.Query.columns = !columns then begin
+                incr ok;
+                List.iter (fun row -> rows := (Value.Str id :: row) :: !rows) rs.Query.rows
+              end
+              else errors := (id, "fleet: column mismatch in federated merge") :: !errors)
+        results;
+      let columns = if !columns = [] then [ "router" ] else "router" :: !columns in
+      on_done
+        { columns; rows = List.rev !rows; ok = !ok; errors = List.rev !errors }
+    in
+    let rec launch () =
+      if !launched < n then begin
+        let i = !launched in
+        incr launched;
+        Hw_metrics.Counter.incr t.m_fanout_requests;
+        Rpc.Client.request targets.(i).s_client statement ~on_reply:(fun reply ->
+            (if Result.is_error reply then Hw_metrics.Counter.incr t.m_fanout_errors);
+            results.(i) <- Some reply;
+            decr remaining;
+            if !remaining = 0 then finish () else launch ())
+      end
+    in
+    (* bounded concurrency: an initial window of [max_inflight], then
+       each settled reply (answer or final timeout) admits the next *)
+    for _ = 1 to min t.max_inflight n do
+      launch ()
+    done
+  end
+
+let create ?(metrics = Hw_metrics.Registry.create ()) ?(lease_s = 30.)
+    ?(retry = Rpc.Client.default_retry) ?(max_inflight = 64) ?(seed = 0xf1ee7) ~loop ~send ()
+    =
+  let counter name help = Hw_metrics.Registry.counter metrics name ~help in
+  let t =
+    {
+      loop;
+      send;
+      lease_s;
+      retry;
+      max_inflight;
+      seed;
+      metrics;
+      sessions = Hashtbl.create 64;
+      by_addr = Hashtbl.create 64;
+      fleet_subs = [];
+      next_token = 1;
+      registrations = 0;
+      evictions = 0;
+      rollup_events = 0;
+      m_sessions =
+        Hw_metrics.Registry.gauge metrics "fleet_sessions" ~help:"Registered router sessions";
+      m_registrations = counter "fleet_registrations_total" "FLEET REGISTER requests accepted";
+      m_evictions = counter "fleet_evictions_total" "Sessions evicted on lease lapse";
+      m_fanout_requests = counter "fleet_fanout_requests_total" "Federated per-router requests";
+      m_fanout_errors =
+        counter "fleet_fanout_errors_total" "Per-router federated requests that failed";
+      m_rollup_events = counter "fleet_rollup_events_total" "Publishes rolled up fleet-wide";
+    }
+  in
+  Hw_sim.Event_loop.every loop (lease_s /. 2.) (fun () -> evict_lapsed t);
+  t

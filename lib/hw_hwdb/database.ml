@@ -39,8 +39,11 @@ type t = {
   m_sub_evals : Hw_metrics.Counter.t;
   m_trigger_fires : Hw_metrics.Counter.t;
   m_ticks : Hw_metrics.Counter.t;
-  m_insert_span : Hw_metrics.Sampled.t;
-  m_query_span : Hw_metrics.Sampled.t;
+  (* lazy: a router whose hwdb never sees an insert/query (the common
+     case in a mostly-idle fleet) never materializes the 40-bucket
+     latency histograms *)
+  m_insert_span : Hw_metrics.Sampled.t Lazy.t;
+  m_query_span : Hw_metrics.Sampled.t Lazy.t;
 }
 
 let flows_schema =
@@ -110,11 +113,13 @@ let create_empty ?(default_capacity = 4096) ?(metrics = Hw_metrics.Registry.defa
     m_trigger_fires = counter ~help:"ECA trigger actions fired" "hwdb_trigger_fires_total";
     m_ticks = counter ~help:"database ticks" "hwdb_ticks_total";
     m_insert_span =
-      Hw_metrics.Registry.sampled_histogram metrics ~help:"insert latency (sampled 1/32)"
-        ~every:32 "hwdb_insert_seconds";
+      lazy
+        (Hw_metrics.Registry.sampled_histogram metrics ~help:"insert latency (sampled 1/32)"
+           ~every:32 "hwdb_insert_seconds");
     m_query_span =
-      Hw_metrics.Registry.sampled_histogram metrics ~help:"query latency (sampled 1/8)" ~every:8
-        "hwdb_query_seconds";
+      lazy
+        (Hw_metrics.Registry.sampled_histogram metrics ~help:"query latency (sampled 1/8)"
+           ~every:8 "hwdb_query_seconds");
   }
 
 let create_table t ~name ?capacity schema =
@@ -154,12 +159,11 @@ let insert_into t tbl values =
   (* branch on [due] rather than wrapping in observe_span: inserts
      are the hottest write path and must not allocate a closure *)
   let res =
-    if Hw_metrics.Sampled.due t.m_insert_span then begin
+    let span = Lazy.force t.m_insert_span in
+    if Hw_metrics.Sampled.due span then begin
       let t0 = t.now () in
       let res = Table.insert tbl ~now:t0 values in
-      Hw_metrics.Histogram.observe
-        (Hw_metrics.Sampled.histogram t.m_insert_span)
-        (t.now () -. t0);
+      Hw_metrics.Histogram.observe (Hw_metrics.Sampled.histogram span) (t.now () -. t0);
       res
     end
     else Table.insert tbl ~now:(t.now ()) values
@@ -188,7 +192,7 @@ let insert t ~table:name values =
 let exec_select t sel =
   Hw_metrics.Counter.incr t.m_queries;
   match
-    Hw_metrics.Sampled.observe_span t.m_query_span ~now:t.now (fun () ->
+    Hw_metrics.Sampled.observe_span (Lazy.force t.m_query_span) ~now:t.now (fun () ->
         Query.exec ~lookup:(table t) ~now:(t.now ()) sel)
   with
   | Ok _ as ok -> ok

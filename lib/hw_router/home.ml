@@ -22,11 +22,16 @@ let devices t = List.map (fun a -> a.device) t.attachments
 let seed t = t.the_seed
 let now t = Hw_sim.Event_loop.now t.sim_loop
 
-let create ?(seed = 7) ?(start = 0.) ?dhcp_config ?flow_idle_timeout ?nat ?isolate_devices
-    ?(hop_delay = 0.001) () =
-  let sim_loop = Hw_sim.Event_loop.create ~start () in
+let create ?(seed = 7) ?(start = 0.) ?loop ?config ?dhcp_config ?flow_idle_timeout ?nat
+    ?isolate_devices ?(hop_delay = 0.001) () =
+  (* [loop] lets a fleet place N homes on ONE event loop; without it the
+     home owns a private loop as before *)
+  let sim_loop =
+    match loop with Some l -> l | None -> Hw_sim.Event_loop.create ~start ()
+  in
   let rt =
-    Router.create ?dhcp_config ?flow_idle_timeout ?nat ?isolate_devices ~loop:sim_loop ()
+    Router.create ?config ?dhcp_config ?flow_idle_timeout ?nat ?isolate_devices
+      ~loop:sim_loop ()
   in
   let net_ref = ref None in
   let net =

@@ -10,6 +10,8 @@ type t
 val create :
   ?seed:int ->
   ?start:Hw_time.timestamp ->
+  ?loop:Hw_sim.Event_loop.t ->
+  ?config:Router.config ->
   ?dhcp_config:Hw_dhcp.Dhcp_server.config ->
   ?flow_idle_timeout:int ->
   ?nat:Hw_packet.Ip.t ->
@@ -18,7 +20,12 @@ val create :
   unit ->
   t
 (** Default hop delay 1 ms. [start] places the scenario in the week
-    (epoch is Monday 00:00), which matters for schedule-based policies. *)
+    (epoch is Monday 00:00), which matters for schedule-based policies.
+
+    [loop] shares an external event loop (a fleet runs thousands of
+    homes on one loop); [start] is ignored when [loop] is given. A
+    shared {!Router.config} makes per-home construction cheap — see
+    [Fleet_sim] in [lib/hw_fleet]. *)
 
 val loop : t -> Hw_sim.Event_loop.t
 val router : t -> Router.t

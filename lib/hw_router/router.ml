@@ -22,8 +22,24 @@ let upstream_port = 100
 let wired_port i = 10 + i
 let dns_forward_port = 5353
 
+(* Immutable configuration, hoisted out of the per-instance state so a
+   fleet of thousands of identically-configured routers shares ONE
+   record (and one derived lan_prefix, one ports list) instead of
+   re-deriving and re-storing it per instance. *)
+type config = {
+  dhcp_config : Dhcp_server.config;
+  flow_idle_timeout : int;
+  wired_ports : int;
+  nat : Ip.t option;
+  isolate_devices : bool;
+  lan_prefix : Ip.Prefix.t;
+  hwdb_capacity : int;
+  ports : Datapath.port_config list;
+}
+
 type t = {
   loop : Hw_sim.Event_loop.t;
+  cfg : config;
   metrics : Hw_metrics.Registry.t;
   trace : Hw_trace.Tracer.t;
   faults : Fault.plane;
@@ -38,16 +54,13 @@ type t = {
   rpc_server : Rpc.Server.t;
   mutable rpc_send : to_:string -> string -> unit;
   api : Hw_control_api.Router.t option ref;
-  lan_prefix : Ip.Prefix.t;
-  flow_idle_timeout : int;
-  isolate_devices : bool;
   mac_table : (Mac.t, int) Hashtbl.t;
   flow_snapshots : (string, int64 * int64) Hashtbl.t;
   policy_cache : (Mac.t, bool * string) Hashtbl.t; (* network_allowed, dns policy digest *)
   mutable transmit : port_no:int -> string -> unit;
   mutable blocked_flows : int;
-  (* NAT (optional): WAN address, port allocator, bindings keyed by cookie *)
-  wan_ip : Ip.t option;
+  (* NAT (optional): port allocator and bindings keyed by cookie; the
+     WAN address itself lives in [cfg.nat] *)
   mutable next_nat_port : int;
   nat_by_cookie : (int64, nat_binding) Hashtbl.t;
   nat_by_key : (string, nat_binding) Hashtbl.t;
@@ -89,7 +102,7 @@ let router_mac t = (Dhcp_server.config t.dhcp).Dhcp_server.server_mac
 let flows_installed t = Hw_datapath.Flow_table.length (Datapath.flow_table t.dp)
 let packet_ins t = Controller.packet_in_total t.ctrl
 let blocked_flow_count t = t.blocked_flows
-let nat_enabled t = t.wan_ip <> None
+let nat_enabled t = t.cfg.nat <> None
 let nat_binding_count t = Hashtbl.length t.nat_by_cookie
 let set_transmit t f = t.transmit <- f
 let receive_frame t ~in_port frame = Datapath.receive_frame t.dp ~in_port frame
@@ -132,7 +145,7 @@ let run_dns_actions t ~fallback_mac ~fallback_port actions =
       | Dns_proxy.Forward_upstream query ->
           (* with NAT, the proxy's own upstream traffic sources from the
              WAN address like everything else *)
-          let src_ip = Option.value t.wan_ip ~default:(router_ip t) in
+          let src_ip = Option.value t.cfg.nat ~default:(router_ip t) in
           let pkt =
             Packet.udp_packet ~src_mac:(router_mac t) ~dst_mac:Mac.broadcast ~src_ip
               ~dst_ip:Hw_sim.Internet.resolver_ip ~src_port:dns_forward_port ~dst_port:53
@@ -162,7 +175,7 @@ let run_dns_actions t ~fallback_mac ~fallback_port actions =
 
 let install_forward_flow t ~(ev : Controller.packet_in_event) fields out_port =
   let m = Ofp_match.exact_of_fields fields in
-  Controller.install_flow ~idle_timeout:t.flow_idle_timeout ~send_flow_rem:true t.conn m
+  Controller.install_flow ~idle_timeout:t.cfg.flow_idle_timeout ~send_flow_rem:true t.conn m
     [ Ofp_action.output out_port ];
   (* release the buffered frame along the new path *)
   match ev.Controller.pi.Ofp_message.buffer_id with
@@ -228,7 +241,7 @@ let install_nat_flows t ~(ev : Controller.packet_in_event) fields wan_ip =
   (* outbound: exact match on the original headers *)
   Controller.send_flow_mod t.conn
     {
-      (Ofp_message.add_flow ~cookie:binding.nat_cookie ~idle_timeout:t.flow_idle_timeout
+      (Ofp_message.add_flow ~cookie:binding.nat_cookie ~idle_timeout:t.cfg.flow_idle_timeout
          ~send_flow_rem:true
          (Ofp_match.exact_of_fields fields)
          out_actions)
@@ -248,7 +261,7 @@ let install_nat_flows t ~(ev : Controller.packet_in_event) fields wan_ip =
       tp_dst = Some binding.wan_port;
     }
   in
-  Controller.install_flow ~cookie:binding.nat_cookie ~idle_timeout:t.flow_idle_timeout
+  Controller.install_flow ~cookie:binding.nat_cookie ~idle_timeout:t.cfg.flow_idle_timeout
     ~priority:0x9000 t.conn inbound_match
     [
       Ofp_action.Set_nw_dst binding.device_ip;
@@ -271,7 +284,7 @@ let drop_nat_binding t cookie =
         (nat_key ~proto:b.nat_proto ~device_ip:b.device_ip ~device_port:b.device_port
            ~remote_ip:b.remote_ip ~remote_port:b.remote_port);
       (* retire the paired inbound flow *)
-      match t.wan_ip with
+      match t.cfg.nat with
       | Some wan_ip ->
           Controller.send_flow_mod t.conn
             (Ofp_message.delete_flow
@@ -292,7 +305,7 @@ let drop_cookie = 0xD0D0D0D0L
 let install_drop_flow t fields =
   t.blocked_flows <- t.blocked_flows + 1;
   let m = Ofp_match.exact_of_fields fields in
-  Controller.install_flow ~cookie:drop_cookie ~idle_timeout:t.flow_idle_timeout
+  Controller.install_flow ~cookie:drop_cookie ~idle_timeout:t.cfg.flow_idle_timeout
     ~hard_timeout:30 t.conn m []
 
 let forward_or_flood t ~(ev : Controller.packet_in_event) fields =
@@ -316,23 +329,23 @@ let handle_ip_admission t ~(ev : Controller.packet_in_event) fields =
   else if
     (* the paper's DHCP design prevents direct device-to-device paths;
        with isolation on, inter-device IP flows are refused outright *)
-    t.isolate_devices
+    t.cfg.isolate_devices
     && (not from_upstream) && (not from_router)
-    && Ip.Prefix.mem dst_ip t.lan_prefix
+    && Ip.Prefix.mem dst_ip t.cfg.lan_prefix
     && (not (Ip.equal dst_ip (router_ip t)))
-    && not (Ip.equal dst_ip (Ip.Prefix.broadcast_addr t.lan_prefix))
+    && not (Ip.equal dst_ip (Ip.Prefix.broadcast_addr t.cfg.lan_prefix))
   then begin
     Log.info (fun m ->
         m "isolation: refusing %s -> %s" (Ip.to_string src_ip) (Ip.to_string dst_ip));
     install_drop_flow t fields
   end
-  else if from_upstream || Ip.Prefix.mem dst_ip t.lan_prefix || from_router then
+  else if from_upstream || Ip.Prefix.mem dst_ip t.cfg.lan_prefix || from_router then
     forward_or_flood t ~ev fields
   else begin
     (* outbound flow: the DNS proxy decides device↔site admission *)
     match Dns_proxy.check_flow t.dns ~src_ip ~dst_ip with
     | Dns_proxy.Flow_allow -> (
-        match t.wan_ip with
+        match t.cfg.nat with
         | Some wan_ip
           when fields.Ofp_match.f_nw_proto = Ipv4.proto_tcp
                || fields.Ofp_match.f_nw_proto = Ipv4.proto_udp ->
@@ -424,7 +437,7 @@ let dns_component t (ev : Controller.packet_in_event) =
   | Some { Packet.l3 = Packet.Ipv4 (ip_hdr, Packet.Udp u); _ }
     when u.Udp.src_port = 53
          && (Ip.equal ip_hdr.Ipv4.dst (router_ip t)
-            || match t.wan_ip with
+            || match t.cfg.nat with
                | Some w -> Ip.equal ip_hdr.Ipv4.dst w
                | None -> false)
          && u.Udp.dst_port = dns_forward_port -> (
@@ -451,7 +464,7 @@ let record_flow_sample t (fs : Ofp_message.flow_stats) =
          address, so Figure 1 keeps per-device attribution *)
       let dst_ip, m =
         match Hashtbl.find_opt t.nat_by_cookie fs.Ofp_message.fs_cookie with
-        | Some b when t.wan_ip <> None && Ip.equal dst_ip (Option.get t.wan_ip) ->
+        | Some b when t.cfg.nat <> None && Ip.equal dst_ip (Option.get t.cfg.nat) ->
             (b.device_ip, { m with Ofp_match.tp_dst = Some b.device_port })
         | _ -> (dst_ip, m)
       in
@@ -768,9 +781,41 @@ let recover_dhcp_leases ~db server =
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let create ?(dhcp_config = Dhcp_server.default_config) ?(flow_idle_timeout = 10)
-    ?(wired_ports = 4) ?nat ?(isolate_devices = false) ?(fault_seed = 0x4a11)
-    ?restore_leases_from ~loop () =
+let config ?(dhcp_config = Dhcp_server.default_config) ?(flow_idle_timeout = 10)
+    ?(wired_ports = 4) ?nat ?(isolate_devices = false) ?(hwdb_capacity = 4096) () =
+  {
+    dhcp_config;
+    flow_idle_timeout;
+    wired_ports;
+    nat;
+    isolate_devices;
+    lan_prefix =
+      Ip.Prefix.make dhcp_config.Dhcp_server.server_ip
+        (prefix_bits_of_netmask dhcp_config.Dhcp_server.netmask);
+    hwdb_capacity;
+    ports =
+      { Datapath.port_no = wireless_port; name = "wlan0"; mac = Mac.local 0xa0 }
+      :: { Datapath.port_no = upstream_port; name = "upstream"; mac = Mac.local 0xff01 }
+      :: List.init wired_ports (fun i ->
+             {
+               Datapath.port_no = wired_port i;
+               name = Printf.sprintf "eth%d" i;
+               mac = Mac.local (0xe0 + i);
+             });
+  }
+
+let create ?config:cfg ?dhcp_config ?flow_idle_timeout ?wired_ports ?nat ?isolate_devices
+    ?hwdb_capacity ?(fault_seed = 0x4a11) ?restore_leases_from ~loop () =
+  (* a fleet builds ONE [config] up front and shares it; the per-field
+     optional arguments remain for single-router callers *)
+  let cfg =
+    match cfg with
+    | Some c -> c
+    | None ->
+        config ?dhcp_config ?flow_idle_timeout ?wired_ports ?nat ?isolate_devices
+          ?hwdb_capacity ()
+  in
+  let dhcp_config = cfg.dhcp_config in
   let now () = Hw_sim.Event_loop.now loop in
   (* One registry per router instance: every subsystem reports into it, and
      it feeds all three export surfaces (Metrics table, /metrics, bench). *)
@@ -790,7 +835,7 @@ let create ?(dhcp_config = Dhcp_server.default_config) ?(flow_idle_timeout = 10)
   in
   let uptime = Hw_metrics.Build_info.register ~registry:metrics () in
   let started_at = now () in
-  let database = Database.create ~metrics ~trace ~now () in
+  let database = Database.create ~default_capacity:cfg.hwdb_capacity ~metrics ~trace ~now () in
   let dhcp_server = Dhcp_server.create ~metrics ~trace ~config:dhcp_config ~now () in
   (match restore_leases_from with
   | Some old_db -> ignore (recover_dhcp_leases ~db:old_db dhcp_server)
@@ -817,14 +862,8 @@ let create ?(dhcp_config = Dhcp_server.default_config) ?(flow_idle_timeout = 10)
   let conn = Controller.attach_switch ctrl ~send:send_to_dp in
   conn_ref := Some conn;
   let transmit_ref = ref (fun ~port_no:_ _ -> ()) in
-  let ports =
-    { Datapath.port_no = wireless_port; name = "wlan0"; mac = Mac.local 0xa0 }
-    :: { Datapath.port_no = upstream_port; name = "upstream"; mac = Mac.local 0xff01 }
-    :: List.init wired_ports (fun i ->
-           { Datapath.port_no = wired_port i; name = Printf.sprintf "eth%d" i; mac = Mac.local (0xe0 + i) })
-  in
   let dp =
-    Datapath.create ~metrics ~trace ~dpid:1L ~ports
+    Datapath.create ~metrics ~trace ~dpid:1L ~ports:cfg.ports
       ~transmit:(fun ~port_no frame -> !transmit_ref ~port_no frame)
       ~to_controller:(fun bytes ->
         (* datapath -> controller direction of the channel choke point;
@@ -847,6 +886,7 @@ let create ?(dhcp_config = Dhcp_server.default_config) ?(flow_idle_timeout = 10)
   let t =
     {
       loop;
+      cfg;
       metrics;
       trace;
       faults;
@@ -861,17 +901,11 @@ let create ?(dhcp_config = Dhcp_server.default_config) ?(flow_idle_timeout = 10)
       rpc_server;
       rpc_send = (fun ~to_:_ _ -> ());
       api = ref None;
-      lan_prefix =
-        Ip.Prefix.make dhcp_config.Dhcp_server.server_ip
-          (prefix_bits_of_netmask dhcp_config.Dhcp_server.netmask);
-      flow_idle_timeout;
-      isolate_devices;
       mac_table = Hashtbl.create 64;
       flow_snapshots = Hashtbl.create 256;
       policy_cache = Hashtbl.create 16;
       transmit = (fun ~port_no:_ _ -> ());
       blocked_flows = 0;
-      wan_ip = nat;
       next_nat_port = 20000;
       nat_by_cookie = Hashtbl.create 64;
       nat_by_key = Hashtbl.create 64;

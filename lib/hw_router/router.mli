@@ -17,18 +17,44 @@ val upstream_port : int
 val wired_port : int -> int
 (** [wired_port i] for i >= 0. *)
 
-val create :
+type config
+(** Immutable construction-time configuration. A fleet of
+    identically-configured routers builds one [config] and passes it to
+    every {!create} so the derived state (LAN prefix, port list, table
+    capacities) is shared rather than re-derived per instance. *)
+
+val config :
   ?dhcp_config:Hw_dhcp.Dhcp_server.config ->
   ?flow_idle_timeout:int ->
   ?wired_ports:int ->
   ?nat:Ip.t ->
   ?isolate_devices:bool ->
+  ?hwdb_capacity:int ->
+  unit ->
+  config
+(** [hwdb_capacity] (default 4096) sizes each hwdb table's ring buffer.
+    Rings preallocate their slot array, so this dominates the per-router
+    memory footprint: fleets of mostly-idle routers should pass a small
+    capacity (256 keeps hours of lease/flow history at home rates). *)
+
+val create :
+  ?config:config ->
+  ?dhcp_config:Hw_dhcp.Dhcp_server.config ->
+  ?flow_idle_timeout:int ->
+  ?wired_ports:int ->
+  ?nat:Ip.t ->
+  ?isolate_devices:bool ->
+  ?hwdb_capacity:int ->
   ?fault_seed:int ->
   ?restore_leases_from:Hw_hwdb.Database.t ->
   loop:Hw_sim.Event_loop.t ->
   unit ->
   t
-(** Builds and connects everything; periodic work (datapath timeouts, hwdb
+(** When [config] is given, the other per-field configuration arguments
+    are ignored (the fleet path); otherwise a fresh config is assembled
+    from them.
+
+    Builds and connects everything; periodic work (datapath timeouts, hwdb
     subscription delivery, flow-stats measurement, policy evaluation) is
     scheduled on [loop].
 

@@ -13,6 +13,21 @@ let bits64 t =
 
 let split t = { state = bits64 t }
 
+(* Hash-mix the fleet seed with the stream index through one splitmix
+   round each, so streams for adjacent indices share no low-bit
+   structure (seed+1 vs seed would, since splitmix state is a plain
+   counter). *)
+let stream ~seed ~index =
+  let g = create ~seed in
+  let a = bits64 g in
+  let h = { state = Int64.logxor a (Int64.mul (Int64.of_int index) golden) } in
+  { state = bits64 h }
+
+let stream_seed ~seed ~index =
+  let s = stream ~seed ~index in
+  (* a non-negative int usable as a [create ~seed] argument *)
+  Int64.to_int (Int64.shift_right_logical (bits64 s) 2)
+
 let float t =
   (* use the top 53 bits *)
   let bits = Int64.shift_right_logical (bits64 t) 11 in

@@ -7,6 +7,19 @@ val create : seed:int -> t
 val split : t -> t
 (** An independent stream derived from the current state. *)
 
+val stream : seed:int -> index:int -> t
+(** [stream ~seed ~index] is the [index]-th independent stream derived
+    from one fleet-wide [seed] by hash-mixing both through splitmix
+    rounds. Unlike [create ~seed:(seed + index)] — where splitmix
+    states for adjacent indices are one golden-ratio step apart and
+    replay each other's draws shifted by one — adjacent stream indices
+    share no structure. Pure: calling it twice with the same arguments
+    yields identical streams. *)
+
+val stream_seed : seed:int -> index:int -> int
+(** Like [stream], but folded to a non-negative [int] for APIs that
+    take an integer seed (e.g. [Home.create ~seed]). *)
+
 val bits64 : t -> int64
 val float : t -> float
 (** Uniform in [0, 1). *)

@@ -1,0 +1,304 @@
+(* Fleet management plane: call-home registration, federated queries,
+   rollup subscriptions, and resilience of all three under seeded
+   faults on the call-home RPC path.
+
+   Chaos tests follow the suite convention: the schedule is a pure
+   function of CHAOS_SEED (default 7, printed on failure via the env),
+   and assertions are end-state invariants — every router re-registered,
+   no duplicate sessions, partial results instead of hangs. *)
+
+module Fault = Hw_fault.Fault
+module Router = Hw_router.Router
+module Manager = Hw_fleet.Manager
+module Agent = Hw_fleet.Agent
+module Fleet_sim = Hw_fleet.Fleet_sim
+module Prng = Hw_sim.Prng
+module Value = Hw_hwdb.Value
+
+let seed =
+  match Sys.getenv_opt "CHAOS_SEED" with
+  | Some s -> ( try int_of_string (String.trim s) with _ -> 7)
+  | None -> 7
+
+(* run until every agent holds a session, bounded *)
+let await_registered fleet ~within =
+  let mgr = Fleet_sim.manager fleet in
+  let n = Fleet_sim.size fleet in
+  let deadline = Fleet_sim.now fleet +. within in
+  let rec step () =
+    if Manager.session_count mgr < n && Fleet_sim.now fleet < deadline then begin
+      Fleet_sim.run_for fleet 0.25;
+      step ()
+    end
+  in
+  step ()
+
+let count_query = "SELECT COUNT(ts) AS n FROM Leases"
+
+(* -- bring-up ------------------------------------------------------- *)
+
+let test_bring_up_and_federated_select () =
+  let n = 1000 in
+  let fleet = Fleet_sim.create ~seed ~n () in
+  await_registered fleet ~within:30.;
+  let mgr = Fleet_sim.manager fleet in
+  Alcotest.(check int) "all routers registered" n (Manager.session_count mgr);
+  (* a COUNT over Leases returns one row per router even on an empty
+     table (SQL global-aggregate semantics), so the merge must carry
+     exactly one attributed row per registered router *)
+  match Fleet_sim.query_sync fleet count_query with
+  | None -> Alcotest.fail "federated query never completed"
+  | Some o ->
+      Alcotest.(check int) "every router answered" n o.Manager.ok;
+      Alcotest.(check (list (pair string string))) "no errors" [] o.Manager.errors;
+      Alcotest.(check int) "one row per router" n (List.length o.Manager.rows);
+      Alcotest.(check (list string)) "router column prepended" [ "router"; "n" ] o.Manager.columns;
+      let ids =
+        List.filter_map
+          (function Value.Str id :: _ -> Some id | _ -> None)
+          o.Manager.rows
+        |> List.sort_uniq compare
+      in
+      Alcotest.(check int) "distinct attribution per router" n (List.length ids)
+
+let test_merge_carries_real_rows () =
+  (* with devices, Leases has real grants; spot-check rows survive the
+     merge with their router tag *)
+  let n = 5 in
+  let fleet = Fleet_sim.create ~seed ~n ~devices_per_home:2 () in
+  await_registered fleet ~within:30.;
+  Fleet_sim.run_for fleet 30.;
+  match Fleet_sim.query_sync fleet "SELECT mac, action FROM Leases [RANGE 60 SECONDS]" with
+  | None -> Alcotest.fail "federated query never completed"
+  | Some o ->
+      Alcotest.(check int) "every router answered" n o.Manager.ok;
+      Alcotest.(check (list string)) "merged columns" [ "router"; "mac"; "action" ]
+        o.Manager.columns;
+      Alcotest.(check bool) "lease activity present" true (List.length o.Manager.rows >= n)
+
+let test_query_with_no_fleet () =
+  let loop = Hw_sim.Event_loop.create () in
+  let mgr = Manager.create ~loop ~send:(fun ~to_:_ _ -> ()) () in
+  let got = ref None in
+  Manager.query mgr count_query ~on_done:(fun o -> got := Some o);
+  match !got with
+  | Some o ->
+      Alcotest.(check int) "zero ok" 0 o.Manager.ok;
+      Alcotest.(check int) "zero rows" 0 (List.length o.Manager.rows)
+  | None -> Alcotest.fail "empty-fleet query must complete synchronously"
+
+(* -- rollup subscriptions ------------------------------------------- *)
+
+let test_rollup_subscription () =
+  let n = 20 in
+  let fleet = Fleet_sim.create ~seed ~n () in
+  await_registered fleet ~within:30.;
+  let mgr = Fleet_sim.manager fleet in
+  let seen = Hashtbl.create 32 in
+  let events = ref 0 in
+  let fs =
+    Manager.subscribe mgr ~statement:"SUBSCRIBE SELECT COUNT(ts) AS n FROM Leases EVERY 2 SECONDS"
+      ~period:2.
+      ~on_event:(fun ~router rs ->
+        incr events;
+        Hashtbl.replace seen router ();
+        Alcotest.(check int) "one aggregate row per publish" 1 (List.length rs.Hw_hwdb.Query.rows))
+  in
+  Fleet_sim.run_for fleet 21.;
+  Alcotest.(check int) "rollup covers every router" n (Hashtbl.length seen);
+  Alcotest.(check bool)
+    (Printf.sprintf "aggregated stream flows (%d events)" !events)
+    true
+    (!events >= n * 8);
+  Alcotest.(check int) "manager counter matches" !events (Manager.rollup_events_total mgr);
+  (* detaching stops the stream (modulo in-flight publishes) *)
+  Manager.unsubscribe mgr fs;
+  Fleet_sim.run_for fleet 1.;
+  let at_detach = !events in
+  Fleet_sim.run_for fleet 10.;
+  Alcotest.(check int) "no rollup events after unsubscribe" at_detach !events
+
+let test_late_registration_joins_rollup () =
+  (* a fleet subscription attaches to routers that register AFTER it *)
+  let n = 4 in
+  let fleet = Fleet_sim.create ~seed ~n ~lease_s:6. () in
+  await_registered fleet ~within:30.;
+  let mgr = Fleet_sim.manager fleet in
+  (* partition one router long enough to be evicted *)
+  let victim = Option.get (Fleet_sim.agent fleet "r0001") in
+  let inj = (Router.faults (Agent.router victim)).Fault.rpc in
+  Fault.set_plan inj [ Fault.Drop 1.0 ];
+  let rec until_evicted budget =
+    if Manager.session_count mgr > n - 1 && budget > 0 then begin
+      Fleet_sim.run_for fleet 1.;
+      until_evicted (budget - 1)
+    end
+  in
+  until_evicted 60;
+  Alcotest.(check int) "victim evicted" (n - 1) (Manager.session_count mgr);
+  let seen = Hashtbl.create 8 in
+  let _fs =
+    Manager.subscribe mgr ~statement:"SUBSCRIBE SELECT COUNT(ts) AS n FROM Leases EVERY 2 SECONDS"
+      ~period:2.
+      ~on_event:(fun ~router _ -> Hashtbl.replace seen router ())
+  in
+  Fleet_sim.run_for fleet 8.;
+  Alcotest.(check int) "survivors publish" (n - 1) (Hashtbl.length seen);
+  (* heal: the victim re-registers and must be swept into the rollup *)
+  Fault.set_plan inj [];
+  await_registered fleet ~within:60.;
+  Fleet_sim.run_for fleet 8.;
+  Alcotest.(check int) "healed router joins the rollup" n (Hashtbl.length seen)
+
+(* -- resilience ----------------------------------------------------- *)
+
+let test_partial_results_on_router_timeout () =
+  (* one router permanently partitioned: the federated query must
+     return partial results plus one error — and never hang *)
+  let n = 10 in
+  let fleet = Fleet_sim.create ~seed ~n () in
+  await_registered fleet ~within:30.;
+  let victim = Option.get (Fleet_sim.agent fleet "r0003") in
+  Fault.set_plan (Router.faults (Agent.router victim)).Fault.rpc [ Fault.Drop 1.0 ];
+  match Fleet_sim.query_sync fleet count_query with
+  | None -> Alcotest.fail "federated query hung on a dead router"
+  | Some o ->
+      Alcotest.(check int) "others answered" (n - 1) o.Manager.ok;
+      Alcotest.(check int) "one error" 1 (List.length o.Manager.errors);
+      Alcotest.(check string) "error names the dead router" "r0003"
+        (fst (List.hd o.Manager.errors));
+      Alcotest.(check int) "partial rows" (n - 1) (List.length o.Manager.rows)
+
+let test_fleet_chaos_drop_and_partition () =
+  (* the satellite scenario: 30% bidirectional drop on every call-home
+     path plus a healed partition of a third of the fleet. End state:
+     every router re-registered, no duplicate sessions, and a fleet-wide
+     query attributes all routers. *)
+  let n = 12 in
+  let lease_s = 6. in
+  let fleet = Fleet_sim.create ~seed ~n ~lease_s () in
+  await_registered fleet ~within:30.;
+  let mgr = Fleet_sim.manager fleet in
+  Alcotest.(check int) "baseline: all registered" n (Manager.session_count mgr);
+  let agents = Fleet_sim.agents fleet in
+  Array.iteri
+    (fun i agent ->
+      let inj = (Router.faults (Agent.router agent)).Fault.rpc in
+      (* the injector sits on both directions of the call-home path, so
+         Drop 0.3 is 30% loss each way; a third of the fleet is also
+         fully partitioned for 30 s *)
+      let plan =
+        if i mod 3 = 0 then
+          [ Fault.Drop 0.3; Fault.Partition { from_s = 5.; until_s = 35. } ]
+        else [ Fault.Drop 0.3 ]
+      in
+      Fault.set_plan inj plan)
+    agents;
+  (* ride out the partition, several lease lapses and heals *)
+  Fleet_sim.run_for fleet 120.;
+  (* drop the noise and let the keepers converge *)
+  Array.iter (fun a -> Fault.set_plan (Router.faults (Agent.router a)).Fault.rpc []) agents;
+  await_registered fleet ~within:60.;
+  Alcotest.(check int) "every router re-registered" n (Manager.session_count mgr);
+  Alcotest.(check int) "no duplicate sessions" n (List.length (Manager.sessions mgr));
+  Alcotest.(check (list string)) "session ids are the fleet"
+    (List.init n (Printf.sprintf "r%04d"))
+    (Manager.sessions mgr);
+  let resubs = Array.fold_left (fun acc a -> acc + Agent.resubscribes a) 0 agents in
+  Alcotest.(check bool)
+    (Printf.sprintf "partition forced re-registrations (%d)" resubs)
+    true (resubs > 0);
+  match Fleet_sim.query_sync fleet count_query with
+  | None -> Alcotest.fail "federated query hung after chaos"
+  | Some o ->
+      Alcotest.(check int) "query reaches the whole fleet" n o.Manager.ok;
+      let ids =
+        List.filter_map
+          (function Value.Str id :: _ -> Some id | _ -> None)
+          o.Manager.rows
+        |> List.sort_uniq compare
+      in
+      Alcotest.(check int) "all routers attributed" n (List.length ids)
+
+(* -- PRNG stream splitting ------------------------------------------ *)
+
+let test_prng_streams_independent () =
+  (* deterministic: same (seed, index) -> same stream *)
+  let a = Prng.stream ~seed:42 ~index:7 in
+  let b = Prng.stream ~seed:42 ~index:7 in
+  for _ = 1 to 16 do
+    Alcotest.(check int64) "stream is a pure function of (seed, index)" (Prng.bits64 a)
+      (Prng.bits64 b)
+  done;
+  (* adjacent indices must not replay each other's draws: a stream
+     whose state lands one golden-ratio step behind another's would
+     emit the SAME values offset by one position, so any draw overlap
+     at all is a red flag *)
+  let draws g = Array.init 64 (fun _ -> Prng.bits64 g) in
+  let overlap a b =
+    let module S = Set.Make (Int64) in
+    let sa = S.of_list (Array.to_list a) in
+    Array.fold_left (fun acc x -> if S.mem x sa then acc + 1 else acc) 0 b
+  in
+  let s0 = draws (Prng.stream ~seed:42 ~index:0) in
+  let s1 = draws (Prng.stream ~seed:42 ~index:1) in
+  Alcotest.(check int) "hash-mixed streams share no draws" 0 (overlap s0 s1);
+  (* and across fleet seeds *)
+  let t0 = draws (Prng.stream ~seed:43 ~index:0) in
+  Alcotest.(check int) "different fleet seeds diverge" 0 (overlap s0 t0);
+  (* stream_seed folds to a usable int seed *)
+  Alcotest.(check bool) "stream_seed is non-negative" true
+    (Prng.stream_seed ~seed:42 ~index:9 >= 0);
+  Alcotest.(check bool) "stream_seed varies by index" true
+    (Prng.stream_seed ~seed:42 ~index:0 <> Prng.stream_seed ~seed:42 ~index:1)
+
+let test_standard_home_byte_compatible () =
+  (* the refactor (shared config, lazy instruments, ?loop) must not
+     change what standard_home simulates: same seed -> same leases *)
+  let run () =
+    let home = Hw_router.Home.standard_home ~seed:7 () in
+    Hw_router.Home.permit_all home;
+    Hw_router.Home.run_for home 30.;
+    let db = Router.db (Hw_router.Home.router home) in
+    match Hw_hwdb.Database.query db "SELECT mac, ip, action FROM Leases [RANGE 30 SECONDS]" with
+    | Ok rs -> Hw_hwdb.Query.result_to_strings rs
+    | Error e -> Alcotest.fail e
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "lease history deterministic and non-empty" true (a = b && a <> []);
+  (* distinct fleet-derived seeds genuinely diverge *)
+  let home2 = Hw_router.Home.standard_home ~seed:(Prng.stream_seed ~seed:7 ~index:1) () in
+  Hw_router.Home.run_for home2 5.;
+  Alcotest.(check bool) "fleet stream produces a different home" true
+    (Prng.stream_seed ~seed:7 ~index:1 <> 7)
+
+let () =
+  Alcotest.run "fleet"
+    [
+      ( "federation",
+        [
+          Alcotest.test_case "1k bring-up + federated SELECT" `Slow
+            test_bring_up_and_federated_select;
+          Alcotest.test_case "merge carries attributed rows" `Slow test_merge_carries_real_rows;
+          Alcotest.test_case "empty fleet completes immediately" `Quick test_query_with_no_fleet;
+        ] );
+      ( "rollup",
+        [
+          Alcotest.test_case "SUBSCRIBE rolls up every router" `Slow test_rollup_subscription;
+          Alcotest.test_case "late registration joins rollup" `Slow
+            test_late_registration_joins_rollup;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "partial results on dead router" `Slow
+            test_partial_results_on_router_timeout;
+          Alcotest.test_case "30% drop + healed partition" `Slow
+            test_fleet_chaos_drop_and_partition;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "stream splitting" `Quick test_prng_streams_independent;
+          Alcotest.test_case "standard_home stays deterministic" `Slow
+            test_standard_home_byte_compatible;
+        ] );
+    ]
