@@ -85,6 +85,15 @@ let attach_sub t s fs =
   s.s_subs <- (fs, sub) :: s.s_subs
 
 let subscribe t ~statement ~period ~on_event =
+  (* the statement is still shipped (routers are the authority on their
+     own schemas), but text the fleet's parser rejects outright will
+     fail on every router — say so once here instead of N times in
+     per-session retry noise *)
+  (match Hw_hwdb.Parser.parse statement with
+  | Ok (Hw_hwdb.Ast.Subscribe _) -> ()
+  | Ok _ ->
+      Log.warn (fun m -> m "fleet subscribe: %S is not a SUBSCRIBE statement" statement)
+  | Error msg -> Log.warn (fun m -> m "fleet subscribe: %S: %s" statement msg));
   let fs =
     { fs_statement = statement; fs_period = period; fs_on_event = on_event; fs_active = true }
   in
@@ -204,7 +213,7 @@ let datagram t ~from data =
 
 let empty_outcome = { columns = []; rows = []; ok = 0; errors = [] }
 
-let query t statement ~on_done =
+let query_fleet t statement ~on_done =
   let targets =
     Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions []
     |> List.sort (fun a b -> compare a.s_id b.s_id)
@@ -260,6 +269,15 @@ let query t statement ~on_done =
       launch ()
     done
   end
+
+let query t statement ~on_done =
+  (* parse once here instead of N times router-side: a statement the
+     fleet's own parser rejects would fail identically on every router,
+     so the fan-out (and its retry traffic) is pure waste. Valid text
+     goes out verbatim and lands in each router's plan cache. *)
+  match Hw_hwdb.Parser.parse statement with
+  | Error msg -> on_done { empty_outcome with errors = [ ("manager", msg) ] }
+  | Ok _ -> query_fleet t statement ~on_done
 
 let create ?(metrics = Hw_metrics.Registry.create ()) ?(lease_s = 30.)
     ?(retry = Rpc.Client.default_retry) ?(max_inflight = 64) ?(seed = 0xf1ee7) ~loop ~send ()

@@ -71,7 +71,13 @@ val query : t -> string -> on_done:(outcome -> unit) -> unit
     [max_inflight] in flight; each router's rows are tagged with its id.
     [on_done] fires exactly once, after every router has answered or
     exhausted its retries. With no registered routers it fires
-    immediately with an empty outcome. *)
+    immediately with an empty outcome.
+
+    The statement is parse-checked once manager-side before fan-out:
+    text the parser rejects fires [on_done] immediately with a single
+    [("manager", message)] error instead of shipping a guaranteed
+    failure to N routers. Valid text goes out verbatim, so repeated
+    fleet queries hit each router's server-side plan cache. *)
 
 (** {2 Fleet-wide subscriptions} *)
 

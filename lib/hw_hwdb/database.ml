@@ -4,9 +4,25 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type subscription_id = int
 
+(* One standing query's evaluation state, shared (refcounted) by every
+   subscription with the same canonical query text. *)
+type view = {
+  v_select : Ast.select;
+  mutable v_refs : int;
+  mutable v_mode : view_mode;
+  mutable v_stamp : int; (* tick generation of v_last *)
+  mutable v_last : (Query.result_set, string) result;
+}
+
+and view_mode =
+  | V_unprepared of string (* prepare failed (e.g. table not yet created); retried per tick *)
+  | V_scan of Plan.t (* join plans: compiled, but re-executed per tick *)
+  | V_inc of Plan.Inc.t * Table.hook_id (* incrementally maintained off the insert stream *)
+
 type subscription = {
   sub_id : subscription_id;
-  sub_query : Ast.select;
+  sub_view_key : string;
+  sub_view : view;
   period : float;
   callback : Query.result_set -> unit;
   mutable next_due : float;
@@ -26,7 +42,19 @@ type t = {
   trace : Tracer.t;
   default_capacity : int;
   tables : (string, Table.t) Hashtbl.t;
-  mutable subs : subscription list;
+  subs : (subscription_id, subscription) Hashtbl.t;
+  views : (string, view) Hashtbl.t; (* by canonical select text *)
+  plan_cache : (string, Plan.t) Hashtbl.t; (* by raw query text *)
+  plan_order : string Queue.t; (* FIFO eviction order *)
+  plan_cache_cap : int;
+  (* interned-statement fast path: callers that re-issue the same
+     statement value (pollers, the fleet fan-out) skip even the cache
+     hash with a physical-equality check on the last-executed text *)
+  mutable plan_memo : (string * Plan.t) option;
+  mutable tick_gen : int;
+  mutable plan_hits : int;
+  mutable plan_misses : int;
+  mutable plan_evictions : int;
   mutable next_sub_id : int;
   mutable triggers : trigger list;
   mutable next_trigger_id : int;
@@ -39,6 +67,9 @@ type t = {
   m_sub_evals : Hw_metrics.Counter.t;
   m_trigger_fires : Hw_metrics.Counter.t;
   m_ticks : Hw_metrics.Counter.t;
+  m_plan_hits : Hw_metrics.Counter.t;
+  m_plan_misses : Hw_metrics.Counter.t;
+  m_plan_evictions : Hw_metrics.Counter.t;
   (* lazy: a router whose hwdb never sees an insert/query (the common
      case in a mostly-idle fleet) never materializes the 40-bucket
      latency histograms *)
@@ -98,7 +129,16 @@ let create_empty ?(default_capacity = 4096) ?(metrics = Hw_metrics.Registry.defa
     trace;
     default_capacity;
     tables = Hashtbl.create 8;
-    subs = [];
+    subs = Hashtbl.create 16;
+    views = Hashtbl.create 16;
+    plan_cache = Hashtbl.create 64;
+    plan_order = Queue.create ();
+    plan_cache_cap = 128;
+    plan_memo = None;
+    tick_gen = 0;
+    plan_hits = 0;
+    plan_misses = 0;
+    plan_evictions = 0;
     next_sub_id = 1;
     triggers = [];
     next_trigger_id = 1;
@@ -112,6 +152,13 @@ let create_empty ?(default_capacity = 4096) ?(metrics = Hw_metrics.Registry.defa
       counter ~help:"continuous-query evaluations on tick" "hwdb_subscription_evals_total";
     m_trigger_fires = counter ~help:"ECA trigger actions fired" "hwdb_trigger_fires_total";
     m_ticks = counter ~help:"database ticks" "hwdb_ticks_total";
+    (* registered up front so the family scrapes at zero before the
+       first prepared statement runs *)
+    m_plan_hits = counter ~help:"prepared-plan cache hits" "hwdb_plan_cache_hits_total";
+    m_plan_misses = counter ~help:"prepared-plan cache misses" "hwdb_plan_cache_misses_total";
+    m_plan_evictions =
+      counter ~help:"prepared plans evicted (FIFO, bounded cache)"
+        "hwdb_plan_cache_evictions_total";
     m_insert_span =
       lazy
         (Hw_metrics.Registry.sampled_histogram metrics ~help:"insert latency (sampled 1/32)"
@@ -189,21 +236,78 @@ let insert t ~table:name values =
           (fun () -> insert_into t tbl values)
       else insert_into t tbl values
 
-let exec_select t sel =
+(* -- prepared statements -------------------------------------------- *)
+
+(* Every SELECT executes as a compiled plan. Plans are cached by the raw
+   statement text (bounded FIFO), so repeated query text — the RPC
+   server's steady state, and the fleet manager's fan-out — skips both
+   the parse and the prepare. *)
+
+let exec_plan t plan =
   Hw_metrics.Counter.incr t.m_queries;
   match
     Hw_metrics.Sampled.observe_span (Lazy.force t.m_query_span) ~now:t.now (fun () ->
-        Query.exec ~lookup:(table t) ~now:(t.now ()) sel)
+        Plan.exec plan ~now:(t.now ()))
   with
   | Ok _ as ok -> ok
   | Error _ as e ->
       Hw_metrics.Counter.incr t.m_query_errors;
       e
 
-let query t src =
-  match Parser.parse_select src with
-  | Error _ as e -> e
-  | Ok sel -> exec_select t sel
+let cache_plan t text plan =
+  if not (Hashtbl.mem t.plan_cache text) then begin
+    Hashtbl.replace t.plan_cache text plan;
+    Queue.add text t.plan_order;
+    if Queue.length t.plan_order > t.plan_cache_cap then begin
+      let victim = Queue.pop t.plan_order in
+      Hashtbl.remove t.plan_cache victim;
+      t.plan_memo <- None (* the memo must never outlive the cache entry *);
+      t.plan_evictions <- t.plan_evictions + 1;
+      Hw_metrics.Counter.incr t.m_plan_evictions
+    end
+  end
+
+(* Prepare [sel], caching the plan under [text] on success. Only
+   successful prepares are cached: a statement that fails because its
+   table does not exist yet must re-prepare after CREATE TABLE. *)
+let prepare_and_exec t ~text sel =
+  t.plan_misses <- t.plan_misses + 1;
+  Hw_metrics.Counter.incr t.m_plan_misses;
+  match Plan.prepare ~lookup:(table t) sel with
+  | Error msg ->
+      Hw_metrics.Counter.incr t.m_queries;
+      Hw_metrics.Counter.incr t.m_query_errors;
+      Error msg
+  | Ok plan ->
+      Option.iter (fun txt -> cache_plan t txt plan) text;
+      exec_plan t plan
+
+let cached_select t src =
+  let run plan =
+    t.plan_hits <- t.plan_hits + 1;
+    Hw_metrics.Counter.incr t.m_plan_hits;
+    Some (exec_plan t plan)
+  in
+  match t.plan_memo with
+  | Some (text, plan) when text == src -> run plan
+  | _ -> (
+      match Hashtbl.find_opt t.plan_cache src with
+      | None -> None
+      | Some plan ->
+          t.plan_memo <- Some (src, plan);
+          run plan)
+
+let exec_raw t src =
+  match cached_select t src with
+  | Some r -> r
+  | None -> (
+      match Parser.parse_select src with
+      | Error _ as e -> e
+      | Ok sel -> prepare_and_exec t ~text:(Some src) sel)
+
+let query = exec_raw
+
+let plan_cache_stats t = (t.plan_hits, t.plan_misses, t.plan_evictions)
 
 (* ------------------------------------------------------------------ *)
 (* ECA triggers                                                        *)
@@ -293,21 +397,91 @@ let drop_trigger t id =
 
 let trigger_count t = List.length (List.filter (fun trig -> trig.trig_enabled) t.triggers)
 
+(* -- standing-query views ------------------------------------------- *)
+
+(* Attach the view's evaluation machinery: an incremental state fed off
+   the table's insert hook when the plan reads one table, a compiled
+   plan re-executed per tick for joins. A failed prepare (table not
+   created yet) stays unprepared and is retried on each evaluation, so a
+   subscription installed before CREATE TABLE starts answering the
+   moment the table appears — the interpreter behaved the same way. *)
+let install_view_mode t v =
+  match Plan.prepare ~lookup:(table t) v.v_select with
+  | Error msg -> v.v_mode <- V_unprepared msg
+  | Ok plan -> (
+      match Plan.Inc.create plan with
+      | None -> v.v_mode <- V_scan plan
+      | Some inc ->
+          let hook = Table.add_hook (Plan.Inc.table inc) (fun tu -> Plan.Inc.observe inc tu) in
+          v.v_mode <- V_inc (inc, hook))
+
+let acquire_view t sel =
+  let key = Ast.to_string (Ast.Select sel) in
+  match Hashtbl.find_opt t.views key with
+  | Some v ->
+      v.v_refs <- v.v_refs + 1;
+      (key, v)
+  | None ->
+      let v =
+        {
+          v_select = sel;
+          v_refs = 1;
+          v_mode = V_unprepared "unprepared";
+          v_stamp = 0;
+          v_last = Error "unevaluated";
+        }
+      in
+      install_view_mode t v;
+      Hashtbl.replace t.views key v;
+      (key, v)
+
+let release_view t key v =
+  v.v_refs <- v.v_refs - 1;
+  if v.v_refs <= 0 then begin
+    (match v.v_mode with
+    | V_inc (inc, hook) -> Table.remove_hook (Plan.Inc.table inc) hook
+    | V_unprepared _ | V_scan _ -> ());
+    Hashtbl.remove t.views key
+  end
+
+(* One evaluation per view per tick: the first due subscriber computes,
+   every later one (and every other subscription sharing the view)
+   receives the identical same-instant snapshot. *)
+let view_result t v ~now =
+  if v.v_stamp = t.tick_gen then v.v_last
+  else begin
+    Hw_metrics.Counter.incr t.m_sub_evals;
+    (match v.v_mode with V_unprepared _ -> install_view_mode t v | V_scan _ | V_inc _ -> ());
+    let r =
+      match v.v_mode with
+      | V_unprepared msg -> Error msg
+      | V_scan plan -> Plan.exec plan ~now
+      | V_inc (inc, _) -> Plan.Inc.result inc ~now
+    in
+    v.v_stamp <- t.tick_gen;
+    v.v_last <- r;
+    r
+  end
+
 let subscribe t ~query ~period ~callback =
   let id = t.next_sub_id in
   t.next_sub_id <- id + 1;
+  let sub_view_key, sub_view = acquire_view t query in
   let sub =
-    { sub_id = id; sub_query = query; period; callback; next_due = t.now () +. period }
+    { sub_id = id; sub_view_key; sub_view; period; callback; next_due = t.now () +. period }
   in
-  t.subs <- t.subs @ [ sub ];
+  Hashtbl.replace t.subs id sub;
   id
 
 let unsubscribe t id =
-  let before = List.length t.subs in
-  t.subs <- List.filter (fun s -> s.sub_id <> id) t.subs;
-  List.length t.subs < before
+  match Hashtbl.find_opt t.subs id with
+  | None -> false
+  | Some sub ->
+      Hashtbl.remove t.subs id;
+      release_view t sub.sub_view_key sub.sub_view;
+      true
 
-let subscription_count t = List.length t.subs
+let subscription_count t = Hashtbl.length t.subs
 
 (* One row per (instrument, stat) into the Metrics ring, all stamped with
    the same instant so [SELECT ... FROM Metrics [NOW]] reads one coherent
@@ -368,48 +542,35 @@ let tick t =
   refresh_metrics t;
   refresh_traces t;
   let now = t.now () in
-  let due = List.filter (fun sub -> now >= sub.next_due) t.subs in
-  if due <> [] then begin
-    (* subscribers sharing the same query text get one evaluation per tick:
-       the result is computed on first demand and every later subscriber
-       receives the identical same-instant snapshot *)
-    let cache = Hashtbl.create 8 in
+  t.tick_gen <- t.tick_gen + 1;
+  let due = Hashtbl.fold (fun _ s acc -> if now >= s.next_due then s :: acc else acc) t.subs [] in
+  if due <> [] then
+    (* deliver in subscription order regardless of hash layout *)
+    let due = List.sort (fun a b -> compare a.sub_id b.sub_id) due in
     List.iter
       (fun sub ->
         (* catch up without replaying a burst of stale deliveries *)
         while now >= sub.next_due do
           sub.next_due <- sub.next_due +. sub.period
         done;
-        let key = Ast.to_string (Ast.Select sub.sub_query) in
-        let result =
-          match Hashtbl.find_opt cache key with
-          | Some r -> r
-          | None ->
-              Hw_metrics.Counter.incr t.m_sub_evals;
-              let r = Query.exec ~lookup:(table t) ~now sub.sub_query in
-              Hashtbl.add cache key r;
-              r
-        in
-        match result with
+        match view_result t sub.sub_view ~now with
         | Ok result -> sub.callback result
         | Error msg -> Log.warn (fun m -> m "subscription %d failed: %s" sub.sub_id msg))
       due
-  end
 
-let execute t src =
-  match Parser.parse src with
-  | Error _ as e -> Error (Result.get_error e)
-  | Ok (Ast.Select sel) -> (
-      match exec_select t sel with
+let execute_stmt t ?text stmt =
+  match stmt with
+  | Ast.Select sel -> (
+      match prepare_and_exec t ~text sel with
       | Ok rs -> Ok (Some rs)
       | Error _ as e -> Error (Result.get_error e))
-  | Ok (Ast.Insert (name, values)) -> (
+  | Ast.Insert (name, values) -> (
       match insert t ~table:name values with Ok () -> Ok None | Error msg -> Error msg)
-  | Ok (Ast.Create { table = name; schema; capacity }) -> (
+  | Ast.Create { table = name; schema; capacity } -> (
       match create_table t ~name ?capacity schema with
       | Ok _ -> Ok None
       | Error msg -> Error msg)
-  | Ok (Ast.Subscribe (sel, period)) ->
+  | Ast.Subscribe (sel, period) ->
       if period <= 0. then Error "subscription period must be positive"
       else begin
         let id =
@@ -420,15 +581,24 @@ let execute t src =
         in
         Ok (Some { Query.columns = [ "subscription_id" ]; rows = [ [ Value.Int id ] ] })
       end
-  | Ok (Ast.Unsubscribe id) ->
+  | Ast.Unsubscribe id ->
       if unsubscribe t id then Ok None else Error (Printf.sprintf "no subscription %d" id)
-  | Ok (Ast.Trigger { watch; condition; target; values }) -> (
+  | Ast.Trigger { watch; condition; target; values } -> (
       match create_trigger t ~watch ?condition ~target ~values () with
-      | Ok id ->
-          Ok (Some { Query.columns = [ "trigger_id" ]; rows = [ [ Value.Int id ] ] })
+      | Ok id -> Ok (Some { Query.columns = [ "trigger_id" ]; rows = [ [ Value.Int id ] ] })
       | Error _ as e -> Error (Result.get_error e))
-  | Ok (Ast.Drop_trigger id) ->
+  | Ast.Drop_trigger id ->
       if drop_trigger t id then Ok None else Error (Printf.sprintf "no trigger %d" id)
+
+let execute t src =
+  (* a plan-cache hit proves the text is a SELECT: skip the parse *)
+  match cached_select t src with
+  | Some (Ok rs) -> Ok (Some rs)
+  | Some (Error msg) -> Error msg
+  | None -> (
+      match Parser.parse src with
+      | Error _ as e -> Error (Result.get_error e)
+      | Ok stmt -> execute_stmt t ~text:src stmt)
 
 let record_flow t ~proto ~src_ip ~dst_ip ~src_port ~dst_port ~packets ~bytes =
   match

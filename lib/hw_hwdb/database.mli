@@ -61,11 +61,35 @@ val insert : t -> table:string -> Value.t list -> (unit, string) result
 (** Stamped with the database clock. *)
 
 val query : t -> string -> (Query.result_set, string) result
-(** Parses and runs a SELECT. *)
+(** Runs a SELECT through the prepared-plan cache: the first execution
+    of a statement text parses and compiles it ({!Plan.prepare}), every
+    later one executes the cached plan directly. Alias of
+    {!exec_raw}. *)
+
+val exec_raw : t -> string -> (Query.result_set, string) result
+(** Executes raw SELECT text via the bounded plan cache (keyed by the
+    exact statement text, FIFO eviction, instrumented as
+    [hwdb_plan_cache_{hits,misses,evictions}_total]). Only successful
+    prepares are cached, so a statement naming a not-yet-created table
+    re-prepares after [CREATE TABLE]. *)
+
+val cached_select : t -> string -> (Query.result_set, string) result option
+(** [Some result] when [src] hit the plan cache (executed without any
+    parsing — the RPC server's fast path), [None] on a miss; the caller
+    falls back to parsing. *)
 
 val execute : t -> string -> (Query.result_set option, string) result
 (** Runs any statement; SELECT/SUBSCRIBE return a result set (SUBSCRIBE
-    returns the subscription id as a 1x1 result). *)
+    returns the subscription id as a 1x1 result). SELECT text goes
+    through the plan cache. *)
+
+val execute_stmt : t -> ?text:string -> Ast.stmt -> (Query.result_set option, string) result
+(** {!execute} for an already-parsed statement (the RPC server parses
+    once to dispatch and must not pay a second parse). When [text] is
+    given, a SELECT's compiled plan is cached under it. *)
+
+val plan_cache_stats : t -> int * int * int
+(** [(hits, misses, evictions)] of this database's plan cache. *)
 
 (** {2 ECA triggers (the "active" database)} *)
 
@@ -95,17 +119,26 @@ type subscription_id = int
 val subscribe :
   t -> query:Ast.select -> period:float -> callback:(Query.result_set -> unit) ->
   subscription_id
-(** Re-evaluates every [period] seconds of database time, delivering each
-    result to [callback] (the paper's UDP RPC subscribers). *)
+(** Delivers the standing query's result to [callback] every [period]
+    seconds of database time. Subscriptions sharing the same canonical
+    query text share one refcounted view; single-table views are
+    maintained incrementally off the insert stream ({!Plan.Inc}), so an
+    idle table costs nothing per tick and k inserts cost O(k) no matter
+    how many subscriptions watch them. *)
 
 val unsubscribe : t -> subscription_id -> bool
+(** O(1): subscriptions are kept in a hash table keyed by id. *)
+
 val subscription_count : t -> int
 
 val tick : t -> unit
-(** Runs all due subscriptions against the current clock. Call once per
-    simulated second (finer is fine; periods are respected). Due
-    subscriptions that share the same query text are evaluated once per
-    tick and all their callbacks receive that shared snapshot. *)
+(** Delivers all due subscriptions against the current clock. Call once
+    per simulated second (finer is fine; periods are respected). Each
+    view is evaluated at most once per tick — the first due subscriber
+    computes (for incremental views: retract expired rows, assemble from
+    maintained state, or reuse the cached result when nothing changed)
+    and every other subscriber receives that identical snapshot.
+    Deliveries happen in subscription-id order. *)
 
 (** {2 Standard-table insert helpers} *)
 

@@ -1,0 +1,1183 @@
+(* Compiled query plans: a SELECT parsed once and lowered to closures
+   over [Value.t array] rows. Column names resolve to array offsets at
+   prepare time; WHERE / projection / GROUP BY keys / HAVING become
+   direct closures, so the hot path never walks the AST and never does
+   the per-row, per-column [resolve bindings] list scan the interpreter
+   pays. [Query.exec] is kept untouched as the reference model; the
+   differential suite in test/plan_diff.ml pins this module to it.
+
+   One visible semantic shift: the interpreter resolves columns lazily
+   (per row), so a SELECT naming an unknown or ambiguous column over an
+   empty window succeeds there; [prepare] resolves eagerly and reports
+   the error regardless of data. Every other error message is produced
+   verbatim. *)
+
+type compiled = Value.t array -> Value.t
+
+exception Plan_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Plan_error s)) fmt
+let fail_str s = raise (Plan_error s)
+
+(* -- bindings (prepare-time only) ---------------------------------- *)
+
+type binding = { quals : string list; col : string; index : int }
+
+let bindings_of_from ~lookup from =
+  let offset = ref 0 in
+  let all = ref [] in
+  let tables =
+    List.map
+      (fun (table_name, alias) ->
+        match lookup table_name with
+        | None -> fail "unknown table %s" table_name
+        | Some table ->
+            let quals =
+              table_name :: (match alias with Some a -> [ a ] | None -> [])
+            in
+            all := { quals; col = "ts"; index = !offset } :: !all;
+            List.iteri
+              (fun i (col, _ty) -> all := { quals; col; index = !offset + 1 + i } :: !all)
+              (Table.schema table);
+            offset := !offset + 1 + List.length (Table.schema table);
+            table)
+      from
+  in
+  (tables, List.rev !all)
+
+(* prepare-time accounting: set when a compiled closure will read
+   row.(0), the ts cell. When nothing does, the single-table scan skips
+   refreshing it per row — see [fold_combined_rows]. Reset at each
+   [prepare]; this module is single-threaded. *)
+let ts_used = ref false
+
+let resolve bindings (qual, name) =
+  let candidates =
+    List.filter
+      (fun b ->
+        String.equal b.col name
+        && match qual with None -> true | Some q -> List.exists (String.equal q) b.quals)
+      bindings
+  in
+  match candidates with
+  | [ b ] ->
+      if b.index = 0 then ts_used := true;
+      b.index
+  | [] -> fail "unknown column %s" (match qual with Some q -> q ^ "." ^ name | None -> name)
+  | _ :: _ ->
+      fail "ambiguous column %s" (match qual with Some q -> q ^ "." ^ name | None -> name)
+
+let star_columns bindings =
+  List.map
+    (fun b ->
+      let duplicated =
+        List.exists (fun other -> other.index <> b.index && String.equal other.col b.col) bindings
+      in
+      if duplicated then Printf.sprintf "%s.%s" (List.hd b.quals) b.col else b.col)
+    bindings
+
+(* -- expression compilation ---------------------------------------- *)
+
+(* Mirrors [Query.eval] case by case (same evaluation order, same
+   short-circuiting, same error strings), but with all name resolution
+   hoisted out of the row loop. *)
+let rec compile bindings expr : compiled =
+  match expr with
+  | Ast.Lit v -> fun _ -> v
+  | Ast.Col (q, n) ->
+      let i = resolve bindings (q, n) in
+      fun row -> row.(i)
+  | Ast.Unop (Ast.Neg, e) -> (
+      let f = compile bindings e in
+      fun row ->
+        match f row with
+        | Value.Int i -> Value.Int (-i)
+        | Value.Real x -> Value.Real (-.x)
+        | v -> fail "cannot negate %s" (Value.to_string v))
+  | Ast.Unop (Ast.Not, e) -> (
+      let f = compile bindings e in
+      fun row ->
+        match f row with
+        | Value.Bool b -> Value.Bool (not b)
+        | v -> fail "NOT applied to non-boolean %s" (Value.to_string v))
+  | Ast.Binop (op, a, b) -> compile_binop bindings op a b
+
+and compile_binop bindings op a b =
+  let fa = compile bindings a and fb = compile bindings b in
+  match op with
+  | Ast.And -> (
+      fun row ->
+        match fa row with
+        | Value.Bool false -> Value.Bool false
+        | Value.Bool true -> (
+            match fb row with
+            | Value.Bool _ as v -> v
+            | v -> fail "AND applied to non-boolean %s" (Value.to_string v))
+        | v -> fail "AND applied to non-boolean %s" (Value.to_string v))
+  | Ast.Or -> (
+      fun row ->
+        match fa row with
+        | Value.Bool true -> Value.Bool true
+        | Value.Bool false -> (
+            match fb row with
+            | Value.Bool _ as v -> v
+            | v -> fail "OR applied to non-boolean %s" (Value.to_string v))
+        | v -> fail "OR applied to non-boolean %s" (Value.to_string v))
+  | Ast.Eq -> fun row -> Value.Bool (Value.equal (fa row) (fb row))
+  | Ast.Neq -> fun row -> Value.Bool (not (Value.equal (fa row) (fb row)))
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> (
+      fun row ->
+        let va = fa row and vb = fb row in
+        match Value.compare_values va vb with
+        | c ->
+            Value.Bool
+              (match op with
+              | Ast.Lt -> c < 0
+              | Ast.Le -> c <= 0
+              | Ast.Gt -> c > 0
+              | Ast.Ge -> c >= 0
+              | _ -> assert false)
+        | exception Invalid_argument msg -> fail "%s" msg)
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod -> (
+      fun row ->
+        let va = fa row and vb = fb row in
+        match va, vb with
+        | Value.Int x, Value.Int y -> (
+            match op with
+            | Ast.Add -> Value.Int (x + y)
+            | Ast.Sub -> Value.Int (x - y)
+            | Ast.Mul -> Value.Int (x * y)
+            | Ast.Div -> if y = 0 then fail "division by zero" else Value.Int (x / y)
+            | Ast.Mod -> if y = 0 then fail "modulo by zero" else Value.Int (x mod y)
+            | _ -> assert false)
+        | _ -> (
+            match Value.as_float va, Value.as_float vb with
+            | Some x, Some y -> (
+                match op with
+                | Ast.Add -> Value.Real (x +. y)
+                | Ast.Sub -> Value.Real (x -. y)
+                | Ast.Mul -> Value.Real (x *. y)
+                | Ast.Div -> if y = 0. then fail "division by zero" else Value.Real (x /. y)
+                | Ast.Mod -> fail "modulo on reals"
+                | _ -> assert false)
+            | _ ->
+                fail "arithmetic on non-numeric values %s, %s" (Value.to_string va)
+                  (Value.to_string vb)))
+
+(* WHERE compiles down to an unboxed boolean predicate: comparisons and
+   the boolean connectives return [bool] directly instead of boxing a
+   [Value.Bool] per row. Error strings still depend on where a
+   non-boolean subterm appears ("WHERE clause is not boolean" at the
+   top, "AND/OR/NOT applied to non-boolean" underneath), so the
+   compiler carries that context down. *)
+let rec compile_pred bindings ~ctx expr : Value.t array -> bool =
+  match expr with
+  | Ast.Binop (Ast.And, a, b) ->
+      let pa = compile_pred bindings ~ctx:`And a and pb = compile_pred bindings ~ctx:`And b in
+      fun row -> if pa row then pb row else false
+  | Ast.Binop (Ast.Or, a, b) ->
+      let pa = compile_pred bindings ~ctx:`Or a and pb = compile_pred bindings ~ctx:`Or b in
+      fun row -> if pa row then true else pb row
+  | Ast.Unop (Ast.Not, e) ->
+      let p = compile_pred bindings ~ctx:`Not e in
+      fun row -> not (p row)
+  | Ast.Binop (Ast.Eq, a, b) ->
+      let fa = compile bindings a and fb = compile bindings b in
+      fun row -> Value.equal (fa row) (fb row)
+  | Ast.Binop (Ast.Neq, a, b) ->
+      let fa = compile bindings a and fb = compile bindings b in
+      fun row -> not (Value.equal (fa row) (fb row))
+  | Ast.Binop ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op, a, b) -> (
+      let fa = compile bindings a and fb = compile bindings b in
+      fun row ->
+        let va = fa row and vb = fb row in
+        match Value.compare_values va vb with
+        | c -> (
+            match op with
+            | Ast.Lt -> c < 0
+            | Ast.Le -> c <= 0
+            | Ast.Gt -> c > 0
+            | Ast.Ge -> c >= 0
+            | _ -> assert false)
+        | exception Invalid_argument msg -> fail "%s" msg)
+  | e ->
+      let f = compile bindings e in
+      let non_bool v =
+        match ctx with
+        | `Where -> fail "WHERE clause is not boolean: %s" (Value.to_string v)
+        | `And -> fail "AND applied to non-boolean %s" (Value.to_string v)
+        | `Or -> fail "OR applied to non-boolean %s" (Value.to_string v)
+        | `Not -> fail "NOT applied to non-boolean %s" (Value.to_string v)
+      in
+      fun row -> ( match f row with Value.Bool b -> b | v -> non_bool v)
+
+(* -- plan representation ------------------------------------------- *)
+
+type agg =
+  | A_count
+  | A_count_if of compiled
+  | A_sum of compiled
+  | A_avg of compiled
+  | A_min of compiled
+  | A_max of compiled
+  | A_invalid of string (* SUM()/AVG()/MIN()/MAX() with no argument: fails per group *)
+
+type out_item = O_expr of compiled | O_agg of int
+
+type h_subject = H_agg of int | H_col of compiled
+
+type having = { h_subject : h_subject; h_op : Ast.binop; h_lit : Value.t }
+
+type grouped = {
+  g_key : Value.t array -> string list;
+  g_key1 : compiled option; (* single GROUP BY column: exec keys on the bare string *)
+  g_no_group_by : bool;
+  g_aggs : agg array;
+  g_outs : out_item list;
+  g_having : having option;
+}
+
+type shape = P_scalar of (Value.t array -> Value.t list) | P_grouped of grouped
+
+type t = {
+  p_select : Ast.select;
+  p_tables : Table.t list;
+  p_window : Ast.window;
+  p_where : (Value.t array -> bool) option;
+  p_needs_ts : bool; (* some closure reads row.(0) *)
+  p_columns : string list;
+  p_shape : shape;
+  p_order : (int * Ast.order) option;
+  p_limit : int option;
+}
+
+let select t = t.p_select
+let columns t = t.p_columns
+let single_table t = match t.p_tables with [ tbl ] -> Some tbl | _ -> None
+
+(* -- streaming aggregate state (exec path) -------------------------- *)
+
+(* One mutable cell per (group, aggregate): groups never materialize
+   their rows, the scan folds each row into every aggregate as it goes.
+   Row-order error semantics mirror [Query.eval_agg]: the first failing
+   row of an aggregate is recorded and raised only when that aggregate
+   is actually evaluated — i.e. its group survived HAVING. (One
+   message-level divergence: the interpreter evaluates all of a MIN/MAX
+   group's arguments before comparing any, so an argument error in a
+   late row wins over an earlier incomparable pair; streaming reports
+   whichever row failed first. Error presence is identical.) *)
+type sstate = {
+  sa_spec : agg;
+  mutable sa_n : int;
+  sa_total : float ref; (* a ref keeps the accumulator unboxed across updates *)
+  mutable sa_best : Value.t option; (* min/max running best, first-wins on ties *)
+  mutable sa_err : string option;
+}
+
+let s_fresh spec = { sa_spec = spec; sa_n = 0; sa_total = ref 0.; sa_best = None; sa_err = None }
+
+let s_apply sa row =
+  match sa.sa_err with
+  | Some _ -> () (* the verdict is already sealed: finalize raises *)
+  | None -> (
+      match sa.sa_spec with
+      | A_count -> sa.sa_n <- sa.sa_n + 1
+      | A_count_if f -> (
+          match f row with
+          | Value.Bool false -> ()
+          | _ -> sa.sa_n <- sa.sa_n + 1
+          | exception Plan_error msg -> sa.sa_err <- Some msg
+          | exception Invalid_argument msg -> sa.sa_err <- Some msg)
+      | (A_sum f | A_avg f) as a -> (
+          let add x =
+            sa.sa_total := !(sa.sa_total) +. x;
+            sa.sa_n <- sa.sa_n + 1
+          in
+          match f row with
+          | Value.Int i -> add (float_of_int i)
+          | Value.Real x | Value.Ts x -> add x
+          | Value.Str _ | Value.Bool _ ->
+              sa.sa_err <-
+                Some
+                  (Printf.sprintf "%s over non-numeric values"
+                     (match a with A_sum _ -> "SUM" | _ -> "AVG"))
+          | exception Plan_error msg -> sa.sa_err <- Some msg
+          | exception Invalid_argument msg -> sa.sa_err <- Some msg)
+      | (A_min f | A_max f) as a -> (
+          match f row with
+          | v -> (
+              match sa.sa_best with
+              | None -> sa.sa_best <- Some v
+              | Some best -> (
+                  let is_min = match a with A_min _ -> true | _ -> false in
+                  match Value.compare_values best v with
+                  | c ->
+                      if (is_min && c <= 0) || ((not is_min) && c >= 0) then ()
+                      else sa.sa_best <- Some v
+                  | exception Invalid_argument msg -> sa.sa_err <- Some msg))
+          | exception Plan_error msg -> sa.sa_err <- Some msg
+          | exception Invalid_argument msg -> sa.sa_err <- Some msg)
+      | A_invalid _ -> () (* finalize raises unconditionally *))
+
+let s_finalize sa =
+  (match sa.sa_err with Some msg -> fail_str msg | None -> ());
+  match sa.sa_spec with
+  | A_count | A_count_if _ -> Value.Int sa.sa_n
+  | A_sum _ -> Value.Real !(sa.sa_total)
+  | A_avg _ ->
+      if sa.sa_n = 0 then Value.Real 0.
+      else Value.Real (!(sa.sa_total) /. float_of_int sa.sa_n)
+  | A_min _ | A_max _ -> ( match sa.sa_best with Some v -> v | None -> Value.Str "")
+  | A_invalid msg -> fail_str msg
+
+(* the value [Query.eval_agg] yields over zero rows, for the synthetic
+   empty global group *)
+let empty_agg_value = function
+  | A_count | A_count_if _ -> Value.Int 0
+  | A_sum _ -> Value.Real 0.
+  | A_avg _ -> Value.Real 0.
+  | A_min _ | A_max _ -> Value.Str ""
+  | A_invalid msg -> fail_str msg
+
+let compare_having op subject lit =
+  match op with
+  | Ast.Eq -> Value.equal subject lit
+  | Ast.Neq -> not (Value.equal subject lit)
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> (
+      match Value.compare_values subject lit with
+      | c -> (
+          match op with
+          | Ast.Lt -> c < 0
+          | Ast.Le -> c <= 0
+          | Ast.Gt -> c > 0
+          | Ast.Ge -> c >= 0
+          | _ -> assert false)
+      | exception Invalid_argument msg -> fail "HAVING: %s" msg)
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.And | Ast.Or ->
+      fail "HAVING expects a comparison operator"
+
+(* -- prepare -------------------------------------------------------- *)
+
+let has_aggregate items =
+  List.exists (function Ast.Sel_agg _ -> true | Ast.Sel_star | Ast.Sel_expr _ -> false) items
+
+let rec expr_name = function
+  | Ast.Col (None, n) -> n
+  | Ast.Col (Some q, n) -> q ^ "." ^ n
+  | Ast.Lit v -> Value.to_string v
+  | Ast.Binop (op, a, b) ->
+      Printf.sprintf "%s%s%s" (expr_name a) (Ast.binop_to_string op) (expr_name b)
+  | Ast.Unop (Ast.Not, e) -> "not_" ^ expr_name e
+  | Ast.Unop (Ast.Neg, e) -> "neg_" ^ expr_name e
+
+let item_name = function
+  | Ast.Sel_star -> "*"
+  | Ast.Sel_expr (e, alias) -> Option.value alias ~default:(expr_name e)
+  | Ast.Sel_agg (fn, arg, alias) -> (
+      match alias with
+      | Some a -> a
+      | None ->
+          Printf.sprintf "%s(%s)"
+            (String.lowercase_ascii (Ast.agg_to_string fn))
+            (match arg with None -> "*" | Some e -> expr_name e))
+
+let prepare ~lookup (q : Ast.select) =
+  try
+    ts_used := false;
+    let tables, bindings = bindings_of_from ~lookup q.Ast.from in
+    if List.length tables > 2 then fail "FROM supports one or two tables";
+    let grouped = has_aggregate q.Ast.items || q.Ast.group_by <> [] || q.Ast.having <> None in
+    let columns =
+      List.concat_map
+        (fun item ->
+          match item with
+          | Ast.Sel_star when grouped -> fail "SELECT * cannot be combined with aggregates"
+          | Ast.Sel_star -> star_columns bindings
+          | _ -> [ item_name item ])
+        q.Ast.items
+    in
+    let where = Option.map (compile_pred bindings ~ctx:`Where) q.Ast.where in
+    let shape =
+      if not grouped then begin
+        let projectors =
+          List.map
+            (function
+              | Ast.Sel_star ->
+                  ts_used := true (* the row's ts cell is part of the output *);
+                  fun row -> Array.to_list row
+              | Ast.Sel_expr (e, _) ->
+                  let f = compile bindings e in
+                  fun row -> [ f row ]
+              | Ast.Sel_agg _ -> assert false)
+            q.Ast.items
+        in
+        P_scalar (fun row -> List.concat_map (fun p -> p row) projectors)
+      end
+      else begin
+        let aggs = ref [] in
+        let n_aggs = ref 0 in
+        let add_agg fn arg =
+          let a =
+            match fn, arg with
+            | Ast.Count, None -> A_count
+            | Ast.Count, Some e -> A_count_if (compile bindings e)
+            | Ast.Sum, Some e -> A_sum (compile bindings e)
+            | Ast.Avg, Some e -> A_avg (compile bindings e)
+            | Ast.Min, Some e -> A_min (compile bindings e)
+            | Ast.Max, Some e -> A_max (compile bindings e)
+            | (Ast.Sum | Ast.Avg | Ast.Min | Ast.Max), None ->
+                A_invalid (Printf.sprintf "%s requires an argument" (Ast.agg_to_string fn))
+          in
+          let i = !n_aggs in
+          incr n_aggs;
+          aggs := a :: !aggs;
+          i
+        in
+        let outs =
+          List.map
+            (function
+              | Ast.Sel_star -> assert false (* rejected while computing columns *)
+              | Ast.Sel_expr (e, _) -> O_expr (compile bindings e)
+              | Ast.Sel_agg (fn, arg, _) -> O_agg (add_agg fn arg))
+            q.Ast.items
+        in
+        let having =
+          Option.map
+            (fun (subject, op, lit) ->
+              let h_subject =
+                match subject with
+                | Ast.H_agg (fn, arg) -> H_agg (add_agg fn arg)
+                | Ast.H_col (qual, name) -> H_col (compile bindings (Ast.Col (qual, name)))
+              in
+              { h_subject; h_op = op; h_lit = lit })
+            q.Ast.having
+        in
+        let key_fns =
+          List.map (fun (qual, name) -> compile bindings (Ast.Col (qual, name))) q.Ast.group_by
+        in
+        P_grouped
+          {
+            g_key =
+              (match key_fns with
+              | [ f ] -> fun row -> [ Value.to_string (f row) ]
+              | fns -> fun row -> List.map (fun f -> Value.to_string (f row)) fns);
+            g_key1 = (match key_fns with [ f ] -> Some f | _ -> None);
+            g_no_group_by = q.Ast.group_by = [];
+            g_aggs = Array.of_list (List.rev !aggs);
+            g_outs = outs;
+            g_having = having;
+          }
+      end
+    in
+    let order =
+      match q.Ast.order_by with
+      | None -> None
+      | Some ((qual, name), dir) ->
+          let target = match qual with None -> name | Some qq -> qq ^ "." ^ name in
+          let idx =
+            match List.find_index (String.equal target) columns with
+            | Some i -> i
+            | None -> fail "ORDER BY column %s is not in the output" target
+          in
+          Some (idx, dir)
+    in
+    Ok
+      {
+        p_select = q;
+        p_tables = tables;
+        p_window = q.Ast.window;
+        p_where = where;
+        p_needs_ts = !ts_used;
+        p_columns = columns;
+        p_shape = shape;
+        p_order = order;
+        p_limit = q.Ast.limit;
+      }
+  with Plan_error msg -> Error msg
+
+(* -- one-shot execution -------------------------------------------- *)
+
+let window_spec ~now : Ast.window -> Table.window = function
+  | Ast.W_all -> `All
+  | Ast.W_range_sec s -> `Last_seconds (s, now)
+  | Ast.W_rows n -> `Last_rows n
+  | Ast.W_now -> `Now now
+
+let row_of_tuple (tu : Value.tuple) =
+  let vs = tu.Value.values in
+  let n = Array.length vs in
+  let row = Array.make (n + 1) (Value.Ts tu.Value.ts) in
+  Array.blit vs 0 row 1 n;
+  row
+
+(* The single-table path reuses one scratch array for every row, so the
+   callback must not retain the row past the call — anything kept (like
+   a group's representative row) has to be copied. Join rows are fresh
+   per pair. *)
+let fold_combined_rows ~now ~needs_ts window tables ~init ~f =
+  let spec = window_spec ~now window in
+  match tables with
+  | [ table ] ->
+      let scratch = Array.make (List.length (Table.schema table) + 1) (Value.Bool false) in
+      Table.fold_window table spec ~init ~f:(fun acc tu ->
+          let vs = tu.Value.values in
+          if needs_ts then scratch.(0) <- Value.Ts tu.Value.ts;
+          Array.blit vs 0 scratch 1 (Array.length vs);
+          f acc scratch)
+  | [ left; right ] ->
+      let right_rows =
+        List.rev (Table.fold_window right spec ~init:[] ~f:(fun acc tu -> row_of_tuple tu :: acc))
+      in
+      Table.fold_window left spec ~init ~f:(fun acc tu ->
+          let l = row_of_tuple tu in
+          List.fold_left (fun acc r -> f acc (Array.append l r)) acc right_rows)
+  | _ -> fail "FROM supports one or two tables"
+
+(* Sort over the key column extracted once per row, so the comparator
+   never walks the row lists. Small results (the common case: a few
+   groups, or a short window) use a stable insertion sort over the
+   (key, row) pair — no temp arrays, no comparator closures; larger
+   ones a permutation stable_sort. A descending sort flips the operand
+   order, which agrees in sign with the interpreter's negation. *)
+let apply_order t out_rows =
+  match t.p_order with
+  | None -> out_rows
+  | Some (idx, dir) ->
+      let cmp_v =
+        match dir with
+        | Ast.Asc -> Value.compare_values
+        | Ast.Desc -> fun a b -> Value.compare_values b a
+      in
+      let arr = Array.of_list out_rows in
+      let n = Array.length arr in
+      if n <= 1 then out_rows
+      else begin
+        let keys = Array.map (fun row -> List.nth row idx) arr in
+        if n <= 32 then
+          for i = 1 to n - 1 do
+            let k = keys.(i) and r = arr.(i) in
+            let j = ref (i - 1) in
+            while !j >= 0 && cmp_v keys.(!j) k > 0 do
+              keys.(!j + 1) <- keys.(!j);
+              arr.(!j + 1) <- arr.(!j);
+              decr j
+            done;
+            keys.(!j + 1) <- k;
+            arr.(!j + 1) <- r
+          done
+        else begin
+          let idxs = Array.init n (fun i -> i) in
+          Array.stable_sort (fun i j -> cmp_v keys.(i) keys.(j)) idxs;
+          let sorted = Array.map (fun i -> arr.(i)) idxs in
+          Array.blit sorted 0 arr 0 n
+        end;
+        Array.to_list arr
+      end
+
+let apply_limit t out_rows =
+  match t.p_limit with
+  | None -> out_rows
+  | Some n -> List.filteri (fun i _ -> i < n) out_rows
+
+(* one group of the streaming grouped exec *)
+type gslot = {
+  gs_fp : int; (* cheap fingerprint: probes reject on an int compare *)
+  gs_k1 : string; (* bare key when the query groups by a single column *)
+  gs_key : string list;
+  gs_rep : Value.t array; (* first row seen, private copy *)
+  gs_states : sstate array;
+}
+
+let dummy_slot = { gs_fp = 0; gs_k1 = ""; gs_key = []; gs_rep = [||]; gs_states = [||] }
+let max_linear_groups = 8
+
+(* length + first/last chars of each key part: group keys usually share a
+   long prefix (IPs, hostnames), so the last char discriminates where a
+   byte-by-byte equal would walk the whole string *)
+let fp_str acc s =
+  let len = String.length s in
+  let acc = (acc * 31) lxor len in
+  if len = 0 then acc
+  else
+    acc
+    lxor (Char.code (String.unsafe_get s 0) lsl 8)
+    lxor Char.code (String.unsafe_get s (len - 1))
+
+let key_fp key =
+  match key with [ s ] -> fp_str 0 s | parts -> List.fold_left fp_str 7 parts
+
+let rec key_eq a b =
+  match (a, b) with
+  | [], [] -> true
+  | x :: a', y :: b' -> String.equal x y && key_eq a' b'
+  | _ -> false
+
+let exec t ~now =
+  try
+    let fold_rows init f =
+      let f =
+        match t.p_where with
+        | None -> f
+        | Some pred -> fun acc row -> if pred row then f acc row else acc
+      in
+      fold_combined_rows ~now ~needs_ts:t.p_needs_ts t.p_window t.p_tables ~init ~f
+    in
+    let out_rows =
+      match t.p_shape with
+      | P_scalar project -> List.rev (fold_rows [] (fun acc row -> project row :: acc))
+      | P_grouped g ->
+          (* single pass: each group slot holds a private copy of its
+             first row (the projection representative — the scan row is
+             a reused scratch) and one sstate per aggregate. Slots live
+             in a small linear-probe array — queries rarely have more
+             than a handful of groups, and a linear String.equal scan
+             beats hashing there — spilling to a hashtable beyond it. *)
+          let linear = Array.make max_linear_groups dummy_slot in
+          let n_linear = ref 0 in
+          let spill = ref None in
+          let slots = ref [] in
+          (* reversed first-appearance order *)
+          let new_slot fp k1 key row =
+            let s =
+              {
+                gs_fp = fp;
+                gs_k1 = k1;
+                gs_key = key;
+                gs_rep = Array.copy row;
+                gs_states = Array.map s_fresh g.g_aggs;
+              }
+            in
+            (if !n_linear < max_linear_groups then begin
+               linear.(!n_linear) <- s;
+               incr n_linear
+             end
+             else
+               let h =
+                 match !spill with
+                 | Some h -> h
+                 | None ->
+                     let h = Hashtbl.create 64 in
+                     spill := Some h;
+                     h
+               in
+               Hashtbl.replace h key s);
+            slots := s :: !slots;
+            s
+          in
+          (match g.g_key1 with
+          | Some kf ->
+              (* single GROUP BY column: probe on the bare string, no
+                 per-row key cons *)
+              let find1 fp k =
+                let rec scan i =
+                  if i >= !n_linear then
+                    match !spill with None -> None | Some h -> Hashtbl.find_opt h [ k ]
+                  else
+                    let s = Array.unsafe_get linear i in
+                    if s.gs_fp = fp && String.equal s.gs_k1 k then Some s else scan (i + 1)
+                in
+                scan 0
+              in
+              fold_rows () (fun () row ->
+                  let k = Value.to_string (kf row) in
+                  let fp = fp_str 0 k in
+                  let slot =
+                    match find1 fp k with Some s -> s | None -> new_slot fp k [ k ] row
+                  in
+                  Array.iter (fun sa -> s_apply sa row) slot.gs_states)
+          | None ->
+              let find_slot fp key =
+                let rec scan i =
+                  if i >= !n_linear then
+                    match !spill with None -> None | Some h -> Hashtbl.find_opt h key
+                  else
+                    let s = Array.unsafe_get linear i in
+                    if s.gs_fp = fp && key_eq s.gs_key key then Some s else scan (i + 1)
+                in
+                scan 0
+              in
+              fold_rows () (fun () row ->
+                  let key = g.g_key row in
+                  let fp = key_fp key in
+                  let slot =
+                    match find_slot fp key with
+                    | Some s -> s
+                    | None -> new_slot fp "" key row
+                  in
+                  Array.iter (fun sa -> s_apply sa row) slot.gs_states));
+          if g.g_no_group_by && !slots = [] then
+            slots :=
+              [
+                {
+                  gs_fp = 0;
+                  gs_k1 = "";
+                  gs_key = [];
+                  gs_rep = [||];
+                  gs_states = Array.map s_fresh g.g_aggs;
+                };
+              ];
+          let group_passes states representative =
+            match g.g_having with
+            | None -> true
+            | Some h ->
+                let subject =
+                  match h.h_subject with
+                  | H_agg i -> s_finalize states.(i)
+                  | H_col f -> f representative
+                in
+                compare_having h.h_op subject h.h_lit
+          in
+          List.filter_map
+            (fun s ->
+              let representative = s.gs_rep in
+              if not (group_passes s.gs_states representative) then None
+              else
+                Some
+                  (List.map
+                     (function
+                       | O_expr f ->
+                           if Array.length representative = 0 then
+                             fail "cannot project a column from zero rows";
+                           f representative
+                       | O_agg i -> s_finalize s.gs_states.(i))
+                     g.g_outs))
+            (List.rev !slots)
+    in
+    let out_rows = apply_limit t (apply_order t out_rows) in
+    Ok { Query.columns = t.p_columns; rows = out_rows }
+  with
+  | Plan_error msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Incremental view maintenance                                        *)
+(* ------------------------------------------------------------------ *)
+
+type plan = t
+
+module Inc = struct
+  (* A standing query folded over the insert stream: each insert applies
+     a delta; rows apply a retraction when they exit the window (time
+     expiry, ROWS overflow, or ring-capacity eviction — timestamps are
+     monotone, so rows always exit oldest-first; [NOW] windows reset
+     wholesale when a newer batch starts). A clean view answers from its
+     cached result in O(1); k inserts cost O(k) regardless of how many
+     subscriptions share the view.
+
+     Error semantics mirror the interpreter's phases: scan-phase errors
+     (WHERE, scalar projection) poison the whole window for as long as
+     the offending row is inside it; aggregate-argument errors are held
+     per group per aggregate and only surface if that group survives
+     HAVING — exactly when [Query.eval_agg] would have raised. *)
+
+  let value_class = function
+    | Value.Int _ | Value.Real _ | Value.Ts _ -> 0
+    | Value.Str _ -> 1
+    | Value.Bool _ -> 2
+
+  let class_name = function 0 -> "integer" | 1 -> "varchar" | _ -> "boolean"
+
+  (* total order across classes so the min/max multiset never raises;
+     incomparable windows are detected via the per-class counts *)
+  let cross_compare a b =
+    let ca = value_class a and cb = value_class b in
+    if ca <> cb then compare ca cb else Value.compare_values a b
+
+  module VM = Map.Make (struct
+    type t = Value.t
+
+    let compare = cross_compare
+  end)
+
+  type minmax_state = {
+    mutable vals : int VM.t;
+    classes : int array;
+    is_min : bool;
+    mm_errs : string Queue.t;
+  }
+
+  type agg_state =
+    | S_count of { mutable n : int }
+    | S_count_if of { mutable n : int; errs : string Queue.t }
+    | S_sum of { mutable total : float; mutable n : int; avg : bool; errs : string Queue.t }
+    | S_minmax of minmax_state
+    | S_fail of string
+
+  type contrib = C_none | C_if of bool | C_num of float | C_val of Value.t | C_err
+
+  type entry = { e_seq : int; e_ts : float; e_row : Value.t array; e_kind : kind }
+
+  and kind =
+    | K_skip
+    | K_poison of string
+    | K_row of Value.t list
+    | K_group of group * contrib array
+
+  and group = { gr_key : string list; gr_entries : entry Queue.t; gr_aggs : agg_state array }
+
+  type t = {
+    i_plan : plan;
+    i_table : Table.t;
+    i_buf : entry Queue.t;
+    i_poisons : (int * string) Queue.t;
+    i_groups : (string list, group) Hashtbl.t;
+    mutable i_seq : int;
+    mutable i_seen : int; (* Table.total_inserted at last processed insert *)
+    mutable i_live : int; (* predicted ring length; divergence => resync *)
+    mutable i_newest : float;
+    mutable i_dirty : bool;
+    mutable i_resync : bool;
+    mutable i_resyncs : int;
+    mutable i_cached : (Query.result_set, string) result;
+  }
+
+  let table t = t.i_table
+  let resyncs t = t.i_resyncs
+
+  (* -- aggregate state ---------------------------------------------- *)
+
+  let fresh_state = function
+    | A_count -> S_count { n = 0 }
+    | A_count_if _ -> S_count_if { n = 0; errs = Queue.create () }
+    | A_sum _ -> S_sum { total = 0.; n = 0; avg = false; errs = Queue.create () }
+    | A_avg _ -> S_sum { total = 0.; n = 0; avg = true; errs = Queue.create () }
+    | A_min _ ->
+        S_minmax { vals = VM.empty; classes = [| 0; 0; 0 |]; is_min = true; mm_errs = Queue.create () }
+    | A_max _ ->
+        S_minmax { vals = VM.empty; classes = [| 0; 0; 0 |]; is_min = false; mm_errs = Queue.create () }
+    | A_invalid msg -> S_fail msg
+
+  let minmax_add s v =
+    s.vals <- VM.update v (function None -> Some 1 | Some n -> Some (n + 1)) s.vals;
+    let c = value_class v in
+    s.classes.(c) <- s.classes.(c) + 1
+
+  let minmax_remove s v =
+    (match VM.find_opt v s.vals with
+    | Some 1 -> s.vals <- VM.remove v s.vals
+    | Some n -> s.vals <- VM.add v (n - 1) s.vals
+    | None -> ());
+    let c = value_class v in
+    s.classes.(c) <- s.classes.(c) - 1
+
+  let apply_insert spec st row : contrib =
+    match spec, st with
+    | A_count, S_count s ->
+        s.n <- s.n + 1;
+        C_none
+    | A_count_if f, S_count_if s -> (
+        match f row with
+        | Value.Bool false -> C_if false
+        | _ ->
+            s.n <- s.n + 1;
+            C_if true
+        | exception Plan_error msg ->
+            Queue.add msg s.errs;
+            C_err
+        | exception Invalid_argument msg ->
+            Queue.add msg s.errs;
+            C_err)
+    | (A_sum f | A_avg f), S_sum s -> (
+        let name = if s.avg then "AVG" else "SUM" in
+        match f row with
+        | v -> (
+            match Value.as_float v with
+            | Some x ->
+                s.total <- s.total +. x;
+                s.n <- s.n + 1;
+                C_num x
+            | None ->
+                Queue.add (Printf.sprintf "%s over non-numeric values" name) s.errs;
+                C_err)
+        | exception Plan_error msg ->
+            Queue.add msg s.errs;
+            C_err
+        | exception Invalid_argument msg ->
+            Queue.add msg s.errs;
+            C_err)
+    | (A_min f | A_max f), S_minmax s -> (
+        match f row with
+        | v ->
+            minmax_add s v;
+            C_val v
+        | exception Plan_error msg ->
+            Queue.add msg s.mm_errs;
+            C_err
+        | exception Invalid_argument msg ->
+            Queue.add msg s.mm_errs;
+            C_err)
+    | A_invalid _, S_fail _ -> C_none
+    | _ -> C_none (* spec/state arrays are built in lockstep *)
+
+  let retract_contrib st c =
+    match st, c with
+    | S_count s, C_none -> s.n <- s.n - 1
+    | S_count_if s, C_if counted -> if counted then s.n <- s.n - 1
+    | S_count_if s, C_err -> ignore (Queue.pop s.errs)
+    | S_sum s, C_num x ->
+        s.total <- s.total -. x;
+        s.n <- s.n - 1
+    | S_sum s, C_err -> ignore (Queue.pop s.errs)
+    | S_minmax s, C_val v -> minmax_remove s v
+    | S_minmax s, C_err -> ignore (Queue.pop s.mm_errs)
+    | _ -> ()
+
+  let finalize st =
+    match st with
+    | S_count s -> Value.Int s.n
+    | S_count_if s ->
+        if not (Queue.is_empty s.errs) then fail_str (Queue.peek s.errs);
+        Value.Int s.n
+    | S_sum s ->
+        if not (Queue.is_empty s.errs) then fail_str (Queue.peek s.errs);
+        if s.avg then
+          if s.n = 0 then Value.Real 0. else Value.Real (s.total /. float_of_int s.n)
+        else Value.Real s.total
+    | S_minmax s ->
+        if not (Queue.is_empty s.mm_errs) then fail_str (Queue.peek s.mm_errs);
+        if VM.is_empty s.vals then Value.Str ""
+        else begin
+          (* two value classes present in the window: the interpreter's
+             fold would have raised on the first incomparable pair *)
+          let present = List.filteri (fun c _ -> s.classes.(c) > 0) [ 0; 1; 2 ] in
+          (match present with
+          | a :: b :: _ -> fail "cannot compare %s with %s" (class_name a) (class_name b)
+          | _ -> ());
+          let v, _ = if s.is_min then VM.min_binding s.vals else VM.max_binding s.vals in
+          v
+        end
+    | S_fail msg -> fail_str msg
+
+  (* -- ingest / retract ---------------------------------------------- *)
+
+  let retract_one t =
+    match Queue.take_opt t.i_buf with
+    | None -> ()
+    | Some e ->
+        t.i_dirty <- true;
+        (match e.e_kind with
+        | K_skip | K_row _ -> ()
+        | K_poison _ -> ignore (Queue.pop t.i_poisons)
+        | K_group (g, contribs) ->
+            ignore (Queue.pop g.gr_entries);
+            Array.iteri (fun i c -> retract_contrib g.gr_aggs.(i) c) contribs;
+            if Queue.is_empty g.gr_entries then Hashtbl.remove t.i_groups g.gr_key)
+
+  let retract_expired t ~cutoff =
+    let continue = ref true in
+    while !continue do
+      match Queue.peek_opt t.i_buf with
+      | Some e when e.e_ts < cutoff -> retract_one t
+      | _ -> continue := false
+    done
+
+  let reset_window t =
+    Queue.clear t.i_buf;
+    Queue.clear t.i_poisons;
+    Hashtbl.reset t.i_groups;
+    t.i_dirty <- true
+
+  let where_check t row =
+    match t.i_plan.p_where with
+    | None -> `Pass
+    | Some pred -> (
+        match pred row with
+        | true -> `Pass
+        | false -> `Skip
+        | exception Plan_error msg -> `Poison msg
+        | exception Invalid_argument msg -> `Poison msg)
+
+  let classify t row =
+    match where_check t row with
+    | `Skip -> K_skip
+    | `Poison msg -> K_poison msg
+    | `Pass -> (
+        match t.i_plan.p_shape with
+        | P_scalar project -> (
+            match project row with
+            | out -> K_row out
+            | exception Plan_error msg -> K_poison msg
+            | exception Invalid_argument msg -> K_poison msg)
+        | P_grouped g ->
+            let key = g.g_key row in
+            let group =
+              match Hashtbl.find_opt t.i_groups key with
+              | Some gr -> gr
+              | None ->
+                  let gr =
+                    {
+                      gr_key = key;
+                      gr_entries = Queue.create ();
+                      gr_aggs = Array.map fresh_state g.g_aggs;
+                    }
+                  in
+                  Hashtbl.replace t.i_groups key gr;
+                  gr
+            in
+            let contribs =
+              Array.mapi (fun i spec -> apply_insert spec group.gr_aggs.(i) row) g.g_aggs
+            in
+            K_group (group, contribs))
+
+  let cap t = Table.capacity t.i_table
+
+  let ingest t (tu : Value.tuple) =
+    t.i_dirty <- true;
+    let ts = tu.Value.ts in
+    (match t.i_plan.p_window with
+    | Ast.W_now when (not (Queue.is_empty t.i_buf)) && ts > t.i_newest -> reset_window t
+    | _ -> ());
+    t.i_newest <- ts;
+    let row = row_of_tuple tu in
+    let seq = t.i_seq in
+    t.i_seq <- seq + 1;
+    let kind = classify t row in
+    let entry = { e_seq = seq; e_ts = ts; e_row = row; e_kind = kind } in
+    Queue.add entry t.i_buf;
+    (match kind with
+    | K_poison msg -> Queue.add (seq, msg) t.i_poisons
+    | K_group (g, _) -> Queue.add entry g.gr_entries
+    | K_skip | K_row _ -> ());
+    match t.i_plan.p_window with
+    | Ast.W_rows n ->
+        let keep = min (max 0 n) (cap t) in
+        while Queue.length t.i_buf > keep do
+          retract_one t
+        done
+    | Ast.W_range_sec s ->
+        retract_expired t ~cutoff:(ts -. s);
+        while Queue.length t.i_buf > cap t do
+          retract_one t
+        done
+    | Ast.W_all | Ast.W_now ->
+        while Queue.length t.i_buf > cap t do
+          retract_one t
+        done
+
+  let resync t =
+    reset_window t;
+    t.i_newest <- neg_infinity;
+    t.i_resync <- false;
+    t.i_resyncs <- t.i_resyncs + 1;
+    t.i_seen <- Table.total_inserted t.i_table;
+    t.i_live <- Table.length t.i_table;
+    List.iter (fun tu -> ingest t tu) (Table.scan t.i_table)
+
+  (* The table insert hook. A trigger chain can re-enter the table while
+     an earlier row's hooks are still running, delivering tuples out of
+     order; [Table.clear] empties the ring underneath us. Both are
+     detected (insert counter, predicted ring length) and answered by
+     rebuilding from a scan at the next read instead of serving a wrong
+     delta. *)
+  let observe t (tu : Value.tuple) =
+    if not t.i_resync then begin
+      let total = Table.total_inserted t.i_table in
+      if total <> t.i_seen + 1 then t.i_resync <- true
+      else begin
+        t.i_seen <- total;
+        t.i_live <- min (t.i_live + 1) (cap t);
+        ingest t tu
+      end
+    end
+
+  (* -- assembly ------------------------------------------------------ *)
+
+  let front_seq g = (Queue.peek g.gr_entries).e_seq
+
+  let assemble_groups t (g : grouped) =
+    let groups = Hashtbl.fold (fun _ gr acc -> gr :: acc) t.i_groups [] in
+    let groups = List.sort (fun a b -> compare (front_seq a) (front_seq b)) groups in
+    let passes subject_of =
+      match g.g_having with
+      | None -> true
+      | Some h -> compare_having h.h_op (subject_of h.h_subject) h.h_lit
+    in
+    if g.g_no_group_by && groups = [] then begin
+      (* synthetic empty global group: aggregates over zero rows *)
+      let subject_of = function
+        | H_agg i -> empty_agg_value g.g_aggs.(i)
+        | H_col f -> f [||]
+      in
+      if not (passes subject_of) then []
+      else
+        [
+          List.map
+            (function
+              | O_expr _ -> fail "cannot project a column from zero rows"
+              | O_agg i -> empty_agg_value g.g_aggs.(i))
+            g.g_outs;
+        ]
+    end
+    else
+      List.filter_map
+        (fun gr ->
+          let representative = (Queue.peek gr.gr_entries).e_row in
+          let subject_of = function
+            | H_agg i -> finalize gr.gr_aggs.(i)
+            | H_col f -> f representative
+          in
+          if not (passes subject_of) then None
+          else
+            Some
+              (List.map
+                 (function O_expr f -> f representative | O_agg i -> finalize gr.gr_aggs.(i))
+                 g.g_outs))
+        groups
+
+  let assemble t =
+    try
+      if not (Queue.is_empty t.i_poisons) then fail_str (snd (Queue.peek t.i_poisons));
+      let out_rows =
+        match t.i_plan.p_shape with
+        | P_scalar _ ->
+            List.rev
+              (Queue.fold
+                 (fun acc e -> match e.e_kind with K_row out -> out :: acc | _ -> acc)
+                 [] t.i_buf)
+        | P_grouped g -> assemble_groups t g
+      in
+      let out_rows = apply_limit t.i_plan (apply_order t.i_plan out_rows) in
+      Ok { Query.columns = t.i_plan.p_columns; rows = out_rows }
+    with
+    | Plan_error msg -> Error msg
+    | Invalid_argument msg -> Error msg
+
+  let result t ~now =
+    if
+      (not t.i_resync)
+      && (Table.total_inserted t.i_table <> t.i_seen || Table.length t.i_table <> t.i_live)
+    then t.i_resync <- true;
+    if t.i_resync then resync t;
+    (match t.i_plan.p_window with
+    | Ast.W_range_sec s -> retract_expired t ~cutoff:(now -. s)
+    | _ -> ());
+    if t.i_dirty then begin
+      t.i_cached <- assemble t;
+      t.i_dirty <- false
+    end;
+    t.i_cached
+
+  let create (plan : plan) =
+    match plan.p_tables with
+    | [ tbl ] ->
+        let t =
+          {
+            i_plan = plan;
+            i_table = tbl;
+            i_buf = Queue.create ();
+            i_poisons = Queue.create ();
+            i_groups = Hashtbl.create 16;
+            i_seq = 0;
+            i_seen = 0;
+            i_live = 0;
+            i_newest = neg_infinity;
+            i_dirty = true;
+            i_resync = true;
+            i_resyncs = -1; (* the seeding rebuild is not a resync *)
+            i_cached = Error "unevaluated";
+          }
+        in
+        resync t;
+        Some t
+    | _ -> None (* joins re-execute their compiled plan per tick *)
+end

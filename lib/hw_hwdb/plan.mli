@@ -1,0 +1,75 @@
+(** Compiled query plans: a SELECT lowered once into closures over
+    [Value.t array] rows (column names resolved to array offsets, WHERE /
+    projection / GROUP BY key / HAVING compiled), so the hot path never
+    re-parses text or interprets the AST. {!Query.exec} remains the
+    reference interpreter; plans are pinned to it by the differential
+    property suite.
+
+    Unlike the interpreter, which resolves column names lazily per row,
+    {!prepare} resolves eagerly: a SELECT naming an unknown or ambiguous
+    column fails at prepare time even if its window is empty. All other
+    error behavior matches the interpreter verbatim. *)
+
+type t
+
+val prepare : lookup:(string -> Table.t option) -> Ast.select -> (t, string) result
+(** Resolves tables and columns and compiles every expression. Fails on
+    unknown tables/columns, ambiguous names, [SELECT *] mixed with
+    aggregates, more than two FROM tables, or an ORDER BY target missing
+    from the output — everything that cannot depend on data. *)
+
+val exec : t -> now:float -> (Query.result_set, string) result
+(** One-shot execution against the live tables, window relative to
+    [now]; same semantics (rows, values, error {e presence}) as
+    {!Query.exec}. Two message-level divergences: the streaming
+    aggregator records the first chronological bad argument of a
+    MIN/MAX, where the interpreter reports whichever pair its fold
+    compares first; and ORDER BY over mixed-class keys may name a
+    different incomparable pair in "cannot compare ...". Both raise
+    exactly when the interpreter raises. *)
+
+val select : t -> Ast.select
+val columns : t -> string list
+
+val single_table : t -> Table.t option
+(** The scanned table when the plan reads exactly one (no join) —
+    the precondition for incremental maintenance. *)
+
+(** Incrementally maintained standing queries: the plan folded over the
+    insert stream. Each insert applies an O(1) delta (amortized); rows
+    leaving the window (time expiry, ROWS overflow, ring-capacity
+    eviction) apply a retraction; [\[NOW\]] windows reset wholesale when
+    a newer batch starts. A view whose table saw no inserts answers from
+    its cached result without touching the window, so N idle
+    subscriptions sharing views cost O(new inserts), not
+    O(N x window). *)
+module Inc : sig
+  type plan := t
+
+  type t
+
+  val create : plan -> t option
+  (** Seeds the view from the table's current contents. [None] when the
+      plan joins two tables (those re-execute per tick). The caller owns
+      hook registration: feed every subsequent insert via {!observe}
+      (e.g. from {!Table.add_hook}). *)
+
+  val table : t -> Table.t
+
+  val observe : t -> Value.tuple -> unit
+  (** Applies one inserted tuple. Out-of-order delivery (a trigger chain
+      re-entering the table mid-hook) or a table cleared underneath the
+      view is detected and answered by scheduling a rebuild-from-scan at
+      the next {!result} instead of serving a wrong delta. *)
+
+  val result : t -> now:float -> (Query.result_set, string) result
+  (** The standing query's current answer: retracts rows that [now]
+      pushed out of a RANGE window, then assembles (or returns the
+      cached result when nothing changed). Equal to
+      [Query.exec ~now (select plan)] modulo the eager-resolution
+      difference documented above. *)
+
+  val resyncs : t -> int
+  (** Rebuild-from-scan events triggered by the safety valves (excludes
+      the initial seeding). *)
+end

@@ -232,7 +232,7 @@ module Server = struct
         result = Some { Query.columns = [ "subscription_id" ]; rows = [ [ Value.Int id ] ] };
       }
 
-  let handle_request t ~from seq statement =
+  let handle_parsed t ~from seq statement =
     match Parser.parse statement with
     | Error msg -> Response_error { seq; message = msg }
     | Ok (Ast.Subscribe (sel, period)) when period > 0. -> (
@@ -265,10 +265,19 @@ module Server = struct
           Response_ok { seq; result = None }
         end
         else Response_error { seq; message = Printf.sprintf "no subscription %d" id }
-    | Ok _ -> (
-        match Database.execute t.db statement with
+    | Ok stmt -> (
+        match Database.execute_stmt t.db ~text:statement stmt with
         | Ok result -> Response_ok { seq; result }
         | Error message -> Response_error { seq; message })
+
+  let handle_request t ~from seq statement =
+    (* repeated query text (pollers, fleet fan-out) hits the plan cache
+       and executes without parsing at all; everything else parses once
+       and dispatches on the AST — never re-parsing to execute *)
+    match Database.cached_select t.db statement with
+    | Some (Ok result) -> Response_ok { seq; result = Some result }
+    | Some (Error message) -> Response_error { seq; message }
+    | None -> handle_parsed t ~from seq statement
 
   let handle_datagram t ~from data =
     Hw_metrics.Counter.incr t.m_in;

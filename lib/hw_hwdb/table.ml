@@ -2,15 +2,20 @@ open Hw_util
 
 type window = [ `All | `Last_seconds of float * float | `Last_rows of int | `Now of float ]
 
+type hook_id = int
+
+type hook = { h_id : hook_id; h_fn : Value.tuple -> unit }
+
 type t = {
   name : string;
   schema : Value.schema;
   ring : Value.tuple Ring.t;
-  mutable triggers : (Value.tuple -> unit) list; (* newest registration first *)
+  mutable triggers : hook list; (* newest registration first *)
+  mutable next_hook : int;
 }
 
 let create ~name ~capacity schema =
-  { name; schema; ring = Ring.create ~capacity; triggers = [] }
+  { name; schema; ring = Ring.create ~capacity; triggers = []; next_hook = 0 }
 
 let name t = t.name
 let schema t = t.schema
@@ -22,9 +27,9 @@ let total_inserted t = Ring.total_pushed t.ring
    replayed back-to-front *)
 let rec fire_triggers tuple = function
   | [] -> ()
-  | trigger :: rest ->
+  | hook :: rest ->
       fire_triggers tuple rest;
-      trigger tuple
+      hook.h_fn tuple
 
 let insert t ~now values =
   match Value.validate t.schema values with
@@ -65,5 +70,13 @@ let scan_window t window =
   List.rev (fold_window t window ~init:[] ~f:(fun acc tu -> tu :: acc))
 
 let scan t = Ring.to_list t.ring
-let on_insert t trigger = t.triggers <- trigger :: t.triggers
+
+let add_hook t fn =
+  let id = t.next_hook in
+  t.next_hook <- id + 1;
+  t.triggers <- { h_id = id; h_fn = fn } :: t.triggers;
+  id
+
+let remove_hook t id = t.triggers <- List.filter (fun h -> h.h_id <> id) t.triggers
+let on_insert t trigger = ignore (add_hook t trigger)
 let clear t = Ring.clear t.ring

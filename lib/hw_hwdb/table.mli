@@ -49,4 +49,13 @@ val on_insert : t -> (Value.tuple -> unit) -> unit
     part of the database: UI subscriptions piggyback on these). Triggers
     fire in registration order; registration is O(1). *)
 
+type hook_id = int
+
+val add_hook : t -> (Value.tuple -> unit) -> hook_id
+(** Like {!on_insert} but returns a handle so the hook can be detached
+    (incremental views attach and release these as subscriptions come
+    and go). Fires in registration order with the other triggers. *)
+
+val remove_hook : t -> hook_id -> unit
+
 val clear : t -> unit

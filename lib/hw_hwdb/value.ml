@@ -31,22 +31,29 @@ let as_float = function
   | Ts ts -> Some ts
   | Str _ | Bool _ -> None
 
+(* numeric payload without the [as_float] option box: only call on
+   Int/Real/Ts *)
+let num_payload = function
+  | Int i -> float_of_int i
+  | Real f -> f
+  | Ts ts -> ts
+  | Str _ | Bool _ -> assert false
+
 let equal a b =
   match a, b with
+  | Int x, Int y -> x = y
   | Str x, Str y -> String.equal x y
   | Bool x, Bool y -> x = y
-  | (Int _ | Real _ | Ts _), (Int _ | Real _ | Ts _) -> (
-      match as_float a, as_float b with Some x, Some y -> x = y | _ -> false)
+  | (Int _ | Real _ | Ts _), (Int _ | Real _ | Ts _) -> num_payload a = num_payload b
   | (Int _ | Real _ | Str _ | Bool _ | Ts _), _ -> false
 
 let compare_values a b =
   match a, b with
+  | Int x, Int y -> Int.compare x y
   | Str x, Str y -> String.compare x y
   | Bool x, Bool y -> Bool.compare x y
-  | (Int _ | Real _ | Ts _), (Int _ | Real _ | Ts _) -> (
-      match as_float a, as_float b with
-      | Some x, Some y -> Float.compare x y
-      | _ -> assert false)
+  | (Int _ | Real _ | Ts _), (Int _ | Real _ | Ts _) ->
+      Float.compare (num_payload a) (num_payload b)
   | _ ->
       invalid_arg
         (Printf.sprintf "cannot compare %s with %s"

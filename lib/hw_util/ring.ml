@@ -49,9 +49,20 @@ let fold_range f acc t ~pos ~len =
   if pos < 0 || len < 0 || pos + len > t.len then
     invalid_arg "Ring.fold_range: window out of range";
   let acc = ref acc in
-  for i = pos to pos + len - 1 do
-    acc := f !acc (unsafe_get t i)
-  done;
+  let seg lo hi =
+    (* contiguous slice: no per-element [mod] *)
+    for j = lo to hi do
+      match Array.unsafe_get t.data j with
+      | Some x -> acc := f !acc x
+      | None -> assert false
+    done
+  in
+  let first = (t.start + pos) mod t.cap in
+  if first + len <= t.cap then seg first (first + len - 1)
+  else begin
+    seg first (t.cap - 1);
+    seg 0 (first + len - t.cap - 1)
+  end;
   !acc
 
 let lower_bound p t =

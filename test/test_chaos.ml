@@ -354,10 +354,18 @@ let test_timer_survives_injected_crashes () =
   Alcotest.(check int) "crashes surfaced in the error counter" crashes
     (counter_value metrics "event_loop_timer_errors_total")
 
+(* --- compiled plans stay pinned to the interpreter on every seed ----- *)
+
+let test_plan_differential_seeded () = Plan_diff.check_seeded ~seed ~count:300
+
 let () =
   Printf.printf "CHAOS_SEED=%d (export this to replay a failure)\n%!" seed;
   Alcotest.run "hw_chaos"
     [
+      ( "plans",
+        [
+          Alcotest.test_case "plan/interpreter differential" `Quick test_plan_differential_seeded;
+        ] );
       ( "rpc",
         [
           Alcotest.test_case "subscribe under 30% drop" `Quick test_subscribe_under_drop;

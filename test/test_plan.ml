@@ -1,0 +1,275 @@
+(* Compiled query plans: the differential suite pinning Plan/Plan.Inc to
+   the Query interpreter, plus unit tests for the plan cache and the
+   incremental subscription machinery. *)
+
+open Hw_hwdb
+module Registry = Hw_metrics.Registry
+module Counter = Hw_metrics.Counter
+
+let sel_of text =
+  match Parser.parse_select text with Ok s -> s | Error e -> Alcotest.fail e
+
+let mkdb () =
+  let now = ref 100. in
+  let db = Database.create_empty ~metrics:(Registry.create ()) ~now:(fun () -> !now) () in
+  (db, now)
+
+let exec db src =
+  match Database.execute db src with Ok _ -> () | Error e -> Alcotest.fail e
+
+let rows db src =
+  match Database.query db src with Ok rs -> rs.Query.rows | Error e -> Alcotest.fail e
+
+let stats = Alcotest.(triple int int int)
+
+(* -- plan cache ------------------------------------------------------ *)
+
+let test_cache_hit_miss () =
+  let db, _ = mkdb () in
+  exec db "CREATE TABLE E (n INTEGER)";
+  exec db "INSERT INTO E VALUES (1)";
+  let q = "SELECT n FROM E" in
+  Alcotest.check stats "fresh cache" (0, 0, 0) (Database.plan_cache_stats db);
+  Alcotest.(check (list (list string)))
+    "first run answers"
+    [ [ "1" ] ]
+    (List.map (List.map Value.to_string) (rows db q));
+  Alcotest.check stats "first run misses" (0, 1, 0) (Database.plan_cache_stats db);
+  ignore (rows db q);
+  Alcotest.check stats "second run hits" (1, 1, 0) (Database.plan_cache_stats db);
+  (* the statement-level entry point shares the same cache *)
+  exec db q;
+  Alcotest.check stats "execute hits too" (2, 1, 0) (Database.plan_cache_stats db);
+  (* cached_select answers without any parser involvement *)
+  (match Database.cached_select db q with
+  | Some (Ok rs) -> Alcotest.(check int) "cached rows" 1 (List.length rs.Query.rows)
+  | _ -> Alcotest.fail "expected a cache hit");
+  Alcotest.check stats "cached_select hit" (3, 1, 0) (Database.plan_cache_stats db)
+
+let test_cache_eviction () =
+  let db, _ = mkdb () in
+  exec db "CREATE TABLE E (n INTEGER)";
+  (* 131 distinct statements through a 128-entry FIFO: 3 evictions *)
+  for i = 1 to 131 do
+    ignore (rows db (Printf.sprintf "SELECT n FROM E WHERE n = %d" i))
+  done;
+  Alcotest.check stats "FIFO evicted the overflow" (0, 131, 3) (Database.plan_cache_stats db);
+  (* the newest statement is still cached, the oldest is not *)
+  ignore (rows db "SELECT n FROM E WHERE n = 131");
+  Alcotest.check stats "newest still cached" (1, 131, 3) (Database.plan_cache_stats db);
+  ignore (rows db "SELECT n FROM E WHERE n = 1");
+  Alcotest.check stats "oldest re-prepared" (1, 132, 4) (Database.plan_cache_stats db)
+
+let test_failed_prepare_not_cached () =
+  let db, _ = mkdb () in
+  (match Database.query db "SELECT n FROM Later" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "query against a missing table succeeded");
+  (match Database.query db "SELECT n FROM Later" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "query against a missing table succeeded");
+  let _, misses, _ = Database.plan_cache_stats db in
+  Alcotest.(check int) "failures re-prepare (never cached)" 2 misses;
+  (* ... which is exactly what lets CREATE TABLE heal the statement *)
+  exec db "CREATE TABLE Later (n INTEGER)";
+  exec db "INSERT INTO Later VALUES (7)";
+  Alcotest.(check (list (list string)))
+    "healed after CREATE TABLE"
+    [ [ "7" ] ]
+    (List.map (List.map Value.to_string) (rows db "SELECT n FROM Later"))
+
+let test_cache_counters_scrape_at_zero () =
+  (* the counter family is registered when the database is created, not
+     on first use, so a scrape of a fresh router shows explicit zeros *)
+  let now = ref 100. in
+  let metrics = Registry.create () in
+  let db = Database.create ~metrics ~now:(fun () -> !now) () in
+  Database.tick db;
+  let metric_row name =
+    match
+      Database.query db
+        (Printf.sprintf "SELECT value FROM Metrics [NOW] WHERE name = '%s'" name)
+    with
+    | Ok { Query.rows = [ [ v ] ]; _ } -> Value.to_string v
+    | Ok _ -> Alcotest.fail (name ^ " not exported exactly once")
+    | Error e -> Alcotest.fail e
+  in
+  List.iter
+    (fun n -> Alcotest.(check string) n "0" (metric_row n))
+    [
+      "hwdb_plan_cache_hits_total";
+      "hwdb_plan_cache_misses_total";
+      "hwdb_plan_cache_evictions_total";
+    ]
+
+let test_eager_resolution_divergence () =
+  (* documented divergence: the interpreter resolves columns per row, so
+     an unknown column over an empty window sails through; the compiled
+     plan rejects it at prepare time *)
+  let db, _ = mkdb () in
+  exec db "CREATE TABLE E (n INTEGER)";
+  let tbl name = Database.table db name in
+  (match Query.exec ~lookup:tbl ~now:100. (sel_of "SELECT ghost FROM E") with
+  | Ok rs -> Alcotest.(check int) "interpreter: lazily fine on empty window" 0 (List.length rs.Query.rows)
+  | Error e -> Alcotest.fail ("interpreter changed behavior: " ^ e));
+  match Database.query db "SELECT ghost FROM E" with
+  | Error e ->
+      Alcotest.(check bool) "plan rejects at prepare" true
+        (Re.execp (Re.compile (Re.str "unknown column")) e)
+  | Ok _ -> Alcotest.fail "prepare accepted an unknown column"
+
+(* -- incremental subscriptions --------------------------------------- *)
+
+let subscribe db text ~period =
+  let results = ref [] in
+  let id =
+    Database.subscribe db ~query:(sel_of text) ~period ~callback:(fun rs ->
+        results := rs :: !results)
+  in
+  (id, results)
+
+let last results =
+  match !results with
+  | rs :: _ -> List.map (List.map Value.to_string) rs.Query.rows
+  | [] -> Alcotest.fail "no delivery"
+
+let test_inc_window_retraction () =
+  let db, now = mkdb () in
+  exec db "CREATE TABLE E (n INTEGER)";
+  let _, results = subscribe db "SELECT n FROM E [RANGE 2 SECONDS]" ~period:1. in
+  exec db "INSERT INTO E VALUES (1)";
+  now := 101.;
+  Database.tick db;
+  Alcotest.(check (list (list string))) "row inside window" [ [ "1" ] ] (last results);
+  exec db "INSERT INTO E VALUES (2)";
+  now := 102.;
+  Database.tick db;
+  Alcotest.(check (list (list string))) "both inside" [ [ "1" ]; [ "2" ] ] (last results);
+  now := 103.;
+  Database.tick db;
+  (* ts=100 left the closed interval [101, 103]; ts=101 is still in *)
+  Alcotest.(check (list (list string))) "oldest retracted" [ [ "2" ] ] (last results);
+  now := 104.;
+  Database.tick db;
+  Alcotest.(check (list (list string))) "window drained" [] (last results)
+
+let test_inc_aggregate () =
+  let db, now = mkdb () in
+  exec db "CREATE TABLE F (who VARCHAR, bytes INTEGER)";
+  let _, results =
+    subscribe db "SELECT who, SUM(bytes) AS b FROM F [RANGE 10 SECONDS] GROUP BY who" ~period:1.
+  in
+  exec db "INSERT INTO F VALUES ('tv', 4)";
+  exec db "INSERT INTO F VALUES ('tv', 6)";
+  exec db "INSERT INTO F VALUES ('phone', 1)";
+  now := 101.;
+  Database.tick db;
+  Alcotest.(check (list (list string)))
+    "groups in first-appearance order"
+    [ [ "tv"; "10" ]; [ "phone"; "1" ] ]
+    (last results);
+  now := 111.5;
+  Database.tick db;
+  Alcotest.(check (list (list string))) "window drained, groups gone" [] (last results)
+
+let test_inc_shared_view_single_eval () =
+  let now = ref 100. in
+  let metrics = Registry.create () in
+  let db = Database.create_empty ~metrics ~now:(fun () -> !now) () in
+  exec db "CREATE TABLE E (n INTEGER)";
+  let text = "SELECT COUNT(*) AS c FROM E" in
+  let _, r1 = subscribe db text ~period:1. in
+  let _, r2 = subscribe db text ~period:1. in
+  let evals () = Counter.value (Registry.counter metrics "hwdb_subscription_evals_total") in
+  now := 101.;
+  Database.tick db;
+  Alcotest.(check int) "one evaluation for two subscribers" 1 (evals ());
+  Alcotest.(check (list (list string))) "first delivered" [ [ "0" ] ] (last r1);
+  Alcotest.(check (list (list string))) "second delivered same snapshot" [ [ "0" ] ] (last r2);
+  now := 102.;
+  Database.tick db;
+  Alcotest.(check int) "still one per tick" 2 (evals ())
+
+let test_inc_clear_resyncs () =
+  let db, now = mkdb () in
+  exec db "CREATE TABLE E (n INTEGER)";
+  let _, results = subscribe db "SELECT COUNT(*) AS c FROM E" ~period:1. in
+  exec db "INSERT INTO E VALUES (1)";
+  exec db "INSERT INTO E VALUES (2)";
+  now := 101.;
+  Database.tick db;
+  Alcotest.(check (list (list string))) "counts both rows" [ [ "2" ] ] (last results);
+  (* the table is cleared underneath the standing query: the safety
+     valve must rebuild from scan instead of serving stale deltas *)
+  Table.clear (Option.get (Database.table db "E"));
+  exec db "INSERT INTO E VALUES (3)";
+  now := 102.;
+  Database.tick db;
+  Alcotest.(check (list (list string))) "resynced after clear" [ [ "1" ] ] (last results)
+
+let test_inc_sub_before_create () =
+  let db, now = mkdb () in
+  let id, results = subscribe db "SELECT n FROM Later [NOW]" ~period:1. in
+  now := 101.;
+  Database.tick db;
+  Alcotest.(check (list string)) "errors silently skipped (no delivery)" [] (
+    List.concat_map (fun rs -> List.map (fun _ -> "x") rs.Query.rows) !results);
+  exec db "CREATE TABLE Later (n INTEGER)";
+  exec db "INSERT INTO Later VALUES (9)";
+  now := 102.;
+  Database.tick db;
+  Alcotest.(check (list (list string))) "starts answering after CREATE" [ [ "9" ] ] (last results);
+  Alcotest.(check bool) "unsubscribe detaches" true (Database.unsubscribe db id);
+  exec db "INSERT INTO Later VALUES (10)";
+  now := 103.;
+  Database.tick db;
+  Alcotest.(check int) "no further deliveries" 0
+    (List.length (List.filter (fun rs -> rs.Query.rows = [ [ Value.Int 10 ] ]) !results))
+
+let test_inc_direct_resync_counter () =
+  let tbl = Table.create ~name:"T" ~capacity:16 [ ("n", Value.T_int) ] in
+  let lookup name = if name = "T" then Some tbl else None in
+  let plan =
+    match Plan.prepare ~lookup (sel_of "SELECT COUNT(*) AS c FROM T") with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let inc = Option.get (Plan.Inc.create plan) in
+  ignore (Table.add_hook tbl (fun tu -> Plan.Inc.observe inc tu));
+  (match Table.insert tbl ~now:100. [ Value.Int 1 ] with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "seeding is not a resync" 0 (Plan.Inc.resyncs inc);
+  ignore (Plan.Inc.result inc ~now:100.);
+  Table.clear tbl;
+  (match Plan.Inc.result inc ~now:101. with
+  | Ok rs -> Alcotest.(check bool) "empty after clear" true (rs.Query.rows = [ [ Value.Int 0 ] ])
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "clear forced one resync" 1 (Plan.Inc.resyncs inc)
+
+(* -- suite ----------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "hw_plan"
+    [
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest (Plan_diff.exec_equivalence ~count:8_000);
+          QCheck_alcotest.to_alcotest (Plan_diff.stream_equivalence ~count:2_500);
+        ] );
+      ( "plan_cache",
+        [
+          Alcotest.test_case "hit/miss accounting" `Quick test_cache_hit_miss;
+          Alcotest.test_case "FIFO eviction at 128" `Quick test_cache_eviction;
+          Alcotest.test_case "failed prepare never cached" `Quick test_failed_prepare_not_cached;
+          Alcotest.test_case "counters scrape at zero" `Quick test_cache_counters_scrape_at_zero;
+          Alcotest.test_case "eager resolution divergence" `Quick test_eager_resolution_divergence;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "RANGE window retraction" `Quick test_inc_window_retraction;
+          Alcotest.test_case "incremental aggregates" `Quick test_inc_aggregate;
+          Alcotest.test_case "shared view evaluates once" `Quick test_inc_shared_view_single_eval;
+          Alcotest.test_case "Table.clear forces resync" `Quick test_inc_clear_resyncs;
+          Alcotest.test_case "subscribe before CREATE TABLE" `Quick test_inc_sub_before_create;
+          Alcotest.test_case "resync counter" `Quick test_inc_direct_resync_counter;
+        ] );
+    ]
