@@ -24,14 +24,28 @@ let device_profiles =
   [| Hw_sim.App_profile.web; Hw_sim.App_profile.video; Hw_sim.App_profile.iot_telemetry |]
 
 let create ?(seed = 7) ?(start = 0.) ?(hop_delay = 0.0005) ?(hwdb_capacity = 256)
-    ?(devices_per_home = 0) ?(lease_s = 30.) ?renew_period ?max_inflight ~n () =
+    ?(devices_per_home = 0) ?(lease_s = 30.) ?renew_period ?max_inflight ?retry ?trace
+    ?trace_capacity ~n () =
   let renew_period = Option.value renew_period ~default:(lease_s /. 6.) in
   let loop = Hw_sim.Event_loop.create ~start () in
   let by_addr = Hashtbl.create (2 * n) in
+  (* the manager tracer needs the loop clock, which exists only now —
+     [trace_capacity] saves callers from threading a clock in early *)
+  let trace =
+    match (trace, trace_capacity) with
+    | Some _, _ -> trace
+    | None, Some capacity ->
+        Some
+          (Hw_trace.Tracer.create ~capacity
+             ~metrics:(Hw_metrics.Registry.create ())
+             ~now:(fun () -> Hw_sim.Event_loop.now loop)
+             ())
+    | None, None -> None
+  in
   (* manager -> router: resolve the session address to its agent after
      one hop. The receive side of a dropped agent simply never fires. *)
   let manager =
-    Manager.create ~lease_s ?max_inflight
+    Manager.create ~lease_s ?max_inflight ?retry ?trace
       ~loop
       ~send:(fun ~to_ data ->
         Hw_sim.Event_loop.after loop hop_delay (fun () ->

@@ -17,6 +17,9 @@ val create :
   ?lease_s:float ->
   ?renew_period:float ->
   ?max_inflight:int ->
+  ?retry:Hw_hwdb.Rpc.Client.retry ->
+  ?trace:Hw_trace.Tracer.t ->
+  ?trace_capacity:int ->
   n:int ->
   unit ->
   t
@@ -29,7 +32,11 @@ val create :
     [devices_per_home] (default 0) attaches that many wireless devices
     per home, pre-permitted, for workloads that need lease/flow
     activity. [lease_s] (default 30) and [renew_period] (default
-    [lease_s / 6]) pace the call-home sessions. *)
+    [lease_s / 6]) pace the call-home sessions. [trace] is handed to
+    the manager — see {!Manager.create}; [trace_capacity] instead
+    builds a manager tracer on the sim clock with that flight-recorder
+    capacity ([trace] wins if both are given). Router-side tracers are
+    per home and always on. *)
 
 val manager : t -> Manager.t
 val loop : t -> Hw_sim.Event_loop.t

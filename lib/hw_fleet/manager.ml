@@ -5,6 +5,8 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 module Rpc = Hw_hwdb.Rpc
 module Query = Hw_hwdb.Query
 module Value = Hw_hwdb.Value
+module Tracer = Hw_trace.Tracer
+module Builder = Hw_trace.Builder
 
 (* One registered router. The session is the router's dialed-out
    call-home connection: [s_client] sends manager->router requests down
@@ -27,6 +29,11 @@ and fleet_sub = {
   mutable fs_active : bool;
 }
 
+type session_event =
+  | Session_up of string  (** first registration of a router id *)
+  | Session_renewed of string
+  | Session_down of string * string  (** router id, reason *)
+
 type t = {
   loop : Hw_sim.Event_loop.t;
   send : to_:string -> string -> unit;
@@ -35,6 +42,8 @@ type t = {
   max_inflight : int;
   seed : int;
   metrics : Hw_metrics.Registry.t;
+  trace : Tracer.t;
+  mutable on_session : session_event -> unit;
   sessions : (string, session) Hashtbl.t; (* by router id *)
   by_addr : (string, session) Hashtbl.t;
   mutable fleet_subs : fleet_sub list;
@@ -55,9 +64,13 @@ type outcome = {
   rows : Value.t list list;
   ok : int;
   errors : (string * string) list;
+  trace : int;
 }
 
 let session_count t = Hashtbl.length t.sessions
+let tracer (t : t) = t.trace
+let metrics (t : t) = t.metrics
+let on_session_event t f = t.on_session <- f
 
 let sessions t =
   Hashtbl.fold (fun id _ acc -> id :: acc) t.sessions [] |> List.sort compare
@@ -121,7 +134,8 @@ let drop_session t s ~reason =
   List.iter (fun (_, sub) -> Rpc.Subscriber.detach sub) s.s_subs;
   s.s_subs <- [];
   Hw_metrics.Gauge.set t.m_sessions (float_of_int (Hashtbl.length t.sessions));
-  Log.debug (fun m -> m "session %s dropped (%s)" s.s_id reason)
+  Log.debug (fun m -> m "session %s dropped (%s)" s.s_id reason);
+  t.on_session (Session_down (s.s_id, reason))
 
 let evict_lapsed t =
   let now = Hw_sim.Event_loop.now t.loop in
@@ -146,6 +160,7 @@ let register t ~from ~id =
         s.s_addr <- from;
         Hashtbl.replace t.by_addr from s
       end;
+      t.on_session (Session_renewed s.s_id);
       s
   | None ->
       let token = t.next_token in
@@ -169,6 +184,7 @@ let register t ~from ~id =
       Hashtbl.replace t.by_addr from s;
       Hw_metrics.Gauge.set t.m_sessions (float_of_int (Hashtbl.length t.sessions));
       List.iter (fun fs -> attach_sub t s fs) t.fleet_subs;
+      t.on_session (Session_up s.s_id);
       s
 
 (* Session-control statements arriving as RPC Requests up the session.
@@ -202,7 +218,10 @@ let handle_request t ~from ~seq statement =
 
 let datagram t ~from data =
   match Rpc.decode data with
-  | Ok (Rpc.Request { seq; statement }) -> handle_request t ~from ~seq statement
+  | Ok (Rpc.Request { seq; statement; ctx = _ }) ->
+      (* session-control statements are manager-terminal; nothing worth
+         tracing hangs below them, so a propagated context is ignored *)
+      handle_request t ~from ~seq statement
   | Ok (Rpc.Response_ok _ | Rpc.Response_error _ | Rpc.Publish _) -> (
       match Hashtbl.find_opt t.by_addr from with
       | Some s -> Rpc.Client.handle_datagram s.s_client data
@@ -211,7 +230,7 @@ let datagram t ~from data =
 
 (* -- federated queries --------------------------------------------- *)
 
-let empty_outcome = { columns = []; rows = []; ok = 0; errors = [] }
+let empty_outcome = { columns = []; rows = []; ok = 0; errors = []; trace = 0 }
 
 let query_fleet t statement ~on_done =
   let targets =
@@ -222,12 +241,23 @@ let query_fleet t statement ~on_done =
   let n = Array.length targets in
   if n = 0 then on_done empty_outcome
   else begin
+    (* The whole federated operation is one causal trace, assembled off
+       the synchronous stack (replies settle from RPC callbacks in
+       arbitrary order): a fleet.query root, one child span per router
+       carrying the router id, and the propagated (trace_id, span) pair
+       that roots each router's server-side handler under its span. *)
+    let tb =
+      Builder.start t.trace "fleet.query"
+        ~attrs:[ ("statement", Tracer.Str statement); ("routers", Tracer.Int n) ]
+    in
     (* per-target slots keep the merge deterministic (id order)
        regardless of reply arrival order *)
     let results = Array.make n None in
+    let spans = Array.make n 0 in
     let remaining = ref n in
     let launched = ref 0 in
     let finish () =
+      let merge = Builder.open_span tb "fleet.merge" in
       let columns = ref [] in
       let rows = ref [] in
       let ok = ref 0 in
@@ -248,16 +278,38 @@ let query_fleet t statement ~on_done =
               else errors := (id, "fleet: column mismatch in federated merge") :: !errors)
         results;
       let columns = if !columns = [] then [ "router" ] else "router" :: !columns in
+      Builder.set_attr tb merge "ok" (Tracer.Int !ok);
+      Builder.set_attr tb merge "errors" (Tracer.Int (List.length !errors));
+      Builder.close_span tb merge;
+      let trace = Builder.id tb in
+      Builder.finish tb;
       on_done
-        { columns; rows = List.rev !rows; ok = !ok; errors = List.rev !errors }
+        { columns; rows = List.rev !rows; ok = !ok; errors = List.rev !errors; trace }
     in
     let rec launch () =
       if !launched < n then begin
         let i = !launched in
         incr launched;
         Hw_metrics.Counter.incr t.m_fanout_requests;
-        Rpc.Client.request targets.(i).s_client statement ~on_reply:(fun reply ->
-            (if Result.is_error reply then Hw_metrics.Counter.incr t.m_fanout_errors);
+        let s = targets.(i) in
+        let span =
+          Builder.open_span tb "fleet.rpc" ~attrs:[ ("router", Tracer.Str s.s_id) ]
+        in
+        spans.(i) <- span;
+        let ctx =
+          if span = 0 then None else Some { Rpc.trace_id = Builder.id tb; parent_span = span }
+        in
+        let on_settled =
+          if span = 0 then None
+          else Some (fun ~attempts -> Builder.set_attr tb span "attempts" (Tracer.Int attempts))
+        in
+        Rpc.Client.request s.s_client ?ctx ?on_settled statement ~on_reply:(fun reply ->
+            (match reply with
+            | Error msg ->
+                Hw_metrics.Counter.incr t.m_fanout_errors;
+                Builder.mark_error tb span msg
+            | Ok _ -> ());
+            Builder.close_span tb span;
             results.(i) <- Some reply;
             decr remaining;
             if !remaining = 0 then finish () else launch ())
@@ -279,9 +331,9 @@ let query t statement ~on_done =
   | Error msg -> on_done { empty_outcome with errors = [ ("manager", msg) ] }
   | Ok _ -> query_fleet t statement ~on_done
 
-let create ?(metrics = Hw_metrics.Registry.create ()) ?(lease_s = 30.)
-    ?(retry = Rpc.Client.default_retry) ?(max_inflight = 64) ?(seed = 0xf1ee7) ~loop ~send ()
-    =
+let create ?(metrics = Hw_metrics.Registry.create ()) ?(trace = Tracer.disabled)
+    ?(lease_s = 30.) ?(retry = Rpc.Client.default_retry) ?(max_inflight = 64)
+    ?(seed = 0xf1ee7) ~loop ~send () =
   let counter name help = Hw_metrics.Registry.counter metrics name ~help in
   let t =
     {
@@ -292,6 +344,8 @@ let create ?(metrics = Hw_metrics.Registry.create ()) ?(lease_s = 30.)
       max_inflight;
       seed;
       metrics;
+      trace;
+      on_session = ignore;
       sessions = Hashtbl.create 64;
       by_addr = Hashtbl.create 64;
       fleet_subs = [];

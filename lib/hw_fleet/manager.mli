@@ -19,6 +19,7 @@ type t
 
 val create :
   ?metrics:Hw_metrics.Registry.t ->
+  ?trace:Hw_trace.Tracer.t ->
   ?lease_s:float ->
   ?retry:Rpc.Client.retry ->
   ?max_inflight:int ->
@@ -28,13 +29,22 @@ val create :
   unit ->
   t
 (** [send] transmits one datagram down the held call-home session to a
-    router's transport address. [lease_s] (default 30) is the session
+    router's transport address. [trace] (default
+    {!Hw_trace.Tracer.disabled}) records one [fleet.query] trace per
+    federated query: a per-router [fleet.rpc] child span carries the
+    router id, retry count and error/timeout marks, and its
+    (trace id, span id) pair is propagated in the RPC {!Rpc.context} so
+    each router's server-side handler roots under it — one causal trace
+    across the fleet. [lease_s] (default 30) is the session
     lease: a router whose [FLEET REGISTER] renewals stop arriving is
     evicted within [lease_s] to [1.5 * lease_s]. [retry] shapes the
     per-router timeout/retry of manager-to-router requests (default
     {!Rpc.Client.default_retry}); [max_inflight] (default 64) bounds
     concurrent fan-out requests per federated query. [seed] drives the
     deterministic retry jitter. *)
+
+val tracer : t -> Hw_trace.Tracer.t
+val metrics : t -> Hw_metrics.Registry.t
 
 val datagram : t -> from:string -> string -> unit
 (** Feed one datagram arriving up a call-home session. [Request]
@@ -54,6 +64,17 @@ val registrations_total : t -> int
 
 val evictions_total : t -> int
 
+type session_event =
+  | Session_up of string  (** first registration of a router id *)
+  | Session_renewed of string  (** lease renewal (repeat FLEET REGISTER) *)
+  | Session_down of string * string  (** router id, reason *)
+
+val on_session_event : t -> (session_event -> unit) -> unit
+(** Install the (single) session-lifecycle observer — the hook the
+    observability plane's health model hangs off. Replaces any previous
+    observer; the callback runs synchronously inside session
+    bookkeeping, so it must not re-enter the manager. *)
+
 (** {2 Federated queries} *)
 
 type outcome = {
@@ -64,6 +85,11 @@ type outcome = {
   errors : (string * string) list;
       (** (router id, error) for routers that timed out or refused;
           federated queries return partial results, they never hang *)
+  trace : int;
+      (** trace id of the fan-out's [fleet.query] trace, 0 when
+          untraced or no routers were registered — lets callers tag
+          derived records (health transitions, scrape rows) with the
+          causal trace *)
 }
 
 val query : t -> string -> on_done:(outcome -> unit) -> unit

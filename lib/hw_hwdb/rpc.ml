@@ -3,8 +3,10 @@ open Hw_util
 let magic = 0x4877 (* "Hw" *)
 let version = 1
 
+type context = { trace_id : int; parent_span : int }
+
 type message =
-  | Request of { seq : int32; statement : string }
+  | Request of { seq : int32; statement : string; ctx : context option }
   | Response_ok of { seq : int32; result : Query.result_set option }
   | Response_error of { seq : int32; message : string }
   | Publish of { subscription : int; result : Query.result_set }
@@ -73,10 +75,20 @@ let encode msg =
   Wire.Writer.u16 w magic;
   Wire.Writer.u8 w version;
   (match msg with
-  | Request { seq; statement } ->
+  | Request { seq; statement; ctx } -> (
       Wire.Writer.u8 w 1;
       Wire.Writer.u32 w seq;
-      write_string w statement
+      write_string w statement;
+      (* Trace context rides as an optional trailing block: a context-free
+         request is byte-identical to the version-1 frame, and decoders
+         that predate the block stop reading at the statement and ignore
+         the trailer — compatible in both directions. *)
+      match ctx with
+      | None -> ()
+      | Some c ->
+          Wire.Writer.u8 w 1;
+          Wire.Writer.u64 w (Int64.of_int c.trace_id);
+          Wire.Writer.u32_int w c.parent_span)
   | Response_ok { seq; result } ->
       Wire.Writer.u8 w 2;
       Wire.Writer.u32 w seq;
@@ -106,7 +118,22 @@ let decode buf =
       match Wire.Reader.u8 r ~field:"rpc.type" with
       | 1 ->
           let seq = Wire.Reader.u32 r ~field:"rpc.seq" in
-          Ok (Request { seq; statement = read_string r ~field:"rpc.statement" })
+          let statement = read_string r ~field:"rpc.statement" in
+          let ctx =
+            if
+              Wire.Reader.remaining r > 0
+              && Wire.Reader.peek_u8 r ~field:"rpc.ctx.flag" = 1
+            then begin
+              ignore (Wire.Reader.u8 r ~field:"rpc.ctx.flag");
+              let trace_id =
+                Int64.to_int (Wire.Reader.u64 r ~field:"rpc.ctx.trace_id")
+              in
+              let parent_span = Wire.Reader.u32_int r ~field:"rpc.ctx.parent_span" in
+              Some { trace_id; parent_span }
+            end
+            else None
+          in
+          Ok (Request { seq; statement; ctx })
       | 2 ->
           let seq = Wire.Reader.u32 r ~field:"rpc.seq" in
           let has_result = Wire.Reader.u8 r ~field:"rpc.has_result" <> 0 in
@@ -282,7 +309,7 @@ module Server = struct
   let handle_datagram t ~from data =
     Hw_metrics.Counter.incr t.m_in;
     match decode data with
-    | Ok (Request { seq; statement }) -> (
+    | Ok (Request { seq; statement; ctx }) -> (
         (* (sender, seq, statement) identifies a request across retries;
            a hit replays the cached response without re-executing, so a
            retried INSERT is applied exactly once *)
@@ -293,20 +320,29 @@ module Server = struct
             send t ~to_:from cached
         | None ->
             (* an RPC query is an event lifecycle of its own: root a trace
-               so the statement's hwdb work is causally recorded *)
-            Tracer.with_trace t.trace "rpc.request"
-              ~attrs:
-                (if Tracer.enabled t.trace then
-                   [ ("from", Tracer.Str from); ("statement", Tracer.Str statement) ]
-                 else [])
-              (fun () ->
-                let response = handle_request t ~from seq statement in
-                let data = encode response in
-                Hashtbl.replace t.dedup dkey data;
-                Queue.add dkey t.dedup_order;
-                if Queue.length t.dedup_order > t.dedup_cap then
-                  Hashtbl.remove t.dedup (Queue.pop t.dedup_order);
-                send t ~to_:from data))
+               so the statement's hwdb work is causally recorded. A request
+               carrying propagated context roots under the REMOTE trace id
+               instead, stitching this node's spans into the caller's
+               distributed trace. *)
+            let attrs =
+              if Tracer.enabled t.trace then
+                [ ("from", Tracer.Str from); ("statement", Tracer.Str statement) ]
+              else []
+            in
+            let serve () =
+              let response = handle_request t ~from seq statement in
+              let data = encode response in
+              Hashtbl.replace t.dedup dkey data;
+              Queue.add dkey t.dedup_order;
+              if Queue.length t.dedup_order > t.dedup_cap then
+                Hashtbl.remove t.dedup (Queue.pop t.dedup_order);
+              send t ~to_:from data
+            in
+            (match ctx with
+            | Some { trace_id; parent_span } ->
+                Tracer.with_remote_trace t.trace ~trace_id ~parent_span
+                  "rpc.request" ~attrs serve
+            | None -> Tracer.with_trace t.trace "rpc.request" ~attrs serve))
     | Ok _ ->
         Hw_metrics.Counter.incr t.m_dropped;
         Log.debug (fun m -> m "non-request datagram from %s dropped" from)
@@ -345,7 +381,9 @@ module Client = struct
 
   type pending = {
     p_statement : string;
+    p_ctx : context option; (* retransmits must carry the same context *)
     p_reply : (Query.result_set option, string) result -> unit;
+    p_settled : (attempts:int -> unit) option;
     mutable p_attempt : int;
   }
 
@@ -412,23 +450,35 @@ module Client = struct
                   Hw_metrics.Counter.incr t.m_timeouts;
                   Log.debug (fun m ->
                       m "request %ld timed out after %d attempts" seq attempt);
+                  (match p.p_settled with
+                  | Some f -> f ~attempts:attempt
+                  | None -> ());
                   p.p_reply
                     (Error (Printf.sprintf "rpc: timed out after %d attempts" attempt))
                 end
                 else begin
                   p.p_attempt <- attempt + 1;
                   Hw_metrics.Counter.incr t.m_retries;
-                  t.send (encode (Request { seq; statement = p.p_statement }));
+                  t.send
+                    (encode (Request { seq; statement = p.p_statement; ctx = p.p_ctx }));
                   arm t seq p
                 end
             | _ -> () (* answered (or superseded) in the meantime *))
 
-  let request t statement ~on_reply =
+  let request t ?ctx ?on_settled statement ~on_reply =
     let seq = t.next_seq in
     t.next_seq <- Int32.add seq 1l;
-    let p = { p_statement = statement; p_reply = on_reply; p_attempt = 1 } in
+    let p =
+      {
+        p_statement = statement;
+        p_ctx = ctx;
+        p_reply = on_reply;
+        p_settled = on_settled;
+        p_attempt = 1;
+      }
+    in
     Hashtbl.replace t.pending seq p;
-    t.send (encode (Request { seq; statement }));
+    t.send (encode (Request { seq; statement; ctx }));
     arm t seq p
 
   let on_publish t f = t.publish_handlers <- t.publish_handlers @ [ f ]
@@ -437,6 +487,9 @@ module Client = struct
     match Hashtbl.find_opt t.pending seq with
     | Some p ->
         Hashtbl.remove t.pending seq;
+        (match p.p_settled with
+        | Some f -> f ~attempts:p.p_attempt
+        | None -> ());
         p.p_reply outcome
     | None -> () (* duplicate response after a retry raced the original *)
 

@@ -7,8 +7,16 @@
     interfaces. Addresses are opaque strings ("host:port" in the
     simulation). *)
 
+type context = { trace_id : int; parent_span : int }
+(** Distributed-trace propagation context: the caller's trace id and the
+    span id of the caller's span that issued the request. Rides on the
+    wire as an optional trailing block after the statement, so a
+    context-free request is byte-identical to the pre-context frame and
+    decoders that predate the block ignore the trailer — old and new
+    peers interoperate in both directions. *)
+
 type message =
-  | Request of { seq : int32; statement : string }
+  | Request of { seq : int32; statement : string; ctx : context option }
   | Response_ok of { seq : int32; result : Query.result_set option }
   | Response_error of { seq : int32; message : string }
   | Publish of { subscription : int; result : Query.result_set }
@@ -41,7 +49,10 @@ module Server : sig
       the rpc_datagrams_{in,out,dropped}_total counters; it defaults to
       [Database.metrics db] so RPC traffic shows up in the database's own
       [Metrics] table. [trace] (default [Database.tracer db]) roots an
-      [rpc.request] trace around each request statement. [now] (default
+      [rpc.request] trace around each request statement; a request
+      carrying a trace {!context} roots under the remote trace id and
+      parent span instead, so one federated query yields one cross-node
+      trace. [now] (default
       [Database.clock db]) times subscription leases: a subscriber that
       does not renew (re-SUBSCRIBE) within [lease_periods] publish
       periods is evicted at its next publish instant. [dedup_window] is
@@ -101,8 +112,16 @@ module Client : sig
       [rpc_request_timeouts_total]. *)
 
   val request :
-    t -> string ->
+    t ->
+    ?ctx:context ->
+    ?on_settled:(attempts:int -> unit) ->
+    string ->
     on_reply:((Query.result_set option, string) result -> unit) -> unit
+  (** [ctx] is carried on the request frame (and every retransmit of it)
+      so the server roots its handler trace under the caller's span.
+      [on_settled ~attempts] fires once, just before [on_reply], with the
+      number of attempts the request took (1 = no retries) — whether it
+      settled by reply or by final timeout. *)
 
   val on_publish : t -> (subscription:int -> Query.result_set -> unit) -> unit
 

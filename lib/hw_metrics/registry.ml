@@ -8,10 +8,17 @@ exception Kind_mismatch of string
 type t = {
   by_name : (string, instrument) Hashtbl.t;
   mutable order : string list; (* reverse registration order *)
+  families : (string, int) Hashtbl.t; (* labeled series count per display name *)
+  mutable max_label_series : int;
 }
 
-let create () = { by_name = Hashtbl.create 32; order = [] }
+let default_max_label_series = 128
+
+let create ?(max_label_series = default_max_label_series) () =
+  { by_name = Hashtbl.create 32; order = []; families = Hashtbl.create 8; max_label_series }
+
 let default = create ()
+let set_max_label_series t n = t.max_label_series <- n
 
 let name_char_ok i c =
   match c with
@@ -52,11 +59,37 @@ let counter t ?(help = "") name =
 
 (* Labeled counters register under a sanitized name+labels key so each
    label combination is its own series; the counter itself keeps the
-   display name and labels for export. *)
+   display name and labels for export.
+
+   Cardinality guard: at most [max_label_series] distinct label
+   combinations per family (display name). Once a family is at the cap,
+   a *new* combination collapses into the family's single __overflow__
+   series (every label value replaced) and bumps
+   metrics_cardinality_overflow_total — so a label fed from unbounded
+   input (router ids, client-supplied names) degrades to one aggregate
+   series instead of growing the registry without bound. Combinations
+   registered before the cap keep working. *)
+let series_key name labels =
+  sanitize_name (String.concat "_" (name :: List.concat_map (fun (k, v) -> [ k; v ]) labels))
+
 let labeled_counter t ?(help = "") name ~labels =
-  let key =
-    sanitize_name
-      (String.concat "_" (name :: List.concat_map (fun (k, v) -> [ k; v ]) labels))
+  let key = series_key name labels in
+  let labels, key =
+    if Hashtbl.mem t.by_name key then (labels, key)
+    else begin
+      let n = Option.value (Hashtbl.find_opt t.families name) ~default:0 in
+      if n < t.max_label_series then begin
+        Hashtbl.replace t.families name (n + 1);
+        (labels, key)
+      end
+      else begin
+        Counter.incr
+          (counter t "metrics_cardinality_overflow_total"
+             ~help:"Labeled-series requests redirected to __overflow__ by the cardinality cap");
+        let labels = List.map (fun (k, _) -> (k, "__overflow__")) labels in
+        (labels, series_key name labels)
+      end
+    end
   in
   register t key
     (fun () -> Counter.create_labeled ~labels ~name ~help)

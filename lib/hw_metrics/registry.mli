@@ -22,7 +22,10 @@ type instrument =
 
 exception Kind_mismatch of string
 
-val create : unit -> t
+val create : ?max_label_series:int -> unit -> t
+(** [max_label_series] (default 128) caps the distinct label
+    combinations each labeled-metric family may register — see
+    {!labeled_counter}. *)
 
 val default : t
 (** The process-wide registry components fall back to when none is
@@ -42,7 +45,16 @@ val labeled_counter :
     [fault_injected_total{kind="drop"}]). The registry key is the
     sanitized concatenation of name and labels, so each label
     combination is a distinct instrument while every series shares the
-    display name. *)
+    display name.
+
+    Each family holds at most [max_label_series] distinct combinations:
+    once at the cap, a new combination is redirected to the family's
+    [__overflow__] series (every label value replaced) and
+    [metrics_cardinality_overflow_total] is bumped, so labels fed from
+    unbounded input (per-router ids) cannot grow the registry without
+    bound. Previously registered combinations are unaffected. *)
+
+val set_max_label_series : t -> int -> unit
 
 val sampled_histogram : t -> ?help:string -> every:int -> string -> Sampled.t
 (** A {!Sampled} wrapper over [histogram t name]. The sampler itself is

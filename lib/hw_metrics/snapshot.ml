@@ -12,14 +12,35 @@ let histogram_stats h =
     ("p99", Histogram.percentile h 99.);
   ]
 
-(* Prometheus label syntax: {k="v",...}. OCaml's %S escaping covers the
-   three sequences the exposition format defines (backslash, quote,
-   newline). *)
+(* The exposition format defines exactly three label-value escapes:
+   backslash, double-quote and line feed. OCaml's %S is close but not
+   it — it also rewrites every non-printable byte to a decimal escape
+   ("\233"), which a Prometheus scraper would take literally. *)
+let escape_label_value v =
+  let n = String.length v in
+  let plain = ref true in
+  String.iter (fun c -> if c = '\\' || c = '"' || c = '\n' then plain := false) v;
+  if !plain then v
+  else begin
+    let buf = Buffer.create (n + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      v;
+    Buffer.contents buf
+  end
+
+(* Prometheus label syntax: {k="v",...} *)
 let label_str = function
   | [] -> ""
   | labels ->
       "{"
-      ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v)) labels)
       ^ "}"
 
 let rows reg =

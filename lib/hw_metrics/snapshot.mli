@@ -21,3 +21,14 @@ val to_json : Registry.t -> Hw_json.Json.t
 val render_prometheus : Registry.t -> string
 (** Prometheus text exposition: counters and gauges as scalar samples,
     histograms as summaries ([{quantile="0.5"}] etc. plus [_count]/[_sum]). *)
+
+val float_str : float -> string
+(** Prometheus text-format float: plain decimal, no OCaml ["1."]
+    artifacts. *)
+
+val escape_label_value : string -> string
+(** Escape a label value per the exposition format — exactly backslash,
+    double-quote and newline; every other byte passes through verbatim
+    (unlike OCaml's [%S]). Shared with any renderer that emits labels
+    outside {!render_prometheus} (the fleet observability plane tags
+    series with router-supplied ids). *)

@@ -1,0 +1,50 @@
+(** One bounded, downsampled time series.
+
+    Three tiers: a raw ring of (timestamp, value) samples as scraped,
+    plus two downsampled rings of fixed-width buckets (10 s and 60 s by
+    default). A sample lands in the raw ring and in the open bucket of
+    each tier; when a sample starts a later bucket, the open bucket is
+    sealed into its ring. Every tier is a fixed-size circular buffer
+    over unboxed float arrays, so memory per series is bounded and
+    allocated once at {!create} — the property that lets a manager hold
+    series for a 1k-router fleet.
+
+    Buckets keep both the last and the max value seen: last is the
+    right downsample for the cumulative counters a scrape mostly
+    carries, max preserves gauge spikes that a last-write would erase. *)
+
+type t
+
+type tier = [ `Raw | `S10 | `S60 ]
+
+val create :
+  ?raw_capacity:int -> ?s10_capacity:int -> ?s60_capacity:int ->
+  ?s10_bucket:float -> ?s60_bucket:float -> unit -> t
+(** Capacities default to 32 samples/buckets per tier; bucket widths to
+    10 s and 60 s. *)
+
+val push : t -> ts:float -> float -> unit
+(** Record one sample. Timestamps must be non-decreasing (scrape order);
+    an out-of-order sample is folded into the open bucket. *)
+
+val samples : t -> int
+(** Total samples ever pushed. *)
+
+val last : t -> float
+(** Most recent value ([nan] before the first push). *)
+
+val last_ts : t -> float
+
+val points : t -> tier -> (float * float) list
+(** (timestamp, value) oldest first. For bucket tiers the value is the
+    bucket's last sample and the open bucket is included. *)
+
+val max_points : t -> tier -> (float * float) list
+(** Like {!points} but bucket maxima ([`Raw] maxima are the samples). *)
+
+val occupancy : t -> tier -> int * int
+(** (length, capacity) of the tier's ring — length never exceeds
+    capacity no matter how many samples were pushed. *)
+
+val footprint_floats : t -> int
+(** Fixed allocation of the series, in floats — for memory accounting. *)

@@ -1,0 +1,129 @@
+(* Off-stack span-tree assembly for callback-driven work.
+
+   Tracer's span stack models one synchronous lifecycle; the fleet
+   manager's federated fan-out instead interleaves many in-flight
+   requests whose spans open and close from RPC callbacks in arbitrary
+   order. A Builder holds that tree by span id until the operation
+   settles, then hands the finished record to Tracer.record so it lands
+   in the same flight recorder (and export surfaces) as stack traces. *)
+
+type t = {
+  tracer : Tracer.t;
+  id : int; (* trace id; 0 = inert (tracer disabled) *)
+  start : float;
+  by_id : (int, Tracer.span) Hashtbl.t;
+  open_spans : (int, unit) Hashtbl.t;
+  mutable next_span : int;
+  mutable errored : bool;
+  mutable finished : bool;
+}
+
+let inert tracer =
+  {
+    tracer;
+    id = 0;
+    start = 0.;
+    by_id = Hashtbl.create 1;
+    open_spans = Hashtbl.create 1;
+    next_span = 1;
+    errored = false;
+    finished = true;
+  }
+
+let start tracer ?(attrs = []) name =
+  if not (Tracer.enabled tracer) then inert tracer
+  else begin
+    let id = Tracer.next_id tracer in
+    let start = Tracer.time tracer in
+    let b =
+      {
+        tracer;
+        id;
+        start;
+        by_id = Hashtbl.create 64;
+        open_spans = Hashtbl.create 16;
+        next_span = 2;
+        errored = false;
+        finished = false;
+      }
+    in
+    let root : Tracer.span =
+      { span_id = 1; parent = 0; name; start; duration = 0.; attrs; error = None }
+    in
+    Hashtbl.replace b.by_id 1 root;
+    Hashtbl.replace b.open_spans 1 ();
+    b
+  end
+
+let active b = b.id <> 0 && not b.finished
+let id b = b.id
+let root b = if b.id = 0 then 0 else 1
+
+let open_span b ?(parent = 1) ?(attrs = []) name =
+  if not (active b) then 0
+  else begin
+    let span_id = b.next_span in
+    b.next_span <- span_id + 1;
+    let s : Tracer.span =
+      {
+        span_id;
+        parent = (if parent < 0 then 0 else parent);
+        name;
+        start = Tracer.time b.tracer;
+        duration = 0.;
+        attrs;
+        error = None;
+      }
+    in
+    Hashtbl.replace b.by_id span_id s;
+    Hashtbl.replace b.open_spans span_id ();
+    span_id
+  end
+
+(* Attrs may arrive after a span closes (a retry count settles only once
+   the client gives up or succeeds), so lookups go through by_id, not
+   the open set. *)
+let set_attr b span key v =
+  if b.id = 0 then ()
+  else
+    match Hashtbl.find_opt b.by_id span with
+    | None -> ()
+    | Some s -> s.attrs <- (key, v) :: s.attrs
+
+let mark_error b span msg =
+  if b.id = 0 then ()
+  else
+    match Hashtbl.find_opt b.by_id span with
+    | None -> ()
+    | Some s ->
+        s.error <- Some msg;
+        b.errored <- true
+
+(* id = 0 short-circuits keep the inert (untraced) per-RPC path to a
+   couple of loads and branches — no generic hash on the empty table *)
+let close_span b span =
+  if b.id <> 0 && Hashtbl.mem b.open_spans span then begin
+    Hashtbl.remove b.open_spans span;
+    match Hashtbl.find_opt b.by_id span with
+    | None -> ()
+    | Some s -> s.duration <- Tracer.time b.tracer -. s.start
+  end
+
+let finish b =
+  if active b then begin
+    b.finished <- true;
+    let now = Tracer.time b.tracer in
+    Hashtbl.iter
+      (fun id () ->
+        match Hashtbl.find_opt b.by_id id with
+        | Some s -> s.duration <- now -. s.start
+        | None -> ())
+      b.open_spans;
+    Hashtbl.reset b.open_spans;
+    let spans = Array.of_seq (Hashtbl.to_seq_values b.by_id) in
+    Array.sort
+      (fun (a : Tracer.span) (b : Tracer.span) -> compare a.span_id b.span_id)
+      spans;
+    Tracer.record b.tracer
+      { id = b.id; start = b.start; duration = now -. b.start; errored = b.errored; spans }
+  end

@@ -1,0 +1,44 @@
+(** Off-stack span-tree assembly for callback-driven work.
+
+    {!Tracer}'s span stack models one synchronous lifecycle; operations
+    that settle through callbacks — the fleet manager's federated
+    fan-out, where dozens of per-router spans are open at once and close
+    in reply order — assemble their tree here instead. Spans are
+    addressed by their dense ids (1 = root); {!finish} hands the
+    completed record to [Tracer.record], so builder traces share the
+    flight recorder, ids, and export surfaces with stack traces.
+
+    A builder made against a disabled tracer is inert: [id] is 0,
+    {!open_span} returns 0, and every other operation is a no-op. *)
+
+type t
+
+val start : Tracer.t -> ?attrs:(string * Tracer.attr) list -> string -> t
+(** Allocate a trace id and open the root span (span id 1). *)
+
+val active : t -> bool
+(** [true] until {!finish} (always [false] for an inert builder). *)
+
+val id : t -> int
+(** Trace id (0 when inert) — the value propagated in RPC context. *)
+
+val root : t -> int
+(** Root span id: 1, or 0 when inert. *)
+
+val open_span : t -> ?parent:int -> ?attrs:(string * Tracer.attr) list -> string -> int
+(** Open a child span (default parent: the root); returns its span id,
+    or 0 when the builder is inert/finished. *)
+
+val set_attr : t -> int -> string -> Tracer.attr -> unit
+(** Attach an attribute to a span by id — allowed after the span closed
+    (a retry count settles only once the client gives up or succeeds). *)
+
+val mark_error : t -> int -> string -> unit
+(** Mark a span (and the trace) errored. *)
+
+val close_span : t -> int -> unit
+(** Close a span, stamping its duration; idempotent. *)
+
+val finish : t -> unit
+(** Close the root and any spans still open, then record the completed
+    trace into the tracer's flight recorder. Idempotent. *)

@@ -93,8 +93,12 @@ let mark_error t msg =
       s.error <- Some msg;
       t.errored <- true
 
-let open_span t name attrs =
-  let parent = match t.stack with [] -> 0 | p :: _ -> p.span_id in
+let open_span ?parent t name attrs =
+  let parent =
+    match parent with
+    | Some p -> p
+    | None -> ( match t.stack with [] -> 0 | p :: _ -> p.span_id)
+  in
   (* span ids are allocated densely in open order, starting at 1 *)
   let span_id = List.length t.finished + List.length t.stack + 1 in
   let s =
@@ -156,6 +160,17 @@ let with_span t ?(attrs = []) name f =
         raise exn
   end
 
+let run_as_root t root f =
+  match f () with
+  | v ->
+      finish_trace t root;
+      v
+  | exception exn ->
+      root.error <- Some (Printexc.to_string exn);
+      t.errored <- true;
+      finish_trace t root;
+      raise exn
+
 let with_trace t ?attrs name f =
   if not t.enabled then f ()
   else if t.trace_id <> 0 then with_span t ?attrs name f
@@ -164,15 +179,45 @@ let with_trace t ?attrs name f =
     t.trace_id <- t.next_trace_id;
     t.next_trace_id <- t.next_trace_id + 1;
     let root = open_span t name (Option.value attrs ~default:[]) in
-    match f () with
-    | v ->
-        finish_trace t root;
-        v
-    | exception exn ->
-        root.error <- Some (Printexc.to_string exn);
-        t.errored <- true;
-        finish_trace t root;
-        raise exn
+    run_as_root t root f
+  end
+
+(* A trace whose causal parent lives on another node (an RPC request
+   carrying propagated context): the root records under the REMOTE trace
+   id with its parent pointing at the remote span, so every node's
+   flight-recorder rows for one distributed operation share a trace id
+   and link into one tree. Span ids stay locally dense — the id
+   namespace is per node, only (trace_id, parent-of-root) cross. *)
+let with_remote_trace t ~trace_id ~parent_span ?attrs name f =
+  if not t.enabled then f ()
+  else if t.trace_id <> 0 then with_span t ?attrs name f
+  else if trace_id <= 0 then with_trace t ?attrs name f
+  else begin
+    Hw_metrics.Counter.incr t.m_started;
+    t.trace_id <- trace_id;
+    let root =
+      open_span ~parent:(max 0 parent_span) t name (Option.value attrs ~default:[])
+    in
+    run_as_root t root f
+  end
+
+let current_span t = match t.stack with [] -> 0 | s :: _ -> s.span_id
+
+(* Allocation + ingest hooks for externally assembled traces
+   (Hw_trace.Builder drives these for async span trees that cannot live
+   on the synchronous stack). *)
+let next_id t =
+  Hw_metrics.Counter.incr t.m_started;
+  let id = t.next_trace_id in
+  t.next_trace_id <- t.next_trace_id + 1;
+  id
+
+let record t (c : completed) =
+  if t.enabled && Array.length c.spans > 0 then begin
+    Ring.push t.recorder c;
+    Hw_metrics.Counter.incr t.m_kept;
+    Hw_metrics.Counter.add t.m_spans (Array.length c.spans);
+    Hw_metrics.Histogram.observe t.h_duration c.duration
   end
 
 let time t = t.now ()

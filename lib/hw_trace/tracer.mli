@@ -78,6 +78,26 @@ val with_span : t -> ?attrs:(string * attr) list -> string -> (unit -> 'a) -> 'a
 (** Child span around one hop. Outside any trace: calls [f] directly
     (one branch, no allocation, no clock read). *)
 
+val with_remote_trace :
+  t ->
+  trace_id:int ->
+  parent_span:int ->
+  ?attrs:(string * attr) list ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** Like {!with_trace}, but the trace's causal parent lives on another
+    node: the completed record carries the propagated [trace_id] (not a
+    locally allocated one) and the root span's [parent] is the remote
+    [parent_span], so flight-recorder rows across nodes stitch into one
+    distributed tree by trace id. Span ids remain locally dense — the
+    span-id namespace is per node. Degrades to {!with_span} inside an
+    active trace and to {!with_trace} when [trace_id <= 0]. *)
+
+val current_span : t -> int
+(** Span id of the innermost open span; 0 outside a trace. Pair with
+    {!trace_id} to build propagation context for an outgoing request. *)
+
 val in_trace : t -> bool
 (** [true] while a trace is active — guard attribute computation with
     this so the untraced path stays allocation-free. *)
@@ -95,6 +115,21 @@ val mark_error : t -> string -> unit
 
 val time : t -> float
 (** The tracer's clock (0 for {!disabled}). *)
+
+(** {2 Ingest of externally assembled traces}
+
+    The stack discipline above fits one synchronous lifecycle. Work that
+    completes through callbacks — the fleet manager's federated fan-out —
+    assembles its span tree off-stack (see {!Builder}) and hands the
+    finished record in here. *)
+
+val next_id : t -> int
+(** Allocate a fresh trace id (counts toward [trace_started_total]). *)
+
+val record : t -> completed -> unit
+(** Push an externally assembled trace into the flight recorder,
+    updating kept/span counters and the duration histogram. No-op when
+    the tracer is disabled or the record has no spans. *)
 
 (** {2 Flight recorder readout} *)
 

@@ -264,6 +264,7 @@ let test_subscriber_eviction_bounds_leak () =
             {
               seq = !next_seq;
               statement = "SUBSCRIBE SELECT COUNT(*) AS n FROM Flows EVERY 1 SECONDS";
+              ctx = None;
             }))
   in
   for i = 1 to 25 do
@@ -301,7 +302,7 @@ let test_rpc_server_fuzz () =
       ~send:(fun ~to_ datagram -> if to_ = "good-client" then replies := datagram :: !replies)
       ()
   in
-  let valid = Rpc.encode (Rpc.Request { seq = 7l; statement = "SELECT mac FROM Leases" }) in
+  let valid = Rpc.encode (Rpc.Request { seq = 7l; statement = "SELECT mac FROM Leases"; ctx = None }) in
   let random_bytes n = String.init n (fun _ -> Char.chr (Hw_sim.Prng.int prng 256)) in
   let dropped_before = counter_value metrics "rpc_datagrams_dropped_total" in
   for _ = 1 to 500 do

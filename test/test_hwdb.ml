@@ -663,7 +663,13 @@ let test_rpc_codec_roundtrip () =
   in
   let messages =
     [
-      Rpc.Request { seq = 7l; statement = "SELECT * FROM Flows" };
+      Rpc.Request { seq = 7l; statement = "SELECT * FROM Flows"; ctx = None };
+      Rpc.Request
+        {
+          seq = 8l;
+          statement = "SELECT * FROM Flows";
+          ctx = Some { Rpc.trace_id = 0x1122334455667788; parent_span = 42 };
+        };
       Rpc.Response_ok { seq = 7l; result = Some rs };
       Rpc.Response_ok { seq = 8l; result = None };
       Rpc.Response_error { seq = 9l; message = "nope" };
@@ -677,6 +683,56 @@ let test_rpc_codec_roundtrip () =
       | Error e -> Alcotest.failf "rpc decode: %s" e)
     messages
 
+(* A context-free peer predates the trace-context trailer: its frames end
+   at the statement. They must decode to [ctx = None], be byte-identical
+   to what we emit for [ctx = None], and be served — and a trailer whose
+   flag byte is 0 must read as "no context", not garbage. *)
+let test_rpc_old_format_interop () =
+  let module Wire = Hw_util.Wire in
+  let statement = "SELECT * FROM Flows" in
+  let old_frame =
+    let w = Wire.Writer.create () in
+    Wire.Writer.u16 w 0x4877;
+    (* magic *)
+    Wire.Writer.u8 w 1;
+    (* version *)
+    Wire.Writer.u8 w 1;
+    (* type = Request *)
+    Wire.Writer.u32 w 7l;
+    Wire.Writer.u16 w (String.length statement);
+    Wire.Writer.string w statement;
+    Wire.Writer.contents w
+  in
+  (match Rpc.decode old_frame with
+  | Ok (Rpc.Request { seq = 7l; statement = s; ctx = None }) ->
+      Alcotest.(check string) "statement survives" statement s
+  | Ok _ -> Alcotest.fail "old frame decoded to the wrong message"
+  | Error e -> Alcotest.failf "old frame rejected: %s" e);
+  (* our own context-free encoding IS the old format, byte for byte *)
+  Alcotest.(check string) "ctx-free encode is byte-identical to the old frame" old_frame
+    (Rpc.encode (Rpc.Request { seq = 7l; statement; ctx = None }));
+  (* a present trailer with flag byte 0 means "no context" *)
+  let flag0 = old_frame ^ "\x00" in
+  (match Rpc.decode flag0 with
+  | Ok (Rpc.Request { ctx = None; _ }) -> ()
+  | Ok _ -> Alcotest.fail "flag-0 trailer produced a context"
+  | Error e -> Alcotest.failf "flag-0 trailer rejected: %s" e);
+  (* and the server serves the old frame like any other request *)
+  let db = fresh_db () in
+  seed_flows db [ (1., "10.0.0.1", 80, 99) ];
+  let replies = ref [] in
+  let server =
+    Rpc.Server.create ~db ~send:(fun ~to_:_ datagram -> replies := datagram :: !replies) ()
+  in
+  Rpc.Server.handle_datagram server ~from:"legacy" old_frame;
+  match !replies with
+  | [ datagram ] -> (
+      match Rpc.decode datagram with
+      | Ok (Rpc.Response_ok { seq = 7l; result = Some rs }) ->
+          Alcotest.(check int) "legacy peer got its rows" 1 (List.length rs.Query.rows)
+      | _ -> Alcotest.fail "legacy request not answered with rows")
+  | l -> Alcotest.failf "expected 1 reply, got %d" (List.length l)
+
 let test_rpc_rejects_garbage () =
   Alcotest.(check bool) "bad magic" true (Result.is_error (Rpc.decode "XXlolno"));
   Alcotest.(check bool) "empty" true (Result.is_error (Rpc.decode ""))
@@ -685,7 +741,7 @@ let test_rpc_rejects_oversized_strings () =
   (* string lengths travel as u16: a 70000-byte value must raise instead
      of silently truncating the length field and corrupting the frame *)
   let big = String.make 70000 'x' in
-  (match Rpc.encode (Rpc.Request { seq = 1l; statement = big }) with
+  (match Rpc.encode (Rpc.Request { seq = 1l; statement = big; ctx = None }) with
   | exception Rpc.Encode_error _ -> ()
   | _ -> Alcotest.fail "oversized statement encoded");
   (let rs = { Query.columns = [ "c" ]; rows = [ [ Value.Str big ] ] } in
@@ -694,7 +750,7 @@ let test_rpc_rejects_oversized_strings () =
    | _ -> Alcotest.fail "oversized value encoded");
   (* exactly 65535 bytes is the largest representable string and roundtrips *)
   let edge = String.make 0xffff 'y' in
-  match Rpc.decode (Rpc.encode (Rpc.Request { seq = 2l; statement = edge })) with
+  match Rpc.decode (Rpc.encode (Rpc.Request { seq = 2l; statement = edge; ctx = None })) with
   | Ok (Rpc.Request { statement; _ }) ->
       Alcotest.(check int) "edge length preserved" 0xffff (String.length statement)
   | _ -> Alcotest.fail "edge-length string did not roundtrip"
@@ -927,6 +983,7 @@ let () =
       ( "rpc",
         [
           Alcotest.test_case "codec roundtrip" `Quick test_rpc_codec_roundtrip;
+          Alcotest.test_case "old-format interop" `Quick test_rpc_old_format_interop;
           Alcotest.test_case "rejects garbage" `Quick test_rpc_rejects_garbage;
           Alcotest.test_case "rejects oversized strings" `Quick test_rpc_rejects_oversized_strings;
           Alcotest.test_case "query roundtrip" `Quick test_rpc_query_roundtrip;

@@ -375,6 +375,103 @@ let test_home_metrics_end_to_end () =
   let zero_uptime = has "\nhomework_uptime_seconds 0\n" in
   Alcotest.(check bool) "uptime advanced with the loop" false zero_uptime
 
+(* ------------------------------------------------------------------ *)
+(* Prometheus label escaping and the cardinality guard                 *)
+(* ------------------------------------------------------------------ *)
+
+(* the inverse of the exposition-format escape: exactly backslash,
+   double-quote and newline *)
+let unescape_label_value s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '\\' && !i + 1 < n then begin
+       (match s.[!i + 1] with
+       | '\\' -> Buffer.add_char b '\\'
+       | '"' -> Buffer.add_char b '"'
+       | 'n' -> Buffer.add_char b '\n'
+       | c ->
+           Buffer.add_char b '\\';
+           Buffer.add_char b c);
+       incr i
+     end
+     else Buffer.add_char b s.[!i]);
+    incr i
+  done;
+  Buffer.contents b
+
+let test_label_escaping_round_trip () =
+  let hostile =
+    [
+      "plain";
+      "back\\slash";
+      "quo\"te";
+      "new\nline";
+      "all\\three\"at\nonce";
+      "trailing\\";
+      "\"";
+      "\\n is two chars";
+    ]
+  in
+  List.iter
+    (fun v ->
+      let e = Snapshot.escape_label_value v in
+      Alcotest.(check string)
+        (Printf.sprintf "round-trips %S" v)
+        v (unescape_label_value e);
+      Alcotest.(check bool) "no raw newline survives" false (String.contains e '\n'))
+    hostile;
+  (* the untouched fast path returns the very same string *)
+  let v = "no_specials_here" in
+  Alcotest.(check bool) "fast path does not copy" true (Snapshot.escape_label_value v == v);
+  (* and the rendered exposition carries the escaped form *)
+  let r = Registry.create () in
+  let c = Registry.labeled_counter r "hostile_total" ~labels:[ ("who", "a\\b\"c\nd") ] in
+  Counter.incr c;
+  let text = Snapshot.render_prometheus r in
+  let has needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "escaped label in exposition" true
+    (has "hostile_total{who=\"a\\\\b\\\"c\\nd\"} 1" text)
+
+let test_cardinality_guard () =
+  let r = Registry.create ~max_label_series:2 () in
+  let c0 = Registry.labeled_counter r "req_total" ~labels:[ ("peer", "p0") ] in
+  let c1 = Registry.labeled_counter r "req_total" ~labels:[ ("peer", "p1") ] in
+  Counter.incr c0;
+  Counter.incr c1;
+  (* pre-cap combinations keep resolving to their own series *)
+  Counter.incr (Registry.labeled_counter r "req_total" ~labels:[ ("peer", "p0") ]);
+  Alcotest.(check int) "existing series untouched" 2 (Counter.value c0);
+  (* a third combination collapses into __overflow__ *)
+  let o1 = Registry.labeled_counter r "req_total" ~labels:[ ("peer", "p2") ] in
+  let o2 = Registry.labeled_counter r "req_total" ~labels:[ ("peer", "p3") ] in
+  Counter.incr o1;
+  Counter.incr o2;
+  Alcotest.(check bool) "overflow series shared" true (o1 == o2);
+  Alcotest.(check int) "overflow accumulates" 2 (Counter.value o1);
+  let spill =
+    Counter.value (Registry.counter r "metrics_cardinality_overflow_total" ~help:"")
+  in
+  Alcotest.(check int) "redirections counted" 2 spill;
+  (* separate families guard independently *)
+  Counter.incr (Registry.labeled_counter r "other_total" ~labels:[ ("peer", "p9") ]);
+  Alcotest.(check int) "fresh family not penalised" 2
+    (Counter.value (Registry.counter r "metrics_cardinality_overflow_total" ~help:""));
+  let text = Snapshot.render_prometheus r in
+  let has needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "overflow series rendered" true
+    (has "req_total{peer=\"__overflow__\"} 2" text);
+  Alcotest.(check bool) "real series rendered" true (has "req_total{peer=\"p0\"} 2" text)
+
 let () =
   Alcotest.run "hw_metrics"
     [
@@ -395,6 +492,9 @@ let () =
           Alcotest.test_case "name grammar" `Quick test_registry_names;
           Alcotest.test_case "snapshot exports" `Quick test_snapshot;
           Alcotest.test_case "build info" `Quick test_build_info;
+          Alcotest.test_case "label escaping round-trip" `Quick
+            test_label_escaping_round_trip;
+          Alcotest.test_case "cardinality guard" `Quick test_cardinality_guard;
         ] );
       ( "export",
         [

@@ -1,0 +1,488 @@
+(* The fleet observability plane: bounded downsampled series, the
+   router health state machine, and the end-to-end cross-node tracing +
+   scrape + alerting loop over Fleet_sim.
+
+   The e2e tests mirror the acceptance bar: one Manager.query over a
+   100+ router fleet yields ONE causal trace whose per-router child
+   spans (with router-id attrs) are visible on every export surface —
+   the manager's flight recorder, the observer's Traces table, and the
+   HTTP Chrome-JSON endpoint — while series memory stays bounded. *)
+
+module Fault = Hw_fault.Fault
+module Router = Hw_router.Router
+module Manager = Hw_fleet.Manager
+module Agent = Hw_fleet.Agent
+module Fleet_sim = Hw_fleet.Fleet_sim
+module Series = Hw_obs.Series
+module Health = Hw_obs.Health
+module Observer = Hw_obs.Observer
+module Tracer = Hw_trace.Tracer
+module Database = Hw_hwdb.Database
+module Value = Hw_hwdb.Value
+module Query = Hw_hwdb.Query
+module Http = Hw_control_api.Http
+
+let await_registered fleet ~within =
+  let mgr = Fleet_sim.manager fleet in
+  let n = Fleet_sim.size fleet in
+  let deadline = Fleet_sim.now fleet +. within in
+  let rec step () =
+    if Manager.session_count mgr < n && Fleet_sim.now fleet < deadline then begin
+      Fleet_sim.run_for fleet 0.25;
+      step ()
+    end
+  in
+  step ()
+
+let int_of_count = function
+  | Some { Query.rows = [ [ Value.Int n ] ]; _ } -> n
+  | _ -> Alcotest.fail "expected one COUNT row"
+
+(* -- series --------------------------------------------------------- *)
+
+let test_series_downsampling () =
+  let s = Series.create ~raw_capacity:8 ~s10_capacity:4 ~s60_capacity:4 () in
+  for i = 0 to 499 do
+    Series.push s ~ts:(float_of_int i) (float_of_int i)
+  done;
+  Alcotest.(check int) "samples counted" 500 (Series.samples s);
+  (* occupancy never exceeds capacity, whatever was pushed *)
+  List.iter
+    (fun tier ->
+      let len, cap = Series.occupancy s tier in
+      Alcotest.(check bool) "bounded" true (len <= cap))
+    [ `Raw; `S10; `S60 ];
+  Alcotest.(check (pair int int)) "raw ring full" (8, 8) (Series.occupancy s `Raw);
+  Alcotest.(check (pair int int)) "10s ring full" (4, 4) (Series.occupancy s `S10);
+  Alcotest.(check (pair int int)) "60s ring full" (4, 4) (Series.occupancy s `S60);
+  Alcotest.(check (float 0.)) "last" 499. (Series.last s);
+  (* sealed 10s buckets hold the last sample of their window *)
+  (match List.rev (Series.points s `S10) with
+  | (open_ts, open_v) :: (ts, v) :: _ ->
+      Alcotest.(check (float 0.)) "open bucket start" 490. open_ts;
+      Alcotest.(check (float 0.)) "open bucket last" 499. open_v;
+      Alcotest.(check (float 0.)) "sealed bucket start" 480. ts;
+      Alcotest.(check (float 0.)) "sealed bucket last = last of window" 489. v
+  | _ -> Alcotest.fail "expected 10s points");
+  (match List.rev (Series.points s `S60) with
+  | (open_ts, _) :: (ts, v) :: _ ->
+      Alcotest.(check (float 0.)) "open 60s bucket" 480. open_ts;
+      Alcotest.(check (float 0.)) "sealed 60s bucket" 420. ts;
+      Alcotest.(check (float 0.)) "sealed 60s last" 479. v
+  | _ -> Alcotest.fail "expected 60s points");
+  (* fixed footprint: 3 arrays per tier *)
+  Alcotest.(check int) "footprint" (3 * (8 + 4 + 4)) (Series.footprint_floats s)
+
+let test_series_max_preserves_spikes () =
+  let s = Series.create ~s10_capacity:4 () in
+  (* a gauge that spikes mid-bucket: last-write erases it, max keeps it *)
+  Series.push s ~ts:1. 1.;
+  Series.push s ~ts:4. 100.;
+  Series.push s ~ts:9. 2.;
+  Series.push s ~ts:11. 3. (* seals [0,10) *);
+  (match Series.points s `S10 with
+  | (0., v) :: _ -> Alcotest.(check (float 0.)) "last-downsample" 2. v
+  | _ -> Alcotest.fail "expected sealed bucket");
+  match Series.max_points s `S10 with
+  | (0., v) :: _ -> Alcotest.(check (float 0.)) "max-downsample" 100. v
+  | _ -> Alcotest.fail "expected sealed bucket"
+
+(* -- health machine ------------------------------------------------- *)
+
+let states h router = Option.map Health.state_to_string (Health.state h router)
+
+let test_health_machine () =
+  let h = Health.create ~degraded_after:10. ~lost_after_failures:3 ~recover_after:2 () in
+  (* birth is Healthy with no transition row *)
+  Alcotest.(check (list string)) "up: no transition" []
+    (List.map (fun (t : Health.transition) -> t.reason) (Health.note_up h ~router:"r1" ~now:0.));
+  Alcotest.(check (option string)) "healthy" (Some "healthy") (states h "r1");
+  (* scrape failures: degraded at 1, lost at 3 *)
+  let t1 = Health.note_scrape h ~router:"r1" ~now:1. ~ok:false ~errors:0 ~reason:"timeout" in
+  Alcotest.(check int) "one transition" 1 (List.length t1);
+  Alcotest.(check (option string)) "degraded" (Some "degraded") (states h "r1");
+  ignore (Health.note_scrape h ~router:"r1" ~now:2. ~ok:false ~errors:0 ~reason:"timeout");
+  let t3 = Health.note_scrape h ~router:"r1" ~now:3. ~ok:false ~errors:0 ~reason:"timeout" in
+  Alcotest.(check (option string)) "lost" (Some "lost") (states h "r1");
+  (match t3 with
+  | [ tr ] ->
+      Alcotest.(check string) "lost reason" "3 consecutive scrape failures" tr.reason;
+      Alcotest.(check string) "prev" "degraded" (Health.state_to_string tr.prev)
+  | _ -> Alcotest.fail "expected lost transition");
+  (* recovery needs recover_after clean scrapes *)
+  ignore (Health.note_scrape h ~router:"r1" ~now:4. ~ok:true ~errors:0 ~reason:"");
+  Alcotest.(check (option string)) "still lost" (Some "lost") (states h "r1");
+  ignore (Health.note_scrape h ~router:"r1" ~now:5. ~ok:true ~errors:0 ~reason:"");
+  Alcotest.(check (option string)) "recovered" (Some "healthy") (states h "r1");
+  (* error-counter advance degrades a healthy router *)
+  (match Health.note_scrape h ~router:"r1" ~now:6. ~ok:true ~errors:7 ~reason:"" with
+  | [ tr ] ->
+      Alcotest.(check string) "error reason" "error counters advanced (+7)" tr.reason
+  | _ -> Alcotest.fail "expected degraded transition");
+  (* renewal recovers silence, not scrape failures *)
+  Alcotest.(check (list string)) "renewal does not clear errors" []
+    (List.map
+       (fun (t : Health.transition) -> t.reason)
+       (Health.note_renewed h ~router:"r1" ~now:7.));
+  ignore (Health.note_scrape h ~router:"r1" ~now:8. ~ok:true ~errors:0 ~reason:"");
+  ignore (Health.note_scrape h ~router:"r1" ~now:9. ~ok:true ~errors:0 ~reason:"");
+  Alcotest.(check (option string)) "healthy again" (Some "healthy") (states h "r1");
+  (* silence sweep *)
+  Alcotest.(check int) "tick under threshold" 0 (List.length (Health.tick h ~now:15.));
+  (match Health.tick h ~now:25. with
+  | [ tr ] -> Alcotest.(check string) "silence" "renewal silence" tr.reason
+  | _ -> Alcotest.fail "expected silence transition");
+  (* renewal clears pure silence *)
+  (match Health.note_renewed h ~router:"r1" ~now:26. with
+  | [ tr ] -> Alcotest.(check string) "renewed" "lease renewed" tr.reason
+  | _ -> Alcotest.fail "expected recovery");
+  (* eviction is Lost *)
+  (match Health.note_down h ~router:"r1" ~now:30. ~reason:"lease lapsed" with
+  | [ tr ] ->
+      Alcotest.(check string) "down state" "lost" (Health.state_to_string tr.state)
+  | _ -> Alcotest.fail "expected lost transition");
+  (* a late scrape failure (in flight across the eviction) must not
+     promote a lost router back to merely-degraded *)
+  Alcotest.(check int) "late failure on lost: no transition" 0
+    (List.length (Health.note_scrape h ~router:"r1" ~now:31. ~ok:false ~errors:0 ~reason:"timeout"));
+  Alcotest.(check (option string)) "still lost after late failure" (Some "lost")
+    (states h "r1");
+  Alcotest.(check (pair int (pair int int))) "counts" (0, (0, 1))
+    (let h', (d, l) = (fun (a, b, c) -> (a, (b, c))) (Health.counts h) in
+     (h', (d, l)))
+
+(* -- e2e: one cross-node trace on every export surface -------------- *)
+
+let test_e2e_trace_all_surfaces () =
+  let n = 120 in
+  let fleet = Fleet_sim.create ~n ~trace_capacity:8 ~max_inflight:256 () in
+  let mgr = Fleet_sim.manager fleet in
+  await_registered fleet ~within:30.;
+  Alcotest.(check int) "all registered" n (Manager.session_count mgr);
+  let obs =
+    Observer.create ~scrape_period:5. ~loop:(Fleet_sim.loop fleet) ~manager:mgr ()
+  in
+  (* a federated query is one causal trace *)
+  let o =
+    match Fleet_sim.query_sync fleet "SELECT name, stat, value FROM Metrics [NOW]" with
+    | Some o -> o
+    | None -> Alcotest.fail "federated query did not settle"
+  in
+  Alcotest.(check int) "every router answered" n o.Manager.ok;
+  Alcotest.(check bool) "outcome carries trace id" true (o.Manager.trace > 0);
+
+  (* surface 1: the manager's flight recorder *)
+  let c =
+    match Tracer.find (Manager.tracer mgr) o.Manager.trace with
+    | Some c -> c
+    | None -> Alcotest.fail "trace not in flight recorder"
+  in
+  let rpc_spans =
+    Array.to_list c.Tracer.spans
+    |> List.filter (fun (s : Tracer.span) -> s.name = "fleet.rpc")
+  in
+  Alcotest.(check int) "one child span per router" n (List.length rpc_spans);
+  let router_attrs =
+    List.filter_map
+      (fun (s : Tracer.span) ->
+        match List.assoc_opt "router" s.attrs with
+        | Some (Tracer.Str id) -> Some id
+        | _ -> None)
+      rpc_spans
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check int) "router-id attrs on every child" n (List.length router_attrs);
+  Alcotest.(check bool) "attempts attr settled" true
+    (List.for_all
+       (fun (s : Tracer.span) -> List.mem_assoc "attempts" s.attrs)
+       rpc_spans);
+  Alcotest.(check string) "root is fleet.query" "fleet.query"
+    c.Tracer.spans.(0).Tracer.name;
+  Alcotest.(check bool) "merge span present" true
+    (Array.exists (fun (s : Tracer.span) -> s.Tracer.name = "fleet.merge") c.Tracer.spans);
+
+  (* the routers rooted their handler under the SAME trace id *)
+  (match Fleet_sim.agent fleet "r0000" with
+  | None -> Alcotest.fail "no agent r0000"
+  | Some agent -> (
+      match Tracer.find (Router.tracer (Agent.router agent)) o.Manager.trace with
+      | None -> Alcotest.fail "router-side trace missing (remote rooting failed)"
+      | Some rc ->
+          let root = rc.Tracer.spans.(0) in
+          Alcotest.(check string) "router root" "rpc.request" root.Tracer.name;
+          Alcotest.(check bool) "rooted under a manager span" true
+            (root.Tracer.parent > 0)));
+
+  (* surface 2: the observer's Traces table (after a scrape exports it) *)
+  Fleet_sim.run_for fleet 6.;
+  Alcotest.(check bool) "a scrape completed" true (Observer.scrapes_total obs >= 1);
+  let span_count =
+    match
+      Database.query (Observer.db obs)
+        (Printf.sprintf
+           "SELECT COUNT(span_id) AS n FROM Traces WHERE trace_id = %d" o.Manager.trace)
+    with
+    | Ok rs -> int_of_count (Some rs)
+    | Error e -> Alcotest.failf "Traces query: %s" e
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "Traces table holds the full tree (%d spans)" span_count)
+    true
+    (span_count >= n + 2);
+
+  (* surface 3: HTTP Chrome JSON *)
+  let raw =
+    Http.encode_request (Http.request Http.GET (Printf.sprintf "/traces/%d" o.Manager.trace))
+  in
+  let resp =
+    match Http.decode_response (Observer.handle_http obs raw) with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "http decode: %s" e
+  in
+  Alcotest.(check int) "200" 200 resp.Http.status;
+  Alcotest.(check bool) "chrome json has per-router spans" true
+    (let contains needle hay =
+       let nl = String.length needle and hl = String.length hay in
+       let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+       go 0
+     in
+     contains "fleet.rpc" resp.Http.body && contains "r0057" resp.Http.body);
+
+  (* bounded series memory: every ring within capacity, footprint capped *)
+  let checked = ref 0 in
+  Array.iter
+    (fun agent ->
+      let id = Agent.id agent in
+      match Observer.series obs ~router:id "hwdb_inserts_total" with
+      | None -> ()
+      | Some s ->
+          incr checked;
+          List.iter
+            (fun tier ->
+              let len, cap = Series.occupancy s tier in
+              if len > cap then Alcotest.failf "ring overflow for %s" id)
+            [ `Raw; `S10; `S60 ])
+    (Fleet_sim.agents fleet);
+  Alcotest.(check bool) "series exist for most routers" true (!checked >= n / 2);
+  let max_floats = Observer.series_count obs * 3 * (32 + 32 + 32) in
+  Alcotest.(check bool) "footprint bounded" true
+    (Observer.series_footprint_floats obs <= max_floats)
+
+(* -- satellite: cross-node tracing under fault injection ------------ *)
+
+let test_trace_under_faults () =
+  let n = 30 in
+  let fleet = Fleet_sim.create ~n ~trace_capacity:8 () in
+  let mgr = Fleet_sim.manager fleet in
+  await_registered fleet ~within:30.;
+  Alcotest.(check int) "all registered" n (Manager.session_count mgr);
+  (* 2 dead routers, 30% drop everywhere else *)
+  let dead = [ "r0003"; "r0017" ] in
+  Array.iter
+    (fun agent ->
+      let inj = (Router.faults (Agent.router agent)).Fault.rpc in
+      if List.mem (Agent.id agent) dead then Fault.set_plan inj [ Fault.Drop 1.0 ]
+      else Fault.set_plan inj [ Fault.Drop 0.3 ])
+    (Fleet_sim.agents fleet);
+  let o =
+    match Fleet_sim.query_sync fleet "SELECT COUNT(ts) AS n FROM Leases" with
+    | Some o -> o
+    | None -> Alcotest.fail "federated query did not settle"
+  in
+  Alcotest.(check int) "survivors answered" (n - 2) o.Manager.ok;
+  Alcotest.(check (list string)) "dead routers errored" dead
+    (List.map fst o.Manager.errors |> List.sort compare);
+  (* ONE trace holds the whole story *)
+  let c =
+    match Tracer.find (Manager.tracer mgr) o.Manager.trace with
+    | Some c -> c
+    | None -> Alcotest.fail "trace not recorded"
+  in
+  Alcotest.(check bool) "trace marked errored" true c.Tracer.errored;
+  let rpc_spans =
+    Array.to_list c.Tracer.spans
+    |> List.filter (fun (s : Tracer.span) -> s.Tracer.name = "fleet.rpc")
+  in
+  Alcotest.(check int) "every router has a child span" n (List.length rpc_spans);
+  let errored, clean =
+    List.partition (fun (s : Tracer.span) -> s.Tracer.error <> None) rpc_spans
+  in
+  let errored_ids =
+    List.filter_map
+      (fun (s : Tracer.span) ->
+        match List.assoc_opt "router" s.Tracer.attrs with
+        | Some (Tracer.Str id) -> Some id
+        | _ -> None)
+      errored
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "timed-out children error-marked" dead errored_ids;
+  Alcotest.(check int) "surviving children completed clean" (n - 2) (List.length clean);
+  (* under 30% drop some survivors needed retries, and the settled
+     attempt count landed on their spans *)
+  let retried =
+    List.filter
+      (fun (s : Tracer.span) ->
+        match List.assoc_opt "attempts" s.Tracer.attrs with
+        | Some (Tracer.Int a) -> a > 1
+        | _ -> false)
+      clean
+  in
+  Alcotest.(check bool) "some survivors retried" true (List.length retried > 0)
+
+(* -- e2e: health transitions + SUBSCRIBE alerting ------------------- *)
+
+let test_health_alerting_via_subscription () =
+  let n = 6 in
+  (* fast retry so a dead router's scrape settles in ~1.5 s, well inside
+     the 20 s lease: Lost must come from scrape failures, not eviction *)
+  let retry =
+    { Hw_hwdb.Rpc.Client.timeout = 0.5; max_attempts = 2; backoff = 2.;
+      max_timeout = 1.; jitter = 0.1 }
+  in
+  let fleet = Fleet_sim.create ~n ~trace_capacity:8 ~lease_s:20. ~retry () in
+  let mgr = Fleet_sim.manager fleet in
+  await_registered fleet ~within:30.;
+  let obs =
+    Observer.create ~scrape_period:2. ~lost_after_failures:3 ~recover_after:2
+      ~loop:(Fleet_sim.loop fleet) ~manager:mgr ()
+  in
+  (* alerting = a standing query over FleetHealth *)
+  let alerts = ref [] in
+  let sub_query =
+    match Hw_hwdb.Parser.parse "SELECT router, state, reason FROM FleetHealth [RANGE 10 SECONDS]" with
+    | Ok (Hw_hwdb.Ast.Select s) -> s
+    | _ -> Alcotest.fail "parse"
+  in
+  ignore
+    (Database.subscribe (Observer.db obs) ~query:sub_query ~period:1. ~callback:(fun rs ->
+         List.iter
+           (fun row ->
+             match row with
+             | [ Value.Str router; Value.Str state; Value.Str _reason ] ->
+                 if not (List.mem (router, state) !alerts) then
+                   alerts := (router, state) :: !alerts
+             | _ -> ())
+           rs.Query.rows));
+  Fleet_sim.run_for fleet 5.;
+  (* kill one router: its scrapes start failing *)
+  let victim = Option.get (Fleet_sim.agent fleet "r0002") in
+  Fault.set_plan (Router.faults (Agent.router victim)).Fault.rpc [ Fault.Drop 1.0 ];
+  (* three failed scrape cycles at ~2s each, plus retry tails: run long *)
+  let deadline = Fleet_sim.now fleet +. 120. in
+  let rec until_lost () =
+    if Health.state (Observer.health obs) "r0002" <> Some Health.Lost
+       && Fleet_sim.now fleet < deadline
+    then begin
+      Fleet_sim.run_for fleet 1.;
+      until_lost ()
+    end
+  in
+  until_lost ();
+  Alcotest.(check (option string)) "victim lost" (Some "lost")
+    (Option.map Health.state_to_string (Health.state (Observer.health obs) "r0002"));
+  Alcotest.(check bool) "subscription alerted degraded" true
+    (List.mem ("r0002", "degraded") !alerts);
+  Alcotest.(check bool) "subscription alerted lost" true
+    (List.mem ("r0002", "lost") !alerts);
+  (* transitions are counted per state and trace-tagged *)
+  let lost_count =
+    Hw_metrics.Counter.value
+      (Hw_metrics.Registry.labeled_counter (Manager.metrics mgr)
+         "fleet_health_transitions_total" ~labels:[ ("state", "lost") ])
+  in
+  Alcotest.(check bool) "transition counted" true (lost_count >= 1);
+  (match
+     Database.query (Observer.db obs)
+       "SELECT COUNT(ts) AS n FROM FleetHealth WHERE trace_id > 0"
+   with
+  | Ok rs ->
+      Alcotest.(check bool) "scrape-driven transitions trace-tagged" true
+        (int_of_count (Some rs) >= 1)
+  | Error e -> Alcotest.failf "FleetHealth query: %s" e);
+  (* revive: clean scrapes bring it back *)
+  Fault.set_plan (Router.faults (Agent.router victim)).Fault.rpc [];
+  let rec until_healthy () =
+    if Health.state (Observer.health obs) "r0002" <> Some Health.Healthy
+       && Fleet_sim.now fleet < deadline +. 120.
+    then begin
+      Fleet_sim.run_for fleet 1.;
+      until_healthy ()
+    end
+  in
+  until_healthy ();
+  Alcotest.(check (option string)) "victim recovered" (Some "healthy")
+    (Option.map Health.state_to_string (Health.state (Observer.health obs) "r0002"))
+
+(* -- fleet metrics + Prometheus surfaces ---------------------------- *)
+
+let test_fleet_metrics_surfaces () =
+  let n = 4 in
+  let fleet = Fleet_sim.create ~n ~trace_capacity:8 () in
+  let mgr = Fleet_sim.manager fleet in
+  await_registered fleet ~within:30.;
+  let obs =
+    Observer.create ~scrape_period:2. ~loop:(Fleet_sim.loop fleet) ~manager:mgr ()
+  in
+  Fleet_sim.run_for fleet 7.;
+  Alcotest.(check bool) "scrapes ran" true (Observer.scrapes_total obs >= 2);
+  (* per-router series were folded in *)
+  (match Observer.series obs ~router:"r0000" "hwdb_inserts_total" with
+  | None -> Alcotest.fail "no series for r0000"
+  | Some s -> Alcotest.(check bool) "samples scraped" true (Series.samples s >= 2));
+  (* FleetMetrics: per-router rows and __fleet__ aggregates *)
+  let count q =
+    match Database.query (Observer.db obs) q with
+    | Ok rs -> int_of_count (Some rs)
+    | Error e -> Alcotest.failf "%s: %s" q e
+  in
+  Alcotest.(check bool) "per-router rows" true
+    (count "SELECT COUNT(ts) AS n FROM FleetMetrics WHERE router = 'r0000'" >= 1);
+  Alcotest.(check bool) "fleet aggregates" true
+    (count "SELECT COUNT(ts) AS n FROM FleetMetrics WHERE router = '__fleet__'" >= 2);
+  (* Prometheus text with router labels *)
+  let text = Observer.render_prometheus obs in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "per-router sample" true
+    (contains "fleet_hwdb_inserts_total{router=\"r0000\"}" text);
+  Alcotest.(check bool) "fleet sum" true
+    (contains "fleet_hwdb_inserts_total{router=\"__fleet__\",stat=\"sum\"}" text);
+  Alcotest.(check bool) "manager registry included" true
+    (contains "fleet_sessions" text);
+  (* HTTP surfaces round-trip *)
+  let get path =
+    match
+      Http.decode_response (Observer.handle_http obs (Http.encode_request (Http.request Http.GET path)))
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "GET %s: %s" path e
+  in
+  Alcotest.(check int) "/metrics ok" 200 (get "/metrics").Http.status;
+  Alcotest.(check int) "/traces ok" 200 (get "/traces").Http.status;
+  let hj = get "/fleet/health" in
+  Alcotest.(check int) "/fleet/health ok" 200 hj.Http.status;
+  Alcotest.(check bool) "health counts" true (contains "healthy" hj.Http.body)
+
+let () =
+  Alcotest.run "hw_obs"
+    [
+      ( "series",
+        [
+          Alcotest.test_case "downsampling tiers bounded" `Quick test_series_downsampling;
+          Alcotest.test_case "max preserves spikes" `Quick test_series_max_preserves_spikes;
+        ] );
+      ("health", [ Alcotest.test_case "state machine" `Quick test_health_machine ]);
+      ( "e2e",
+        [
+          Alcotest.test_case "one trace on all surfaces (120 routers)" `Slow
+            test_e2e_trace_all_surfaces;
+          Alcotest.test_case "cross-node trace under faults" `Slow test_trace_under_faults;
+          Alcotest.test_case "health alerting via SUBSCRIBE" `Slow
+            test_health_alerting_via_subscription;
+          Alcotest.test_case "fleet metrics surfaces" `Slow test_fleet_metrics_surfaces;
+        ] );
+    ]

@@ -347,6 +347,94 @@ let test_home_trace_end_to_end () =
   let resp = Router.http r (Http.request Http.GET "/traces/nonsense") in
   Alcotest.(check int) "malformed id is 404" 404 resp.Http.status
 
+(* ------------------------------------------------------------------ *)
+(* Cross-node propagation and off-stack assembly                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_remote_trace_adopts_context () =
+  let tracer, t = make () in
+  let result =
+    Tracer.with_remote_trace tracer ~trace_id:0xBEEF ~parent_span:42 "rpc.request"
+      (fun () ->
+        t := !t +. 0.001;
+        Tracer.with_span tracer "db.query" (fun () -> 7))
+  in
+  Alcotest.(check int) "body ran" 7 result;
+  match Tracer.traces tracer with
+  | [ c ] ->
+      Alcotest.(check int) "propagated trace id kept" 0xBEEF c.Tracer.id;
+      let root = c.Tracer.spans.(0) in
+      Alcotest.(check string) "root name" "rpc.request" root.Tracer.name;
+      Alcotest.(check int) "root parent is the remote span" 42 root.Tracer.parent;
+      Alcotest.(check int) "local span ids stay dense" 2
+        (find_span c "db.query").Tracer.span_id;
+      Alcotest.(check bool) "find by propagated id" true
+        (Tracer.find tracer 0xBEEF <> None)
+  | l -> Alcotest.failf "expected 1 trace, got %d" (List.length l)
+
+let test_remote_trace_degrades () =
+  let tracer, _t = make () in
+  (* trace_id <= 0: behaves as a local with_trace *)
+  Tracer.with_remote_trace tracer ~trace_id:0 ~parent_span:9 "r" (fun () -> ());
+  (match Tracer.traces tracer with
+  | [ c ] ->
+      Alcotest.(check bool) "locally allocated id" true (c.Tracer.id > 0);
+      Alcotest.(check int) "root has no parent" 0 c.Tracer.spans.(0).Tracer.parent
+  | _ -> Alcotest.fail "expected 1 trace");
+  Tracer.clear tracer;
+  (* inside an active trace: degrades to a child span, no second trace *)
+  Tracer.with_trace tracer "outer" (fun () ->
+      Tracer.with_remote_trace tracer ~trace_id:0xABC ~parent_span:3 "inner" (fun () -> ()));
+  match Tracer.traces tracer with
+  | [ c ] ->
+      Alcotest.(check bool) "kept the local id" true (c.Tracer.id <> 0xABC);
+      Alcotest.(check int) "inner nested as child" 1 (find_span c "inner").Tracer.parent
+  | l -> Alcotest.failf "expected 1 trace, got %d" (List.length l)
+
+module Builder = Hw_trace.Builder
+
+let test_builder_assembles_off_stack () =
+  let tracer, t = make () in
+  let b = Builder.start tracer "fleet.query" ~attrs:[ ("routers", Tracer.Int 3) ] in
+  Alcotest.(check bool) "active" true (Builder.active b);
+  Alcotest.(check bool) "trace id allocated" true (Builder.id b > 0);
+  Alcotest.(check int) "root is span 1" 1 (Builder.root b);
+  (* two spans open at once, closed out of order — the callback shape *)
+  let a = Builder.open_span b "fleet.rpc" ~attrs:[ ("router", Tracer.Str "r0") ] in
+  let c = Builder.open_span b "fleet.rpc" ~attrs:[ ("router", Tracer.Str "r1") ] in
+  t := !t +. 0.002;
+  Builder.close_span b c;
+  Builder.mark_error b a "timeout";
+  Builder.close_span b a;
+  (* attrs may settle after close (final retry count) *)
+  Builder.set_attr b a "attempts" (Tracer.Int 4);
+  Builder.finish b;
+  Builder.finish b (* idempotent *);
+  Alcotest.(check bool) "inactive after finish" false (Builder.active b);
+  Alcotest.(check int) "finished builder opens nothing" 0 (Builder.open_span b "late");
+  match Tracer.find tracer (Builder.id b) with
+  | None -> Alcotest.fail "builder trace not recorded"
+  | Some tr ->
+      Alcotest.(check int) "three spans" 3 (Array.length tr.Tracer.spans);
+      Alcotest.(check bool) "trace errored" true tr.Tracer.errored;
+      let sa = Array.to_list tr.Tracer.spans |> List.find (fun s -> s.Tracer.span_id = a) in
+      Alcotest.(check (option string)) "error mark" (Some "timeout") sa.Tracer.error;
+      Alcotest.(check bool) "post-close attr present" true
+        (List.mem_assoc "attempts" sa.Tracer.attrs);
+      Alcotest.(check int) "children parent the root" 1 sa.Tracer.parent
+
+let test_builder_inert_when_disabled () =
+  let b = Builder.start Tracer.disabled "x" in
+  Alcotest.(check int) "id 0" 0 (Builder.id b);
+  Alcotest.(check int) "root 0" 0 (Builder.root b);
+  Alcotest.(check bool) "never active" false (Builder.active b);
+  let s = Builder.open_span b "y" in
+  Alcotest.(check int) "open returns 0" 0 s;
+  Builder.set_attr b s "k" (Tracer.Int 1);
+  Builder.mark_error b s "e";
+  Builder.close_span b s;
+  Builder.finish b (* none of the above may raise *)
+
 let () =
   Alcotest.run "hw_trace"
     [
@@ -369,6 +457,16 @@ let () =
         [
           Alcotest.test_case "chrome json escaping" `Quick test_chrome_json_escaping;
           Alcotest.test_case "chrome json timebase" `Quick test_chrome_json_timebase;
+        ] );
+      ( "propagation",
+        [
+          Alcotest.test_case "remote trace adopts context" `Quick
+            test_remote_trace_adopts_context;
+          Alcotest.test_case "remote trace degrades" `Quick test_remote_trace_degrades;
+          Alcotest.test_case "builder assembles off-stack" `Quick
+            test_builder_assembles_off_stack;
+          Alcotest.test_case "builder inert when disabled" `Quick
+            test_builder_inert_when_disabled;
         ] );
       ( "log",
         [ Alcotest.test_case "stamps trace id" `Quick test_log_stamps_trace ] );
