@@ -392,6 +392,16 @@ let make_flow_table n =
    measured against a heap holding only its own state: fixtures from other
    groups (hwdb rings especially) would otherwise inflate every
    allocating benchmark with GC work charged to the measured loop. *)
+(* PERF12's gated overhead ratio comes from a paired steady-state loop
+   (set when the PERF12 group is staged), not from the bechamel
+   estimates: the durable insert's cost has rare heavy contributions
+   (group-commit flushes, ring snapshots, major-GC cycles over the
+   flush strings) that land in some short sampling windows and not
+   others, making per-test estimates bimodal run to run. One long loop
+   per side, both in the same process state, averages every mode in and
+   yields a ratio stable to a few percent. *)
+let wal_paired : (float * float) option ref = ref None
+
 let micro_tests () =
   let open Bechamel in
   (* PERF1: flow table lookups *)
@@ -809,6 +819,118 @@ let micro_tests () =
                  Hw_hwdb.Database.tick db)))
       [ 100; 1000; 10000 ]
   in
+  (* PERF12: the durability spine. [insert_durable] is the ephemeral
+     insert plus the full steady-state durability cost — the on_insert
+     WAL hook (row codec encode + frame into the batch buffer) with the
+     group commit's deferred work amortized back in (inline flushes:
+     CRC seal + store append, plus automatic snapshots).
+     [insert_durable]/[insert_ephemeral] is the gated overhead ratio;
+     [group_commit_flush_64] prices one 64-record tick batch by itself;
+     [recover_64k_rows] is the boot-time cost of snapshot decode + tail
+     replay for a 64k-row durable table. *)
+  let wal_tests () =
+    let row i =
+      [
+        Hw_hwdb.Value.Str (Printf.sprintf "00:16:3e:00:%02x:%02x" (i / 256 mod 256) (i mod 256));
+        Hw_hwdb.Value.Str (Printf.sprintf "10.0.0.%d" (100 + (i mod 100)));
+        Hw_hwdb.Value.Str "bench-host";
+        Hw_hwdb.Value.Str "renew";
+      ]
+    in
+    let mk_db ?recover_from ?wal_max_pending () =
+      let now = ref 0. in
+      let db =
+        Hw_hwdb.Database.create ~metrics:(Hw_metrics.Registry.create ()) ?recover_from
+          ?wal_max_pending
+          ~now:(fun () -> !now)
+          ()
+      in
+      (db, now)
+    in
+    let edb, enow = mk_db () in
+    let ddb, dnow = mk_db ~recover_from:(Hw_wal.Store.mem ()) () in
+    let i = ref 0 in
+    (* the paired loop behind durable_over_ephemeral_insert_ratio_x1000
+       (see [wal_paired]): 300k inserts per side, fresh databases,
+       compaction before each side, best of two passes per side *)
+    (let paired_side recover_from =
+       let db, now = mk_db ?recover_from () in
+       let n = 300_000 in
+       let best = ref infinity in
+       for _ = 1 to 2 do
+         Gc.compact ();
+         let t0 = Unix.gettimeofday () in
+         for j = 1 to n do
+           now := !now +. 0.001;
+           ignore (Hw_hwdb.Database.insert db ~table:"Leases" (row j))
+         done;
+         let per_op = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int n in
+         if per_op < !best then best := per_op
+       done;
+       !best
+     in
+     let eph = paired_side None in
+     let dur = paired_side (Some (Hw_wal.Store.mem ())) in
+     wal_paired := Some (eph, dur));
+    (* a bare WAL for the flush bench: empty snapshots keep the mem store
+       bounded while the measured loop appends forever *)
+    let flush_wal, _ =
+      Hw_wal.Wal.open_ ~metrics:(Hw_metrics.Registry.create ()) ~snapshot_every:1024
+        ~store:(Hw_wal.Store.mem ()) ~name:"bench" ()
+    in
+    Hw_wal.Wal.set_snapshot_source flush_wal (fun () -> "");
+    let record = String.make 48 'r' in
+    (* a store holding a 64k-row durable Leases table (as a snapshot plus
+       log tail), built once; each recovery replays it from scratch.
+       Lazy so the ~30MB builder heap is not live while the insert
+       benches run — major-GC marking of a big resident fixture would
+       bleed into their numbers. *)
+    let store64 =
+      lazy
+        (let store = Hw_wal.Store.mem () in
+         let now = ref 0. in
+         let db =
+           Hw_hwdb.Database.create ~default_capacity:65536
+             ~metrics:(Hw_metrics.Registry.create ()) ~recover_from:store
+             ~now:(fun () -> !now)
+             ()
+         in
+         for j = 1 to 65536 do
+           now := !now +. 1.;
+           ignore (Hw_hwdb.Database.insert db ~table:"Leases" (row j))
+         done;
+         Hw_hwdb.Database.flush_wal db;
+         store)
+    in
+    [
+      Test.make ~name:"insert_ephemeral"
+        (Staged.stage (fun () ->
+             incr i;
+             enow := !enow +. 0.001;
+             ignore (Hw_hwdb.Database.insert edb ~table:"Leases" (row !i))));
+      Test.make ~name:"insert_durable"
+        (Staged.stage (fun () ->
+             incr i;
+             dnow := !dnow +. 0.001;
+             ignore (Hw_hwdb.Database.insert ddb ~table:"Leases" (row !i))));
+      Test.make ~name:"group_commit_flush_64"
+        (Staged.stage (fun () ->
+             for _ = 1 to 64 do
+               Hw_wal.Wal.append flush_wal record
+             done;
+             Hw_wal.Wal.flush flush_wal));
+      Test.make ~name:"recover_64k_rows"
+        (Staged.stage (fun () ->
+             let db =
+               Hw_hwdb.Database.create ~default_capacity:65536
+                 ~metrics:(Hw_metrics.Registry.create ())
+                 ~recover_from:(Lazy.force store64)
+                 ~now:(fun () -> 1e6)
+                 ()
+             in
+             ignore (Sys.opaque_identity (Hw_hwdb.Database.table db "Leases"))));
+    ]
+  in
   [
     ("PERF1 flow table", lookup_tests);
     ("PERF2 openflow codec", codec_tests);
@@ -821,6 +943,7 @@ let micro_tests () =
     ("PERF10 hwdb plans", plan_tests);
     ("PERF10 hwdb subs", plan_sub_tests);
     ("PERF11 rpc ctx", rpc_ctx_tests);
+    ("PERF12 wal durability", wal_tests);
   ]
 
 let run_micro () =
@@ -917,6 +1040,37 @@ let run_micro () =
               ( group,
                 Hw_json.Json.Obj (rows @ [ ("ctx_encode_overhead", Hw_json.Json.Float overhead) ])
               )
+          | _ -> (group, obj))
+      groups_json
+  in
+  (* PERF12's gated number is the durable-insert overhead as a ratio
+     over the ephemeral insert (x1000; smaller is better, matching the
+     gate's direction), measured by the paired steady-state loop — see
+     [wal_paired] for why not the bechamel estimates. *)
+  let groups_json =
+    List.map
+      (fun (group, obj) ->
+        if not (String.equal group "PERF12 wal durability") then (group, obj)
+        else
+          let rows = Hw_json.Json.get_obj obj in
+          match !wal_paired with
+          | Some (eph, dur) when eph > 0. ->
+              let ratio = dur /. eph *. 1000. in
+              Printf.printf "  %-40s %8.0f ns/op (paired loop)\n"
+                "insert_ephemeral_paired" eph;
+              Printf.printf "  %-40s %8.0f ns/op (paired loop)\n"
+                "insert_durable_paired" dur;
+              Printf.printf "  %-40s %8.0f (= %.2fx ephemeral)\n"
+                "durable_over_ephemeral_insert_ratio_x1000" ratio (dur /. eph);
+              ( group,
+                Hw_json.Json.Obj
+                  (rows
+                  @ [
+                      ("insert_ephemeral_paired", Hw_json.Json.Float eph);
+                      ("insert_durable_paired", Hw_json.Json.Float dur);
+                      ( "durable_over_ephemeral_insert_ratio_x1000",
+                        Hw_json.Json.Float ratio );
+                    ]) )
           | _ -> (group, obj))
       groups_json
   in

@@ -81,7 +81,11 @@ val restore : t -> (string * string * string * string) list -> int
     lease from now, device permitted and acked, so its next REQUEST is a
     renewal of the same address); revoke/release/deny leaves it unbound.
     Returns the number of leases restored; each one increments
-    [dhcp_leases_recovered_total]. *)
+    [dhcp_leases_recovered_total].
+
+    The rows normally come from the [Leases] table a WAL-backed database
+    recovered at boot ([Hw_hwdb.Database.create ?recover_from]);
+    [Hw_router.Router.create ?wal_store] wires the two together. *)
 
 (** {2 Control API surface (Figure 3)} *)
 

@@ -213,18 +213,73 @@ let apply t payload ~deliver =
   end
 
 (* ------------------------------------------------------------------ *)
-(* The router's three choke points as one unit                         *)
+(* Disk-write injection                                                 *)
 (* ------------------------------------------------------------------ *)
 
-type plane = { tx : t; rpc : t; chan : t }
+(* The same spec vocabulary reinterpreted for a storage write (one WAL
+   record handed to a [write] continuation):
+
+     Drop p     short write — only a strict prefix reaches the store
+     Corrupt p  bit-flip — one byte of the record is damaged
+     Crash p    crash at the record boundary — nothing of this record
+                is written and [Injected_crash] is raised
+     Drop + Crash both firing is a torn write: the prefix lands, then
+                the process dies
+
+   The PRNG draw pattern matches [apply]: every probabilistic spec draws
+   its decision each call regardless of outcome, so the fault schedule
+   is a function of the seed and the write count alone. *)
+let apply_write t payload ~write =
+  let payload = ref payload in
+  let short = ref None in
+  let crash = ref false in
+  List.iter
+    (fun spec ->
+      match spec with
+      | Corrupt p ->
+          if Prng.bool t.prng p then begin
+            payload := corrupt_byte t !payload;
+            count t "corrupt" t.c_corrupt
+          end
+      | Drop p ->
+          let hit = Prng.bool t.prng p in
+          let cut = Prng.int t.prng (max 1 (String.length !payload)) in
+          if hit then short := Some cut
+      | Crash p -> if Prng.bool t.prng p then crash := true
+      | Duplicate _ | Reorder _ | Delay _ | Partition _ | Clock_skew _ -> ())
+    t.plan;
+  (match !short with
+  | Some cut ->
+      count t "drop" t.c_drop;
+      write (String.sub !payload 0 cut)
+  | None -> if not !crash then write !payload);
+  if !crash then begin
+    count t "crash" t.c_crash;
+    raise (Injected_crash t.point)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The router's choke points as one unit                                *)
+(* ------------------------------------------------------------------ *)
+
+type plane = { tx : t; rpc : t; chan : t; disk : t }
 
 let plane ?(metrics = Hw_metrics.Registry.default) ?trace ?schedule ?(seed = 1)
     ~now () =
   let root = Prng.create ~seed in
   let mk point = create ~metrics ?trace ?schedule ~prng:(Prng.split root) ~now ~point () in
-  { tx = mk "tx"; rpc = mk "rpc"; chan = mk "chan" }
+  (* [disk] splits last so the tx/rpc/chan streams — and therefore every
+     pre-existing seeded chaos schedule — are unchanged by its addition.
+     The lets pin the split order: the three-field record literal this
+     replaces evaluated right-to-left, so chan drew the first split. *)
+  let chan = mk "chan" in
+  let rpc = mk "rpc" in
+  let tx = mk "tx" in
+  let disk = mk "disk" in
+  { tx; rpc; chan; disk }
 
 let disarm_plane p =
   disarm p.tx;
   disarm p.rpc;
-  disarm p.chan
+  disarm p.chan;
+  disarm p.disk

@@ -86,12 +86,27 @@ val maybe_crash : t -> unit
 (** Call where a crashing handler is survivable.
     @raise Injected_crash with probability p per armed [Crash p] spec. *)
 
-(** {2 The router's three choke points as one unit} *)
+val apply_write : t -> string -> write:(string -> unit) -> unit
+(** Pass one storage write (a framed WAL record) through the injector.
+    The spec vocabulary is reinterpreted for the disk plane: [Drop p] is
+    a short write (only a strict prefix reaches [write]), [Corrupt p] a
+    bit-flip, [Crash p] a crash at the record boundary (nothing written,
+    {!Injected_crash} raised); [Drop] and [Crash] firing together is a
+    torn write — the prefix lands, then the process dies. Other specs
+    are inert at this choke point. Counts the same
+    [fault_injected_total{kind=...}] series and tags the active trace
+    like {!apply}. *)
+
+(** {2 The router's choke points as one unit} *)
 
 type plane = {
   tx : t;  (** dataplane transmit hook *)
   rpc : t;  (** hwdb RPC datagrams, both directions *)
   chan : t;  (** controller<->datapath byte channel, both directions *)
+  disk : t;
+      (** WAL record writes ({!apply_write}); split from the plane seed
+          after the other three so adding it left their schedules
+          byte-identical *)
 }
 
 val plane :
@@ -102,7 +117,7 @@ val plane :
   now:(unit -> float) ->
   unit ->
   plane
-(** Three injectors with independent PRNG streams split from one [seed],
+(** Four injectors with independent PRNG streams split from one [seed],
     all disarmed. *)
 
 val disarm_plane : plane -> unit

@@ -59,6 +59,9 @@ type t = {
   mutable triggers : trigger list;
   mutable next_trigger_id : int;
   mutable trigger_depth : int;
+  (* durable tables' logs, in declaration order; flushed (group commit)
+     at the top of every tick *)
+  mutable wals : (string * Hw_wal.Wal.t) list;
   metrics : Hw_metrics.Registry.t;
   m_inserts : Hw_metrics.Counter.t;
   m_insert_errors : Hw_metrics.Counter.t;
@@ -104,6 +107,18 @@ let leases_schema =
     ("action", Value.T_str);
   ]
 
+(* the declared control plane: policy rules, device groups and DHCP
+   permission tokens, recorded as (kind, id, payload, action) events
+   where action is set | remove — replayed at recovery to rebuild the
+   policy engine *)
+let policies_schema =
+  [
+    ("kind", Value.T_str);
+    ("id", Value.T_str);
+    ("payload", Value.T_str);
+    ("action", Value.T_str);
+  ]
+
 (* the self-describing schema of the Metrics export table *)
 let metrics_schema =
   [ ("name", Value.T_str); ("kind", Value.T_str); ("stat", Value.T_str); ("value", Value.T_real) ]
@@ -143,6 +158,7 @@ let create_empty ?(default_capacity = 4096) ?(metrics = Hw_metrics.Registry.defa
     triggers = [];
     next_trigger_id = 1;
     trigger_depth = 0;
+    wals = [];
     metrics;
     m_inserts = counter ~help:"hwdb rows inserted" "hwdb_inserts_total";
     m_insert_errors = counter ~help:"hwdb inserts refused" "hwdb_insert_errors_total";
@@ -179,7 +195,51 @@ let create_table t ~name ?capacity schema =
     Ok table
   end
 
-let create ?default_capacity ?metrics ?trace ~now () =
+(* Wire a table to its WAL: recover snapshot + tail into the ring, then
+   install the insert hook that logs every later row. The hook goes in
+   after replay (and [Table.restore] fires no triggers anyway), so
+   recovered rows are never re-logged. *)
+let make_durable ?interpose ?wal_max_pending t ~store name =
+  match Hashtbl.find_opt t.tables name with
+  | None -> failwith (Printf.sprintf "durable table %s does not exist" name)
+  | Some tbl ->
+      (* snapshot every 4x ring capacity: the log stays bounded by live
+         state (at most 4 rings of records before truncation) while the
+         amortized snapshot cost per durable insert — rendering the whole
+         ring — drops 4x, keeping the insert overhead inside its budget *)
+      let wal, (recovered : Hw_wal.Wal.recovered) =
+        Hw_wal.Wal.open_ ~metrics:t.metrics ?interpose
+          ?max_pending:wal_max_pending
+          ~snapshot_every:(4 * Table.capacity tbl) ~store ~name ()
+      in
+      let restore_payload what payload =
+        match Wal_codec.decode_row payload with
+        | Some row -> Table.restore tbl row
+        | None ->
+            (* passed its CRC yet unreadable: a codec bug, not a torn
+               tail — skip the row, keep the table *)
+            Log.err (fun m -> m "%s: undecodable %s row dropped" name what)
+      in
+      (match recovered.snapshot with
+      | None -> ()
+      | Some blob -> (
+          match Wal_codec.decode_rows blob with
+          | Some rows -> List.iter (Table.restore tbl) rows
+          | None -> Log.err (fun m -> m "%s: undecodable snapshot dropped" name)));
+      List.iter (restore_payload "log") recovered.records;
+      Table.set_durable tbl true;
+      Hw_wal.Wal.set_snapshot_source wal (fun () ->
+          Wal_codec.encode_rows (Table.scan tbl));
+      Table.on_insert tbl (fun tuple ->
+          (* encode straight into the framed record: one allocation per
+             durable insert, no intermediate payload string *)
+          Hw_wal.Wal.append_with wal ~size:(Wal_codec.row_size tuple)
+            (fun b pos -> ignore (Wal_codec.blit_row b pos tuple : int)));
+      t.wals <- t.wals @ [ (name, wal) ]
+
+let create ?default_capacity ?metrics ?trace
+    ?(durable = [ "Leases"; "Policies" ]) ?recover_from ?wal_interpose
+    ?wal_max_pending ~now () =
   let t = create_empty ?default_capacity ?metrics ?trace ~now () in
   List.iter
     (fun (name, schema) ->
@@ -190,11 +250,20 @@ let create ?default_capacity ?metrics ?trace ~now () =
       ("Flows", flows_schema);
       ("Links", links_schema);
       ("Leases", leases_schema);
+      ("Policies", policies_schema);
       ("Metrics", metrics_schema);
       ("Traces", traces_schema);
     ];
+  (match recover_from with
+  | None -> ()
+  | Some store ->
+      List.iter
+        (make_durable ?interpose:wal_interpose ?wal_max_pending t ~store)
+        durable);
   t
 
+let flush_wal t = List.iter (fun (_, wal) -> Hw_wal.Wal.flush wal) t.wals
+let wal t name = List.assoc_opt name t.wals
 let table t name = Hashtbl.find_opt t.tables name
 let table_names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tables [] |> List.sort compare
 let metrics t = t.metrics
@@ -539,6 +608,9 @@ let refresh_traces t =
 
 let tick t =
   Hw_metrics.Counter.incr t.m_ticks;
+  (* group commit: durable rows buffered since the last tick reach the
+     store here, before anything else observes this tick *)
+  flush_wal t;
   refresh_metrics t;
   refresh_traces t;
   let now = t.now () in
@@ -631,3 +703,11 @@ let record_lease t ~mac ~ip ~hostname ~action =
   with
   | Ok () -> ()
   | Error msg -> Log.err (fun m -> m "record_lease: %s" msg)
+
+let record_policy t ~kind ~id ~payload ~action =
+  match
+    insert t ~table:"Policies"
+      [ Value.Str kind; Value.Str id; Value.Str payload; Value.Str action ]
+  with
+  | Ok () -> ()
+  | Error msg -> Log.err (fun m -> m "record_policy: %s" msg)

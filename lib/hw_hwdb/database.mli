@@ -7,6 +7,10 @@
     - [Links]:  link-layer info per station (mac, rssi, retries, packets)
     - [Leases]: DHCP activity (mac, ip, hostname, action) where action is
       grant | renew | revoke | deny
+    - [Policies]: control-plane declarations (kind, id, payload, action)
+      where kind is rule | group | token and action is set | remove —
+      the event stream a recovering router replays to rebuild its policy
+      engine
     - [Metrics]: self-describing observability export (name, kind, stat,
       value) refreshed from the metrics registry on every {!tick}, so the
       measurement plane can be queried and subscribed to like any other
@@ -23,14 +27,37 @@ val create :
   ?default_capacity:int ->
   ?metrics:Hw_metrics.Registry.t ->
   ?trace:Hw_trace.Tracer.t ->
+  ?durable:string list ->
+  ?recover_from:Hw_wal.Store.t ->
+  ?wal_interpose:(string -> write:(string -> unit) -> unit) ->
+  ?wal_max_pending:int ->
   now:(unit -> float) ->
   unit ->
   t
-(** Fresh database with the five standard tables installed. [metrics]
+(** Fresh database with the six standard tables installed. [metrics]
     defaults to {!Hw_metrics.Registry.default}; [trace] to
     {!Hw_trace.Tracer.disabled} — attach the composition's tracer to get
     [hwdb.insert] / [hwdb.trigger] spans inside active traces and the
-    [Traces] table export. *)
+    [Traces] table export.
+
+    With [recover_from], each table named in [durable] (default
+    [["Leases"; "Policies"]]) is backed by a {!Hw_wal.Wal} in that
+    store: whatever the store already holds is recovered into the table
+    (snapshot first, then the log tail, truncating at the first torn
+    record), and every later insert is logged — buffered, then group
+    committed by the next {!tick} (or {!flush_wal}). Snapshots are taken
+    automatically every 4x ring-capacity records, truncating the log —
+    the store footprint is bounded by live state, not uptime.
+    [wal_interpose] sits between each framed record and the store — the
+    disk fault plane's hook. [wal_max_pending] caps the group-commit
+    buffer (default 1024 records): a full buffer flushes inline, so an
+    idle loop cannot defer durability forever.
+
+    Recovered rows keep their original timestamps, so [now] must resume
+    at or after the last pre-crash stamp (restart a simulated router
+    with [~start:(Home.now old)]) to preserve the rings' timestamp
+    ordering. Without [recover_from] the database is fully ephemeral, as
+    before. *)
 
 val create_empty :
   ?default_capacity:int ->
@@ -132,19 +159,31 @@ val unsubscribe : t -> subscription_id -> bool
 val subscription_count : t -> int
 
 val tick : t -> unit
-(** Delivers all due subscriptions against the current clock. Call once
-    per simulated second (finer is fine; periods are respected). Each
-    view is evaluated at most once per tick — the first due subscriber
-    computes (for incremental views: retract expired rows, assemble from
+(** Flushes durable tables' WALs (group commit), then delivers all due
+    subscriptions against the current clock. Call once per simulated
+    second (finer is fine; periods are respected). Each view is
+    evaluated at most once per tick — the first due subscriber computes
+    (for incremental views: retract expired rows, assemble from
     maintained state, or reuse the cached result when nothing changed)
     and every other subscriber receives that identical snapshot.
     Deliveries happen in subscription-id order. *)
+
+(** {2 Durability} *)
+
+val flush_wal : t -> unit
+(** Group-commit every durable table's buffered rows to the store now.
+    {!tick} calls this first thing; call it directly before simulating a
+    crash, or to bound the loss window tighter than one tick. *)
+
+val wal : t -> string -> Hw_wal.Wal.t option
+(** The WAL behind a durable table, [None] for ephemeral tables. *)
 
 (** {2 Standard-table insert helpers} *)
 
 val flows_schema : Value.schema
 val links_schema : Value.schema
 val leases_schema : Value.schema
+val policies_schema : Value.schema
 val metrics_schema : Value.schema
 val traces_schema : Value.schema
 
@@ -154,3 +193,7 @@ val record_flow :
 
 val record_link : t -> mac:string -> rssi:int -> retries:int -> packets:int -> unit
 val record_lease : t -> mac:string -> ip:string -> hostname:string -> action:string -> unit
+
+val record_policy : t -> kind:string -> id:string -> payload:string -> action:string -> unit
+(** One control-plane declaration event into [Policies]; [kind] is
+    rule | group | token, [action] is set | remove. *)

@@ -12,10 +12,18 @@ type t = {
   ring : Value.tuple Ring.t;
   mutable triggers : hook list; (* newest registration first *)
   mutable next_hook : int;
+  mutable durable : bool;
 }
 
 let create ~name ~capacity schema =
-  { name; schema; ring = Ring.create ~capacity; triggers = []; next_hook = 0 }
+  {
+    name;
+    schema;
+    ring = Ring.create ~capacity;
+    triggers = [];
+    next_hook = 0;
+    durable = false;
+  }
 
 let name t = t.name
 let schema t = t.schema
@@ -39,6 +47,16 @@ let insert t ~now values =
       Ring.push t.ring tuple;
       fire_triggers tuple t.triggers;
       Ok ()
+
+(* WAL replay: the row was validated when first inserted and nothing may
+   observe it again — no validation, no triggers (in particular not the
+   durability hook, which would re-log it). Rows must arrive in their
+   original (non-decreasing timestamp) order, which log order
+   guarantees. *)
+let restore t tuple = Ring.push t.ring tuple
+
+let durable t = t.durable
+let set_durable t flag = t.durable <- flag
 
 (* Tuples are appended in non-decreasing timestamp order, so every window
    is a contiguous slice of the ring whose start (and, for [`Now], end) is

@@ -33,6 +33,19 @@ val insert : t -> now:float -> Value.t list -> (unit, string) result
     Timestamps must be non-decreasing across inserts (the database clock
     is monotone), which is what lets window scans binary-search. *)
 
+val restore : t -> Value.tuple -> unit
+(** WAL replay: append an already-validated row with its original
+    timestamp, firing no triggers (in particular not the durability
+    hook, which would re-log it). Rows must be restored in their
+    original order, and the live clock must resume at or after the last
+    restored timestamp to keep the ring's ordering invariant. *)
+
+val durable : t -> bool
+(** Whether this table's inserts are logged to a WAL (set by
+    [Database.create ?recover_from]). *)
+
+val set_durable : t -> bool -> unit
+
 val scan : t -> Value.tuple list
 (** All live rows, oldest first. *)
 

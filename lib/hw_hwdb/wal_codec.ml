@@ -1,0 +1,120 @@
+open Hw_util
+
+(* Value tags shared with the RPC codec; strings carry u32 lengths here
+   because durability must not inherit the datagram's u16 budget. *)
+let tag_int = 1
+let tag_real = 2
+let tag_str = 3
+let tag_bool = 4
+let tag_ts = 5
+
+(* Encoding writes into an exact-size Bytes computed up front rather
+   than through a growing Buffer: the encoder runs on every durable
+   insert (and over the whole ring at snapshot time), and the one-pass
+   size + direct blit keeps it off the insert-overhead budget. *)
+
+let value_size = function
+  | Value.Int _ | Value.Real _ | Value.Ts _ -> 9
+  | Value.Bool _ -> 2
+  | Value.Str s -> 5 + String.length s
+
+let row_size (tuple : Value.tuple) =
+  Array.fold_left (fun acc v -> acc + value_size v) 10 tuple.Value.values
+
+let blit_value b pos = function
+  | Value.Int i ->
+      Bytes.unsafe_set b pos (Char.unsafe_chr tag_int);
+      Bytes.set_int64_be b (pos + 1) (Int64.of_int i);
+      pos + 9
+  | Value.Real f ->
+      Bytes.unsafe_set b pos (Char.unsafe_chr tag_real);
+      Bytes.set_int64_be b (pos + 1) (Int64.bits_of_float f);
+      pos + 9
+  | Value.Str s ->
+      let len = String.length s in
+      Bytes.unsafe_set b pos (Char.unsafe_chr tag_str);
+      Bytes.set_int32_be b (pos + 1) (Int32.of_int len);
+      Bytes.blit_string s 0 b (pos + 5) len;
+      pos + 5 + len
+  | Value.Bool v ->
+      Bytes.unsafe_set b pos (Char.unsafe_chr tag_bool);
+      Bytes.unsafe_set b (pos + 1) (if v then '\001' else '\000');
+      pos + 2
+  | Value.Ts f ->
+      Bytes.unsafe_set b pos (Char.unsafe_chr tag_ts);
+      Bytes.set_int64_be b (pos + 1) (Int64.bits_of_float f);
+      pos + 9
+
+let blit_row b pos (tuple : Value.tuple) =
+  Bytes.set_int64_be b pos (Int64.bits_of_float tuple.Value.ts);
+  Bytes.set_int16_be b (pos + 8) (Array.length tuple.Value.values);
+  let p = ref (pos + 10) in
+  Array.iter (fun v -> p := blit_value b !p v) tuple.Value.values;
+  !p
+
+let read_value r =
+  match Wire.Reader.u8 r ~field:"value tag" with
+  | 1 -> Value.Int (Int64.to_int (Wire.Reader.u64 r ~field:"int"))
+  | 2 -> Value.Real (Int64.float_of_bits (Wire.Reader.u64 r ~field:"real"))
+  | 3 ->
+      let len = Wire.Reader.u32_int r ~field:"string length" in
+      Value.Str (Wire.Reader.bytes r ~field:"string" len)
+  | 4 -> Value.Bool (Wire.Reader.u8 r ~field:"bool" <> 0)
+  | 5 -> Value.Ts (Int64.float_of_bits (Wire.Reader.u64 r ~field:"ts"))
+  | tag -> raise (Wire.Truncated (Printf.sprintf "unknown value tag %d" tag))
+
+let encode_row (tuple : Value.tuple) =
+  let b = Bytes.create (row_size tuple) in
+  ignore (blit_row b 0 tuple : int);
+  Bytes.unsafe_to_string b
+
+let read_row r =
+  let ts = Int64.float_of_bits (Wire.Reader.u64 r ~field:"row ts") in
+  let n = Wire.Reader.u16 r ~field:"row arity" in
+  let values = Array.init n (fun _ -> read_value r) in
+  { Value.ts; values }
+
+let decode_row s =
+  match
+    let r = Wire.Reader.of_string s in
+    let row = read_row r in
+    if Wire.Reader.remaining r <> 0 then None else Some row
+  with
+  | exception Wire.Truncated _ -> None
+  | row -> row
+
+let encode_rows rows =
+  let total = List.fold_left (fun acc r -> acc + 4 + row_size r) 4 rows in
+  let b = Bytes.create total in
+  Bytes.set_int32_be b 0 (Int32.of_int (List.length rows));
+  let pos = ref 4 in
+  List.iter
+    (fun r ->
+      let sz = row_size r in
+      Bytes.set_int32_be b !pos (Int32.of_int sz);
+      ignore (blit_row b (!pos + 4) r : int);
+      pos := !pos + 4 + sz)
+    rows;
+  Bytes.unsafe_to_string b
+
+let decode_rows s =
+  match
+    let r = Wire.Reader.of_string s in
+    let n = Wire.Reader.u32_int r ~field:"row count" in
+    let rec go k acc =
+      if k = 0 then
+        if Wire.Reader.remaining r <> 0 then None else Some (List.rev acc)
+      else begin
+        let len = Wire.Reader.u32_int r ~field:"row length" in
+        let body = Wire.Reader.bytes r ~field:"row" len in
+        match decode_row body with
+        | None -> None
+        | Some row -> go (k - 1) (row :: acc)
+      end
+    in
+    (* row counts are bounded by ring capacity in practice; an absurd
+       count just runs out of input and lands in [Truncated] *)
+    go n []
+  with
+  | exception Wire.Truncated _ -> None
+  | rows -> rows

@@ -1,0 +1,36 @@
+(** Row codec for WAL record payloads and snapshot blobs.
+
+    Same value tagging as the RPC wire format (1=Int, 2=Real, 3=Str,
+    4=Bool, 5=Ts) but with u32 string lengths: the RPC frame's u16 limit
+    is a datagram budget, not a durability one, and a durable table must
+    round-trip any row the database accepted. Timestamps and reals are
+    stored as IEEE-754 bit patterns, so NaN and the infinities survive
+    exactly.
+
+    Decoders are strict and total: any malformed, truncated or
+    trailing-garbage input yields [None], never an exception — the WAL's
+    CRC makes corruption overwhelmingly a torn-tail event handled one
+    layer down, so a payload that passed its CRC yet fails here would be
+    a codec bug worth surfacing (the database logs it and skips the
+    row). *)
+
+val row_size : Value.tuple -> int
+(** Exact encoded size of a row, for zero-copy encoding via
+    {!blit_row} into a caller-provided buffer. *)
+
+val blit_row : Bytes.t -> int -> Value.tuple -> int
+(** [blit_row b pos row] writes the encoding at [pos] and returns the
+    position after it ([pos + row_size row]); pairs with
+    [Hw_wal.Wal.append_with] so a durable insert encodes straight into
+    the WAL frame. *)
+
+val encode_row : Value.tuple -> string
+(** One row — insertion timestamp plus column values — as a WAL record
+    payload. *)
+
+val decode_row : string -> Value.tuple option
+
+val encode_rows : Value.tuple list -> string
+(** A whole table scan (oldest first) as a snapshot payload. *)
+
+val decode_rows : string -> Value.tuple list option

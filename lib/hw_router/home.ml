@@ -23,7 +23,7 @@ let seed t = t.the_seed
 let now t = Hw_sim.Event_loop.now t.sim_loop
 
 let create ?(seed = 7) ?(start = 0.) ?loop ?config ?dhcp_config ?flow_idle_timeout ?nat
-    ?isolate_devices ?(hop_delay = 0.001) () =
+    ?isolate_devices ?wal_store ?(hop_delay = 0.001) () =
   (* [loop] lets a fleet place N homes on ONE event loop; without it the
      home owns a private loop as before *)
   let sim_loop =
@@ -31,7 +31,7 @@ let create ?(seed = 7) ?(start = 0.) ?loop ?config ?dhcp_config ?flow_idle_timeo
   in
   let rt =
     Router.create ?config ?dhcp_config ?flow_idle_timeout ?nat ?isolate_devices
-      ~loop:sim_loop ()
+      ?wal_store ~loop:sim_loop ()
   in
   let net_ref = ref None in
   let net =
@@ -128,8 +128,8 @@ let permit_all t =
     (fun a -> Hw_dhcp.Dhcp_server.permit (Router.dhcp t.rt) (Hw_sim.Device.mac a.device))
     t.attachments
 
-let standard_home ?(seed = 7) ?start () =
-  let t = create ~seed ?start () in
+let standard_home ?(seed = 7) ?start ?wal_store () =
+  let t = create ~seed ?start ?wal_store () in
   let dhcp_server = Router.dhcp t.rt in
   let open Hw_sim in
   let add ~permitted config =

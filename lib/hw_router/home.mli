@@ -16,11 +16,18 @@ val create :
   ?flow_idle_timeout:int ->
   ?nat:Hw_packet.Ip.t ->
   ?isolate_devices:bool ->
+  ?wal_store:Hw_wal.Store.t ->
   ?hop_delay:float ->
   unit ->
   t
 (** Default hop delay 1 ms. [start] places the scenario in the week
     (epoch is Monday 00:00), which matters for schedule-based policies.
+
+    [wal_store] passes through to {!Router.create}: the router's Leases
+    and Policies tables become durable in that store, and whatever it
+    already holds is recovered at construction — share one
+    [Hw_wal.Store.mem ()] between a crashed home and its successor
+    (created with [~start:(now crashed)]) to simulate restart-recovery.
 
     [loop] shares an external event loop (a fleet runs thousands of
     homes on one loop); [start] is ignored when [loop] is given. A
@@ -51,7 +58,8 @@ val label_of_ip : t -> string -> string option
 
 (** {2 Canned households} *)
 
-val standard_home : ?seed:int -> ?start:Hw_time.timestamp -> unit -> t
+val standard_home :
+  ?seed:int -> ?start:Hw_time.timestamp -> ?wal_store:Hw_wal.Store.t -> unit -> t
 (** Six devices: toms-mac-air (wireless, web+video), kids-tablet
     (wireless, web+video), kids-console (wired, p2p), dads-phone
     (wireless, web+voip), tv-box (wired, video), sensor-hub (wireless,

@@ -547,6 +547,75 @@ let apply_policies_now t =
     (Policy.constrained_devices t.pol)
 
 (* ------------------------------------------------------------------ *)
+(* Policy durability: declarations as hwdb Policies events             *)
+(* ------------------------------------------------------------------ *)
+
+(* Every policy-plane mutation is recorded into the [Policies] table as a
+   (kind, id, payload, action) event. The table is durable when the
+   router has a WAL store, so [replay_policies] can rebuild the engine
+   at the next boot by replaying the stream in order — last event per
+   entity wins, exactly like the Leases log. *)
+
+let record_rule_set t rule =
+  Database.record_policy t.database ~kind:"rule" ~id:rule.Policy.rule_id
+    ~payload:(Json.to_string (Policy.rule_to_json rule))
+    ~action:"set"
+
+let record_rule_remove t id =
+  Database.record_policy t.database ~kind:"rule" ~id ~payload:"" ~action:"remove"
+
+let record_group_set t name macs =
+  Database.record_policy t.database ~kind:"group" ~id:name
+    ~payload:
+      (Json.to_string
+         (Json.List (List.map (fun m -> Json.String (Mac.to_string m)) macs)))
+    ~action:"set"
+
+let record_token t token action =
+  Database.record_policy t.database ~kind:"token" ~id:token ~payload:"" ~action
+
+let replay_policies t =
+  match Database.table t.database "Policies" with
+  | None -> 0
+  | Some tbl ->
+      let applied = ref 0 in
+      let bad fmt = Log.warn fmt in
+      List.iter
+        (fun (tu : Value.tuple) ->
+          match tu.Value.values with
+          | [| Value.Str kind; Value.Str id; Value.Str payload; Value.Str action |]
+            -> (
+              incr applied;
+              match (kind, action) with
+              | "rule", "set" -> (
+                  match
+                    Option.map Policy.rule_of_json (Json.of_string_opt payload)
+                  with
+                  | Some (Ok rule) -> Policy.add_rule t.pol rule
+                  | Some (Error msg) ->
+                      bad (fun m -> m "policy replay: rule %s: %s" id msg)
+                  | None -> bad (fun m -> m "policy replay: rule %s: bad json" id))
+              | "rule", "remove" -> ignore (Policy.remove_rule t.pol id)
+              | "group", "set" -> (
+                  match Json.of_string_opt payload with
+                  | Some (Json.List members) ->
+                      Policy.define_group t.pol id
+                        (List.filter_map
+                           (function Json.String s -> Mac.of_string s | _ -> None)
+                           members)
+                  | _ -> bad (fun m -> m "policy replay: group %s: bad json" id))
+              | "token", "set" -> Policy.insert_token t.pol id
+              | "token", "remove" -> Policy.remove_token t.pol id
+              | _ ->
+                  decr applied;
+                  bad (fun m -> m "policy replay: unknown event %s/%s" kind action))
+          | _ -> bad (fun m -> m "policy replay: malformed Policies row"))
+        (Hw_hwdb.Table.scan tbl);
+      if !applied > 0 then
+        Log.info (fun m -> m "replayed %d policy event(s) from hwdb" !applied);
+      !applied
+
+(* ------------------------------------------------------------------ *)
 (* USB / udev                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -659,12 +728,14 @@ let make_ops t =
         match Policy.rule_of_json json with
         | Ok rule ->
             Policy.add_rule t.pol rule;
+            record_rule_set t rule;
             apply_policies_now t;
             Ok (Policy.rule_to_json rule)
         | Error _ as e -> e);
     delete_policy =
       (fun id ->
         if Policy.remove_rule t.pol id then begin
+          record_rule_remove t id;
           apply_policies_now t;
           Ok ()
         end
@@ -685,7 +756,9 @@ let make_ops t =
         let macs = List.map Mac.of_string mac_strings in
         if List.exists Option.is_none macs then Error "bad MAC in members"
         else begin
-          Policy.define_group t.pol name (List.map Option.get macs);
+          let macs = List.map Option.get macs in
+          Policy.define_group t.pol name macs;
+          record_group_set t name macs;
           apply_policies_now t;
           Ok ()
         end);
@@ -703,12 +776,19 @@ let make_ops t =
             | Some (Error msg) -> Error msg
             | Some (Ok _) -> assert false
             | None ->
-                List.iter (fun r -> Policy.add_rule t.pol (Result.get_ok r)) parsed;
+                List.iter
+                  (fun r ->
+                    let rule = Result.get_ok r in
+                    Policy.add_rule t.pol rule;
+                    record_rule_set t rule)
+                  parsed;
                 Policy.insert_token t.pol token;
+                record_token t token "set";
                 apply_policies_now t;
                 Ok (Json.Obj [ ("token", Json.String token) ]))
         | Some (Json.String "remove"), Some (Json.String token) ->
             Policy.remove_token t.pol token;
+            record_token t token "remove";
             apply_policies_now t;
             Ok (Json.Obj [ ("token", Json.String token) ])
         | _ -> Error "expected {\"event\": \"insert\"|\"remove\", \"token\": ...}");
@@ -777,6 +857,28 @@ let recover_dhcp_leases ~db server =
       if n > 0 then Log.info (fun m -> m "recovered %d lease(s) from hwdb" n);
       n
 
+(* Deprecation shim for [?restore_leases_from]: render the old
+   database's durable tables into a fresh in-memory WAL store, so the
+   pre-WAL replay path and a real WAL recovery are one code path (the
+   regression test in test_chaos holds them to identical results). *)
+let wal_store_of_db old_db =
+  let store = Hw_wal.Store.mem () in
+  (* scratch registry: the shim's WAL accounting must not pollute the
+     new router's metrics *)
+  let scratch = Hw_metrics.Registry.create () in
+  List.iter
+    (fun name ->
+      match Database.table old_db name with
+      | None -> ()
+      | Some tbl ->
+          let wal, _ = Hw_wal.Wal.open_ ~metrics:scratch ~store ~name () in
+          List.iter
+            (fun row -> Hw_wal.Wal.append wal (Hw_hwdb.Wal_codec.encode_row row))
+            (Hw_hwdb.Table.scan tbl);
+          Hw_wal.Wal.flush wal)
+    [ "Leases"; "Policies" ];
+  store
+
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -805,7 +907,7 @@ let config ?(dhcp_config = Dhcp_server.default_config) ?(flow_idle_timeout = 10)
   }
 
 let create ?config:cfg ?dhcp_config ?flow_idle_timeout ?wired_ports ?nat ?isolate_devices
-    ?hwdb_capacity ?(fault_seed = 0x4a11) ?restore_leases_from ~loop () =
+    ?hwdb_capacity ?(fault_seed = 0x4a11) ?restore_leases_from ?wal_store ~loop () =
   (* a fleet builds ONE [config] up front and shares it; the per-field
      optional arguments remain for single-router callers *)
   let cfg =
@@ -835,11 +937,30 @@ let create ?config:cfg ?dhcp_config ?flow_idle_timeout ?wired_ports ?nat ?isolat
   in
   let uptime = Hw_metrics.Build_info.register ~registry:metrics () in
   let started_at = now () in
-  let database = Database.create ~default_capacity:cfg.hwdb_capacity ~metrics ~trace ~now () in
+  (* Durable control state: an explicit WAL store, or the deprecated
+     [restore_leases_from] shim which renders the old database's durable
+     tables into an in-memory store — one recovery path either way. *)
+  let wal_store =
+    match (wal_store, restore_leases_from) with
+    | (Some _ as s), _ -> s
+    | None, Some old_db -> Some (wal_store_of_db old_db)
+    | None, None -> None
+  in
+  (* WAL record writes pass through the disk choke point of the fault
+     plane (short write / torn write / bit-flip / crash-at-boundary) *)
+  let wal_interpose record ~write =
+    let inj = faults.Fault.disk in
+    if Fault.armed inj then Fault.apply_write inj record ~write else write record
+  in
+  let database =
+    Database.create ~default_capacity:cfg.hwdb_capacity ~metrics ~trace
+      ?recover_from:wal_store ~wal_interpose ~now ()
+  in
   let dhcp_server = Dhcp_server.create ~metrics ~trace ~config:dhcp_config ~now () in
-  (match restore_leases_from with
-  | Some old_db -> ignore (recover_dhcp_leases ~db:old_db dhcp_server)
-  | None -> ());
+  (* the database replayed its durable tables above (if any); rebuild
+     the DHCP server's bindings from the recovered Leases stream before
+     any event hook is attached, so recovery re-records nothing *)
+  if wal_store <> None then ignore (recover_dhcp_leases ~db:database dhcp_server);
   let dns_proxy = Dns_proxy.create ~metrics ~trace ~now () in
   Dns_proxy.set_device_of_ip dns_proxy (fun ip ->
       Option.map
@@ -977,14 +1098,24 @@ let create ?config:cfg ?dhcp_config ?flow_idle_timeout ?wired_ports ?nat ?isolat
   Hw_policy.Udev_monitor.on_event t.udev_mon (fun ev ->
       match ev with
       | Hw_policy.Udev_monitor.Key_inserted key ->
-          List.iter (Policy.add_rule t.pol) key.Hw_policy.Usb_key.rules;
+          List.iter
+            (fun rule ->
+              Policy.add_rule t.pol rule;
+              record_rule_set t rule)
+            key.Hw_policy.Usb_key.rules;
           Policy.insert_token t.pol key.Hw_policy.Usb_key.token;
+          record_token t key.Hw_policy.Usb_key.token "set";
           apply_policies_now t
       | Hw_policy.Udev_monitor.Key_removed key ->
           Policy.remove_token t.pol key.Hw_policy.Usb_key.token;
+          record_token t key.Hw_policy.Usb_key.token "remove";
           apply_policies_now t
       | Hw_policy.Udev_monitor.Invalid_key { device; reason } ->
           Log.warn (fun m -> m "invalid policy key on %s: %s" device reason));
+  (* rebuild the policy engine from the recovered Policies stream; the
+     registered hooks above only fire on *new* events, so replay is not
+     re-recorded *)
+  if wal_store <> None then ignore (replay_policies t);
   t.api := Some (Hw_control_api.Control_api.build (make_ops t));
   (* Channel supervision: the 15 s ping_stale tick below sends echo
      keepalives and detaches a datapath that misses them; the leave
@@ -1014,6 +1145,9 @@ let create ?config:cfg ?dhcp_config ?flow_idle_timeout ?wired_ports ?nat ?isolat
       Hw_sim.Event_loop.after loop 1.0 reconnect);
   (* OpenFlow session *)
   Datapath.connect dp;
+  (* push recovered policy decisions into DHCP/DNS now that the channel
+     is up (the periodic tick would do it within a second anyway) *)
+  if wal_store <> None then apply_policies_now t;
   (* periodic work: timeouts, subscriptions, measurement, policy *)
   Hw_sim.Event_loop.every loop 1.0 (fun () ->
       Hw_metrics.Gauge.set uptime (now () -. started_at);

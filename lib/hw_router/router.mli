@@ -47,6 +47,7 @@ val create :
   ?hwdb_capacity:int ->
   ?fault_seed:int ->
   ?restore_leases_from:Hw_hwdb.Database.t ->
+  ?wal_store:Hw_wal.Store.t ->
   loop:Hw_sim.Event_loop.t ->
   unit ->
   t
@@ -61,10 +62,22 @@ val create :
     [fault_seed] seeds the router's {!faults} injection plane (disarmed
     until a plan is installed; the seed fixes the whole fault schedule).
 
-    [restore_leases_from] replays that database's [Leases] log into the
-    fresh DHCP server before anything connects — the crash-recovery path
-    for "the router process restarted but the hwdb survived": devices
-    keep their addresses and their next REQUEST is a renewal.
+    [wal_store] makes the router's control state durable: the hwdb
+    [Leases] and [Policies] tables are backed by write-ahead logs in
+    that store (group committed off the 1 s tick, snapshotted and
+    truncated automatically), and at construction whatever the store
+    already holds is recovered — the DHCP server re-serves identical
+    MAC→IP bindings and the policy engine replays its rule/group/token
+    declarations. Pass [Hw_wal.Store.mem ()] shared between the dead and
+    the restarted instance to simulate a crash, or
+    [Hw_wal.Store.file ~dir] for real on-disk durability. Restart the
+    event loop at or after the crashed instance's last timestamp (e.g.
+    [Event_loop.create ~start:(Home.now old)]) so recovered rows keep
+    their ring ordering.
+
+    [restore_leases_from] is the deprecated pre-WAL spelling: it renders
+    that database's durable tables into an in-memory store and recovers
+    exactly as [wal_store] would (ignored when [wal_store] is given).
 
     [isolate_devices] (default false) refuses IP flows between two home
     devices — the paper's "avoiding direct Ethernet-layer communication
@@ -106,8 +119,10 @@ val faults : t -> Hw_fault.Fault.plane
 (** The router's fault-injection plane: [tx] interposes on the dataplane
     transmit hook, [rpc] on both directions of the hwdb RPC datagram
     path, [chan] on both directions of the controller<->datapath
-    channel. All three are disarmed (one-branch overhead) until a plan
-    is installed with [Hw_fault.Fault.set_plan]. *)
+    channel, [disk] on every WAL record write (short write, torn write,
+    bit-flip, crash-at-boundary — see [Hw_fault.Fault.apply_write]). All
+    four are disarmed (one-branch overhead) until a plan is installed
+    with [Hw_fault.Fault.set_plan]. *)
 
 val recover_dhcp_leases : db:Hw_hwdb.Database.t -> Hw_dhcp.Dhcp_server.t -> int
 (** Replay [db]'s [Leases] log into a DHCP server (see

@@ -1,0 +1,14 @@
+(** CRC-32 (IEEE 802.3 polynomial, reflected), as used by the WAL record
+    frames. One shared lookup table, no allocation per call.
+
+    The ones'-complement Internet checksum in {!Wire} is kept for packet
+    headers where the protocol mandates it; WAL integrity needs the far
+    stronger burst-error detection of CRC-32. Results are in
+    [0, 0xFFFF_FFFF] and fit a native [int] on 64-bit platforms. *)
+
+val string : string -> int
+(** CRC-32 of the whole string. *)
+
+val sub : string -> pos:int -> len:int -> int
+(** CRC-32 of [len] bytes starting at [pos].
+    @raise Invalid_argument if the range is out of bounds. *)

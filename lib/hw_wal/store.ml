@@ -1,0 +1,138 @@
+(* Blob stores. The mem backend is a hashtable of buffers; the file
+   backend maps blob names to files in one directory and implements
+   atomic replace as write-temp-then-rename, the standard crash-safe
+   publication idiom. *)
+
+type backend =
+  | Mem of (string, Buffer.t) Hashtbl.t
+  | File of { dir : string; fsync : bool }
+
+type t = backend
+
+let mem () = Mem (Hashtbl.create 8)
+
+let check_name name =
+  if name = "" || String.exists (fun c -> c = '/' || c = '\\') name then
+    invalid_arg ("Store: bad blob name " ^ name)
+
+let file ?(fsync = false) ~dir () =
+  (try
+     if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  File { dir; fsync }
+
+let path dir name = Filename.concat dir name
+
+let sync_out oc = Unix.fsync (Unix.descr_of_out_channel oc)
+
+let load t name =
+  check_name name;
+  match t with
+  | Mem blobs -> (
+      match Hashtbl.find_opt blobs name with
+      | Some b -> Some (Buffer.contents b)
+      | None -> None)
+  | File { dir; _ } ->
+      let p = path dir name in
+      if Sys.file_exists p then (
+        let ic = open_in_bin p in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> Some (really_input_string ic (in_channel_length ic))))
+      else None
+
+let append t name data =
+  check_name name;
+  match t with
+  | Mem blobs ->
+      let b =
+        match Hashtbl.find_opt blobs name with
+        | Some b -> b
+        | None ->
+            let b = Buffer.create 256 in
+            Hashtbl.replace blobs name b;
+            b
+      in
+      Buffer.add_string b data
+  | File { dir; fsync } ->
+      let oc =
+        open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ]
+          0o644 (path dir name)
+      in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc data;
+          flush oc;
+          if fsync then sync_out oc)
+
+let append_sub t name b pos len =
+  check_name name;
+  match t with
+  | Mem blobs ->
+      let buf =
+        match Hashtbl.find_opt blobs name with
+        | Some buf -> buf
+        | None ->
+            let buf = Buffer.create 256 in
+            Hashtbl.replace blobs name buf;
+            buf
+      in
+      Buffer.add_subbytes buf b pos len
+  | File { dir; fsync } ->
+      let oc =
+        open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ]
+          0o644 (path dir name)
+      in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output oc b pos len;
+          flush oc;
+          if fsync then sync_out oc)
+
+let replace t name data =
+  check_name name;
+  match t with
+  | Mem blobs ->
+      let b = Buffer.create (String.length data) in
+      Buffer.add_string b data;
+      Hashtbl.replace blobs name b
+  | File { dir; fsync } ->
+      let p = path dir name in
+      let tmp = p ^ ".tmp" in
+      let oc =
+        open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ]
+          0o644 tmp
+      in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc data;
+          flush oc;
+          if fsync then sync_out oc);
+      Sys.rename tmp p
+
+let remove t name =
+  check_name name;
+  match t with
+  | Mem blobs -> Hashtbl.remove blobs name
+  | File { dir; _ } ->
+      let p = path dir name in
+      if Sys.file_exists p then Sys.remove p
+
+let size t name =
+  check_name name;
+  match t with
+  | Mem blobs -> (
+      match Hashtbl.find_opt blobs name with
+      | Some b -> Buffer.length b
+      | None -> 0)
+  | File { dir; _ } ->
+      let p = path dir name in
+      if Sys.file_exists p then (
+        let ic = open_in_bin p in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> in_channel_length ic))
+      else 0

@@ -1,0 +1,46 @@
+(** Named-blob storage behind the write-ahead log.
+
+    The WAL needs exactly four durability primitives — append to a
+    growing blob, atomically replace a blob, read a blob, drop a blob —
+    so that is the whole interface. Two backends: {!mem} keeps blobs in
+    a hashtable so `Hw_sim` runs and crash-point tests stay fully
+    deterministic with no filesystem in the loop; {!file} maps each blob
+    to a file in one directory, with atomic replace implemented as
+    write-temp-then-rename.
+
+    Blob names are chosen by the WAL ([<wal>.log], [<wal>.snap]) and must
+    not contain path separators. *)
+
+type t
+
+val mem : unit -> t
+(** Fresh, empty in-memory store. Two routers sharing one [mem] store
+    see each other's blobs — which is exactly how a simulated "restart"
+    hands state from the dead instance to its successor. *)
+
+val file : ?fsync:bool -> dir:string -> unit -> t
+(** Blobs as files under [dir] (created if missing). With [fsync]
+    (default [false]) every append and replace is forced to stable
+    storage before returning — the real-durability mode; without it the
+    OS page cache decides, which is fine for tests. *)
+
+val load : t -> string -> string option
+(** Full contents of a blob, [None] if it does not exist. *)
+
+val append : t -> string -> string -> unit
+(** [append t name data] extends the blob (creating it if missing). *)
+
+val append_sub : t -> string -> Bytes.t -> int -> int -> unit
+(** [append_sub t name b pos len] appends [len] bytes of [b] starting
+    at [pos] — {!append} without the intermediate string, for the WAL's
+    group-commit batch. *)
+
+val replace : t -> string -> string -> unit
+(** Atomically replace the blob's contents: a crash during [replace]
+    leaves either the old or the new contents, never a mixture. *)
+
+val remove : t -> string -> unit
+(** Delete the blob; no-op if absent. *)
+
+val size : t -> string -> int
+(** Current byte size, 0 if absent. *)

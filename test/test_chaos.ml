@@ -181,23 +181,25 @@ let test_dns_never_fails_open () =
 
 (* --- restarted DHCP server re-serves identical addresses ------------ *)
 
+let lease_map server =
+  Hw_dhcp.Lease_db.active (Hw_dhcp.Dhcp_server.lease_db server)
+  |> List.filter (fun l -> l.Hw_dhcp.Lease_db.committed)
+  |> List.map (fun l -> (Mac.to_string l.Hw_dhcp.Lease_db.mac, Ip.to_string l.Hw_dhcp.Lease_db.ip))
+  |> List.sort compare
+
 let test_dhcp_crash_recovery () =
-  let home = Home.standard_home ~seed () in
+  let store = Hw_wal.Store.mem () in
+  let home = Home.standard_home ~seed ~wal_store:store () in
   Home.permit_all home;
   Home.run_for home 120.;
   let rt1 = Home.router home in
-  let lease_map server =
-    Hw_dhcp.Lease_db.active (Hw_dhcp.Dhcp_server.lease_db server)
-    |> List.filter (fun l -> l.Hw_dhcp.Lease_db.committed)
-    |> List.map (fun l -> (Mac.to_string l.Hw_dhcp.Lease_db.mac, Ip.to_string l.Hw_dhcp.Lease_db.ip))
-    |> List.sort compare
-  in
   let before = lease_map (Router.dhcp rt1) in
   Alcotest.(check bool) "leases were granted before the crash" true (List.length before >= 6);
-  (* "crash": the router process is gone, the hwdb survived — rebuild on
-     a fresh loop from the old database's Leases log *)
+  (* group-commit the last tick's appends, then "crash": the router
+     process is gone; only the WAL store survives *)
+  Database.flush_wal (Router.db rt1);
   let loop2 = Loop.create ~start:(Home.now home) () in
-  let rt2 = Router.create ~restore_leases_from:(Router.db rt1) ~loop:loop2 () in
+  let rt2 = Router.create ~wal_store:store ~loop:loop2 () in
   let after = lease_map (Router.dhcp rt2) in
   Alcotest.(check (list (pair string string))) "identical mac->ip bindings" before after;
   Alcotest.(check int) "recovery counted"
@@ -209,7 +211,101 @@ let test_dhcp_crash_recovery () =
       match Hw_dhcp.Dhcp_server.device_state (Router.dhcp rt2) (Option.get (Mac.of_string mac)) with
       | Hw_dhcp.Dhcp_server.Permitted -> ()
       | _ -> Alcotest.fail (mac ^ " not permitted after recovery"))
-    before
+    before;
+  (* regression: the deprecated ?restore_leases_from shim must rebuild
+     exactly the state the WAL path does *)
+  let loop3 = Loop.create ~start:(Home.now home) () in
+  let rt3 = Router.create ~restore_leases_from:(Router.db rt1) ~loop:loop3 () in
+  Alcotest.(check (list (pair string string))) "shim path matches WAL path" after
+    (lease_map (Router.dhcp rt3));
+  let scan_rows db name =
+    match Database.table db name with Some t -> Table.scan t | None -> []
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check int)
+        (name ^ ": shim recovers the same rows")
+        (List.length (scan_rows (Router.db rt2) name))
+        (List.length (scan_rows (Router.db rt3) name)))
+    [ "Leases"; "Policies" ]
+
+(* --- torn/corrupt/crashing WAL writes; recover the durable prefix --- *)
+
+let test_disk_fault_crash_recovery () =
+  let msg m = Printf.sprintf "seed %d: %s" seed m in
+  let store = Hw_wal.Store.mem () in
+  let home = Home.standard_home ~seed ~wal_store:store () in
+  Home.permit_all home;
+  Home.run_for home 120.;
+  let rt1 = Home.router home in
+  let metrics1 = Router.metrics rt1 in
+  let faults = Router.faults rt1 in
+  let before = lease_map (Router.dhcp rt1) in
+  Alcotest.(check bool) (msg "leases granted before the faults") true
+    (List.length before >= 6);
+  (* the storage stack starts failing mid-write: short writes, bit flips
+     and crash-at-boundary.  The event loop absorbs the injected crashes
+     (the timer stays alive), modelling a router that limps on with a
+     dying disk until we kill it below.  Keep the durable tables chatty
+     through the window — lease renewals of real bindings plus policy
+     tokens — so every group commit passes through the injector. *)
+  Fault.set_plan faults.Fault.disk [ Fault.Drop 0.2; Fault.Corrupt 0.1; Fault.Crash 0.1 ];
+  for i = 1 to 60 do
+    (match List.nth_opt before (i mod List.length before) with
+    | Some (mac, ip) ->
+        Database.record_lease (Router.db rt1) ~mac ~ip ~hostname:"chaos" ~action:"renew"
+    | None -> ());
+    Database.record_policy (Router.db rt1) ~kind:"token"
+      ~id:(Printf.sprintf "chaos%d" i) ~payload:"" ~action:"set";
+    Home.run_for home 1.0
+  done;
+  Fault.disarm_plane faults;
+  Alcotest.(check bool) (msg "disk faults actually fired") true
+    (fault_count metrics1 "drop" + fault_count metrics1 "corrupt"
+     + fault_count metrics1 "crash"
+    > 0);
+  (* every (mac, ip) the dying router ever granted or renewed: whatever
+     the recovery yields must come from this set — a durable prefix can
+     be stale, never invented *)
+  let ever_bound =
+    match Database.table (Router.db rt1) "Leases" with
+    | None -> []
+    | Some t ->
+        List.filter_map
+          (fun (tu : Value.tuple) ->
+            match tu.Value.values with
+            | [| Value.Str mac; Value.Str ip; _; Value.Str action |]
+              when action = "grant" || action = "renew" ->
+                Some (mac, ip)
+            | _ -> None)
+          (Table.scan t)
+  in
+  Alcotest.(check bool) (msg "bindings existed before the kill") true
+    (List.length ever_bound >= 6);
+  (* kill mid-flight: pending appends die with the process.  Recovery
+     must truncate at the tear and never raise. *)
+  let loop2 = Loop.create ~start:(Home.now home) () in
+  let rt2 = Router.create ~wal_store:store ~loop:loop2 () in
+  let recovered = lease_map (Router.dhcp rt2) in
+  List.iter
+    (fun (mac, ip) ->
+      Alcotest.(check bool)
+        (msg (Printf.sprintf "recovered %s -> %s was really granted" mac ip))
+        true
+        (List.mem (mac, ip) ever_bound))
+    recovered;
+  (* a full restarted home on the same store honours the recovered
+     bindings: each such device renews its old address *)
+  let home2 = Home.standard_home ~seed ~start:(Home.now home) ~wal_store:store () in
+  Home.permit_all home2;
+  Home.run_for home2 120.;
+  let final = lease_map (Router.dhcp (Home.router home2)) in
+  List.iter
+    (fun (mac, ip) ->
+      match List.assoc_opt mac final with
+      | Some ip' -> Alcotest.(check string) (msg (mac ^ " keeps its recovered address")) ip ip'
+      | None -> Alcotest.fail (msg (mac ^ " vanished after restart")))
+    recovered
 
 (* --- control-channel partition: detect, reconnect, resync ----------- *)
 
@@ -380,6 +476,8 @@ let () =
             test_dhcp_converges_under_faults;
           Alcotest.test_case "dns never fails open" `Slow test_dns_never_fails_open;
           Alcotest.test_case "dhcp crash recovery" `Slow test_dhcp_crash_recovery;
+          Alcotest.test_case "disk-fault crash recovery" `Slow
+            test_disk_fault_crash_recovery;
           Alcotest.test_case "channel partition recovery" `Slow test_channel_partition_recovery;
         ] );
       ( "timers",
